@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 6: "Normalized performance for applications and
+// benchmarks" under stand-alone split memory (worst case):
+//   Apache/32KB ~= 0.89, gzip ~= 0.87, nbench ~= 0.97, Unixbench ~= 0.82.
+#include <cstdio>
+
+#include "workloads/workload.h"
+
+using namespace sm;
+using namespace sm::workloads;
+
+int main() {
+  std::printf("Fig. 6: normalized performance (protected / unprotected)\n\n");
+  std::printf("%-16s %12s %12s %10s %10s\n", "benchmark", "base cycles",
+              "split cycles", "normalized", "paper");
+
+  const Protection none = Protection::none();
+  const Protection split = Protection::split_all();
+
+  {
+    WebserverConfig cfg;
+    cfg.response_bytes = 32 * 1024;
+    const auto b = run_webserver(none, cfg);
+    const auto p = run_webserver(split, cfg);
+    std::printf("%-16s %12llu %12llu %10.3f %10s\n", "apache-32KB",
+                static_cast<unsigned long long>(b.base.cycles),
+                static_cast<unsigned long long>(p.base.cycles),
+                normalized(b.base, p.base), "~0.89");
+  }
+  {
+    const auto b = run_gzip(none);
+    const auto p = run_gzip(split);
+    std::printf("%-16s %12llu %12llu %10.3f %10s\n", "gzip",
+                static_cast<unsigned long long>(b.cycles),
+                static_cast<unsigned long long>(p.cycles), normalized(b, p),
+                "~0.87");
+  }
+  {
+    const auto b = run_nbench(none);
+    const auto p = run_nbench(split);
+    std::printf("%-16s %12llu %12llu %10.3f %10s\n", "nbench",
+                static_cast<unsigned long long>(b.cycles),
+                static_cast<unsigned long long>(p.cycles), normalized(b, p),
+                "~0.97");
+  }
+  {
+    const double idx = unixbench_index(split);
+    std::printf("%-16s %12s %12s %10.3f %10s\n", "unixbench", "-", "-", idx,
+                "~0.82");
+    std::printf("\nunixbench per-test detail:\n");
+    for (const UnixBench ub : kAllUnixBench) {
+      const auto b = run_unixbench(ub, none);
+      const auto p = run_unixbench(ub, split);
+      std::printf("  %-20s %10.3f\n", to_string(ub), normalized(b, p));
+    }
+  }
+  return 0;
+}

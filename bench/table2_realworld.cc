@@ -1,0 +1,38 @@
+// Reproduces paper Table 2: "Five Real-World Vulnerabilities" — each
+// exploit runs against the unprotected baseline (attack result: rootshell)
+// and under stand-alone split memory (result: foiled).
+#include <cstdio>
+
+#include "attacks/realworld.h"
+
+using namespace sm;
+using namespace sm::attacks::realworld;
+
+int main() {
+  std::printf("Table 2: five real-world vulnerabilities\n\n");
+  std::printf("%-32s %-32s %-7s %-22s %-s\n", "software", "exploit",
+              "injects", "unprotected result", "split-memory result");
+
+  bool all_good = true;
+  for (const Exploit e : kAllExploits) {
+    const AttackResult base = run_attack(e, core::ProtectionMode::kNone);
+    const AttackResult split = run_attack(e, core::ProtectionMode::kSplitAll);
+    std::string base_result =
+        base.shell_spawned ? "rootshell" : "NO SHELL (unexpected)";
+    if (e == Exploit::kSamba) {
+      base_result += " (attempt " + std::to_string(base.attempts) + ")";
+    }
+    const std::string split_result =
+        !split.shell_spawned && split.detected
+            ? "foiled (detected)"
+            : (split.shell_spawned ? "NOT FOILED" : "foiled");
+    std::printf("%-32s %-32s %-7s %-22s %-s\n", software(e), exploit_name(e),
+                injects_to(e), base_result.c_str(), split_result.c_str());
+    all_good = all_good && base.shell_spawned && !split.shell_spawned &&
+               split.detected;
+  }
+  std::printf("\npaper: all five exploits spawn a shell unprotected and are "
+              "foiled by split memory — %s\n",
+              all_good ? "REPRODUCED" : "MISMATCH");
+  return all_good ? 0 : 1;
+}

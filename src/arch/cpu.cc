@@ -1,0 +1,281 @@
+#include "arch/cpu.h"
+
+namespace sm::arch {
+
+struct Cpu::Decoded {
+  Op op;
+  u8 ra = 0;
+  u8 rb = 0;
+  u32 imm = 0;
+  u32 len = 0;
+};
+
+void Cpu::check_reg(u8 r) const {
+  if (r >= kNumRegs) {
+    throw TrapException(Trap::simple(TrapKind::kGeneralProtection));
+  }
+}
+
+Cpu::Decoded Cpu::fetch_decode() {
+  const u32 pc = regs_.pc;
+  const u8 opcode = mmu_->fetch8(pc);
+  const u32 len = instr_length(opcode);
+  if (len == 0) {
+    throw TrapException(Trap::invalid_opcode(opcode));
+  }
+  u8 bytes[kMaxInstrLength] = {opcode};
+  for (u32 i = 1; i < len; ++i) bytes[i] = mmu_->fetch8(pc + i);
+
+  Decoded d;
+  d.op = static_cast<Op>(opcode);
+  d.len = len;
+  auto imm_at = [&](u32 off) {
+    return static_cast<u32>(bytes[off]) |
+           (static_cast<u32>(bytes[off + 1]) << 8) |
+           (static_cast<u32>(bytes[off + 2]) << 16) |
+           (static_cast<u32>(bytes[off + 3]) << 24);
+  };
+  switch (d.op) {
+    case Op::kMovi:
+    case Op::kAddi:
+    case Op::kCmpi:
+      d.ra = bytes[1];
+      d.imm = imm_at(2);
+      break;
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmp:
+    case Op::kModu:
+      d.ra = bytes[1];
+      d.rb = bytes[2];
+      break;
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kLoadb:
+    case Op::kStoreb:
+      d.ra = bytes[1];
+      d.rb = bytes[2];
+      d.imm = imm_at(3);
+      break;
+    case Op::kJmp:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kJlt:
+    case Op::kJge:
+    case Op::kJb:
+    case Op::kJae:
+    case Op::kCall:
+      d.imm = imm_at(1);
+      break;
+    case Op::kJmpr:
+    case Op::kCallr:
+    case Op::kPush:
+    case Op::kPop:
+    case Op::kNot:
+      d.ra = bytes[1];
+      break;
+    case Op::kRet:
+    case Op::kSyscall:
+    case Op::kNop:
+      break;
+  }
+  if (d.len >= 2 && d.op != Op::kJmp && d.op != Op::kJz && d.op != Op::kJnz &&
+      d.op != Op::kJlt && d.op != Op::kJge && d.op != Op::kJb &&
+      d.op != Op::kJae && d.op != Op::kCall) {
+    check_reg(d.ra);
+  }
+  switch (d.op) {
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmp:
+    case Op::kModu:
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kLoadb:
+    case Op::kStoreb:
+      check_reg(d.rb);
+      break;
+    default:
+      break;
+  }
+  return d;
+}
+
+void Cpu::push(u32 v) {
+  const u32 nsp = regs_.sp() - 4;
+  mmu_->write32(nsp, v);
+  regs_.sp() = nsp;
+}
+
+u32 Cpu::pop() {
+  const u32 v = mmu_->read32(regs_.sp());
+  regs_.sp() += 4;
+  return v;
+}
+
+std::optional<Trap> Cpu::step() {
+  const Regs snapshot = regs_;
+  const bool tf_at_start = regs_.tf();
+  stats_->cycles += cost_->cycles_per_instr;
+  try {
+    const Decoded d = fetch_decode();
+    auto trap = execute(d);
+    ++stats_->instructions;
+    if (trap) return trap;  // kSyscall: pc already advanced
+    if (tf_at_start) {
+      ++stats_->single_steps;
+      return Trap::simple(TrapKind::kDebugStep);
+    }
+    return std::nullopt;
+  } catch (const TrapException& e) {
+    regs_ = snapshot;  // faults restore architectural state for restart
+    return e.trap();
+  }
+}
+
+std::optional<Trap> Cpu::execute(const Decoded& d) {
+  Regs& R = regs_;
+  u32* r = R.r;
+  const u32 next = R.pc + d.len;
+  auto set_cmp_flags = [&](u32 a, u32 b) {
+    R.flags &= ~(kFlagZ | kFlagS | kFlagC);
+    if (a == b) R.flags |= kFlagZ;
+    if (static_cast<i32>(a) < static_cast<i32>(b)) R.flags |= kFlagS;
+    if (a < b) R.flags |= kFlagC;
+  };
+
+  switch (d.op) {
+    case Op::kMovi:
+      r[d.ra] = d.imm;
+      break;
+    case Op::kMov:
+      r[d.ra] = r[d.rb];
+      break;
+    case Op::kLoad:
+      r[d.ra] = mmu_->read32(r[d.rb] + d.imm);
+      break;
+    case Op::kStore:
+      mmu_->write32(r[d.ra] + d.imm, r[d.rb]);
+      break;
+    case Op::kLoadb:
+      r[d.ra] = mmu_->read8(r[d.rb] + d.imm);
+      break;
+    case Op::kStoreb:
+      mmu_->write8(r[d.ra] + d.imm, static_cast<u8>(r[d.rb]));
+      break;
+    case Op::kAdd:
+      r[d.ra] += r[d.rb];
+      break;
+    case Op::kSub:
+      r[d.ra] -= r[d.rb];
+      break;
+    case Op::kMul:
+      r[d.ra] *= r[d.rb];
+      break;
+    case Op::kDiv:
+      if (r[d.rb] == 0) {
+        throw TrapException(Trap::simple(TrapKind::kDivideByZero));
+      }
+      r[d.ra] /= r[d.rb];
+      break;
+    case Op::kModu:
+      if (r[d.rb] == 0) {
+        throw TrapException(Trap::simple(TrapKind::kDivideByZero));
+      }
+      r[d.ra] %= r[d.rb];
+      break;
+    case Op::kAnd:
+      r[d.ra] &= r[d.rb];
+      break;
+    case Op::kOr:
+      r[d.ra] |= r[d.rb];
+      break;
+    case Op::kXor:
+      r[d.ra] ^= r[d.rb];
+      break;
+    case Op::kShl:
+      r[d.ra] <<= (r[d.rb] & 31);
+      break;
+    case Op::kShr:
+      r[d.ra] >>= (r[d.rb] & 31);
+      break;
+    case Op::kNot:
+      r[d.ra] = ~r[d.ra];
+      break;
+    case Op::kAddi:
+      r[d.ra] += d.imm;
+      break;
+    case Op::kCmp:
+      set_cmp_flags(r[d.ra], r[d.rb]);
+      break;
+    case Op::kCmpi:
+      set_cmp_flags(r[d.ra], d.imm);
+      break;
+    case Op::kJmp:
+      R.pc = d.imm;
+      return std::nullopt;
+    case Op::kJz:
+      R.pc = (R.flags & kFlagZ) ? d.imm : next;
+      return std::nullopt;
+    case Op::kJnz:
+      R.pc = (R.flags & kFlagZ) ? next : d.imm;
+      return std::nullopt;
+    case Op::kJlt:
+      R.pc = (R.flags & kFlagS) ? d.imm : next;
+      return std::nullopt;
+    case Op::kJge:
+      R.pc = (R.flags & kFlagS) ? next : d.imm;
+      return std::nullopt;
+    case Op::kJb:
+      R.pc = (R.flags & kFlagC) ? d.imm : next;
+      return std::nullopt;
+    case Op::kJae:
+      R.pc = (R.flags & kFlagC) ? next : d.imm;
+      return std::nullopt;
+    case Op::kJmpr:
+      R.pc = r[d.ra];
+      return std::nullopt;
+    case Op::kCall:
+      push(next);
+      R.pc = d.imm;
+      return std::nullopt;
+    case Op::kCallr:
+      push(next);
+      R.pc = r[d.ra];
+      return std::nullopt;
+    case Op::kRet:
+      R.pc = pop();
+      return std::nullopt;
+    case Op::kPush:
+      push(r[d.ra]);
+      break;
+    case Op::kPop:
+      r[d.ra] = pop();
+      break;
+    case Op::kSyscall:
+      R.pc = next;
+      return Trap::simple(TrapKind::kSyscall);
+    case Op::kNop:
+      break;
+  }
+  R.pc = next;
+  return std::nullopt;
+}
+
+}  // namespace sm::arch

@@ -1,0 +1,72 @@
+// The simulated CPU core.
+//
+// Cpu::step() executes exactly one user-mode instruction against the MMU.
+// On success it returns std::nullopt (or a kSyscall/kDebugStep trap that
+// the kernel must service); on a fault (page fault, #UD, #DE, #GP) it
+// returns the trap with ALL architectural state rolled back, so the kernel
+// can fix the cause and simply resume — the restart semantics Algorithm 1
+// depends on ("return; /* restart the faulting instruction */").
+//
+// Trap-flag semantics follow x86: if TF is set when an instruction begins
+// and the instruction completes (does not fault), a kDebugStep trap is
+// reported after it. A syscall that completes under TF reports kSyscall;
+// the kernel checks TF itself afterwards (see kernel/kernel.cc).
+#pragma once
+
+#include <optional>
+
+#include "arch/isa.h"
+#include "arch/mmu.h"
+#include "arch/trap.h"
+#include "arch/types.h"
+#include "metrics/cost_model.h"
+#include "metrics/stats.h"
+
+namespace sm::arch {
+
+struct Regs {
+  u32 r[kNumRegs] = {};
+  u32 pc = 0;
+  u32 flags = 0;
+
+  u32& sp() { return r[kRegSp]; }
+  u32& fp() { return r[kRegFp]; }
+  bool tf() const { return flags & kFlagTrap; }
+  void set_tf(bool on) {
+    if (on) {
+      flags |= kFlagTrap;
+    } else {
+      flags &= ~kFlagTrap;
+    }
+  }
+};
+
+class Cpu {
+ public:
+  Cpu(Mmu& mmu, metrics::Stats& stats, const metrics::CostModel& cost)
+      : mmu_(&mmu), stats_(&stats), cost_(&cost) {}
+
+  Regs& regs() { return regs_; }
+  const Regs& regs() const { return regs_; }
+
+  // Executes one instruction. See the file comment for the contract.
+  std::optional<Trap> step();
+
+ private:
+  // Fetches the instruction bytes at pc through the I-TLB path.
+  // Throws TrapException on fetch faults or #UD.
+  struct Decoded;
+  Decoded fetch_decode();
+  std::optional<Trap> execute(const Decoded& d);
+
+  u32 pop();
+  void push(u32 v);
+  void check_reg(u8 r) const;
+
+  Mmu* mmu_;
+  metrics::Stats* stats_;
+  const metrics::CostModel* cost_;
+  Regs regs_;
+};
+
+}  // namespace sm::arch

@@ -1,0 +1,126 @@
+// Instruction set of the simulated 32-bit machine.
+//
+// Byte-encoded, little-endian, variable length: [opcode][operands...].
+// Register operands are one byte each (0-7); immediates are 32-bit LE.
+// NOP is 0x90 so classic x86-style NOP sleds look the same in hex dumps
+// and in the paper's forensics screenshots. 0x00 (and every unassigned
+// byte) decodes to #UD, so a zero-filled code frame faults on fetch —
+// which is what makes break/observe/forensics response modes triggerable.
+//
+// Registers: r0-r5 general purpose, r6 = frame pointer (FP), r7 = stack
+// pointer (SP). Flags are set only by CMP/CMPI: ZF (equal), SF (signed
+// less-than), CF (unsigned below). Bit 8 of FLAGS is the x86-style trap
+// flag (TF): when set, the CPU raises a debug trap after completing one
+// instruction — the hook Algorithm 2 uses to re-restrict a split page.
+#pragma once
+
+#include "arch/types.h"
+
+namespace sm::arch {
+
+inline constexpr u32 kNumRegs = 8;
+inline constexpr u32 kRegFp = 6;
+inline constexpr u32 kRegSp = 7;
+
+// FLAGS bits.
+inline constexpr u32 kFlagZ = 1u << 0;
+inline constexpr u32 kFlagS = 1u << 1;   // signed less-than from CMP
+inline constexpr u32 kFlagC = 1u << 2;   // unsigned below from CMP
+inline constexpr u32 kFlagTrap = 1u << 8;  // single-step (TF)
+
+enum class Op : u8 {
+  kMovi = 0x01,    // MOVI rd, imm32
+  kMov = 0x02,     // MOV rd, rs
+  kLoad = 0x03,    // LOAD rd, [rs+imm32]
+  kStore = 0x04,   // STORE [rd+imm32], rs
+  kLoadb = 0x05,   // LOADB rd, [rs+imm32]  (zero-extends)
+  kStoreb = 0x06,  // STOREB [rd+imm32], rs (low byte)
+
+  kAdd = 0x10,
+  kSub = 0x11,
+  kMul = 0x12,
+  kDiv = 0x13,  // unsigned; divisor 0 -> #DE
+  kAnd = 0x14,
+  kOr = 0x15,
+  kXor = 0x16,
+  kShl = 0x17,
+  kShr = 0x18,
+  kAddi = 0x19,  // ADDI rd, imm32
+  kCmp = 0x1A,   // CMP ra, rb
+  kCmpi = 0x1B,  // CMPI ra, imm32
+  kNot = 0x1C,
+  kModu = 0x1D,  // unsigned remainder; divisor 0 -> #DE
+
+  kJmp = 0x20,  // absolute
+  kJz = 0x21,
+  kJnz = 0x22,
+  kJlt = 0x23,  // signed <
+  kJge = 0x24,  // signed >=
+  kJb = 0x25,   // unsigned <
+  kJae = 0x26,  // unsigned >=
+  kJmpr = 0x27,
+
+  kCall = 0x30,   // push return address, jump
+  kCallr = 0x31,  // indirect call through register
+  kRet = 0x32,    // pop pc  (the classic hijack point)
+  kPush = 0x33,
+  kPop = 0x34,
+
+  kSyscall = 0x40,  // number in r0, args in r1..r4, result in r0
+
+  kNop = 0x90,
+};
+
+// Length in bytes of the instruction starting with `opcode`, or 0 if the
+// opcode is invalid (#UD).
+constexpr u32 instr_length(u8 opcode) {
+  switch (static_cast<Op>(opcode)) {
+    case Op::kMovi:
+    case Op::kAddi:
+    case Op::kCmpi:
+      return 6;
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kCmp:
+    case Op::kModu:
+      return 3;
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kLoadb:
+    case Op::kStoreb:
+      return 7;
+    case Op::kJmp:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kJlt:
+    case Op::kJge:
+    case Op::kJb:
+    case Op::kJae:
+    case Op::kCall:
+      return 5;
+    case Op::kJmpr:
+    case Op::kCallr:
+    case Op::kPush:
+    case Op::kPop:
+    case Op::kNot:
+      return 2;
+    case Op::kRet:
+    case Op::kSyscall:
+    case Op::kNop:
+      return 1;
+  }
+  return 0;
+}
+
+// Maximum encoded instruction length (LOAD/STORE forms).
+inline constexpr u32 kMaxInstrLength = 7;
+
+}  // namespace sm::arch

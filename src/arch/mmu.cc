@@ -1,0 +1,169 @@
+#include "arch/mmu.h"
+
+namespace sm::arch {
+
+Mmu::Mmu(PhysicalMemory& pm, metrics::Stats& stats,
+         const metrics::CostModel& cost, u32 tlb_entries, u32 tlb_ways)
+    : pm_(&pm),
+      stats_(&stats),
+      cost_(&cost),
+      itlb_(tlb_entries, tlb_ways),
+      dtlb_(tlb_entries, tlb_ways) {}
+
+void Mmu::set_cr3(u32 root_pfn) {
+  cr3_ = root_pfn;
+  flush_tlbs();
+}
+
+void Mmu::flush_tlbs() {
+  itlb_.flush();
+  dtlb_.flush();
+  ++stats_->tlb_flushes;
+}
+
+void Mmu::invlpg(u32 vaddr) {
+  itlb_.invalidate(vpn_of(vaddr));
+  dtlb_.invalidate(vpn_of(vaddr));
+}
+
+void Mmu::fault(u32 vaddr, Access acc, bool present, bool soft_miss) {
+  PageFaultInfo info;
+  info.addr = vaddr;
+  info.present = present;
+  info.write = acc == Access::kWrite;
+  info.user = true;
+  info.fetch = acc == Access::kFetch;
+  info.soft_miss = soft_miss;
+  throw TrapException(Trap::page_fault(info));
+}
+
+u64 Mmu::translate(u32 vaddr, Access acc) {
+  const bool is_fetch = acc == Access::kFetch;
+  Tlb& tlb = is_fetch ? itlb_ : dtlb_;
+  const u32 vpn = vpn_of(vaddr);
+
+  if (const TlbEntry* e = tlb.lookup(vpn)) {
+    // Hit: permissions come from the cached attributes, NOT the PTE. This
+    // is the persistence property split memory depends on.
+    if (is_fetch) {
+      ++stats_->itlb_hits;
+    } else {
+      ++stats_->dtlb_hits;
+    }
+    stats_->cycles += cost_->tlb_hit;
+    if (!e->user) fault(vaddr, acc, /*present=*/true);
+    if (acc == Access::kWrite && !e->writable) fault(vaddr, acc, true);
+    if (is_fetch && e->no_exec) fault(vaddr, acc, true);
+    return finish(vaddr, e->pfn);
+  }
+
+  // Miss.
+  if (is_fetch) {
+    ++stats_->itlb_misses;
+  } else {
+    ++stats_->dtlb_misses;
+  }
+  if (software_tlb_) {
+    // SPARC-style: no hardware walker — trap to the OS TLB-fill handler.
+    fault(vaddr, acc, /*present=*/false, /*soft_miss=*/true);
+  }
+  stats_->cycles += cost_->tlb_walk;
+  PageTable pt(*pm_, cr3_);
+  const auto pte = pt.walk(vaddr, stats_);
+  if (!pte) fault(vaddr, acc, /*present=*/false);
+  if (!pte->user()) fault(vaddr, acc, /*present=*/true);
+  if (acc == Access::kWrite && !pte->writable()) fault(vaddr, acc, true);
+  if (is_fetch && pte->no_exec()) fault(vaddr, acc, true);
+
+  // Fill the requesting TLB only; set accessed/dirty like hardware.
+  Pte updated = *pte;
+  updated.set(Pte::kAccessed);
+  if (acc == Access::kWrite) updated.set(Pte::kDirty);
+  if (updated.raw != pte->raw) pt.set(vaddr, updated);
+
+  TlbEntry entry;
+  entry.vpn = vpn;
+  entry.pfn = pte->pfn();
+  entry.user = pte->user();
+  entry.writable = pte->writable();
+  entry.no_exec = pte->no_exec();
+  tlb.insert(entry);
+  return finish(vaddr, pte->pfn());
+}
+
+u32 Mmu::read32(u32 va) {
+  // A 32-bit access may straddle a page boundary; translate per byte then.
+  if (page_offset(va) <= kPageSize - 4) {
+    return pm_->read32(translate(va, Access::kRead));
+  }
+  u32 v = 0;
+  for (u32 i = 0; i < 4; ++i) {
+    v |= static_cast<u32>(pm_->read8(translate(va + i, Access::kRead)))
+         << (8 * i);
+  }
+  return v;
+}
+
+void Mmu::write32(u32 va, u32 v) {
+  if (page_offset(va) <= kPageSize - 4) {
+    pm_->write32(translate(va, Access::kWrite), v);
+    return;
+  }
+  // Pre-translate every byte so a fault leaves memory untouched.
+  u64 pa[4];
+  for (u32 i = 0; i < 4; ++i) pa[i] = translate(va + i, Access::kWrite);
+  for (u32 i = 0; i < 4; ++i) {
+    pm_->write8(pa[i], static_cast<u8>(v >> (8 * i)));
+  }
+}
+
+bool Mmu::fill_dtlb_via_walk(u32 vaddr) {
+  stats_->cycles += cost_->kernel_touch;
+  if (walk_failure_period_ != 0 &&
+      ++walk_fill_count_ % walk_failure_period_ == 0) {
+    return false;  // injected footnote-1 quirk
+  }
+  PageTable pt(*pm_, cr3_);
+  const auto pte = pt.walk(vaddr, stats_);
+  if (!pte) return false;
+  TlbEntry entry;
+  entry.vpn = vpn_of(vaddr);
+  entry.pfn = pte->pfn();
+  entry.user = pte->user();
+  entry.writable = pte->writable();
+  entry.no_exec = pte->no_exec();
+  dtlb_.insert(entry);
+  return true;
+}
+
+bool Mmu::fill_itlb_via_call(u32 vaddr) {
+  // The abandoned §4.2.4 method: the handler calls a ret placed on the
+  // page, which fetches through the I-TLB. Writing to the code page costs
+  // an instruction-cache coherency flush — "this actually decreased the
+  // system's efficiency".
+  stats_->cycles += cost_->icache_sync;
+  PageTable pt(*pm_, cr3_);
+  const auto pte = pt.walk(vaddr, stats_);
+  if (!pte) return false;
+  TlbEntry entry;
+  entry.vpn = vpn_of(vaddr);
+  entry.pfn = pte->pfn();
+  entry.user = pte->user();
+  entry.writable = pte->writable();
+  entry.no_exec = pte->no_exec();
+  itlb_.insert(entry);
+  return true;
+}
+
+void Mmu::insert_tlb_entry(bool instruction, u32 vpn, u32 pfn, bool user,
+                           bool writable, bool no_exec) {
+  TlbEntry entry;
+  entry.vpn = vpn;
+  entry.pfn = pfn;
+  entry.user = user;
+  entry.writable = writable;
+  entry.no_exec = no_exec;
+  (instruction ? itlb_ : dtlb_).insert(entry);
+}
+
+}  // namespace sm::arch

@@ -1,0 +1,106 @@
+// Memory management unit: CR3, the split I-TLB/D-TLB pair, and the
+// translation algorithm (TLB lookup → hardware page-table walk → fill).
+//
+// User-mode translations are permission checked against the *cached* TLB
+// attributes on a hit and against the PTE on a miss, exactly as x86 does.
+// A permission failure or a missing mapping raises a page fault
+// (TrapException) carrying the CR2 address and the error-code bits.
+//
+// Kernel code accesses guest memory through the page-table view directly
+// (see kernel/guest_mem.h) and never perturbs the TLBs — except through
+// fill_dtlb_via_walk(), which models the paper's "touch a byte while the
+// PTE is unrestricted" D-TLB load (Algorithm 1, lines 7-11).
+#pragma once
+
+#include "arch/page_table.h"
+#include "arch/phys_mem.h"
+#include "arch/tlb.h"
+#include "arch/trap.h"
+#include "arch/types.h"
+#include "metrics/cost_model.h"
+#include "metrics/stats.h"
+
+namespace sm::arch {
+
+enum class Access { kFetch, kRead, kWrite };
+
+class Mmu {
+ public:
+  Mmu(PhysicalMemory& pm, metrics::Stats& stats,
+      const metrics::CostModel& cost, u32 tlb_entries = 64, u32 tlb_ways = 4);
+
+  PhysicalMemory& phys() { return *pm_; }
+
+  // Loads CR3; flushes BOTH TLBs (the context-switch cost the paper
+  // identifies as its dominant overhead).
+  void set_cr3(u32 root_pfn);
+  u32 cr3() const { return cr3_; }
+  PageTable pagetable() { return PageTable(*pm_, cr3_); }
+
+  // Translates a user-mode access, billing TLB/walk costs, or throws
+  // TrapException(page fault).
+  u64 translate(u32 vaddr, Access acc);
+
+  // --- user-mode accessors used by the CPU ------------------------------
+  u8 read8(u32 va) { return pm_->read8(translate(va, Access::kRead)); }
+  u32 read32(u32 va);
+  void write8(u32 va, u8 v) { pm_->write8(translate(va, Access::kWrite), v); }
+  void write32(u32 va, u32 v);
+  u8 fetch8(u32 va) { return pm_->read8(translate(va, Access::kFetch)); }
+
+  // --- kernel-side TLB management ---------------------------------------
+  // The split-memory D-TLB load: performs a hardware walk of the CURRENT
+  // page tables for vaddr and installs the result in the data-TLB,
+  // emulating the kernel reading one byte off the page. Returns false if
+  // the walk found no present mapping — or when walk-failure injection is
+  // armed (the paper's footnote-1 Pentium-III quirk: "occasionally, the
+  // pagetable walk does not successfully load the data-TLB").
+  bool fill_dtlb_via_walk(u32 vaddr);
+
+  // The alternative I-TLB load the paper's §4.2.4 side note describes
+  // (adding a ret to the page and calling it from the fault handler):
+  // fills the I-TLB directly from the current PTE and pays the instruction
+  // cache coherency penalty that made the authors abandon it.
+  bool fill_itlb_via_call(u32 vaddr);
+
+  // Every `period`-th fill_dtlb_via_walk call fails (0 = never). Used to
+  // test the single-step fallback path.
+  void set_walk_failure_period(u32 period) { walk_failure_period_ = period; }
+
+  // --- software-managed TLBs (SPARC-style, paper §4.7) -------------------
+  // When enabled, a TLB miss does NOT walk the page tables in hardware;
+  // it raises a page fault with soft_miss set and the OS loads the TLB
+  // itself via insert_tlb_entry(). "On an architecture with
+  // software-loaded TLBs there would be no need for complex data or
+  // instruction TLB loading techniques."
+  void set_software_tlb(bool on) { software_tlb_ = on; }
+  bool software_tlb() const { return software_tlb_; }
+  // Direct TLB insertion for the software-TLB fill handler.
+  void insert_tlb_entry(bool instruction, u32 vpn, u32 pfn, bool user,
+                        bool writable, bool no_exec);
+
+  void invlpg(u32 vaddr);  // drops vaddr's VPN from both TLBs
+  void flush_tlbs();
+
+  Tlb& itlb() { return itlb_; }
+  Tlb& dtlb() { return dtlb_; }
+
+ private:
+  [[noreturn]] void fault(u32 vaddr, Access acc, bool present,
+                          bool soft_miss = false);
+  u64 finish(u32 vaddr, u32 pfn) const {
+    return static_cast<u64>(pfn) * kPageSize + page_offset(vaddr);
+  }
+
+  PhysicalMemory* pm_;
+  metrics::Stats* stats_;
+  const metrics::CostModel* cost_;
+  Tlb itlb_;
+  Tlb dtlb_;
+  u32 cr3_ = 0;
+  u32 walk_failure_period_ = 0;
+  u32 walk_fill_count_ = 0;
+  bool software_tlb_ = false;
+};
+
+}  // namespace sm::arch

@@ -1,0 +1,75 @@
+#include "arch/page_table.h"
+
+namespace sm::arch {
+
+namespace {
+constexpr u32 kEntriesPerTable = kPageSize / 4;
+
+u32 dir_index(u32 vaddr) { return vaddr >> 22; }
+u32 table_index(u32 vaddr) { return (vaddr >> kPageShift) & (kEntriesPerTable - 1); }
+}  // namespace
+
+u32 PageTable::create(PhysicalMemory& pm) { return pm.alloc_frame(); }
+
+u64 PageTable::pde_addr(u32 vaddr) const {
+  return static_cast<u64>(root_) * kPageSize + dir_index(vaddr) * 4;
+}
+
+Pte PageTable::get(u32 vaddr) const {
+  const Pte pde{pm_->read32(pde_addr(vaddr))};
+  if (!pde.present()) return Pte{};
+  const u64 pte_pa =
+      static_cast<u64>(pde.pfn()) * kPageSize + table_index(vaddr) * 4;
+  return Pte{pm_->read32(pte_pa)};
+}
+
+void PageTable::set(u32 vaddr, Pte pte) {
+  Pte pde{pm_->read32(pde_addr(vaddr))};
+  if (!pde.present()) {
+    const u32 table_pfn = pm_->alloc_frame();
+    pde = Pte::make(table_pfn, Pte::kPresent | Pte::kWritable | Pte::kUser);
+    pm_->write32(pde_addr(vaddr), pde.raw);
+  }
+  const u64 pte_pa =
+      static_cast<u64>(pde.pfn()) * kPageSize + table_index(vaddr) * 4;
+  pm_->write32(pte_pa, pte.raw);
+}
+
+void PageTable::clear(u32 vaddr) { set(vaddr, Pte{}); }
+
+std::optional<Pte> PageTable::walk(u32 vaddr, metrics::Stats* stats) const {
+  if (stats != nullptr) ++stats->hardware_walks;
+  const Pte pde{pm_->read32(pde_addr(vaddr))};
+  if (!pde.present()) return std::nullopt;
+  const u64 pte_pa =
+      static_cast<u64>(pde.pfn()) * kPageSize + table_index(vaddr) * 4;
+  const Pte pte{pm_->read32(pte_pa)};
+  if (!pte.present()) return std::nullopt;
+  return pte;
+}
+
+void PageTable::for_each_mapping(
+    const std::function<void(u32 vaddr, Pte pte)>& fn) const {
+  for (u32 di = 0; di < kEntriesPerTable; ++di) {
+    const Pte pde{
+        pm_->read32(static_cast<u64>(root_) * kPageSize + di * 4)};
+    if (!pde.present()) continue;
+    for (u32 ti = 0; ti < kEntriesPerTable; ++ti) {
+      const Pte pte{pm_->read32(
+          static_cast<u64>(pde.pfn()) * kPageSize + ti * 4)};
+      if (!pte.present()) continue;
+      fn((di << 22) | (ti << kPageShift), pte);
+    }
+  }
+}
+
+void PageTable::destroy() {
+  for (u32 di = 0; di < kEntriesPerTable; ++di) {
+    const Pte pde{
+        pm_->read32(static_cast<u64>(root_) * kPageSize + di * 4)};
+    if (pde.present()) pm_->unref_frame(pde.pfn());
+  }
+  pm_->unref_frame(root_);
+}
+
+}  // namespace sm::arch

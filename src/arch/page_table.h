@@ -1,0 +1,60 @@
+// Two-level page tables stored in simulated physical memory.
+//
+// Layout follows IA-32 non-PAE paging: a 4 KiB page directory of 1024
+// 32-bit entries, each pointing to a 4 KiB page table of 1024 PTEs.
+// Directory entries use the same bit layout as PTEs (present + pfn).
+//
+// The PageTable object is a *view* over a directory root in PhysicalMemory;
+// it owns nothing. AddressSpace (kernel layer) manages lifetimes.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "arch/phys_mem.h"
+#include "arch/pte.h"
+#include "arch/types.h"
+#include "metrics/stats.h"
+
+namespace sm::arch {
+
+class PageTable {
+ public:
+  PageTable(PhysicalMemory& pm, u32 root_pfn) : pm_(&pm), root_(root_pfn) {}
+
+  // Allocates an empty page directory and returns its frame.
+  static u32 create(PhysicalMemory& pm);
+
+  u32 root() const { return root_; }
+
+  // Reads the PTE covering vaddr; a zero PTE if the mapping level is absent.
+  Pte get(u32 vaddr) const;
+
+  // Writes the PTE covering vaddr, allocating the intermediate table on
+  // demand. Does not touch any TLB: callers own coherence (invlpg/flush),
+  // exactly the property the split-memory technique exploits.
+  void set(u32 vaddr, Pte pte);
+
+  // Clears the PTE (unmaps). Does not free the data frame.
+  void clear(u32 vaddr);
+
+  // Hardware page-table walk: what the MMU does on a TLB miss. Returns the
+  // PTE if both levels are present, and bills two memory accesses.
+  std::optional<Pte> walk(u32 vaddr, metrics::Stats* stats) const;
+
+  // Iterates every present PTE (used by fork and teardown).
+  void for_each_mapping(
+      const std::function<void(u32 vaddr, Pte pte)>& fn) const;
+
+  // Frees the directory and all second-level table frames. Mapped data
+  // frames are NOT freed; the owner must walk mappings first.
+  void destroy();
+
+ private:
+  u64 pde_addr(u32 vaddr) const;
+
+  PhysicalMemory* pm_;
+  u32 root_;
+};
+
+}  // namespace sm::arch

@@ -1,0 +1,62 @@
+// Simulated physical memory with a reference-counted frame allocator.
+//
+// Frames are reference counted because the kernel shares frames across
+// address spaces (copy-on-write fork, shared libraries) and because every
+// split page owns *two* frames that must both return to the free pool on
+// process exit (paper §5.4).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace sm::arch {
+
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  OutOfMemoryError() : std::runtime_error("physical memory exhausted") {}
+};
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(u32 num_frames);
+
+  u32 num_frames() const { return num_frames_; }
+
+  // --- byte-addressed access (physical addresses) ---------------------
+  u8 read8(u64 pa) const;
+  u32 read32(u64 pa) const;  // little-endian
+  void write8(u64 pa, u8 v);
+  void write32(u64 pa, u32 v);
+  void read(u64 pa, std::span<u8> out) const;
+  void write(u64 pa, std::span<const u8> in);
+
+  // Direct view of one frame's bytes (kernel-internal use).
+  std::span<u8> frame_bytes(u32 pfn);
+  std::span<const u8> frame_bytes(u32 pfn) const;
+
+  // --- frame allocator --------------------------------------------------
+  // Allocates a zeroed frame with refcount 1. Throws OutOfMemoryError.
+  u32 alloc_frame();
+  void ref_frame(u32 pfn);
+  // Drops one reference; the frame returns to the free pool at zero.
+  void unref_frame(u32 pfn);
+  u32 refcount(u32 pfn) const;
+
+  u32 frames_in_use() const { return frames_in_use_; }
+  u32 frames_free() const { return num_frames_ - frames_in_use_; }
+
+ private:
+  void check_pa(u64 pa, u64 len) const;
+
+  u32 num_frames_;
+  std::vector<u8> bytes_;
+  std::vector<u32> refcounts_;
+  std::vector<u32> free_list_;
+  u32 frames_in_use_ = 0;
+};
+
+}  // namespace sm::arch

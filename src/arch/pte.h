@@ -1,0 +1,58 @@
+// Page-table entry format (x86-flavoured).
+//
+// Hardware-interpreted bits mirror the IA-32 layout the paper manipulates:
+// PRESENT, WRITABLE, USER (the "supervisor bit" trick clears USER), plus
+// ACCESSED/DIRTY and an execute-disable bit (folded into the low word for
+// simplicity; real IA-32e keeps it in bit 63).
+//
+// Two software bits are used exactly as the paper's prototype does (§5.1):
+// SPLIT marks a page that is being memory-split, and COW marks a page shared
+// copy-on-write after fork.
+#pragma once
+
+#include "arch/types.h"
+
+namespace sm::arch {
+
+struct Pte {
+  u32 raw = 0;
+
+  static constexpr u32 kPresent = 1u << 0;
+  static constexpr u32 kWritable = 1u << 1;
+  static constexpr u32 kUser = 1u << 2;
+  static constexpr u32 kAccessed = 1u << 3;
+  static constexpr u32 kDirty = 1u << 4;
+  static constexpr u32 kNoExec = 1u << 5;   // execute-disable bit
+  static constexpr u32 kCow = 1u << 6;      // software: copy-on-write
+  static constexpr u32 kSplit = 1u << 7;    // software: memory-split page
+  static constexpr u32 kFlagsMask = 0xFFFu;
+
+  static Pte make(u32 pfn, u32 flags) {
+    return Pte{(pfn << kPageShift) | (flags & kFlagsMask)};
+  }
+
+  bool present() const { return raw & kPresent; }
+  bool writable() const { return raw & kWritable; }
+  bool user() const { return raw & kUser; }
+  bool accessed() const { return raw & kAccessed; }
+  bool dirty() const { return raw & kDirty; }
+  bool no_exec() const { return raw & kNoExec; }
+  bool cow() const { return raw & kCow; }
+  bool split() const { return raw & kSplit; }
+
+  u32 pfn() const { return raw >> kPageShift; }
+  u32 flags() const { return raw & kFlagsMask; }
+
+  void set_pfn(u32 pfn) { raw = (pfn << kPageShift) | flags(); }
+  void set(u32 flag_bits) { raw |= flag_bits; }
+  void clear(u32 flag_bits) { raw &= ~flag_bits; }
+
+  // The paper's restrict()/unrestrict(): a restricted page is
+  // supervisor-only, so any user access misses privilege and page-faults.
+  void restrict_supervisor() { clear(kUser); }
+  void unrestrict() { set(kUser); }
+
+  friend bool operator==(const Pte&, const Pte&) = default;
+};
+
+}  // namespace sm::arch

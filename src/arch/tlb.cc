@@ -1,0 +1,94 @@
+#include "arch/tlb.h"
+
+#include <stdexcept>
+
+namespace sm::arch {
+
+namespace {
+bool is_pow2(u32 v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Tlb::Tlb(u32 num_entries, u32 ways) : ways_(ways) {
+  if (ways == 0 || num_entries % ways != 0) {
+    throw std::invalid_argument("TLB entries must divide evenly into ways");
+  }
+  num_sets_ = num_entries / ways;
+  if (!is_pow2(num_sets_)) {
+    throw std::invalid_argument("TLB set count must be a power of two");
+  }
+  entries_.resize(num_entries);
+}
+
+const TlbEntry* Tlb::lookup(u32 vpn) {
+  const u32 base = set_of(vpn) * ways_;
+  for (u32 w = 0; w < ways_; ++w) {
+    TlbEntry& e = entries_[base + w];
+    if (e.valid && e.vpn == vpn) {
+      e.stamp = ++clock_;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void Tlb::insert(const TlbEntry& entry) {
+  const u32 base = set_of(entry.vpn) * ways_;
+  // Replace an existing mapping of the same VPN, else an invalid slot,
+  // else the least recently used way.
+  u32 victim = base;
+  u64 oldest = UINT64_MAX;
+  for (u32 w = 0; w < ways_; ++w) {
+    TlbEntry& e = entries_[base + w];
+    if (e.valid && e.vpn == entry.vpn) {
+      victim = base + w;
+      oldest = 0;
+      break;
+    }
+    if (!e.valid) {
+      victim = base + w;
+      oldest = 0;
+      // Keep scanning in case the same VPN exists in a later way.
+      continue;
+    }
+    if (e.stamp < oldest) {
+      oldest = e.stamp;
+      victim = base + w;
+    }
+  }
+  entries_[victim] = entry;
+  entries_[victim].valid = true;
+  entries_[victim].stamp = ++clock_;
+}
+
+void Tlb::invalidate(u32 vpn) {
+  const u32 base = set_of(vpn) * ways_;
+  for (u32 w = 0; w < ways_; ++w) {
+    TlbEntry& e = entries_[base + w];
+    if (e.valid && e.vpn == vpn) e.valid = false;
+  }
+}
+
+void Tlb::flush() {
+  for (TlbEntry& e : entries_) e.valid = false;
+}
+
+bool Tlb::contains(u32 vpn) const { return peek(vpn).has_value(); }
+
+std::optional<TlbEntry> Tlb::peek(u32 vpn) const {
+  const u32 base = set_of(vpn) * ways_;
+  for (u32 w = 0; w < ways_; ++w) {
+    const TlbEntry& e = entries_[base + w];
+    if (e.valid && e.vpn == vpn) return e;
+  }
+  return std::nullopt;
+}
+
+u32 Tlb::valid_count() const {
+  u32 n = 0;
+  for (const TlbEntry& e : entries_) {
+    if (e.valid) ++n;
+  }
+  return n;
+}
+
+}  // namespace sm::arch

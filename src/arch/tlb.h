@@ -1,0 +1,66 @@
+// Set-associative translation lookaside buffer.
+//
+// The machine has TWO of these — an instruction-TLB and a data-TLB — which
+// is the x86 property the whole paper rests on (§4.1, §4.2): entries are
+// snapshots of a PTE taken at fill time and PERSIST after the PTE changes,
+// so the OS can deliberately desynchronize the two TLBs and route
+// instruction fetches and data accesses for the same virtual page to
+// different physical frames.
+//
+// Permission bits (user/writable/no-exec) are cached in the entry and
+// checked at use time, as real TLBs do; this is what lets the kernel
+// restrict the PTE again while the TLB keeps serving user accesses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace sm::arch {
+
+struct TlbEntry {
+  u32 vpn = 0;
+  u32 pfn = 0;
+  bool user = false;
+  bool writable = false;
+  bool no_exec = false;
+  bool valid = false;
+  u64 stamp = 0;  // for LRU replacement
+};
+
+class Tlb {
+ public:
+  // 64 entries, 4-way: roughly a Pentium III-era TLB.
+  explicit Tlb(u32 num_entries = 64, u32 ways = 4);
+
+  // Looks up a VPN and refreshes its LRU stamp on a hit.
+  const TlbEntry* lookup(u32 vpn);
+
+  // Inserts (or replaces) the translation for a VPN.
+  void insert(const TlbEntry& entry);
+
+  // invlpg: drops one VPN if cached.
+  void invalidate(u32 vpn);
+
+  // Full flush, as a CR3 write causes.
+  void flush();
+
+  // True if any valid entry maps this VPN (test/inspection helper).
+  bool contains(u32 vpn) const;
+  std::optional<TlbEntry> peek(u32 vpn) const;
+
+  u32 valid_count() const;
+  u32 capacity() const { return static_cast<u32>(entries_.size()); }
+
+ private:
+  u32 set_of(u32 vpn) const { return vpn & (num_sets_ - 1); }
+
+  u32 ways_;
+  u32 num_sets_;
+  u64 clock_ = 0;
+  std::vector<TlbEntry> entries_;  // num_sets_ * ways_, set-major
+};
+
+}  // namespace sm::arch

@@ -1,0 +1,23 @@
+#include "arch/trap.h"
+
+namespace sm::arch {
+
+std::string to_string(TrapKind kind) {
+  switch (kind) {
+    case TrapKind::kPageFault:
+      return "page-fault";
+    case TrapKind::kInvalidOpcode:
+      return "invalid-opcode";
+    case TrapKind::kDebugStep:
+      return "debug-step";
+    case TrapKind::kSyscall:
+      return "syscall";
+    case TrapKind::kDivideByZero:
+      return "divide-by-zero";
+    case TrapKind::kGeneralProtection:
+      return "general-protection";
+  }
+  return "unknown";
+}
+
+}  // namespace sm::arch

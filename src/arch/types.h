@@ -1,0 +1,28 @@
+// Fundamental widths and page geometry of the simulated machine.
+//
+// The machine is a 32-bit, little-endian, 4 KiB-page architecture modelled
+// after the x86 features the paper exploits (two-level page tables, split
+// instruction/data TLBs, supervisor bit, trap flag).
+#pragma once
+
+#include <cstdint>
+
+namespace sm::arch {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+inline constexpr u32 kPageShift = 12;
+inline constexpr u32 kPageSize = 1u << kPageShift;
+inline constexpr u32 kPageMask = kPageSize - 1;
+
+constexpr u32 page_floor(u32 addr) { return addr & ~kPageMask; }
+constexpr u32 page_ceil(u32 addr) { return (addr + kPageMask) & ~kPageMask; }
+constexpr u32 vpn_of(u32 addr) { return addr >> kPageShift; }
+constexpr u32 page_offset(u32 addr) { return addr & kPageMask; }
+
+}  // namespace sm::arch

@@ -1,0 +1,69 @@
+// Two-pass assembler for the simulated ISA.
+//
+// Guest programs (vulnerable servers, attack victims, benchmark workloads)
+// are written in this assembly and assembled at runtime; the resulting
+// Program is wrapped into a SimpleELF image by sm::image::ImageBuilder.
+//
+// Syntax overview (see tests/asm_test.cc for worked examples):
+//   ; comment        # comment
+//   label:                       ; labels resolve to absolute addresses
+//   .text / .data / .bss         ; section switch
+//   .byte 1, 0x2, 'c'            ; 8-bit data
+//   .word 0xdeadbeef, label      ; 32-bit LE data
+//   .ascii "hi\n"   .asciz "hi"  ; strings (\n \t \0 \\ \" \xNN escapes)
+//   .space 64       .align 16
+//   .equ NAME, expr              ; named constant
+//   movi r0, label+4             ; operands: rN/fp/sp, imm, label±offset
+//   load r1, [r2+8]   store [sp-4], r0
+//
+// Section bases are fixed by Layout so labels are absolute, matching the
+// non-PIC, fixed-layout binaries of the paper's 2001-2003 exploit targets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace sm::assembler {
+
+using arch::u32;
+using arch::u8;
+
+struct Layout {
+  u32 text_base = 0x08048000;
+  u32 data_base = 0x08100000;
+  u32 bss_base = 0x08180000;
+};
+
+struct Program {
+  Layout layout;
+  std::vector<u8> text;
+  std::vector<u8> data;
+  u32 bss_size = 0;
+  std::map<std::string, u32> symbols;
+
+  u32 symbol(const std::string& name) const;
+  bool has_symbol(const std::string& name) const {
+    return symbols.contains(name);
+  }
+};
+
+class AsmError : public std::runtime_error {
+ public:
+  AsmError(int line, const std::string& msg)
+      : std::runtime_error("asm:" + std::to_string(line) + ": " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// Assembles `source`; throws AsmError with a line number on any problem.
+Program assemble(const std::string& source, const Layout& layout = {});
+
+}  // namespace sm::assembler

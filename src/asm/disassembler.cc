@@ -1,0 +1,163 @@
+#include "asm/disassembler.h"
+
+#include <cstdio>
+
+#include "arch/isa.h"
+
+namespace sm::assembler {
+
+using arch::Op;
+
+namespace {
+
+std::string reg_name(u8 r) {
+  if (r == arch::kRegSp) return "sp";
+  if (r == arch::kRegFp) return "fp";
+  return "r" + std::to_string(r);
+}
+
+std::string hex(u32 v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%x", v);
+  return buf;
+}
+
+u32 imm_at(std::span<const u8> b, std::size_t off) {
+  return static_cast<u32>(b[off]) | (static_cast<u32>(b[off + 1]) << 8) |
+         (static_cast<u32>(b[off + 2]) << 16) |
+         (static_cast<u32>(b[off + 3]) << 24);
+}
+
+std::string mem_operand(u8 base, u32 off) {
+  if (off == 0) return "[" + reg_name(base) + "]";
+  const auto soff = static_cast<arch::i32>(off);
+  if (soff < 0) return "[" + reg_name(base) + "-" + hex(-soff) + "]";
+  return "[" + reg_name(base) + "+" + hex(off) + "]";
+}
+
+std::string render(Op op, std::span<const u8> b) {
+  switch (op) {
+    case Op::kMovi:
+      return "movi " + reg_name(b[1]) + ", " + hex(imm_at(b, 2));
+    case Op::kAddi:
+      return "addi " + reg_name(b[1]) + ", " + hex(imm_at(b, 2));
+    case Op::kCmpi:
+      return "cmpi " + reg_name(b[1]) + ", " + hex(imm_at(b, 2));
+    case Op::kMov:
+      return "mov " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kAdd:
+      return "add " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kSub:
+      return "sub " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kMul:
+      return "mul " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kDiv:
+      return "div " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kModu:
+      return "modu " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kAnd:
+      return "and " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kOr:
+      return "or " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kXor:
+      return "xor " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kShl:
+      return "shl " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kShr:
+      return "shr " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kCmp:
+      return "cmp " + reg_name(b[1]) + ", " + reg_name(b[2]);
+    case Op::kNot:
+      return "not " + reg_name(b[1]);
+    case Op::kLoad:
+      return "load " + reg_name(b[1]) + ", " + mem_operand(b[2], imm_at(b, 3));
+    case Op::kLoadb:
+      return "loadb " + reg_name(b[1]) + ", " +
+             mem_operand(b[2], imm_at(b, 3));
+    case Op::kStore:
+      return "store " + mem_operand(b[1], imm_at(b, 3)) + ", " +
+             reg_name(b[2]);
+    case Op::kStoreb:
+      return "storeb " + mem_operand(b[1], imm_at(b, 3)) + ", " +
+             reg_name(b[2]);
+    case Op::kJmp:
+      return "jmp " + hex(imm_at(b, 1));
+    case Op::kJz:
+      return "jz " + hex(imm_at(b, 1));
+    case Op::kJnz:
+      return "jnz " + hex(imm_at(b, 1));
+    case Op::kJlt:
+      return "jlt " + hex(imm_at(b, 1));
+    case Op::kJge:
+      return "jge " + hex(imm_at(b, 1));
+    case Op::kJb:
+      return "jb " + hex(imm_at(b, 1));
+    case Op::kJae:
+      return "jae " + hex(imm_at(b, 1));
+    case Op::kCall:
+      return "call " + hex(imm_at(b, 1));
+    case Op::kJmpr:
+      return "jmpr " + reg_name(b[1]);
+    case Op::kCallr:
+      return "callr " + reg_name(b[1]);
+    case Op::kPush:
+      return "push " + reg_name(b[1]);
+    case Op::kPop:
+      return "pop " + reg_name(b[1]);
+    case Op::kRet:
+      return "ret";
+    case Op::kSyscall:
+      return "syscall";
+    case Op::kNop:
+      return "nop";
+  }
+  return "(bad)";
+}
+
+}  // namespace
+
+std::vector<DisasmLine> disassemble(std::span<const u8> bytes, u32 base_addr,
+                                    std::size_t max_instrs) {
+  std::vector<DisasmLine> out;
+  std::size_t pos = 0;
+  while (pos < bytes.size() && out.size() < max_instrs) {
+    DisasmLine line;
+    line.addr = base_addr + static_cast<u32>(pos);
+    const u8 opcode = bytes[pos];
+    const u32 len = arch::instr_length(opcode);
+    if (len == 0 || pos + len > bytes.size()) {
+      line.bytes = {opcode};
+      line.text = "(bad)";
+      pos += 1;
+    } else {
+      const auto view = bytes.subspan(pos, len);
+      line.bytes.assign(view.begin(), view.end());
+      line.text = render(static_cast<Op>(opcode), view);
+      pos += len;
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::string format(const std::vector<DisasmLine>& lines) {
+  std::string out;
+  for (const DisasmLine& l : lines) {
+    char head[32];
+    std::snprintf(head, sizeof head, "%08x:  ", l.addr);
+    out += head;
+    std::string byte_col;
+    for (u8 b : l.bytes) {
+      char bb[8];
+      std::snprintf(bb, sizeof bb, "%02x ", b);
+      byte_col += bb;
+    }
+    byte_col.resize(24, ' ');
+    out += byte_col;
+    out += l.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sm::assembler

@@ -1,0 +1,32 @@
+// Disassembler for the simulated ISA.
+//
+// Used by the forensics response mode to render dumped shellcode (paper
+// Fig. 5c) and by tests/debugging.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace sm::assembler {
+
+using arch::u32;
+using arch::u8;
+
+struct DisasmLine {
+  u32 addr = 0;
+  std::vector<u8> bytes;
+  std::string text;  // "movi r0, 0x5" or "(bad)" for invalid opcodes
+};
+
+// Disassembles up to max_instrs instructions from `bytes`, labelling the
+// first byte with `base_addr`. Invalid opcodes consume one byte.
+std::vector<DisasmLine> disassemble(std::span<const u8> bytes, u32 base_addr,
+                                    std::size_t max_instrs = SIZE_MAX);
+
+// One instruction per line, formatted like objdump.
+std::string format(const std::vector<DisasmLine>& lines);
+
+}  // namespace sm::assembler

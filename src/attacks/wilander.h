@@ -1,0 +1,74 @@
+// The Wilander & Kamkar buffer-overflow benchmark, as adapted by the paper
+// (§6.1.1, Table 1): 6 control-flow hijack techniques × 4 code-injection
+// segments. Each cell builds a victim guest with that vulnerability, crafts
+// the authentic two-stage payload (stage 1: shellcode injected into the
+// chosen segment; stage 2: a NUL-free overflow string delivered through an
+// unbounded strcpy), runs it under a protection engine, and reports whether
+// the attack succeeded or was foiled.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/split_engine.h"
+#include "kernel/process.h"
+
+namespace sm::attacks::wilander {
+
+using arch::u32;
+
+enum class Technique {
+  kReturnAddress,   // overflow to the saved return address
+  kOldBasePointer,  // overflow to the saved frame pointer (fake frame)
+  kFuncPtrLocal,    // function pointer as a local variable
+  kFuncPtrParam,    // function pointer as a parameter
+  kLongjmpLocal,    // longjmp buffer as a local variable
+  kLongjmpParam,    // longjmp buffer in the caller, reached via a callee
+                    // overflow of an adjacent caller buffer
+};
+inline constexpr Technique kAllTechniques[] = {
+    Technique::kReturnAddress, Technique::kOldBasePointer,
+    Technique::kFuncPtrLocal,  Technique::kFuncPtrParam,
+    Technique::kLongjmpLocal,  Technique::kLongjmpParam,
+};
+
+enum class Segment { kStack, kHeap, kBss, kData };
+inline constexpr Segment kAllSegments[] = {Segment::kStack, Segment::kHeap,
+                                           Segment::kBss, Segment::kData};
+
+const char* to_string(Technique t);
+const char* to_string(Segment s);
+
+// Four cells are N/A, mirroring the four benchmark cases that "did not
+// successfully execute an attack on our unprotected system" (§6.1.1). The
+// conference paper does not name them; we map them to the old-base-pointer
+// technique with non-stack code carriers, whose fake stack frame semantics
+// do not transfer off the stack, plus longjmp-param/data (see
+// EXPERIMENTS.md).
+bool applicable(Technique t, Segment s);
+
+struct CaseResult {
+  Technique technique;
+  Segment segment;
+  bool applicable = true;
+  bool shell_spawned = false;       // attack succeeded
+  bool detected = false;            // protection engine raised a detection
+  kernel::ExitKind victim_exit = kernel::ExitKind::kRunning;
+  std::string detail;
+
+  // "Foiled" in the Table-1 sense: no shell AND the victim did not execute
+  // injected code.
+  bool foiled() const { return applicable && !shell_spawned; }
+};
+
+// Runs one benchmark cell under the given protection mode.
+CaseResult run_case(Technique t, Segment s, core::ProtectionMode mode);
+
+// Runs the whole grid.
+std::vector<CaseResult> run_all(core::ProtectionMode mode);
+
+// The victim program's assembly for one cell (exposed for tests).
+std::string victim_source(Technique t, Segment s);
+
+}  // namespace sm::attacks::wilander

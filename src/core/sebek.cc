@@ -1,0 +1,39 @@
+#include "core/sebek.h"
+
+#include <sstream>
+
+namespace sm::core {
+
+void SebekLogger::attach(kernel::Kernel& k) {
+  k.shell_input_logger = [this, &k](kernel::Process& p,
+                                    const std::string& input) {
+    if (activate_on_detection_ && k.detections().empty()) return;
+    SebekEntry e;
+    e.cycles = k.now();
+    e.pid = p.pid;
+    e.process = p.name;
+    e.input = input;
+    entries_.push_back(std::move(e));
+  };
+}
+
+std::string SebekLogger::dump() const {
+  std::ostringstream out;
+  for (const SebekEntry& e : entries_) {
+    std::string printable;
+    for (char c : e.input) {
+      if (c == '\n') {
+        printable += "\\n";
+      } else if (c >= 0x20 && c < 0x7F) {
+        printable += c;
+      } else {
+        printable += '.';
+      }
+    }
+    out << "[sebek cycle=" << e.cycles << " pid=" << e.pid << " comm="
+        << e.process << "] " << printable << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sm::core

@@ -1,0 +1,42 @@
+// Sebek-style honeypot keystroke logger (paper §6.1.3, Fig. 5d).
+//
+// The paper integrates Sebek with observe mode: logging is activated by the
+// code-injection detection, after which every command the attacker types
+// into the spawned shell is recorded. This class wires the kernel's
+// shell-input hook to an in-memory log with the same activation rule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace sm::core {
+
+struct SebekEntry {
+  arch::u64 cycles = 0;
+  kernel::Pid pid = 0;
+  std::string process;
+  std::string input;
+};
+
+class SebekLogger {
+ public:
+  // activate_on_detection mirrors the paper's modification: "we modified
+  // Sebek to be activated by a buffer overflow event detected by our
+  // system" to keep log volume down.
+  explicit SebekLogger(bool activate_on_detection = true)
+      : activate_on_detection_(activate_on_detection) {}
+
+  // Installs this logger as the kernel's shell-input hook.
+  void attach(kernel::Kernel& k);
+
+  const std::vector<SebekEntry>& entries() const { return entries_; }
+  std::string dump() const;
+
+ private:
+  bool activate_on_detection_;
+  std::vector<SebekEntry> entries_;
+};
+
+}  // namespace sm::core

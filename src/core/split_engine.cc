@@ -1,0 +1,563 @@
+#include "core/split_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "asm/disassembler.h"
+
+namespace sm::core {
+
+using arch::kPageSize;
+using arch::page_floor;
+using arch::PageTable;
+using arch::Pte;
+using arch::vpn_of;
+using kernel::ExitKind;
+using kernel::GuestMem;
+using kernel::SplitPair;
+using kernel::View;
+
+namespace {
+std::string hex(u32 v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+}  // namespace
+
+SplitMemoryEngine::SplitMemoryEngine(SplitPolicy policy, ResponseMode mode)
+    : policy_(policy), mode_(mode) {}
+
+std::string SplitMemoryEngine::name() const {
+  std::string n = "split-memory(";
+  switch (policy_.kind) {
+    case SplitPolicy::Kind::kAll:
+      n += "all";
+      break;
+    case SplitPolicy::Kind::kMixedOnly:
+      n += "mixed-only+nx";
+      break;
+    case SplitPolicy::Kind::kFraction:
+      n += std::to_string(policy_.fraction_percent) + "%";
+      break;
+  }
+  n += ", ";
+  n += to_string(mode_);
+  n += ")";
+  return n;
+}
+
+bool SplitMemoryEngine::should_split(const Vma& vma, u32 vpn) const {
+  switch (policy_.kind) {
+    case SplitPolicy::Kind::kAll:
+      return true;
+    case SplitPolicy::Kind::kMixedOnly:
+      return vma.mixed();
+    case SplitPolicy::Kind::kFraction:
+      // Deterministic pseudo-random selection (Knuth multiplicative hash),
+      // perturbed by the seed so repeated runs pick different pages.
+      return (((vpn ^ (policy_.fraction_seed * 0x9E3779B9u)) * 2654435761u) >>
+              16) %
+                 100 <
+             policy_.fraction_percent;
+  }
+  return true;
+}
+
+void SplitMemoryEngine::materialize(Kernel& k, Process& p, const Vma& vma,
+                                    u32 vaddr) {
+  const u32 page = page_floor(vaddr);
+  const u32 vpn = vpn_of(page);
+  arch::PhysicalMemory& pm = k.phys();
+  PageTable pt = p.as->pt();
+
+  if (should_split(vma, vpn)) {
+    // "two new, side-by-side, physical pages are created and the original
+    // page is copied into both of them" (paper §5.1). For pages that can
+    // never legitimately execute, the code copy stays zero-filled; zero
+    // decodes to an invalid opcode, which is what arms the response modes.
+    SplitPair pair;
+    pair.data_frame = k.alloc_initial_frame(p, vma, page);
+    pair.code_frame = pm.alloc_frame();
+    if (vma.executable()) {
+      std::ranges::copy(pm.frame_bytes(pair.data_frame),
+                        pm.frame_bytes(pair.code_frame).begin());
+    }
+    p.as->register_split(vpn, pair);
+
+    u32 flags = Pte::kPresent | Pte::kSplit;  // restricted: kUser cleared
+    if (vma.writable()) flags |= Pte::kWritable;
+    pt.set(page, Pte::make(pair.code_frame, flags));
+    return;
+  }
+
+  // Unsplit page: plain mapping, optionally under W^X/NX (combined mode).
+  const u32 frame = k.alloc_initial_frame(p, vma, page);
+  u32 flags = Pte::kPresent | Pte::kUser;
+  if (vma.writable()) flags |= Pte::kWritable;
+  if (policy_.nx_for_unsplit) {
+    if (!vma.executable()) {
+      flags |= Pte::kNoExec;
+    } else {
+      flags &= ~Pte::kWritable;  // code pages read-only
+    }
+  }
+  pt.set(page, Pte::make(frame, flags));
+}
+
+FaultResolution SplitMemoryEngine::on_protection_fault(
+    Kernel& k, Process& p, const arch::PageFaultInfo& pf) {
+  PageTable pt = p.as->pt();
+  Pte pte = pt.get(pf.addr);
+  const u32 vpn = vpn_of(pf.addr);
+  const SplitPair* pair = p.as->split_pair(vpn);
+  if (!pte.split() || pair == nullptr) {
+    return handle_nx_fault(k, p, pf);
+  }
+
+  arch::Regs& regs = k.regs_of(p);
+  const bool instruction_miss = pf.addr == regs.pc || pf.fetch;
+
+  if (instruction_miss) {
+    pte.set_pfn(pair->code_frame);
+    pte.unrestrict();
+    pt.set(pf.addr, pte);
+    ++k.stats().split_itlb_loads;
+    if (itlb_method_ == ItlbLoadMethod::kRetCall) {
+      // The abandoned SS4.2.4 experiment: fill the I-TLB by calling a ret
+      // placed on the page — no single-step, but an i-cache coherency
+      // penalty that makes it a net loss.
+      k.mmu().fill_itlb_via_call(pf.addr);
+      pte.restrict_supervisor();
+      pt.set(pf.addr, pte);
+      return FaultResolution::kRetry;
+    }
+    // Algorithm 1, lines 1-5: route the fetch to the code page and
+    // single-step so the debug handler can re-restrict afterwards.
+    regs.set_tf(true);
+    p.pending_split_vaddr = page_floor(pf.addr);
+    return FaultResolution::kRetry;
+  }
+
+  // Algorithm 1, lines 6-11: route the access to the data page; the
+  // "read_byte" page-table walk loads the data-TLB while the PTE is
+  // momentarily unrestricted, then the PTE is restricted again.
+  pte.set_pfn(pair->data_frame);
+  pte.unrestrict();
+  pt.set(pf.addr, pte);
+  ++k.stats().split_dtlb_loads;
+  if (!k.mmu().fill_dtlb_via_walk(pf.addr)) {
+    // Footnote 1: "occasionally, the pagetable walk does not successfully
+    // load the data-TLB. In this case single stepping mode (like the
+    // instruction-TLB load) must be used." Leave the PTE unrestricted and
+    // let the restarted instruction's own access fill the D-TLB; the
+    // debug interrupt re-restricts.
+    ++k.stats().split_dtlb_fallbacks;
+    regs.set_tf(true);
+    p.pending_split_vaddr = page_floor(pf.addr);
+    return FaultResolution::kRetry;
+  }
+  pte.restrict_supervisor();
+  pt.set(pf.addr, pte);
+  return FaultResolution::kRetry;
+}
+
+FaultResolution SplitMemoryEngine::on_tlb_miss(Kernel& k, Process& p,
+                                               const arch::PageFaultInfo& pf) {
+  // Software-managed TLBs (paper SS4.7): "the processor's TLBs could be
+  // loaded directly" — one cheap trap installs the correct frame into the
+  // correct TLB; no restriction dance, no single-stepping.
+  const arch::Pte pte = p.as->pt().get(pf.addr);
+  if (!pte.present()) return FaultResolution::kUnhandled;
+  const u32 vpn = vpn_of(pf.addr);
+  if (const SplitPair* pair = p.as->split_pair(vpn); pair && pte.split()) {
+    if (pf.fetch) {
+      k.mmu().insert_tlb_entry(/*instruction=*/true, vpn, pair->code_frame,
+                               /*user=*/true, /*writable=*/false,
+                               /*no_exec=*/false);
+      ++k.stats().split_itlb_loads;
+    } else {
+      k.mmu().insert_tlb_entry(/*instruction=*/false, vpn, pair->data_frame,
+                               /*user=*/true, pte.writable(),
+                               /*no_exec=*/false);
+      ++k.stats().split_dtlb_loads;
+    }
+    return FaultResolution::kRetry;
+  }
+  return ProtectionEngine::on_tlb_miss(k, p, pf);
+}
+
+void SplitMemoryEngine::on_debug_step(Kernel& k, Process& p) {
+  // Algorithm 2: the single-stepped instruction has completed and the
+  // instruction-TLB is filled; restrict the PTE and clear the trap flag.
+  if (!p.pending_split_vaddr) return;
+  const u32 va = *p.pending_split_vaddr;
+  PageTable pt = p.as->pt();
+  Pte pte = pt.get(va);
+  if (pte.present() && pte.split()) {
+    pte.restrict_supervisor();
+    pt.set(va, pte);
+  }
+  k.regs_of(p).set_tf(false);
+  p.pending_split_vaddr.reset();
+}
+
+FaultResolution SplitMemoryEngine::on_invalid_opcode(Kernel& k, Process& p) {
+  arch::Regs& regs = k.regs_of(p);
+  const u32 pc = regs.pc;
+  const u32 vpn = vpn_of(pc);
+  const SplitPair* pair = p.as->split_pair(vpn);
+  if (pair == nullptr) {
+    return FaultResolution::kUnhandled;  // a genuine illegal instruction
+  }
+  // If the code and data views agree at EIP, the bad opcode is part of the
+  // program's own bytes (a plain buggy binary), not injected code.
+  {
+    GuestMem gm = k.mem_of(p);
+    u8 code_view[4] = {};
+    u8 data_view[4] = {};
+    if (gm.read(pc, code_view, View::kCode) &&
+        gm.read(pc, data_view, View::kData) &&
+        std::equal(std::begin(code_view), std::end(code_view),
+                   std::begin(data_view))) {
+      return FaultResolution::kUnhandled;
+    }
+  }
+
+  // Detection: the processor tried to execute from a split page whose code
+  // frame holds no real code — injected code is about to run (paper §4.5:
+  // detected "right before executing the first injected instruction").
+  ++k.stats().injections_detected;
+  kernel::DetectionEvent ev;
+  ev.pid = p.pid;
+  ev.process = p.name;
+  ev.eip = pc;
+  ev.cycles = k.now();
+  ev.mode = to_string(mode_);
+  std::vector<u8> shellcode(kShellcodeDumpBytes);
+  GuestMem gm = k.mem_of(p);
+  if (gm.read(pc, shellcode, View::kData)) {
+    ev.shellcode = shellcode;
+    ev.disassembly = assembler::format(
+        assembler::disassemble(shellcode, pc, /*max_instrs=*/8));
+  }
+  k.detections().push_back(ev);
+  k.log("[DETECT] pid " + std::to_string(p.pid) + " (" + p.name +
+        ") code injection at EIP " + hex(pc) + ", mode " + to_string(mode_));
+
+  switch (mode_) {
+    case ResponseMode::kBreak:
+      kill_via_break(k, p, pc);
+      return FaultResolution::kKilled;
+
+    case ResponseMode::kObserve: {
+      // Algorithm 3: log, lock the page onto the data frame, disable
+      // splitting for it, invalidate the TLB entry and let the attack
+      // continue under observation.
+      PageTable pt = p.as->pt();
+      Pte pte = pt.get(pc);
+      pte.set_pfn(pair->data_frame);
+      pte.unrestrict();
+      pte.clear(Pte::kSplit);
+      pt.set(pc, pte);
+      p.as->unsplit(vpn, pair->data_frame);
+      k.mmu().invlpg(pc);
+      regs.set_tf(false);
+      p.pending_split_vaddr.reset();
+      k.log("[observe] pid " + std::to_string(p.pid) +
+            " attack allowed to continue from the data page");
+      return FaultResolution::kRetry;
+    }
+
+    case ResponseMode::kForensics: {
+      if (forensic_shellcode_.empty()) {
+        kill_via_break(k, p, pc);
+        return FaultResolution::kKilled;
+      }
+      // Copy forensic shellcode onto the empty code page being executed
+      // from and point EIP at the start of the page (paper §5.5).
+      const u32 page = page_floor(pc);
+      GuestMem writer = k.mem_of(p);
+      writer.write(page, forensic_shellcode_, View::kCode);
+      regs.pc = page;
+      k.log("[forensics] pid " + std::to_string(p.pid) +
+            " forensic shellcode injected at " + hex(page));
+      return FaultResolution::kRetry;
+    }
+
+    case ResponseMode::kRecovery: {
+      if (!p.recovery_handler) {
+        kill_via_break(k, p, pc);
+        return FaultResolution::kKilled;
+      }
+      // Extension of paper §4.5: transfer to the call-back the application
+      // registered so it can checkpoint/clean up and exit gracefully.
+      regs.pc = *p.recovery_handler;
+      regs.r[0] = pc;  // tell the handler where the attack fired
+      k.log("[recovery] pid " + std::to_string(p.pid) +
+            " transferring to recovery handler " +
+            hex(*p.recovery_handler));
+      return FaultResolution::kRetry;
+    }
+  }
+  return FaultResolution::kUnhandled;
+}
+
+void SplitMemoryEngine::kill_via_break(Kernel& k, Process& p, u32 pc) {
+  k.kill_process(p, ExitKind::kKilledSigill,
+                 "code injection attempt halted at " + hex(pc) +
+                     " (break mode)");
+}
+
+FaultResolution SplitMemoryEngine::handle_nx_fault(
+    Kernel& k, Process& p, const arch::PageFaultInfo& pf) {
+  if (!policy_.nx_for_unsplit || !pf.fetch) {
+    return FaultResolution::kUnhandled;
+  }
+  const Pte pte = p.as->pt().get(pf.addr);
+  if (!pte.no_exec()) return FaultResolution::kUnhandled;
+  ++k.stats().injections_detected;
+  kernel::DetectionEvent ev;
+  ev.pid = p.pid;
+  ev.process = p.name;
+  ev.eip = pf.addr;
+  ev.cycles = k.now();
+  ev.mode = "nx";
+  k.detections().push_back(ev);
+  k.kill_process(p, ExitKind::kKilledSigsegv,
+                 "execute-disable violation at " + hex(pf.addr));
+  return FaultResolution::kKilled;
+}
+
+void SplitMemoryEngine::on_mprotect(Kernel& k, Process& p, Vma& vma,
+                                    u32 start, u32 end) {
+  PageTable pt = p.as->pt();
+  for (u32 va = start; va < end; va += kPageSize) {
+    Pte pte = pt.get(va);
+    if (!pte.present()) continue;
+    if (vma.writable()) {
+      pte.set(Pte::kWritable);
+    } else {
+      pte.clear(Pte::kWritable);
+    }
+    if (!pte.split() && policy_.nx_for_unsplit) {
+      if (!vma.executable()) {
+        pte.set(Pte::kNoExec);
+      } else {
+        pte.clear(Pte::kNoExec);
+      }
+    }
+    pt.set(va, pte);
+    k.mmu().invlpg(va);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hardware execute-disable baseline
+// ---------------------------------------------------------------------------
+
+void HardwareNxEngine::materialize(Kernel& k, Process& p, const Vma& vma,
+                                   u32 vaddr) {
+  const u32 page = page_floor(vaddr);
+  const u32 frame = k.alloc_initial_frame(p, vma, page);
+  u32 flags = Pte::kPresent | Pte::kUser;
+  if (vma.writable()) flags |= Pte::kWritable;
+  if (!vma.executable()) {
+    flags |= Pte::kNoExec;  // data pages are non-executable
+  } else if (!vma.mixed()) {
+    flags &= ~Pte::kWritable;  // code pages are read-only
+  }
+  // Mixed (writable AND executable) pages get neither protection: this is
+  // exactly the layout the execute-disable bit cannot handle (paper §2).
+  p.as->pt().set(page, Pte::make(frame, flags));
+}
+
+FaultResolution HardwareNxEngine::on_protection_fault(
+    Kernel& k, Process& p, const arch::PageFaultInfo& pf) {
+  if (!pf.fetch) return FaultResolution::kUnhandled;
+  const Pte pte = p.as->pt().get(pf.addr);
+  if (!pte.no_exec()) return FaultResolution::kUnhandled;
+  ++k.stats().injections_detected;
+  kernel::DetectionEvent ev;
+  ev.pid = p.pid;
+  ev.process = p.name;
+  ev.eip = pf.addr;
+  ev.cycles = k.now();
+  ev.mode = "nx";
+  k.detections().push_back(ev);
+  k.kill_process(p, ExitKind::kKilledSigsegv,
+                 "DEP: instruction fetch from non-executable page at " +
+                     hex(pf.addr));
+  return FaultResolution::kKilled;
+}
+
+void HardwareNxEngine::on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
+                                   u32 end) {
+  PageTable pt = p.as->pt();
+  for (u32 va = start; va < end; va += kPageSize) {
+    Pte pte = pt.get(va);
+    if (!pte.present()) continue;
+    if (vma.writable()) {
+      pte.set(Pte::kWritable);
+    } else {
+      pte.clear(Pte::kWritable);
+    }
+    if (!vma.executable()) {
+      pte.set(Pte::kNoExec);
+    } else {
+      pte.clear(Pte::kNoExec);
+      if (!vma.mixed()) pte.clear(Pte::kWritable);
+    }
+    pt.set(va, pte);
+    k.mmu().invlpg(va);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PaX PAGEEXEC: software-only execute-disable for legacy x86
+// ---------------------------------------------------------------------------
+
+void PaxPageexecEngine::materialize(Kernel& k, Process& p, const Vma& vma,
+                                    u32 vaddr) {
+  const u32 page = page_floor(vaddr);
+  const u32 frame = k.alloc_initial_frame(p, vma, page);
+  u32 flags = Pte::kPresent;
+  if (vma.writable()) flags |= Pte::kWritable;
+  if (vma.executable() || vma.mixed()) {
+    // Executable (and unprotectable mixed) pages stay user-accessible;
+    // pure code pages are kept read-only.
+    flags |= Pte::kUser;
+    if (!vma.mixed()) flags &= ~Pte::kWritable;
+  } else {
+    // Non-executable page: supervisor-restricted + the NX software mark.
+    // Every D-TLB miss will fault into the PAGEEXEC load below; any fetch
+    // is an execution attempt.
+    flags |= Pte::kNoExec;
+  }
+  p.as->pt().set(page, Pte::make(frame, flags));
+}
+
+FaultResolution PaxPageexecEngine::on_protection_fault(
+    Kernel& k, Process& p, const arch::PageFaultInfo& pf) {
+  PageTable pt = p.as->pt();
+  Pte pte = pt.get(pf.addr);
+  if (!pte.present() || pte.user() || !pte.no_exec()) {
+    return FaultResolution::kUnhandled;
+  }
+  arch::Regs& regs = k.regs_of(p);
+  if (pf.fetch || pf.addr == regs.pc) {
+    // Execution attempt on a non-executable page: DEP-style kill.
+    ++k.stats().injections_detected;
+    kernel::DetectionEvent ev;
+    ev.pid = p.pid;
+    ev.process = p.name;
+    ev.eip = pf.addr;
+    ev.cycles = k.now();
+    ev.mode = "pageexec";
+    k.detections().push_back(ev);
+      k.kill_process(p, kernel::ExitKind::kKilledSigsegv,
+                   "PAGEEXEC: execution attempt at " + hex(pf.addr));
+    return FaultResolution::kKilled;
+  }
+  // Data access: the PAGEEXEC D-TLB load (unrestrict, walk, restrict).
+  pte.unrestrict();
+  pt.set(pf.addr, pte);
+  k.mmu().fill_dtlb_via_walk(pf.addr);
+  pte.restrict_supervisor();
+  pt.set(pf.addr, pte);
+  ++k.stats().split_dtlb_loads;
+  return FaultResolution::kRetry;
+}
+
+FaultResolution PaxPageexecEngine::on_tlb_miss(Kernel& k, Process& p,
+                                               const arch::PageFaultInfo& pf) {
+  const Pte pte = p.as->pt().get(pf.addr);
+  if (!pte.present()) return FaultResolution::kUnhandled;
+  if (!pte.user() && pte.no_exec()) {
+    if (pf.fetch) return FaultResolution::kUnhandled;  // kill via PF path
+    k.mmu().insert_tlb_entry(/*instruction=*/false, vpn_of(pf.addr),
+                             pte.pfn(), /*user=*/true, pte.writable(),
+                             /*no_exec=*/false);
+    ++k.stats().split_dtlb_loads;
+    return FaultResolution::kRetry;
+  }
+  return ProtectionEngine::on_tlb_miss(k, p, pf);
+}
+
+void PaxPageexecEngine::on_mprotect(Kernel& k, Process& p, Vma& vma,
+                                    u32 start, u32 end) {
+  PageTable pt = p.as->pt();
+  for (u32 va = start; va < end; va += kPageSize) {
+    Pte pte = pt.get(va);
+    if (!pte.present()) continue;
+    if (vma.writable()) {
+      pte.set(Pte::kWritable);
+    } else {
+      pte.clear(Pte::kWritable);
+    }
+    if (vma.executable() || vma.mixed()) {
+      pte.unrestrict();
+      pte.clear(Pte::kNoExec);
+      if (!vma.mixed() && vma.executable()) pte.clear(Pte::kWritable);
+    } else {
+      pte.restrict_supervisor();
+      pte.set(Pte::kNoExec);
+    }
+    pt.set(va, pte);
+    k.mmu().invlpg(va);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Factory & names
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<kernel::ProtectionEngine> make_engine(ProtectionMode mode,
+                                                      ResponseMode response) {
+  switch (mode) {
+    case ProtectionMode::kNone:
+      return std::make_unique<kernel::NoProtectionEngine>();
+    case ProtectionMode::kSplitAll:
+      return std::make_unique<SplitMemoryEngine>(SplitPolicy::all(), response);
+    case ProtectionMode::kHardwareNx:
+      return std::make_unique<HardwareNxEngine>();
+    case ProtectionMode::kPaxPageexec:
+      return std::make_unique<PaxPageexecEngine>();
+    case ProtectionMode::kNxPlusSplitMixed:
+      return std::make_unique<SplitMemoryEngine>(SplitPolicy::mixed_only(),
+                                                 response);
+  }
+  return nullptr;
+}
+
+const char* to_string(ProtectionMode mode) {
+  switch (mode) {
+    case ProtectionMode::kNone:
+      return "none";
+    case ProtectionMode::kSplitAll:
+      return "split-all";
+    case ProtectionMode::kHardwareNx:
+      return "hardware-nx";
+    case ProtectionMode::kPaxPageexec:
+      return "pax-pageexec";
+    case ProtectionMode::kNxPlusSplitMixed:
+      return "nx+split-mixed";
+  }
+  return "?";
+}
+
+const char* to_string(ResponseMode mode) {
+  switch (mode) {
+    case ResponseMode::kBreak:
+      return "break";
+    case ResponseMode::kObserve:
+      return "observe";
+    case ResponseMode::kForensics:
+      return "forensics";
+    case ResponseMode::kRecovery:
+      return "recovery";
+  }
+  return "?";
+}
+
+}  // namespace sm::core

@@ -1,0 +1,168 @@
+// The paper's contribution: a virtual Harvard architecture built by
+// deliberately desynchronizing the split instruction/data TLBs (paper §4).
+//
+// Every protected virtual page is backed by a code frame and a data frame.
+// The PTE is kept supervisor-restricted so *every* TLB miss page-faults into
+// Algorithm 1:
+//   - faulting address == EIP  → instruction-TLB miss: point the PTE at the
+//     code frame, unrestrict, set the trap flag, restart the instruction;
+//     the refetch walks the page tables and fills the I-TLB; the debug
+//     interrupt (Algorithm 2) then re-restricts the PTE.
+//   - otherwise                → data-TLB miss: point the PTE at the data
+//     frame, unrestrict, "touch a byte" (a page-table walk that fills the
+//     D-TLB), restrict again.
+// Injected bytes therefore land in data frames and can never be fetched.
+//
+// When an execution attempt does reach a split page whose code frame holds
+// no real code, the fetch decodes an invalid opcode and Algorithm 3 runs the
+// configured response mode: break (kill), observe (lock the page onto the
+// data frame and let the attack continue, honeypot-style), forensics (dump
+// + optionally inject forensic shellcode), or recovery (transfer to an
+// application-registered handler — the paper's §4.5 future-work mode).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "kernel/protection.h"
+
+namespace sm::core {
+
+using kernel::FaultResolution;
+using kernel::Kernel;
+using kernel::Process;
+using kernel::Vma;
+using arch::u32;
+using arch::u8;
+
+enum class ResponseMode { kBreak, kObserve, kForensics, kRecovery };
+
+// Which pages get split (paper §4.2.1 "What to Split").
+struct SplitPolicy {
+  enum class Kind {
+    kAll,        // stand-alone mode: every page of the process
+    kMixedOnly,  // only writable+executable regions; the rest gets the
+                 // hardware execute-disable bit (combined deployment)
+    kFraction,   // a pseudo-random percentage of pages (paper Fig. 9)
+  };
+  Kind kind = Kind::kAll;
+  u32 fraction_percent = 100;
+  // Protect non-split pages with NX/W^X (true for kMixedOnly).
+  bool nx_for_unsplit = false;
+  // Varies which pages the kFraction hash picks (so sweeps can average
+  // over several random page choices, as the paper's Fig. 9 runs do).
+  u32 fraction_seed = 0;
+
+  static SplitPolicy all() { return {}; }
+  static SplitPolicy mixed_only() {
+    return {Kind::kMixedOnly, 100, /*nx_for_unsplit=*/true, 0};
+  }
+  static SplitPolicy fraction(u32 percent, u32 seed = 0) {
+    return {Kind::kFraction, percent, /*nx_for_unsplit=*/false, seed};
+  }
+};
+
+// How the engine fills the instruction-TLB (paper SS4.2.4).
+enum class ItlbLoadMethod {
+  kSingleStep,  // the paper's shipped method: trap flag + debug interrupt
+  kRetCall,     // the abandoned experiment: call a ret on the page; pays
+                // an i-cache coherency flush and "actually decreased the
+                // system's efficiency"
+};
+
+class SplitMemoryEngine : public kernel::ProtectionEngine {
+ public:
+  explicit SplitMemoryEngine(SplitPolicy policy = SplitPolicy::all(),
+                             ResponseMode mode = ResponseMode::kBreak);
+
+  std::string name() const override;
+
+  void materialize(Kernel& k, Process& p, const Vma& vma, u32 vaddr) override;
+  FaultResolution on_protection_fault(Kernel& k, Process& p,
+                                      const arch::PageFaultInfo& pf) override;
+  FaultResolution on_tlb_miss(Kernel& k, Process& p,
+                              const arch::PageFaultInfo& pf) override;
+  void on_debug_step(Kernel& k, Process& p) override;
+  FaultResolution on_invalid_opcode(Kernel& k, Process& p) override;
+  void on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
+                   u32 end) override;
+
+  void set_itlb_load_method(ItlbLoadMethod m) { itlb_method_ = m; }
+  ItlbLoadMethod itlb_load_method() const { return itlb_method_; }
+
+  ResponseMode response_mode() const { return mode_; }
+  void set_response_mode(ResponseMode mode) { mode_ = mode; }
+
+  // Forensics mode: shellcode copied onto the (empty) code page and executed
+  // in place of the attacker's payload (paper §5.5 injects exit(0)).
+  void set_forensic_shellcode(std::vector<u8> code) {
+    forensic_shellcode_ = std::move(code);
+  }
+
+  // Number of bytes of attacker shellcode recorded per detection (the
+  // paper's Fig. 5c shows the first 20).
+  static constexpr u32 kShellcodeDumpBytes = 20;
+
+ private:
+  bool should_split(const Vma& vma, u32 vpn) const;
+  FaultResolution handle_nx_fault(Kernel& k, Process& p,
+                                  const arch::PageFaultInfo& pf);
+  void kill_via_break(Kernel& k, Process& p, u32 pc);
+
+  SplitPolicy policy_;
+  ResponseMode mode_;
+  ItlbLoadMethod itlb_method_ = ItlbLoadMethod::kSingleStep;
+  std::vector<u8> forensic_shellcode_;
+};
+
+// Baseline: the hardware execute-disable bit (Intel XD / DEP, paper §2).
+// Data pages are NX, code pages read-only; mixed pages CANNOT be protected —
+// the limitation that motivates the paper.
+class HardwareNxEngine : public kernel::ProtectionEngine {
+ public:
+  std::string name() const override { return "hardware-nx"; }
+  void materialize(Kernel& k, Process& p, const Vma& vma, u32 vaddr) override;
+  FaultResolution on_protection_fault(Kernel& k, Process& p,
+                                      const arch::PageFaultInfo& pf) override;
+  void on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
+                   u32 end) override;
+};
+
+// PaX PAGEEXEC (paper ref [2], §2): the software-only execute-disable
+// emulation for legacy x86. Non-executable pages are kept
+// supervisor-restricted; every data access that misses the D-TLB faults
+// and is serviced with the same unrestrict/walk/restrict dance the split
+// engine uses (PAGEEXEC is where that D-TLB loading method comes from —
+// "this loading method is also used in the PaX protection model", §4.2.3).
+// Instruction fetches from a restricted page are execution attempts and
+// kill the process. Mixed W+X pages cannot be protected, exactly like the
+// hardware bit.
+class PaxPageexecEngine : public kernel::ProtectionEngine {
+ public:
+  std::string name() const override { return "pax-pageexec"; }
+  void materialize(Kernel& k, Process& p, const Vma& vma, u32 vaddr) override;
+  FaultResolution on_protection_fault(Kernel& k, Process& p,
+                                      const arch::PageFaultInfo& pf) override;
+  FaultResolution on_tlb_miss(Kernel& k, Process& p,
+                              const arch::PageFaultInfo& pf) override;
+  void on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
+                   u32 end) override;
+};
+
+// Convenience factory covering every configuration the benches sweep.
+enum class ProtectionMode {
+  kNone,             // unprotected von Neumann baseline
+  kSplitAll,         // the paper's stand-alone mode
+  kHardwareNx,       // execute-disable bit only
+  kPaxPageexec,      // software-only execute-disable (PaX PAGEEXEC [2])
+  kNxPlusSplitMixed, // combined: NX everywhere + split for mixed pages
+};
+
+std::unique_ptr<kernel::ProtectionEngine> make_engine(
+    ProtectionMode mode, ResponseMode response = ResponseMode::kBreak);
+
+const char* to_string(ProtectionMode mode);
+const char* to_string(ResponseMode mode);
+
+}  // namespace sm::core

@@ -1,0 +1,322 @@
+#include "guest/guestlib.h"
+
+#include "kernel/syscall_defs.h"
+
+namespace sm::guest {
+
+std::string prelude() { return kernel::guest_syscall_equs(); }
+
+std::string libc() {
+  return R"(
+; ===================== guest libc =====================
+.text
+
+; strlen(r1=s) -> r0
+strlen:
+  movi r0, 0
+strlen_loop:
+  loadb r2, [r1]
+  cmpi r2, 0
+  jz strlen_done
+  addi r0, 1
+  addi r1, 1
+  jmp strlen_loop
+strlen_done:
+  ret
+
+; strcpy(r1=dst, r2=src) -> r0=dst.  No bounds check: the classic bug.
+strcpy:
+  mov r0, r1
+strcpy_loop:
+  loadb r3, [r2]
+  storeb [r1], r3
+  addi r1, 1
+  addi r2, 1
+  cmpi r3, 0
+  jnz strcpy_loop
+  ret
+
+; memcpy(r1=dst, r2=src, r3=n) -> r0=dst
+memcpy:
+  mov r0, r1
+memcpy_loop:
+  cmpi r3, 0
+  jz memcpy_done
+  loadb r4, [r2]
+  storeb [r1], r4
+  addi r1, 1
+  addi r2, 1
+  addi r3, -1
+  jmp memcpy_loop
+memcpy_done:
+  ret
+
+; memset(r1=dst, r2=byte, r3=n) -> r0=dst
+memset:
+  mov r0, r1
+memset_loop:
+  cmpi r3, 0
+  jz memset_done
+  storeb [r1], r2
+  addi r1, 1
+  addi r3, -1
+  jmp memset_loop
+memset_done:
+  ret
+
+; print(r1=s): write(FD_CONSOLE, s, strlen(s))
+print:
+  push r1
+  call strlen
+  pop r1
+  mov r3, r0
+  mov r2, r1
+  movi r1, FD_CONSOLE
+  movi r0, SYS_WRITE
+  syscall
+  ret
+
+; print_fd(r1=fd, r2=s)
+print_fd:
+  push r1
+  push r2
+  mov r1, r2
+  call strlen
+  pop r2
+  pop r1
+  mov r3, r0
+  movi r0, SYS_WRITE
+  syscall
+  ret
+
+; put_hex_fd(r1=fd, r2=value): writes "0x%08x\n"
+put_hex_fd:
+  movi r3, 8
+  movi r4, hexbuf+9
+put_hex_loop:
+  mov r5, r2
+  movi r0, 15
+  and r5, r0
+  cmpi r5, 10
+  jb put_hex_digit
+  addi r5, 87               ; 'a' - 10
+  jmp put_hex_store
+put_hex_digit:
+  addi r5, 48               ; '0'
+put_hex_store:
+  storeb [r4], r5
+  movi r0, 4
+  shr r2, r0
+  addi r4, -1
+  addi r3, -1
+  cmpi r3, 0
+  jnz put_hex_loop
+  movi r2, hexbuf
+  movi r3, 11
+  movi r0, SYS_WRITE
+  syscall
+  ret
+
+; read_n(r1=fd, r2=buf, r3=n) -> r0 = bytes read (== n unless EOF)
+read_n:
+  mov r4, r3                ; remaining
+  mov r5, r2                ; cursor
+  push r2                   ; original buf
+read_n_loop:
+  cmpi r4, 0
+  jz read_n_done
+  push r4
+  push r5
+  mov r2, r5
+  mov r3, r4
+  movi r0, SYS_READ
+  syscall
+  pop r5
+  pop r4
+  cmpi r0, 0
+  jz read_n_done
+  add r5, r0
+  sub r4, r0
+  jmp read_n_loop
+read_n_done:
+  pop r2
+  mov r0, r5
+  sub r0, r2
+  ret
+
+; read_line(r1=fd, r2=buf, r3=max) -> r0 = length (newline consumed,
+; not stored; buffer NUL-terminated)
+read_line:
+  push r2                   ; original buf
+  mov r4, r2                ; cursor
+  mov r5, r3                ; space left
+read_line_loop:
+  cmpi r5, 2
+  jb read_line_done
+  push r4
+  push r5
+  mov r2, r4
+  movi r3, 1
+  movi r0, SYS_READ
+  syscall
+  pop r5
+  pop r4
+  cmpi r0, 0
+  jz read_line_done
+  loadb r3, [r4]
+  cmpi r3, 10               ; '\n'
+  jz read_line_done
+  addi r4, 1
+  addi r5, -1
+  jmp read_line_loop
+read_line_done:
+  movi r3, 0
+  storeb [r4], r3
+  mov r0, r4
+  pop r2
+  sub r0, r2
+  ret
+
+; ----- heap: first-fit free list, forward coalescing via UNLINK -----
+; chunk = [size|inuse][fd][bk][payload]; all sizes include the header.
+
+; malloc_init(): carve a 256 KiB arena with brk
+malloc_init:
+  movi r0, SYS_BRK
+  movi r1, 0
+  syscall                   ; r0 = current break
+  movi r1, heap_top
+  store [r1], r0
+  mov r2, r0
+  movi r3, 0x40000
+  add r2, r3
+  movi r1, heap_end
+  store [r1], r2
+  mov r1, r2
+  movi r0, SYS_BRK
+  syscall
+  movi r1, flist
+  store [r1+4], r1          ; head.fd = head
+  store [r1+8], r1          ; head.bk = head
+  ret
+
+; malloc(r1=bytes) -> r0 = payload ptr (0 on exhaustion)
+malloc:
+  addi r1, 19               ; + 12-byte header, round up to 8
+  movi r2, 0xfffffff8
+  and r1, r2
+  movi r2, flist
+  load r3, [r2+4]           ; c = head.fd
+malloc_scan:
+  cmp r3, r2
+  jz malloc_wilderness
+  load r4, [r3]             ; c.size (free: inuse bit clear)
+  cmp r4, r1
+  jae malloc_found
+  load r3, [r3+4]
+  jmp malloc_scan
+malloc_found:
+  load r4, [r3+4]           ; fd
+  load r5, [r3+8]           ; bk
+  store [r4+8], r5          ; unlink: fd->bk = bk
+  store [r5+4], r4          ;         bk->fd = fd
+  load r4, [r3]
+  movi r5, 1
+  or r4, r5
+  store [r3], r4            ; mark in use
+  mov r0, r3
+  addi r0, 12
+  ret
+malloc_wilderness:
+  movi r2, heap_top
+  load r3, [r2]
+  mov r4, r3
+  add r4, r1
+  movi r5, heap_end
+  load r5, [r5]
+  cmp r5, r4
+  jb malloc_fail            ; heap_end < new top
+  store [r2], r4
+  mov r0, r1
+  movi r5, 1
+  or r0, r5
+  store [r3], r0
+  mov r0, r3
+  addi r0, 12
+  ret
+malloc_fail:
+  movi r0, 0
+  ret
+
+; free(r1=payload): clears inuse, coalesces forward with unlink(next).
+; No integrity checks, exactly like the 2001-era allocators the paper's
+; wu-ftpd exploit (7350wurm) abuses.
+free:
+  addi r1, -12              ; c = chunk header
+  load r2, [r1]
+  movi r3, 0xfffffffe
+  and r2, r3
+  store [r1], r2            ; clear inuse
+  mov r3, r1
+  add r3, r2                ; next = c + size
+  movi r4, heap_top
+  load r4, [r4]
+  cmp r3, r4
+  jae free_insert           ; next beyond the wilderness: no neighbour
+  load r4, [r3]
+  movi r5, 1
+  and r5, r4
+  cmpi r5, 1
+  jz free_insert            ; next in use
+  ; unlink(next): the attacker-controllable write-what-where
+  load r4, [r3+4]           ; fd
+  load r5, [r3+8]           ; bk
+  store [r4+8], r5          ; *(fd+8) = bk
+  store [r5+4], r4          ; *(bk+4) = fd
+  load r4, [r3]
+  add r2, r4
+  store [r1], r2            ; merged size
+free_insert:
+  movi r3, flist
+  load r4, [r3+4]
+  store [r1+4], r4          ; c.fd = head.fd
+  store [r1+8], r3          ; c.bk = head
+  store [r4+8], r1          ; head.fd.bk = c
+  store [r3+4], r1          ; head.fd = c
+  ret
+
+; setjmp(r1=jmp_buf) -> 0.   jmp_buf: [pc][sp-after-return][fp]
+setjmp:
+  load r0, [sp]
+  store [r1], r0
+  mov r0, sp
+  addi r0, 4
+  store [r1+4], r0
+  store [r1+8], fp
+  movi r0, 0
+  ret
+
+; longjmp(r1=jmp_buf, r2=val): never returns
+longjmp:
+  load r3, [r1+4]
+  mov sp, r3
+  load fp, [r1+8]
+  mov r0, r2
+  load r4, [r1]
+  jmpr r4
+
+.data
+hexbuf: .ascii "0x00000000\n"
+
+flist:    .word 0, 0, 0
+heap_top: .word 0
+heap_end: .word 0
+; ===================== end guest libc =====================
+)";
+}
+
+std::string program(const std::string& body) {
+  return prelude() + "\n.text\n" + body + "\n" + libc();
+}
+
+}  // namespace sm::guest

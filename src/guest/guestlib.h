@@ -1,0 +1,43 @@
+// Guest-side "libc" written in the simulated assembly.
+//
+// Guest programs are built as: prelude() + <program text> + libc().
+// The prelude defines the syscall ABI constants; libc() provides the
+// routines below. Calling convention: arguments in r1..r4, result in r0,
+// r0-r5 caller-saved, fp/sp preserved by callees that use them.
+//
+//   strlen(r1=s) -> r0
+//   strcpy(r1=dst, r2=src) -> r0=dst          ; unbounded: THE classic bug
+//   memcpy(r1=dst, r2=src, r3=n) -> r0=dst
+//   memset(r1=dst, r2=byte, r3=n) -> r0=dst
+//   print(r1=s)                                ; to the console fd
+//   print_fd(r1=fd, r2=s)
+//   put_hex_fd(r1=fd, r2=value)                ; "0x%08x\n"
+//   read_n(r1=fd, r2=buf, r3=n) -> r0=read     ; exactly n unless EOF
+//   read_line(r1=fd, r2=buf, r3=max) -> r0=len ; to '\n' (consumed), NUL-term
+//   malloc_init()                              ; brk-based heap
+//   malloc(r1=size) -> r0=ptr
+//   free(r1=ptr)                               ; dlmalloc-style UNLINK, no
+//                                              ; sanity checks (exploitable,
+//                                              ; as in 2001-era allocators)
+//   setjmp(r1=jmp_buf) -> r0=0                 ; jmp_buf = 3 words pc/sp/fp
+//   longjmp(r1=jmp_buf, r2=val)                ; never returns
+//
+// Heap chunk layout (exploit-relevant): [size|inuse][fd][bk][payload...]
+// with a 12-byte header; free() coalesces forward via unlink(next):
+// *(fd+8)=bk; *(bk+4)=fd — the attacker-controllable write-what-where.
+#pragma once
+
+#include <string>
+
+namespace sm::guest {
+
+// Syscall .equ constants (kernel ABI). Must precede any use of SYS_*.
+std::string prelude();
+
+// The library routines + their .data/.bss. Append after program text.
+std::string libc();
+
+// prelude() + body + libc() convenience.
+std::string program(const std::string& body);
+
+}  // namespace sm::guest

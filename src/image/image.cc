@@ -1,0 +1,191 @@
+#include "image/image.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "image/sha256.h"
+
+namespace sm::image {
+
+namespace {
+
+constexpr u32 kMagic = 0x464C4553;  // "SELF"
+constexpr u32 kVersion = 1;
+
+void put32(std::vector<u8>& out, u32 v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+void put_str(std::vector<u8>& out, const std::string& s) {
+  put32(out, static_cast<u32>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void put_blob(std::vector<u8>& out, const std::vector<u8>& b) {
+  put32(out, static_cast<u32>(b.size()));
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<u8>& bytes) : bytes_(bytes) {}
+
+  u32 get32() {
+    need(4);
+    u32 v = 0;
+    std::memcpy(&v, &bytes_[pos_], 4);
+    pos_ += 4;
+    return v;
+  }
+  std::string get_str() {
+    const u32 n = get32();
+    need(n);
+    std::string s(bytes_.begin() + pos_, bytes_.begin() + pos_ + n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<u8> get_blob() {
+    const u32 n = get32();
+    need(n);
+    std::vector<u8> b(bytes_.begin() + pos_, bytes_.begin() + pos_ + n);
+    pos_ += n;
+    return b;
+  }
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      throw std::runtime_error("truncated image");
+    }
+  }
+  const std::vector<u8>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+u32 Image::symbol(const std::string& n) const {
+  const auto it = symbols.find(n);
+  if (it == symbols.end()) throw std::out_of_range("no such symbol: " + n);
+  return it->second;
+}
+
+std::vector<u8> Image::signed_payload() const {
+  std::vector<u8> out;
+  put32(out, kMagic);
+  put32(out, kVersion);
+  put_str(out, name);
+  put32(out, entry);
+  put32(out, static_cast<u32>(segments.size()));
+  for (const Segment& s : segments) {
+    put_str(out, s.name);
+    put32(out, s.vaddr);
+    put32(out, s.mem_size);
+    put32(out, s.prot);
+    put_blob(out, s.bytes);
+  }
+  put32(out, static_cast<u32>(symbols.size()));
+  for (const auto& [sym, addr] : symbols) {
+    put_str(out, sym);
+    put32(out, addr);
+  }
+  return out;
+}
+
+std::vector<u8> Image::serialize() const {
+  std::vector<u8> out = signed_payload();
+  put_blob(out, signature);
+  return out;
+}
+
+Image Image::deserialize(const std::vector<u8>& bytes) {
+  Reader r(bytes);
+  if (r.get32() != kMagic) throw std::runtime_error("bad image magic");
+  if (r.get32() != kVersion) throw std::runtime_error("bad image version");
+  Image img;
+  img.name = r.get_str();
+  img.entry = r.get32();
+  const u32 nsegs = r.get32();
+  for (u32 i = 0; i < nsegs; ++i) {
+    Segment s;
+    s.name = r.get_str();
+    s.vaddr = r.get32();
+    s.mem_size = r.get32();
+    s.prot = r.get32();
+    s.bytes = r.get_blob();
+    if (s.bytes.size() > s.mem_size) {
+      throw std::runtime_error("segment bytes exceed mem_size");
+    }
+    img.segments.push_back(std::move(s));
+  }
+  const u32 nsyms = r.get32();
+  for (u32 i = 0; i < nsyms; ++i) {
+    const std::string sym = r.get_str();
+    img.symbols[sym] = r.get32();
+  }
+  img.signature = r.get_blob();
+  if (!r.done()) throw std::runtime_error("trailing bytes in image");
+  return img;
+}
+
+void Image::sign(const std::vector<u8>& key) {
+  const auto payload = signed_payload();
+  const Digest mac = hmac_sha256(key, payload);
+  signature.assign(mac.begin(), mac.end());
+}
+
+bool Image::verify(const std::vector<u8>& key) const {
+  if (signature.size() != 32) return false;
+  const auto payload = signed_payload();
+  const Digest mac = hmac_sha256(key, payload);
+  // Constant-time comparison (defensive habit; no timing channel here).
+  u8 diff = 0;
+  for (std::size_t i = 0; i < mac.size(); ++i) {
+    diff |= static_cast<u8>(mac[i] ^ signature[i]);
+  }
+  return diff == 0;
+}
+
+Image build_image(const assembler::Program& program,
+                  const BuildOptions& opts) {
+  Image img;
+  img.name = opts.name;
+  img.symbols = program.symbols;
+
+  if (!program.text.empty()) {
+    Segment text;
+    text.name = "text";
+    text.vaddr = program.layout.text_base;
+    text.bytes = program.text;
+    text.mem_size = static_cast<u32>(program.text.size());
+    text.prot = kProtRead | kProtExec | (opts.mixed_text ? kProtWrite : 0u);
+    img.segments.push_back(std::move(text));
+  }
+  if (!program.data.empty()) {
+    Segment data;
+    data.name = "data";
+    data.vaddr = program.layout.data_base;
+    data.bytes = program.data;
+    data.mem_size = static_cast<u32>(program.data.size());
+    data.prot = kProtRead | kProtWrite;
+    img.segments.push_back(std::move(data));
+  }
+  if (program.bss_size != 0) {
+    Segment bss;
+    bss.name = "bss";
+    bss.vaddr = program.layout.bss_base;
+    bss.mem_size = program.bss_size;
+    bss.prot = kProtRead | kProtWrite;
+    img.segments.push_back(std::move(bss));
+  }
+
+  if (program.has_symbol(opts.entry_symbol)) {
+    img.entry = program.symbol(opts.entry_symbol);
+  } else {
+    img.entry = program.layout.text_base;
+  }
+  return img;
+}
+
+}  // namespace sm::image

@@ -1,0 +1,75 @@
+// SimpleELF: the executable image format understood by the kernel loader.
+//
+// A stand-in for ELF (paper §5.1): an image is a set of segments, each with
+// a virtual address, protection flags and initialized bytes (mem_size may
+// exceed the bytes for bss-style zero fill), plus an entry point and a
+// symbol table. Images can be serialized, and signed/verified with
+// HMAC-SHA256 (the DigSig-style binary signing of paper §4.3).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+#include "asm/assembler.h"
+
+namespace sm::image {
+
+using arch::u32;
+using arch::u8;
+
+// Segment protection bits (match the guest mmap/mprotect prot encoding).
+inline constexpr u32 kProtRead = 1;
+inline constexpr u32 kProtWrite = 2;
+inline constexpr u32 kProtExec = 4;
+
+struct Segment {
+  std::string name;
+  u32 vaddr = 0;
+  u32 mem_size = 0;  // >= bytes.size(); remainder is zero-filled
+  u32 prot = kProtRead;
+  std::vector<u8> bytes;
+
+  bool executable() const { return prot & kProtExec; }
+  bool writable() const { return prot & kProtWrite; }
+  // A segment is "mixed" when it is both writable and executable — the page
+  // layout the execute-disable bit cannot protect (paper §2, Fig. 1b).
+  bool mixed() const { return executable() && writable(); }
+};
+
+struct Image {
+  std::string name = "a.out";
+  u32 entry = 0;
+  std::vector<Segment> segments;
+  std::map<std::string, u32> symbols;
+  std::vector<u8> signature;  // HMAC-SHA256; empty if unsigned
+
+  u32 symbol(const std::string& n) const;
+  bool has_symbol(const std::string& n) const { return symbols.contains(n); }
+
+  // Canonical byte serialization. The signature field is excluded from the
+  // signed payload (signing covers everything else).
+  std::vector<u8> serialize() const;
+  static Image deserialize(const std::vector<u8>& bytes);
+
+  std::vector<u8> signed_payload() const;
+  void sign(const std::vector<u8>& key);
+  bool verify(const std::vector<u8>& key) const;
+};
+
+// Options controlling how an assembled Program becomes an Image.
+struct BuildOptions {
+  std::string name = "a.out";
+  std::string entry_symbol = "_start";
+  // When true the text segment is writable as well as executable, creating
+  // mixed code-and-data pages (JavaVM / kernel-module style, paper Fig. 1b).
+  bool mixed_text = false;
+};
+
+// Wraps an assembled Program into an Image with text/data/bss segments.
+Image build_image(const assembler::Program& program,
+                  const BuildOptions& opts = {});
+
+}  // namespace sm::image

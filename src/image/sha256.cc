@@ -1,0 +1,153 @@
+#include "image/sha256.h"
+
+#include <cstring>
+#include <string>
+
+namespace sm::image {
+
+namespace {
+
+using arch::u32;
+using arch::u64;
+using arch::u8;
+
+constexpr u32 kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+u32 rotr(u32 x, u32 n) { return (x >> n) | (x << (32 - n)); }
+
+struct Sha256Ctx {
+  u32 h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  u8 block[64];
+  std::size_t block_len = 0;
+  u64 total_len = 0;
+
+  void compress(const u8* p) {
+    u32 w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<u32>(p[4 * i]) << 24) |
+             (static_cast<u32>(p[4 * i + 1]) << 16) |
+             (static_cast<u32>(p[4 * i + 2]) << 8) |
+             static_cast<u32>(p[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const u32 s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const u32 s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    u32 a = h[0], b = h[1], c = h[2], d = h[3];
+    u32 e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; ++i) {
+      const u32 s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const u32 ch = (e & f) ^ (~e & g);
+      const u32 t1 = hh + s1 + ch + kK[i] + w[i];
+      const u32 s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const u32 maj = (a & b) ^ (a & c) ^ (b & c);
+      const u32 t2 = s0 + maj;
+      hh = g;
+      g = f;
+      f = e;
+      e = d + t1;
+      d = c;
+      c = b;
+      b = a;
+      a = t1 + t2;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+    h[5] += f;
+    h[6] += g;
+    h[7] += hh;
+  }
+
+  void update(std::span<const u8> data) {
+    total_len += data.size();
+    for (u8 byte : data) {
+      block[block_len++] = byte;
+      if (block_len == 64) {
+        compress(block);
+        block_len = 0;
+      }
+    }
+  }
+
+  Digest final() {
+    const u64 bit_len = total_len * 8;
+    u8 pad = 0x80;
+    update({&pad, 1});
+    const u8 zero = 0;
+    while (block_len != 56) update({&zero, 1});
+    u8 len_bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      len_bytes[i] = static_cast<u8>(bit_len >> (56 - 8 * i));
+    }
+    update({len_bytes, 8});
+    Digest out;
+    for (int i = 0; i < 8; ++i) {
+      out[4 * i] = static_cast<u8>(h[i] >> 24);
+      out[4 * i + 1] = static_cast<u8>(h[i] >> 16);
+      out[4 * i + 2] = static_cast<u8>(h[i] >> 8);
+      out[4 * i + 3] = static_cast<u8>(h[i]);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Digest sha256(std::span<const u8> data) {
+  Sha256Ctx ctx;
+  ctx.update(data);
+  return ctx.final();
+}
+
+Digest hmac_sha256(std::span<const u8> key, std::span<const u8> data) {
+  u8 k[64] = {};
+  if (key.size() > 64) {
+    const Digest kd = sha256(key);
+    std::memcpy(k, kd.data(), kd.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+  u8 ipad[64];
+  u8 opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256Ctx inner;
+  inner.update({ipad, 64});
+  inner.update(data);
+  const Digest inner_digest = inner.final();
+  Sha256Ctx outer;
+  outer.update({opad, 64});
+  outer.update({inner_digest.data(), inner_digest.size()});
+  return outer.final();
+}
+
+std::string hex_digest(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (u8 b : d) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xF];
+  }
+  return out;
+}
+
+}  // namespace sm::image

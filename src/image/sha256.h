@@ -1,0 +1,24 @@
+// Minimal SHA-256 and HMAC-SHA256 (FIPS 180-4 / RFC 2104).
+//
+// Used for DigSig-style binary signing (paper §4.3 defers to [28]; we
+// implement the check so library/binary loading is actually gated on a
+// valid signature in this reproduction).
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "arch/types.h"
+
+namespace sm::image {
+
+using Digest = std::array<arch::u8, 32>;
+
+Digest sha256(std::span<const arch::u8> data);
+Digest hmac_sha256(std::span<const arch::u8> key,
+                   std::span<const arch::u8> data);
+
+std::string hex_digest(const Digest& d);
+
+}  // namespace sm::image

@@ -1,0 +1,158 @@
+#include "kernel/address_space.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace sm::kernel {
+
+using arch::kPageMask;
+using arch::kPageSize;
+using arch::page_floor;
+using arch::u64;
+using arch::vpn_of;
+
+AddressSpace::AddressSpace(PhysicalMemory& pm)
+    : pm_(&pm), root_(PageTable::create(pm)) {}
+
+AddressSpace::~AddressSpace() { destroy(); }
+
+void AddressSpace::destroy() {
+  if (destroyed_) return;
+  destroyed_ = true;
+  PageTable table = pt();
+  table.for_each_mapping([&](u32 vaddr, Pte pte) {
+    const u32 vpn = vpn_of(vaddr);
+    if (const auto it = split_pages_.find(vpn); it != split_pages_.end()) {
+      // Both physical pages of a split page return to the free pool
+      // (paper §5.4: "freeing two pages instead of just one").
+      pm_->unref_frame(it->second.code_frame);
+      pm_->unref_frame(it->second.data_frame);
+    } else {
+      pm_->unref_frame(pte.pfn());
+    }
+  });
+  split_pages_.clear();
+  table.destroy();
+}
+
+Vma& AddressSpace::add_vma(Vma vma) {
+  if ((vma.start & kPageMask) != 0 || (vma.end & kPageMask) != 0 ||
+      vma.start >= vma.end) {
+    throw std::invalid_argument("VMA must be page aligned and non-empty");
+  }
+  for (const Vma& v : vmas_) {
+    if (vma.start < v.end && v.start < vma.end) {
+      throw std::invalid_argument("VMA overlaps existing region " + v.name);
+    }
+  }
+  vmas_.push_back(std::move(vma));
+  return vmas_.back();
+}
+
+const Vma* AddressSpace::find_vma(u32 addr) const {
+  for (const Vma& v : vmas_) {
+    if (v.contains(addr)) return &v;
+  }
+  return nullptr;
+}
+
+Vma* AddressSpace::find_vma(u32 addr) {
+  return const_cast<Vma*>(std::as_const(*this).find_vma(addr));
+}
+
+void AddressSpace::remove_range(u32 start, u32 end) {
+  for (u32 va = page_floor(start); va < end; va += kPageSize) {
+    unmap_page(va);
+  }
+  // Trim or delete VMAs. Partial overlaps split into the remaining halves.
+  std::vector<Vma> kept;
+  for (Vma& v : vmas_) {
+    if (v.end <= start || v.start >= end) {
+      kept.push_back(std::move(v));
+      continue;
+    }
+    if (v.start < start) {
+      Vma left = v;
+      left.end = start;
+      kept.push_back(std::move(left));
+    }
+    if (v.end > end) {
+      Vma right = v;
+      right.backing_offset += end - right.start;
+      right.start = end;
+      kept.push_back(std::move(right));
+    }
+  }
+  vmas_ = std::move(kept);
+}
+
+u32 AddressSpace::find_mmap_gap(u32 len) {
+  // Simple first-fit scan in the mmap window.
+  constexpr u32 kMmapBase = 0x40000000;
+  constexpr u32 kMmapTop = 0xB0000000;
+  u32 candidate = kMmapBase;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const Vma& v : vmas_) {
+      if (candidate < v.end && v.start < candidate + len) {
+        candidate = v.end;
+        moved = true;
+      }
+    }
+    if (candidate + len > kMmapTop) {
+      throw std::runtime_error("mmap window exhausted");
+    }
+  }
+  return candidate;
+}
+
+const SplitPair* AddressSpace::split_pair(u32 vpn) const {
+  const auto it = split_pages_.find(vpn);
+  return it == split_pages_.end() ? nullptr : &it->second;
+}
+
+void AddressSpace::unsplit(u32 vpn, u32 kept_frame) {
+  const auto it = split_pages_.find(vpn);
+  if (it == split_pages_.end()) return;
+  if (it->second.code_frame != kept_frame) {
+    pm_->unref_frame(it->second.code_frame);
+  }
+  if (it->second.data_frame != kept_frame) {
+    pm_->unref_frame(it->second.data_frame);
+  }
+  split_pages_.erase(it);
+}
+
+void AddressSpace::unmap_page(u32 vaddr) {
+  PageTable table = pt();
+  const Pte pte = table.get(vaddr);
+  if (!pte.present()) return;
+  const u32 vpn = vpn_of(vaddr);
+  if (const auto it = split_pages_.find(vpn); it != split_pages_.end()) {
+    pm_->unref_frame(it->second.code_frame);
+    pm_->unref_frame(it->second.data_frame);
+    split_pages_.erase(it);
+  } else {
+    pm_->unref_frame(pte.pfn());
+  }
+  table.clear(vaddr);
+}
+
+void AddressSpace::initial_page_bytes(const Vma& vma, u32 page_vaddr,
+                                      std::span<u8> out) const {
+  std::ranges::fill(out, u8{0});
+  if (vma.backing == nullptr) return;
+  const u32 page = page_floor(page_vaddr);
+  if (page < vma.start) return;
+  const u64 rel = static_cast<u64>(page - vma.start) + vma.backing_offset;
+  const auto& src = *vma.backing;
+  if (rel >= src.size()) return;
+  const std::size_t n =
+      std::min<std::size_t>(out.size(), src.size() - static_cast<std::size_t>(rel));
+  std::memcpy(out.data(), src.data() + rel, n);
+}
+
+}  // namespace sm::kernel

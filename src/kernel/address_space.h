@@ -1,0 +1,114 @@
+// Per-process virtual address space: page directory, VMA list, and the
+// bookkeeping for memory-split page pairs.
+//
+// The *mechanism* of "a virtual page backed by two physical frames" lives
+// here (SplitPair registry, teardown, fork sharing); the *policy* of which
+// pages get a pair and how faults route between the frames is the
+// ProtectionEngine (sm::core::SplitMemoryEngine implements the paper's).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/page_table.h"
+#include "arch/phys_mem.h"
+#include "arch/types.h"
+
+namespace sm::kernel {
+
+using arch::PageTable;
+using arch::PhysicalMemory;
+using arch::Pte;
+using arch::u32;
+using arch::u8;
+
+enum class VmaKind { kCode, kData, kBss, kHeap, kStack, kMmap, kLibrary };
+
+struct Vma {
+  u32 start = 0;  // page aligned
+  u32 end = 0;    // exclusive, page aligned
+  u32 prot = 0;   // kProtR/W/X bits
+  VmaKind kind = VmaKind::kData;
+  std::string name;
+  // Initialized contents: page at vaddr is filled from
+  // backing[vaddr - start + backing_offset ...], zero beyond.
+  std::shared_ptr<const std::vector<u8>> backing;
+  u32 backing_offset = 0;
+
+  bool readable() const { return prot & 1; }
+  bool writable() const { return prot & 2; }
+  bool executable() const { return prot & 4; }
+  // Writable+executable: the mixed code-and-data layout the execute-disable
+  // bit cannot protect (paper Fig. 1b).
+  bool mixed() const { return writable() && executable(); }
+  bool contains(u32 addr) const { return addr >= start && addr < end; }
+};
+
+// The two frames backing one memory-split virtual page: instruction fetches
+// may only ever see `code_frame`; data accesses only `data_frame`.
+struct SplitPair {
+  u32 code_frame = 0;
+  u32 data_frame = 0;
+};
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(PhysicalMemory& pm);
+  ~AddressSpace();
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  u32 root() const { return root_; }
+  PageTable pt() { return PageTable(*pm_, root_); }
+  PhysicalMemory& phys() { return *pm_; }
+
+  // --- VMAs -------------------------------------------------------------
+  // Adds a VMA; throws std::invalid_argument on overlap/misalignment.
+  Vma& add_vma(Vma vma);
+  const Vma* find_vma(u32 addr) const;
+  Vma* find_vma(u32 addr);
+  const std::vector<Vma>& vmas() const { return vmas_; }
+  std::vector<Vma>& vmas() { return vmas_; }
+  // Removes [start,end) from the VMA list, unmapping and freeing frames.
+  void remove_range(u32 start, u32 end);
+  // Picks a free region for an anonymous mmap.
+  u32 find_mmap_gap(u32 len);
+
+  // --- split pairs --------------------------------------------------------
+  std::map<u32, SplitPair>& split_pages() { return split_pages_; }
+  const SplitPair* split_pair(u32 vpn) const;
+  void register_split(u32 vpn, SplitPair pair) { split_pages_[vpn] = pair; }
+  // Forgets the pair and releases the frame NOT kept by the PTE (used by
+  // observe mode when it locks a page onto its data frame, Algorithm 3).
+  void unsplit(u32 vpn, u32 kept_frame);
+
+  // --- page mapping helpers ----------------------------------------------
+  // Unmaps one page, dropping frame references (both frames for a split
+  // page). No-op if not present.
+  void unmap_page(u32 vaddr);
+
+  // Initial content for the page covering vaddr per its VMA backing.
+  void initial_page_bytes(const Vma& vma, u32 page_vaddr,
+                          std::span<u8> out) const;
+
+  // --- heap ---------------------------------------------------------------
+  u32 brk_end = 0;  // current program break (heap VMA grows to here)
+
+  // Frees every mapping and the page tables themselves. Called by the
+  // destructor; idempotent.
+  void destroy();
+
+ private:
+  PhysicalMemory* pm_;
+  u32 root_;
+  bool destroyed_ = false;
+  std::vector<Vma> vmas_;
+  std::map<u32, SplitPair> split_pages_;
+};
+
+}  // namespace sm::kernel

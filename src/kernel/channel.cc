@@ -1,0 +1,57 @@
+#include "kernel/channel.h"
+
+#include <algorithm>
+
+namespace sm::kernel {
+
+void Channel::host_write(std::span<const u8> bytes) {
+  to_guest_.insert(to_guest_.end(), bytes.begin(), bytes.end());
+}
+
+void Channel::host_write(const std::string& s) {
+  host_write(std::span<const u8>(reinterpret_cast<const u8*>(s.data()),
+                                 s.size()));
+}
+
+std::vector<u8> Channel::host_read_all() {
+  std::vector<u8> out(to_host_.begin(), to_host_.end());
+  to_host_.clear();
+  return out;
+}
+
+std::string Channel::host_read_string() {
+  std::string out(to_host_.begin(), to_host_.end());
+  to_host_.clear();
+  return out;
+}
+
+u32 Channel::guest_read(std::span<u8> out) {
+  const std::size_t n = std::min(out.size(), to_guest_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = to_guest_.front();
+    to_guest_.pop_front();
+  }
+  return static_cast<u32>(n);
+}
+
+void Channel::guest_write(std::span<const u8> bytes) {
+  to_host_.insert(to_host_.end(), bytes.begin(), bytes.end());
+  bytes_to_host_ += bytes.size();
+}
+
+u32 Pipe::read(std::span<u8> out) {
+  const std::size_t n = std::min(out.size(), buf_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = buf_.front();
+    buf_.pop_front();
+  }
+  return static_cast<u32>(n);
+}
+
+u32 Pipe::write(std::span<const u8> in) {
+  const std::size_t n = std::min(in.size(), writable());
+  buf_.insert(buf_.end(), in.begin(), in.begin() + n);
+  return static_cast<u32>(n);
+}
+
+}  // namespace sm::kernel

@@ -1,0 +1,77 @@
+// Byte-stream endpoints connecting guests to the host harness and to each
+// other: Channel models a network socket (the exploit delivery path in
+// every paper attack), Pipe models a Unix pipe (the unixbench "pipe-based
+// context switching" stressor of Fig. 7/9).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace sm::kernel {
+
+using arch::u32;
+using arch::u8;
+
+// A bidirectional host<->guest byte stream (simulated TCP connection).
+class Channel {
+ public:
+  // Host side (the "attacker"/"client" machine).
+  void host_write(std::span<const u8> bytes);
+  void host_write(const std::string& s);
+  std::vector<u8> host_read_all();
+  std::string host_read_string();
+  std::size_t host_readable() const { return to_host_.size(); }
+  void host_close() { host_closed_ = true; }
+
+  // Guest side (used by the kernel on behalf of read/write syscalls).
+  std::size_t guest_readable() const { return to_guest_.size(); }
+  bool guest_eof() const { return host_closed_ && to_guest_.empty(); }
+  u32 guest_read(std::span<u8> out);
+  void guest_write(std::span<const u8> bytes);
+
+  // Total bytes that crossed the link guest→host (network model input).
+  arch::u64 bytes_to_host() const { return bytes_to_host_; }
+
+ private:
+  std::deque<u8> to_guest_;
+  std::deque<u8> to_host_;
+  bool host_closed_ = false;
+  arch::u64 bytes_to_host_ = 0;
+};
+
+// A unidirectional kernel pipe with a bounded buffer. End references are
+// counted (dup'ed by fork, dropped by close and by process exit) so EOF
+// and EPIPE fire exactly when the LAST holder of an end goes away.
+class Pipe {
+ public:
+  static constexpr std::size_t kCapacity = 65536;
+
+  std::size_t readable() const { return buf_.size(); }
+  std::size_t writable() const { return kCapacity - buf_.size(); }
+  bool eof() const { return writers_ == 0 && buf_.empty(); }
+
+  u32 read(std::span<u8> out);
+  u32 write(std::span<const u8> in);  // partial writes allowed
+
+  void add_reader() { ++readers_; }
+  void add_writer() { ++writers_; }
+  void remove_reader() {
+    if (readers_ > 0) --readers_;
+  }
+  void remove_writer() {
+    if (writers_ > 0) --writers_;
+  }
+  bool read_closed() const { return readers_ == 0; }
+
+ private:
+  std::deque<u8> buf_;
+  int readers_ = 0;
+  int writers_ = 0;
+};
+
+}  // namespace sm::kernel

@@ -1,0 +1,29 @@
+#include "kernel/filesystem.h"
+
+namespace sm::kernel {
+
+std::shared_ptr<FileNode> FileSystem::create(const std::string& path,
+                                             bool truncate) {
+  auto& node = nodes_[path];
+  if (node == nullptr) {
+    node = std::make_shared<FileNode>();
+  } else if (truncate) {
+    node->bytes.clear();
+  }
+  return node;
+}
+
+std::shared_ptr<FileNode> FileSystem::lookup(const std::string& path) const {
+  const auto it = nodes_.find(path);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+void FileSystem::put(const std::string& path, std::vector<u8> bytes) {
+  create(path, /*truncate=*/true)->bytes = std::move(bytes);
+}
+
+void FileSystem::put(const std::string& path, const std::string& text) {
+  put(path, std::vector<u8>(text.begin(), text.end()));
+}
+
+}  // namespace sm::kernel

@@ -1,0 +1,38 @@
+// Trivial in-memory filesystem.
+//
+// Exists so guests have something real behind open/read/write: the proftpd
+// attack uploads then downloads a file, the webserver serves documents, and
+// the unixbench filesystem microbenchmark streams through it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace sm::kernel {
+
+using arch::u32;
+using arch::u8;
+
+struct FileNode {
+  std::vector<u8> bytes;
+};
+
+class FileSystem {
+ public:
+  // Creates (or truncates when truncate=true) and returns the node.
+  std::shared_ptr<FileNode> create(const std::string& path, bool truncate);
+  std::shared_ptr<FileNode> lookup(const std::string& path) const;
+  bool exists(const std::string& path) const { return nodes_.contains(path); }
+  void put(const std::string& path, std::vector<u8> bytes);
+  void put(const std::string& path, const std::string& text);
+  bool remove(const std::string& path) { return nodes_.erase(path) > 0; }
+
+ private:
+  std::map<std::string, std::shared_ptr<FileNode>> nodes_;
+};
+
+}  // namespace sm::kernel

@@ -1,0 +1,79 @@
+#include "kernel/guest_mem.h"
+
+namespace sm::kernel {
+
+using arch::kPageSize;
+using arch::page_offset;
+using arch::u64;
+using arch::vpn_of;
+
+std::optional<u64> GuestMem::phys_of(u32 va, View view) const {
+  const Pte pte = const_cast<AddressSpace*>(as_)->pt().get(va);
+  if (!pte.present()) return std::nullopt;
+  u32 pfn = pte.pfn();
+  if (const SplitPair* pair = as_->split_pair(vpn_of(va))) {
+    pfn = view == View::kCode ? pair->code_frame : pair->data_frame;
+  }
+  return static_cast<u64>(pfn) * kPageSize + page_offset(va);
+}
+
+bool GuestMem::mapped(u32 va) const {
+  return phys_of(va, View::kData).has_value();
+}
+
+bool GuestMem::read(u32 va, std::span<u8> out, View view) const {
+  PhysicalMemory& pm = as_->phys();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const auto pa = phys_of(va + static_cast<u32>(i),
+                            view == View::kBoth ? View::kData : view);
+    if (!pa) return false;
+    out[i] = pm.read8(*pa);
+  }
+  return true;
+}
+
+bool GuestMem::write(u32 va, std::span<const u8> in, View view) {
+  PhysicalMemory& pm = as_->phys();
+  // Pre-check the whole range so partial writes don't happen.
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (!phys_of(va + static_cast<u32>(i), View::kData)) return false;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const u32 addr = va + static_cast<u32>(i);
+    if (view == View::kData || view == View::kBoth) {
+      pm.write8(*phys_of(addr, View::kData), in[i]);
+    }
+    if (view == View::kCode || view == View::kBoth) {
+      pm.write8(*phys_of(addr, View::kCode), in[i]);
+    }
+  }
+  return true;
+}
+
+std::optional<u32> GuestMem::read32(u32 va, View view) const {
+  u8 b[4];
+  if (!read(va, b, view)) return std::nullopt;
+  return static_cast<u32>(b[0]) | (static_cast<u32>(b[1]) << 8) |
+         (static_cast<u32>(b[2]) << 16) | (static_cast<u32>(b[3]) << 24);
+}
+
+bool GuestMem::write32(u32 va, u32 v, View view) {
+  const u8 b[4] = {static_cast<u8>(v), static_cast<u8>(v >> 8),
+                   static_cast<u8>(v >> 16), static_cast<u8>(v >> 24)};
+  return write(va, b, view);
+}
+
+std::optional<std::string> GuestMem::read_cstr(u32 va, u32 max_len) const {
+  std::string out;
+  PhysicalMemory& pm = as_->phys();
+  for (u32 i = 0; i < max_len; ++i) {
+    const auto pa = phys_of(va + i, View::kData);
+    if (!pa) return std::nullopt;
+    const u8 c = pm.read8(*pa);
+    if (c == 0) return out;
+    out.push_back(static_cast<char>(c));
+  }
+  return std::nullopt;
+}
+
+}  // namespace sm::kernel

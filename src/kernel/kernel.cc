@@ -1,0 +1,1017 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sm::kernel {
+
+using arch::kPageSize;
+using arch::page_ceil;
+using arch::page_floor;
+using arch::Pte;
+using arch::Trap;
+using arch::TrapKind;
+using arch::u64;
+using arch::vpn_of;
+
+namespace {
+constexpr u32 kHeapBase = 0x09010000;
+constexpr u32 kStackTop = 0xC0000000;
+
+std::string hex(u32 v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+}  // namespace
+
+Kernel::Kernel(KernelConfig cfg)
+    : cfg_(std::move(cfg)),
+      pm_(cfg_.phys_frames),
+      mmu_(pm_, stats_, cfg_.cost, cfg_.tlb_entries, cfg_.tlb_ways),
+      cpu_(mmu_, stats_, cfg_.cost),
+      engine_(std::make_unique<NoProtectionEngine>()),
+      rng_state_(cfg_.rng_seed == 0 ? 1 : cfg_.rng_seed) {
+  mmu_.set_software_tlb(cfg_.software_tlb);
+}
+
+void Kernel::set_engine(std::unique_ptr<ProtectionEngine> engine) {
+  if (!procs_.empty()) {
+    throw std::logic_error("set_engine must precede the first spawn");
+  }
+  engine_ = std::move(engine);
+}
+
+u32 Kernel::rng_next() {
+  // xorshift32: deterministic, seedable.
+  u32 x = rng_state_;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  rng_state_ = x;
+  return x;
+}
+
+void Kernel::log(const std::string& line) { klog_.push_back(line); }
+
+// --------------------------------------------------------------------------
+// Images & loading
+// --------------------------------------------------------------------------
+
+void Kernel::register_image(image::Image img) {
+  if (cfg_.require_signatures && !img.verify(cfg_.signing_key)) {
+    // Registered anyway; spawn/exec/dlopen will refuse it. This mirrors an
+    // on-disk binary with a bad signature.
+    log("[image] " + img.name + " has an INVALID signature");
+  }
+  images_[img.name] = std::move(img);
+}
+
+const image::Image* Kernel::find_image(const std::string& name) const {
+  const auto it = images_.find(name);
+  return it == images_.end() ? nullptr : &it->second;
+}
+
+bool Kernel::image_allowed(const image::Image& img) const {
+  if (!cfg_.require_signatures) return true;
+  return img.verify(cfg_.signing_key);
+}
+
+void Kernel::load_into(Process& p, const image::Image& img) {
+  p.as = std::make_unique<AddressSpace>(pm_);
+  for (const image::Segment& seg : img.segments) {
+    Vma vma;
+    vma.start = page_floor(seg.vaddr);
+    vma.end = page_ceil(seg.vaddr + seg.mem_size);
+    vma.prot = seg.prot;
+    vma.name = seg.name;
+    if (seg.name == "text") {
+      vma.kind = VmaKind::kCode;
+    } else if (seg.name == "data") {
+      vma.kind = VmaKind::kData;
+    } else if (seg.name == "bss") {
+      vma.kind = VmaKind::kBss;
+    } else {
+      vma.kind = VmaKind::kLibrary;
+    }
+    vma.backing = std::make_shared<const std::vector<u8>>(seg.bytes);
+    // Backing bytes start at seg.vaddr which may sit inside the first page.
+    // Our assembler emits page-aligned section bases, so keep it simple and
+    // require alignment.
+    if (seg.vaddr != vma.start) {
+      throw std::runtime_error("segment " + seg.name + " not page aligned");
+    }
+    vma.backing_offset = 0;
+    p.as->add_vma(std::move(vma));
+  }
+
+  // Stack.
+  Vma stack;
+  stack.start = kStackTop - cfg_.stack_pages * kPageSize;
+  stack.end = kStackTop;
+  stack.prot = kProtR | kProtW;
+  stack.kind = VmaKind::kStack;
+  stack.name = "stack";
+  p.as->add_vma(std::move(stack));
+
+  p.as->brk_end = kHeapBase;
+
+  u32 rand_off = 0;
+  if (cfg_.stack_randomization) {
+    // "slight randomization": up to 8 KiB in 16-byte steps, like early 2.6.
+    rand_off = (rng_next() % 512) * 16;
+  }
+  p.regs = arch::Regs{};
+  p.regs.pc = img.entry;
+  p.regs.sp() = kStackTop - 64 - rand_off;
+  p.regs.fp() = p.regs.sp();
+  p.name = img.name;
+
+  if (cfg_.eager_load) {
+    // Paper SS5.1 prototype behaviour: "two new, side-by-side, physical
+    // pages are created and the original page is copied into both" for the
+    // whole program image at load time.
+    for (const Vma& vma : p.as->vmas()) {
+      for (u32 page = vma.start; page < vma.end; page += kPageSize) {
+        if (!p.as->pt().get(page).present()) {
+          engine_->materialize(*this, p, vma, page);
+          ++stats_.demand_pages;
+          stats_.cycles += cfg_.cost.demand_page;
+        }
+      }
+    }
+  }
+}
+
+Pid Kernel::spawn(const std::string& image_name) {
+  const image::Image* img = find_image(image_name);
+  if (img == nullptr) throw std::invalid_argument("no image " + image_name);
+  if (!image_allowed(*img)) {
+    throw std::runtime_error("image " + image_name +
+                             " rejected: bad signature");
+  }
+  auto proc = std::make_unique<Process>();
+  proc->pid = next_pid_++;
+  proc->fds.resize(2);
+  proc->fds[kFdNet] = std::monostate{};
+  proc->fds[kFdConsole] = FdConsole{};
+  load_into(*proc, *img);
+  const Pid pid = proc->pid;
+  procs_[pid] = std::move(proc);
+  runqueue_.push_back(pid);
+  log("[spawn] pid " + std::to_string(pid) + " <- " + image_name);
+  return pid;
+}
+
+std::shared_ptr<Channel> Kernel::attach_channel(Pid pid) {
+  Process* p = process(pid);
+  if (p == nullptr) throw std::invalid_argument("no such pid");
+  auto chan = std::make_shared<Channel>();
+  p->fds[kFdNet] = FdChannel{chan};
+  return chan;
+}
+
+Process* Kernel::process(Pid pid) {
+  const auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+bool Kernel::all_exited() const {
+  return std::ranges::all_of(
+      procs_, [](const auto& kv) { return !kv.second->alive(); });
+}
+
+// --------------------------------------------------------------------------
+// Memory services
+// --------------------------------------------------------------------------
+
+arch::Regs& Kernel::regs_of(Process& p) {
+  if (current_ && *current_ == p.pid) return cpu_.regs();
+  return p.regs;
+}
+
+u32 Kernel::alloc_initial_frame(Process& p, const Vma& vma, u32 page_va) {
+  const u32 frame = pm_.alloc_frame();
+  p.as->initial_page_bytes(vma, page_va, pm_.frame_bytes(frame));
+  return frame;
+}
+
+bool Kernel::ensure_mapped(Process& p, u32 va, u32 len) {
+  if (len == 0) return true;
+  const u32 first = page_floor(va);
+  const u32 last = page_floor(va + len - 1);
+  for (u32 page = first;; page += kPageSize) {
+    const Pte pte = p.as->pt().get(page);
+    if (!pte.present()) {
+      const Vma* vma = p.as->find_vma(page);
+      if (vma == nullptr) return false;
+      ++stats_.demand_pages;
+      stats_.cycles += cfg_.cost.demand_page;
+      engine_->materialize(*this, p, *vma, page);
+    }
+    if (page == last) break;
+  }
+  return true;
+}
+
+namespace {
+void release_fd(FdEntry& e) {
+  if (auto* pw = std::get_if<FdPipeWrite>(&e)) pw->pipe->remove_writer();
+  if (auto* pr = std::get_if<FdPipeRead>(&e)) pr->pipe->remove_reader();
+  e = std::monostate{};
+}
+void retain_fds(std::vector<FdEntry>& fds) {
+  for (FdEntry& e : fds) {
+    if (auto* pw = std::get_if<FdPipeWrite>(&e)) pw->pipe->add_writer();
+    if (auto* pr = std::get_if<FdPipeRead>(&e)) pr->pipe->add_reader();
+  }
+}
+void release_all_fds(Process& p) {
+  for (FdEntry& e : p.fds) release_fd(e);
+  p.fds.clear();
+}
+}  // namespace
+
+void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) {
+  log("[kill] pid " + std::to_string(p.pid) + " (" + p.name + "): " + reason);
+  p.state = ProcState::kZombie;
+  p.exit_kind = kind;
+  p.exit_code = 0xFF;
+  p.as.reset();
+  release_all_fds(p);
+  if (current_ && *current_ == p.pid) current_ = std::nullopt;
+  std::erase(runqueue_, p.pid);
+}
+
+// --------------------------------------------------------------------------
+// Scheduler & run loop
+// --------------------------------------------------------------------------
+
+bool Kernel::wait_satisfied(const Process& p) const {
+  if (std::holds_alternative<WaitNone>(p.waiting)) return true;
+  if (const auto* wr = std::get_if<WaitReadFd>(&p.waiting)) {
+    if (wr->fd >= p.fds.size()) return true;
+    const FdEntry& e = p.fds[wr->fd];
+    if (const auto* c = std::get_if<FdChannel>(&e)) {
+      return c->chan->guest_readable() > 0 || c->chan->guest_eof();
+    }
+    if (const auto* pr = std::get_if<FdPipeRead>(&e)) {
+      return pr->pipe->readable() > 0 || pr->pipe->eof();
+    }
+    return true;
+  }
+  if (const auto* ww = std::get_if<WaitWriteFd>(&p.waiting)) {
+    if (ww->fd >= p.fds.size()) return true;
+    const FdEntry& e = p.fds[ww->fd];
+    if (const auto* pw = std::get_if<FdPipeWrite>(&e)) {
+      return pw->pipe->writable() > 0 || pw->pipe->read_closed();
+    }
+    return true;
+  }
+  if (const auto* wc = std::get_if<WaitChild>(&p.waiting)) {
+    const auto it = procs_.find(wc->pid);
+    return it == procs_.end() || !it->second->alive();
+  }
+  return true;
+}
+
+void Kernel::wake_sweep() {
+  for (auto& [pid, proc] : procs_) {
+    if (proc->state == ProcState::kBlocked && wait_satisfied(*proc)) {
+      make_runnable(*proc);
+    }
+  }
+}
+
+void Kernel::make_runnable(Process& p) {
+  p.state = ProcState::kRunnable;
+  p.waiting = WaitNone{};
+  if (std::ranges::find(runqueue_, p.pid) == runqueue_.end()) {
+    runqueue_.push_back(p.pid);
+  }
+}
+
+std::optional<Pid> Kernel::pick_next() {
+  while (!runqueue_.empty()) {
+    const Pid pid = runqueue_.front();
+    runqueue_.pop_front();
+    const auto it = procs_.find(pid);
+    if (it != procs_.end() && it->second->state == ProcState::kRunnable) {
+      return pid;
+    }
+  }
+  return std::nullopt;
+}
+
+void Kernel::switch_to(Pid pid) {
+  Process& p = *procs_.at(pid);
+  if (!last_running_ || *last_running_ != pid) {
+    ++stats_.context_switches;
+    stats_.cycles += cfg_.cost.context_switch;
+    mmu_.set_cr3(p.as->root());  // flushes both TLBs
+  }
+  cpu_.regs() = p.regs;
+  current_ = pid;
+  last_running_ = pid;
+  slice_used_ = 0;
+}
+
+void Kernel::deschedule(Process& p) {
+  if (current_ && *current_ == p.pid) {
+    p.regs = cpu_.regs();
+    current_ = std::nullopt;
+  }
+}
+
+Kernel::RunResult Kernel::run(u64 max_instructions) {
+  u64 executed = 0;
+  while (executed < max_instructions) {
+    if (!current_) {
+      wake_sweep();
+      const auto next = pick_next();
+      if (!next) {
+        return all_exited() ? RunResult::kAllExited : RunResult::kAllBlocked;
+      }
+      switch_to(*next);
+    }
+    Process& p = *procs_.at(*current_);
+
+    if (p.retry_syscall) {
+      p.retry_syscall = false;
+      do_syscall(p);
+      if (!current_) continue;  // blocked again or exited
+    }
+
+    const bool tf_before = cpu_.regs().tf();
+    const auto trap = cpu_.step();
+    ++executed;
+    ++slice_used_;
+    if (trap) {
+      handle_trap(p, *trap, tf_before);
+    }
+
+    // Timer preemption: round-robin if someone else is waiting for the CPU.
+    if (current_ && slice_used_ >= cfg_.cost.timeslice_instructions) {
+      wake_sweep();
+      const bool others = std::ranges::any_of(runqueue_, [&](Pid q) {
+        const auto it = procs_.find(q);
+        return it != procs_.end() &&
+               it->second->state == ProcState::kRunnable;
+      });
+      if (others) {
+        Process& cur = *procs_.at(*current_);
+        deschedule(cur);
+        runqueue_.push_back(cur.pid);
+      } else {
+        slice_used_ = 0;
+      }
+    }
+  }
+  return RunResult::kBudgetExhausted;
+}
+
+void Kernel::handle_trap(Process& p, const Trap& trap, bool tf_before) {
+  switch (trap.kind) {
+    case TrapKind::kSyscall: {
+      ++stats_.syscalls;
+      stats_.cycles += cfg_.cost.syscall_cost;
+      do_syscall(p);
+      // A single-stepped SYSCALL still owes the engine its debug trap
+      // (the I-TLB got filled when the instruction was refetched).
+      if (tf_before && p.alive()) {
+        engine_->on_debug_step(*this, p);
+      }
+      break;
+    }
+    case TrapKind::kPageFault:
+      if (trap.pf.soft_miss) {
+        // Software-TLB fill: a lightweight trap (paper SS4.7).
+        ++stats_.soft_tlb_fills;
+        stats_.cycles += cfg_.cost.soft_tlb_fill;
+        if (engine_->on_tlb_miss(*this, p, trap.pf) ==
+            FaultResolution::kRetry) {
+          break;
+        }
+        // Not a pure fill (page absent, permissions): full fault path.
+      }
+      ++stats_.page_faults;
+      stats_.cycles += cfg_.cost.trap_cost;
+      handle_page_fault(p, trap.pf);
+      break;
+    case TrapKind::kDebugStep:
+      stats_.cycles += cfg_.cost.trap_cost;
+      engine_->on_debug_step(*this, p);
+      break;
+    case TrapKind::kInvalidOpcode: {
+      ++stats_.invalid_opcode_faults;
+      stats_.cycles += cfg_.cost.trap_cost;
+      const FaultResolution res = engine_->on_invalid_opcode(*this, p);
+      if (res == FaultResolution::kUnhandled) {
+        kill_process(p, ExitKind::kKilledSigill,
+                     "SIGILL: invalid opcode at " + hex(cpu_.regs().pc));
+      }
+      break;
+    }
+    case TrapKind::kDivideByZero:
+      kill_process(p, ExitKind::kKilledSigill,
+                   "SIGFPE: divide by zero at " + hex(cpu_.regs().pc));
+      break;
+    case TrapKind::kGeneralProtection:
+      kill_process(p, ExitKind::kKilledSigill,
+                   "SIGILL: general protection fault at " +
+                       hex(cpu_.regs().pc));
+      break;
+  }
+}
+
+void Kernel::handle_page_fault(Process& p, const arch::PageFaultInfo& pf) {
+  AddressSpace& as = *p.as;
+  const Pte pte = as.pt().get(pf.addr);
+
+  if (!pte.present()) {
+    const Vma* vma = as.find_vma(pf.addr);
+    if (vma == nullptr) {
+      kill_process(p, ExitKind::kKilledSigsegv,
+                   "SIGSEGV: unmapped address " + hex(pf.addr));
+      return;
+    }
+    if (pf.write && !vma->writable()) {
+      kill_process(p, ExitKind::kKilledSigsegv,
+                   "SIGSEGV: write to read-only region " + hex(pf.addr));
+      return;
+    }
+    ++stats_.demand_pages;
+    stats_.cycles += cfg_.cost.demand_page;
+    engine_->materialize(*this, p, *vma, pf.addr);
+    return;  // restart
+  }
+
+  // Copy-on-write has priority: "not every PF on a split page is
+  // necessarily our fault" (paper §5.2).
+  if (pf.write && pte.cow() && !pte.writable()) {
+    handle_cow(p, pf.addr);
+    return;
+  }
+
+  const FaultResolution res = engine_->on_protection_fault(*this, p, pf);
+  if (res == FaultResolution::kUnhandled) {
+    kill_process(p, ExitKind::kKilledSigsegv,
+                 std::string("SIGSEGV: permission violation on ") +
+                     (pf.fetch ? "fetch" : (pf.write ? "write" : "read")) +
+                     " at " + hex(pf.addr));
+  }
+}
+
+void Kernel::handle_cow(Process& p, u32 addr) {
+  AddressSpace& as = *p.as;
+  PageTable pt = as.pt();
+  Pte pte = pt.get(addr);
+  const u32 vpn = vpn_of(addr);
+  ++stats_.cow_copies;
+  stats_.cycles += cfg_.cost.cow_copy;
+
+  const Vma* vma = as.find_vma(addr);
+  if (vma == nullptr || !vma->writable()) {
+    kill_process(p, ExitKind::kKilledSigsegv,
+                 "SIGSEGV: COW fault outside writable region " + hex(addr));
+    return;
+  }
+
+  if (const SplitPair* pair = as.split_pair(vpn)) {
+    SplitPair current = *pair;
+    if (pm_.refcount(current.code_frame) > 1 ||
+        pm_.refcount(current.data_frame) > 1) {
+      SplitPair fresh;
+      fresh.code_frame = pm_.alloc_frame();
+      fresh.data_frame = pm_.alloc_frame();
+      std::ranges::copy(pm_.frame_bytes(current.code_frame),
+                        pm_.frame_bytes(fresh.code_frame).begin());
+      std::ranges::copy(pm_.frame_bytes(current.data_frame),
+                        pm_.frame_bytes(fresh.data_frame).begin());
+      pm_.unref_frame(current.code_frame);
+      pm_.unref_frame(current.data_frame);
+      as.register_split(vpn, fresh);
+      pte.set_pfn(pte.pfn() == current.code_frame ? fresh.code_frame
+                                                  : fresh.data_frame);
+    }
+    pte.set(Pte::kWritable);
+    pte.clear(Pte::kCow);
+    pt.set(addr, pte);
+    mmu_.invlpg(addr);
+    return;
+  }
+
+  if (pm_.refcount(pte.pfn()) > 1) {
+    const u32 fresh = pm_.alloc_frame();
+    std::ranges::copy(pm_.frame_bytes(pte.pfn()),
+                      pm_.frame_bytes(fresh).begin());
+    pm_.unref_frame(pte.pfn());
+    pte.set_pfn(fresh);
+  }
+  pte.set(Pte::kWritable);
+  pte.clear(Pte::kCow);
+  pt.set(addr, pte);
+  mmu_.invlpg(addr);
+}
+
+// --------------------------------------------------------------------------
+// Syscalls
+// --------------------------------------------------------------------------
+
+void Kernel::do_syscall(Process& p) {
+  arch::Regs& regs = regs_of(p);
+  const u32 num = regs.r[0];
+  const u32 a1 = regs.r[1];
+  const u32 a2 = regs.r[2];
+  const u32 a3 = regs.r[3];
+
+  auto block_on = [&](WaitReason reason) {
+    p.waiting = std::move(reason);
+    p.retry_syscall = true;
+    p.state = ProcState::kBlocked;
+    deschedule(p);
+  };
+
+  switch (num) {
+    case kSysExit: {
+      log("[exit] pid " + std::to_string(p.pid) + " code " +
+          std::to_string(a1));
+      deschedule(p);
+      p.state = ProcState::kZombie;
+      p.exit_kind = ExitKind::kExited;
+      p.exit_code = a1;
+      p.as.reset();
+      release_all_fds(p);
+      std::erase(runqueue_, p.pid);
+      return;
+    }
+    case kSysRead: {
+      bool blocked = false;
+      const u32 n = sys_read(p, a1, a2, a3, blocked);
+      if (blocked) {
+        block_on(WaitReadFd{a1});
+        return;
+      }
+      regs.r[0] = n;
+      return;
+    }
+    case kSysWrite: {
+      bool blocked = false;
+      const u32 n = sys_write(p, a1, a2, a3, blocked);
+      if (blocked) {
+        block_on(WaitWriteFd{a1});
+        return;
+      }
+      regs.r[0] = n;
+      return;
+    }
+    case kSysOpen:
+      regs.r[0] = sys_open(p, a1, a2);
+      return;
+    case kSysClose: {
+      if (a1 < p.fds.size()) {
+        release_fd(p.fds[a1]);
+        regs.r[0] = 0;
+      } else {
+        regs.r[0] = kErrResult;
+      }
+      return;
+    }
+    case kSysSpawnShell:
+      regs.r[0] = sys_spawn_shell(p);
+      return;
+    case kSysFork:
+      regs.r[0] = sys_fork(p);
+      return;
+    case kSysExec:
+      regs.r[0] = sys_exec(p, a1);
+      return;
+    case kSysWaitpid: {
+      const auto it = procs_.find(a1);
+      if (it == procs_.end()) {
+        regs.r[0] = kErrResult;
+        return;
+      }
+      if (it->second->alive()) {
+        block_on(WaitChild{a1});
+        return;
+      }
+      regs.r[0] = it->second->exit_code;
+      return;
+    }
+    case kSysGetpid:
+      regs.r[0] = p.pid;
+      return;
+    case kSysBrk:
+      regs.r[0] = sys_brk(p, a1);
+      return;
+    case kSysMmap:
+      regs.r[0] = sys_mmap(p, a1, a2, a3);
+      return;
+    case kSysMunmap: {
+      const u32 start = page_floor(a1);
+      const u32 end = page_ceil(a1 + a2);
+      p.as->remove_range(start, end);
+      for (u32 va = start; va < end; va += kPageSize) mmu_.invlpg(va);
+      regs.r[0] = 0;
+      return;
+    }
+    case kSysPipe: {
+      if (!ensure_mapped(p, a1, 8)) {
+        regs.r[0] = kErrResult;
+        return;
+      }
+      auto pipe = std::make_shared<Pipe>();
+      pipe->add_reader();
+      pipe->add_writer();
+      const u32 rd = p.alloc_fd(FdPipeRead{pipe});
+      const u32 wr = p.alloc_fd(FdPipeWrite{pipe});
+      GuestMem gm = mem_of(p);
+      gm.write32(a1, rd);
+      gm.write32(a1 + 4, wr);
+      regs.r[0] = 0;
+      return;
+    }
+    case kSysYield: {
+      deschedule(p);
+      runqueue_.push_back(p.pid);
+      return;
+    }
+    case kSysTime:
+      regs.r[0] = static_cast<u32>(stats_.cycles);
+      return;
+    case kSysMprotect:
+      regs.r[0] = sys_mprotect(p, a1, a2, a3);
+      return;
+    case kSysDlopen:
+      regs.r[0] = sys_dlopen(p, a1);
+      return;
+    case kSysRegisterRecovery:
+      p.recovery_handler = a1;
+      regs.r[0] = 0;
+      return;
+    case kSysRand:
+      regs.r[0] = rng_next();
+      return;
+    default:
+      log("[syscall] pid " + std::to_string(p.pid) + " bad syscall " +
+          std::to_string(num));
+      regs.r[0] = kErrResult;
+      return;
+  }
+}
+
+u32 Kernel::sys_read(Process& p, u32 fd, u32 buf, u32 len, bool& blocked) {
+  if (fd >= p.fds.size()) return kErrResult;
+  if (len == 0) return 0;
+  if (!ensure_mapped(p, buf, len)) return kErrResult;
+  std::vector<u8> tmp(len);
+  u32 n = 0;
+
+  if (auto* c = std::get_if<FdChannel>(&p.fds[fd])) {
+    if (c->chan->guest_readable() == 0) {
+      if (c->chan->guest_eof()) return 0;
+      blocked = true;
+      return 0;
+    }
+    n = c->chan->guest_read(std::span<u8>(tmp.data(), len));
+    if (p.shell_spawned && shell_input_logger) {
+      shell_input_logger(
+          p, std::string(reinterpret_cast<char*>(tmp.data()), n));
+    }
+  } else if (auto* pr = std::get_if<FdPipeRead>(&p.fds[fd])) {
+    if (pr->pipe->readable() == 0) {
+      if (pr->pipe->eof()) return 0;
+      blocked = true;
+      return 0;
+    }
+    n = pr->pipe->read(std::span<u8>(tmp.data(), len));
+  } else if (auto* f = std::get_if<FdFile>(&p.fds[fd])) {
+    const auto& bytes = f->node->bytes;
+    if (f->offset >= bytes.size()) return 0;
+    n = std::min<u32>(len, static_cast<u32>(bytes.size()) - f->offset);
+    std::memcpy(tmp.data(), bytes.data() + f->offset, n);
+    f->offset += n;
+  } else if (std::holds_alternative<FdConsole>(p.fds[fd])) {
+    return 0;
+  } else {
+    return kErrResult;
+  }
+
+  GuestMem gm = mem_of(p);
+  if (!gm.write(buf, std::span<const u8>(tmp.data(), n))) return kErrResult;
+  return n;
+}
+
+u32 Kernel::sys_write(Process& p, u32 fd, u32 buf, u32 len, bool& blocked) {
+  if (fd >= p.fds.size()) return kErrResult;
+  if (len == 0) return 0;
+  if (!ensure_mapped(p, buf, len)) return kErrResult;
+  std::vector<u8> tmp(len);
+  GuestMem gm = mem_of(p);
+  if (!gm.read(buf, std::span<u8>(tmp.data(), len))) return kErrResult;
+
+  if (auto* c = std::get_if<FdChannel>(&p.fds[fd])) {
+    c->chan->guest_write(tmp);
+    return len;
+  }
+  if (auto* pw = std::get_if<FdPipeWrite>(&p.fds[fd])) {
+    if (pw->pipe->read_closed()) return kErrResult;  // EPIPE
+    const u32 n = pw->pipe->write(tmp);
+    if (n == 0) {
+      blocked = true;
+      return 0;
+    }
+    return n;
+  }
+  if (std::holds_alternative<FdConsole>(p.fds[fd])) {
+    p.console.append(reinterpret_cast<char*>(tmp.data()), len);
+    return len;
+  }
+  if (auto* f = std::get_if<FdFile>(&p.fds[fd])) {
+    if (!f->writable) return kErrResult;
+    auto& bytes = f->node->bytes;
+    if (f->offset + len > bytes.size()) bytes.resize(f->offset + len);
+    std::memcpy(bytes.data() + f->offset, tmp.data(), len);
+    f->offset += len;
+    return len;
+  }
+  return kErrResult;
+}
+
+u32 Kernel::sys_open(Process& p, u32 path_ptr, u32 flags) {
+  GuestMem gm = mem_of(p);
+  ensure_mapped(p, path_ptr, 1);
+  const auto path = gm.read_cstr(path_ptr);
+  if (!path) return kErrResult;
+  std::shared_ptr<FileNode> node;
+  if (flags & kOpenWrite) {
+    node = fs_.create(*path, /*truncate=*/true);
+  } else {
+    node = fs_.lookup(*path);
+    if (node == nullptr) return kErrResult;
+  }
+  return p.alloc_fd(FdFile{node, 0, (flags & kOpenWrite) != 0});
+}
+
+u32 Kernel::sys_brk(Process& p, u32 new_end) {
+  AddressSpace& as = *p.as;
+  if (new_end == 0) return as.brk_end;
+  if (new_end < as.brk_end) return as.brk_end;  // shrink: ignored
+  const u32 new_top = page_ceil(new_end);
+  Vma* heap = nullptr;
+  for (Vma& v : as.vmas()) {
+    if (v.kind == VmaKind::kHeap) heap = &v;
+  }
+  if (heap == nullptr) {
+    if (new_top > kHeapBase) {
+      Vma vma;
+      vma.start = kHeapBase;
+      vma.end = new_top;
+      vma.prot = kProtR | kProtW;
+      vma.kind = VmaKind::kHeap;
+      vma.name = "heap";
+      as.add_vma(std::move(vma));
+    }
+  } else if (new_top > heap->end) {
+    heap->end = new_top;
+  }
+  as.brk_end = new_end;
+  return as.brk_end;
+}
+
+u32 Kernel::sys_mmap(Process& p, u32 hint, u32 len, u32 prot) {
+  if (len == 0) return kErrResult;
+  const u32 size = page_ceil(len);
+  AddressSpace& as = *p.as;
+  u32 base = 0;
+  if (hint != 0 && (hint & arch::kPageMask) == 0) {
+    const bool free = std::ranges::none_of(as.vmas(), [&](const Vma& v) {
+      return hint < v.end && v.start < hint + size;
+    });
+    if (free) base = hint;
+  }
+  if (base == 0) {
+    try {
+      base = as.find_mmap_gap(size);
+    } catch (const std::exception&) {
+      return kErrResult;
+    }
+  }
+  Vma vma;
+  vma.start = base;
+  vma.end = base + size;
+  vma.prot = prot;
+  vma.kind = VmaKind::kMmap;
+  vma.name = "mmap";
+  as.add_vma(std::move(vma));
+  return base;
+}
+
+u32 Kernel::sys_mprotect(Process& p, u32 addr, u32 len, u32 prot) {
+  if (len == 0) return 0;
+  const u32 start = page_floor(addr);
+  const u32 end = page_ceil(addr + len);
+  AddressSpace& as = *p.as;
+  Vma* vma = as.find_vma(start);
+  if (vma == nullptr || end > vma->end) return kErrResult;
+
+  if (vma->start != start || vma->end != end) {
+    // Split the VMA so exactly [start,end) changes protection.
+    Vma middle = *vma;
+    Vma left = *vma;
+    Vma right = *vma;
+    const Vma original = *vma;
+    std::vector<Vma> pieces;
+    if (original.start < start) {
+      left.end = start;
+      pieces.push_back(left);
+    }
+    middle.start = start;
+    middle.end = end;
+    middle.backing_offset =
+        original.backing_offset + (start - original.start);
+    pieces.push_back(middle);
+    if (original.end > end) {
+      right.start = end;
+      right.backing_offset = original.backing_offset + (end - original.start);
+      pieces.push_back(right);
+    }
+    // Replace in place.
+    auto& vmas = as.vmas();
+    const auto it = std::ranges::find_if(
+        vmas, [&](const Vma& v) { return v.start == original.start; });
+    vmas.erase(it);
+    for (Vma& piece : pieces) vmas.push_back(piece);
+    vma = as.find_vma(start);
+  }
+  vma->prot = prot;
+  engine_->on_mprotect(*this, p, *vma, start, end);
+  return 0;
+}
+
+u32 Kernel::sys_fork(Process& parent) {
+  auto childp = std::make_unique<Process>();
+  Process& child = *childp;
+  child.pid = next_pid_++;
+  child.parent = parent.pid;
+  child.name = parent.name;
+  child.fds = parent.fds;  // shared channel/pipe/file objects
+  retain_fds(child.fds);
+  child.as = std::make_unique<AddressSpace>(pm_);
+  child.as->brk_end = parent.as->brk_end;
+  child.as->vmas() = parent.as->vmas();
+  child.as->split_pages() = parent.as->split_pages();
+
+  PageTable ppt = parent.as->pt();
+  PageTable cpt = child.as->pt();
+  std::vector<std::pair<u32, Pte>> mappings;
+  ppt.for_each_mapping(
+      [&](u32 vaddr, Pte pte) { mappings.emplace_back(vaddr, pte); });
+  for (auto& [vaddr, pte] : mappings) {
+    const u32 vpn = vpn_of(vaddr);
+    if (const SplitPair* pair = parent.as->split_pair(vpn)) {
+      pm_.ref_frame(pair->code_frame);
+      pm_.ref_frame(pair->data_frame);
+    } else {
+      pm_.ref_frame(pte.pfn());
+    }
+    Pte shared = pte;
+    if (shared.writable()) {
+      shared.clear(Pte::kWritable);
+      shared.set(Pte::kCow);
+    } else if (shared.cow()) {
+      // Already COW from an earlier fork: keep as is.
+    }
+    ppt.set(vaddr, shared);
+    cpt.set(vaddr, shared);
+    mmu_.invlpg(vaddr);  // drop parent's cached writable entries
+  }
+
+  child.regs = regs_of(parent);
+  child.regs.r[0] = 0;  // fork() returns 0 in the child
+  child.state = ProcState::kRunnable;
+  const Pid cpid = child.pid;
+  procs_[cpid] = std::move(childp);
+  runqueue_.push_back(cpid);
+  engine_->on_fork(*this, parent, *procs_[cpid]);
+  return cpid;
+}
+
+u32 Kernel::sys_exec(Process& p, u32 path_ptr) {
+  GuestMem gm = mem_of(p);
+  ensure_mapped(p, path_ptr, 1);
+  const auto path = gm.read_cstr(path_ptr);
+  if (!path) return kErrResult;
+  const image::Image* img = find_image(*path);
+  if (img == nullptr) return kErrResult;
+  if (!image_allowed(*img)) {
+    log("[exec] pid " + std::to_string(p.pid) + " refused " + *path +
+        ": bad signature");
+    return kErrResult;
+  }
+  load_into(p, *img);
+  // The syscall path runs with p current: activate the fresh address space.
+  regs_of(p) = p.regs;
+  mmu_.set_cr3(p.as->root());
+  return 0;  // "returns" into the new program at its entry point
+}
+
+u32 Kernel::sys_dlopen(Process& p, u32 path_ptr) {
+  GuestMem gm = mem_of(p);
+  ensure_mapped(p, path_ptr, 1);
+  const auto path = gm.read_cstr(path_ptr);
+  if (!path) return kErrResult;
+  const image::Image* img = find_image(*path);
+  if (img == nullptr) return kErrResult;
+  if (!image_allowed(*img)) {
+    log("[dlopen] pid " + std::to_string(p.pid) + " refused " + *path +
+        ": bad signature (DigSig-style verification)");
+    return kErrResult;
+  }
+  u32 base = UINT32_MAX;
+  try {
+    for (const image::Segment& seg : img->segments) {
+      Vma vma;
+      vma.start = page_floor(seg.vaddr);
+      vma.end = page_ceil(seg.vaddr + seg.mem_size);
+      vma.prot = seg.prot;
+      vma.kind = VmaKind::kLibrary;
+      vma.name = img->name + ":" + seg.name;
+      vma.backing = std::make_shared<const std::vector<u8>>(seg.bytes);
+      vma.backing_offset = 0;
+      const u32 seg_start = vma.start;
+      p.as->add_vma(std::move(vma));
+      base = std::min(base, seg_start);
+    }
+  } catch (const std::invalid_argument&) {
+    return kErrResult;  // overlap with existing mappings
+  }
+  log("[dlopen] pid " + std::to_string(p.pid) + " loaded " + *path);
+  return base;
+}
+
+u32 Kernel::sys_spawn_shell(Process& p) {
+  p.shell_spawned = true;
+  log("[SHELL] pid " + std::to_string(p.pid) + " (" + p.name +
+      ") spawned a shell at cycle " + std::to_string(stats_.cycles));
+  // The shell inherits the process' network socket, as connect-back
+  // shellcode does.
+  if (std::holds_alternative<FdChannel>(p.fds[kFdNet])) {
+    return p.alloc_fd(p.fds[kFdNet]);
+  }
+  return p.alloc_fd(FdConsole{});
+}
+
+// --------------------------------------------------------------------------
+// Default (no-protection) engine
+// --------------------------------------------------------------------------
+
+void ProtectionEngine::on_debug_step(Kernel&, Process&) {}
+
+FaultResolution ProtectionEngine::on_invalid_opcode(Kernel&, Process&) {
+  return FaultResolution::kUnhandled;
+}
+
+void ProtectionEngine::on_fork(Kernel&, Process&, Process&) {}
+
+FaultResolution ProtectionEngine::on_tlb_miss(Kernel& k, Process& p,
+                                              const arch::PageFaultInfo& pf) {
+  const Pte pte = p.as->pt().get(pf.addr);
+  if (!pte.present() || !pte.user()) return FaultResolution::kUnhandled;
+  k.mmu().insert_tlb_entry(pf.fetch, vpn_of(pf.addr), pte.pfn(),
+                           /*user=*/true, pte.writable(), pte.no_exec());
+  return FaultResolution::kRetry;
+}
+
+void ProtectionEngine::on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
+                                   u32 end) {
+  PageTable pt = p.as->pt();
+  for (u32 va = start; va < end; va += kPageSize) {
+    Pte pte = pt.get(va);
+    if (!pte.present()) continue;
+    if (vma.writable()) {
+      pte.set(Pte::kWritable);
+    } else {
+      pte.clear(Pte::kWritable);
+    }
+    pt.set(va, pte);
+    k.mmu().invlpg(va);
+  }
+}
+
+void NoProtectionEngine::materialize(Kernel& k, Process& p, const Vma& vma,
+                                     u32 vaddr) {
+  const u32 page = page_floor(vaddr);
+  const u32 frame = k.alloc_initial_frame(p, vma, page);
+  u32 flags = Pte::kPresent | Pte::kUser;
+  if (vma.writable()) flags |= Pte::kWritable;
+  p.as->pt().set(page, Pte::make(frame, flags));
+}
+
+FaultResolution NoProtectionEngine::on_protection_fault(Kernel&, Process&,
+                                                        const PageFaultInfo&) {
+  return FaultResolution::kUnhandled;
+}
+
+}  // namespace sm::kernel

@@ -1,0 +1,185 @@
+// The mini operating system: process table, scheduler, syscalls, demand
+// paging, copy-on-write fork, signals — i.e., the Linux-2.6.13 subsystems
+// the paper's ~385-line patch modifies (§5), rebuilt over the simulated
+// machine. Protection policy is delegated to a ProtectionEngine so the
+// paper's split-memory system and the baselines are pluggable.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/cpu.h"
+#include "arch/mmu.h"
+#include "arch/phys_mem.h"
+#include "image/image.h"
+#include "kernel/address_space.h"
+#include "kernel/channel.h"
+#include "kernel/filesystem.h"
+#include "kernel/guest_mem.h"
+#include "kernel/process.h"
+#include "kernel/protection.h"
+#include "kernel/syscall_defs.h"
+#include "metrics/cost_model.h"
+#include "metrics/stats.h"
+
+namespace sm::kernel {
+
+struct KernelConfig {
+  u32 phys_frames = 16384;  // 64 MiB of simulated RAM
+  metrics::CostModel cost{};
+
+  // DigSig-style binary signing (paper §4.3): when enabled, spawn/exec/
+  // dlopen refuse images whose HMAC does not verify.
+  bool require_signatures = false;
+  std::vector<u8> signing_key;
+
+  // Linux-2.6-style "slight randomization to the placement of an
+  // application's stack" (paper §6.1.2, samba attack).
+  bool stack_randomization = false;
+  u32 rng_seed = 0x5eed;
+
+  u32 stack_pages = 64;  // 256 KiB stack VMA
+
+  // SPARC-style software-managed TLBs (paper SS4.7): every TLB miss traps
+  // to the OS, which loads the TLB directly — no hardware walker, and no
+  // need for the x86 split-load contortions.
+  bool software_tlb = false;
+
+  // TLB geometry (per TLB; the machine has a split I/D pair). 64x4-way
+  // approximates the Pentium III the paper measured on.
+  u32 tlb_entries = 64;
+  u32 tlb_ways = 4;
+
+  // Populate (and, under a splitting engine, duplicate) every page of
+  // every VMA at load time instead of on demand — the behaviour of the
+  // paper's prototype, whose ELF-loader patch proactively copied the whole
+  // program into side-by-side page pairs (SS5.1). Off by default: the
+  // demand-paged variant is the optimization the paper proposes there.
+  bool eager_load = false;
+};
+
+// A code-injection detection recorded by a protection engine.
+struct DetectionEvent {
+  Pid pid = 0;
+  std::string process;
+  u32 eip = 0;
+  arch::u64 cycles = 0;
+  std::string mode;              // break/observe/forensics/nx
+  std::vector<u8> shellcode;     // forensics: bytes at EIP in the data page
+  std::string disassembly;       // forensics: rendered shellcode
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelConfig cfg = {});
+
+  // Must be called before the first spawn; defaults to NoProtectionEngine.
+  void set_engine(std::unique_ptr<ProtectionEngine> engine);
+  ProtectionEngine& engine() { return *engine_; }
+
+  // --- components ---------------------------------------------------------
+  arch::PhysicalMemory& phys() { return pm_; }
+  arch::Mmu& mmu() { return mmu_; }
+  arch::Cpu& cpu() { return cpu_; }
+  metrics::Stats& stats() { return stats_; }
+  const metrics::CostModel& cost() const { return cfg_.cost; }
+  const KernelConfig& config() const { return cfg_; }
+  FileSystem& fs() { return fs_; }
+  arch::u64 now() const { return stats_.cycles; }
+
+  // --- images (the "filesystem of binaries") ------------------------------
+  void register_image(image::Image img);
+  const image::Image* find_image(const std::string& name) const;
+
+  // --- processes -----------------------------------------------------------
+  Pid spawn(const std::string& image_name);
+  // Binds a fresh simulated socket to the process' fd 0 and returns the
+  // host end. Call before running the guest.
+  std::shared_ptr<Channel> attach_channel(Pid pid);
+  Process* process(Pid pid);
+  const std::map<Pid, std::unique_ptr<Process>>& processes() const {
+    return procs_;
+  }
+  bool all_exited() const;
+
+  // --- run loop -------------------------------------------------------------
+  enum class RunResult { kAllExited, kAllBlocked, kBudgetExhausted };
+  RunResult run(arch::u64 max_instructions = UINT64_MAX);
+
+  // --- services for engines & syscalls (public: engines live in sm::core) --
+  GuestMem mem_of(Process& p) { return GuestMem(*p.as); }
+  // Registers (live on the CPU for the currently-running process).
+  arch::Regs& regs_of(Process& p);
+  // Demand-maps every page overlapping [va, va+len); false if outside VMAs.
+  bool ensure_mapped(Process& p, u32 va, u32 len);
+  // Allocates a frame filled with the VMA-backed initial contents of the
+  // page covering page_va.
+  u32 alloc_initial_frame(Process& p, const Vma& vma, u32 page_va);
+  // Terminates a process with a signal-style cause.
+  void kill_process(Process& p, ExitKind kind, const std::string& reason);
+  void log(const std::string& line);
+  const std::vector<std::string>& klog() const { return klog_; }
+
+  std::vector<DetectionEvent>& detections() { return detections_; }
+
+  // Sebek-style honeypot logging hook (paper Fig. 5d): called with each
+  // line the attacker "types" into a spawned shell.
+  std::function<void(Process&, const std::string&)> shell_input_logger;
+
+  // Deterministic kernel PRNG (stack randomization, SYS_RAND).
+  u32 rng_next();
+
+ private:
+  // --- run-loop internals ---------------------------------------------------
+  void wake_sweep();
+  std::optional<Pid> pick_next();
+  void switch_to(Pid pid);
+  void deschedule(Process& p);
+  void make_runnable(Process& p);
+  void handle_trap(Process& p, const arch::Trap& trap, bool tf_before);
+  void handle_page_fault(Process& p, const arch::PageFaultInfo& pf);
+  void handle_cow(Process& p, u32 addr);
+  bool wait_satisfied(const Process& p) const;
+
+  // --- syscalls ---------------------------------------------------------------
+  void do_syscall(Process& p);
+  u32 sys_read(Process& p, u32 fd, u32 buf, u32 len, bool& blocked);
+  u32 sys_write(Process& p, u32 fd, u32 buf, u32 len, bool& blocked);
+  u32 sys_open(Process& p, u32 path_ptr, u32 flags);
+  u32 sys_mmap(Process& p, u32 hint, u32 len, u32 prot);
+  u32 sys_brk(Process& p, u32 new_end);
+  u32 sys_fork(Process& p);
+  u32 sys_exec(Process& p, u32 path_ptr);
+  u32 sys_dlopen(Process& p, u32 path_ptr);
+  u32 sys_mprotect(Process& p, u32 addr, u32 len, u32 prot);
+  u32 sys_spawn_shell(Process& p);
+
+  void load_into(Process& p, const image::Image& img);
+  bool image_allowed(const image::Image& img) const;
+
+  KernelConfig cfg_;
+  arch::PhysicalMemory pm_;
+  metrics::Stats stats_;
+  arch::Mmu mmu_;
+  arch::Cpu cpu_;
+  FileSystem fs_;
+  std::unique_ptr<ProtectionEngine> engine_;
+
+  std::map<std::string, image::Image> images_;
+  std::map<Pid, std::unique_ptr<Process>> procs_;
+  std::deque<Pid> runqueue_;
+  std::optional<Pid> current_;
+  std::optional<Pid> last_running_;  // CR3 owner; skip reload if unchanged
+  Pid next_pid_ = 1;
+  arch::u64 slice_used_ = 0;
+  u32 rng_state_;
+  std::vector<std::string> klog_;
+  std::vector<DetectionEvent> detections_;
+};
+
+}  // namespace sm::kernel

@@ -1,0 +1,16 @@
+#include "kernel/process.h"
+
+namespace sm::kernel {
+
+u32 Process::alloc_fd(FdEntry entry) {
+  for (u32 i = 0; i < fds.size(); ++i) {
+    if (std::holds_alternative<std::monostate>(fds[i])) {
+      fds[i] = std::move(entry);
+      return i;
+    }
+  }
+  fds.push_back(std::move(entry));
+  return static_cast<u32>(fds.size() - 1);
+}
+
+}  // namespace sm::kernel

@@ -1,0 +1,93 @@
+// Process: registers, address space, file descriptors, scheduling state,
+// and the split-memory bookkeeping slot the paper adds to the Linux process
+// table ("saving the faulting address into the process' entry in the OS
+// process table in order to pass it to the debug interrupt handler", §5.2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "arch/cpu.h"
+#include "kernel/address_space.h"
+#include "kernel/channel.h"
+#include "kernel/filesystem.h"
+
+namespace sm::kernel {
+
+using Pid = u32;
+
+enum class ProcState { kRunnable, kBlocked, kZombie };
+
+// What a blocked process is waiting for; re-checked by the scheduler sweep.
+struct WaitNone {};
+struct WaitReadFd {
+  u32 fd;
+};
+struct WaitWriteFd {
+  u32 fd;
+};
+struct WaitChild {
+  Pid pid;
+};
+using WaitReason = std::variant<WaitNone, WaitReadFd, WaitWriteFd, WaitChild>;
+
+// File descriptor table entry.
+struct FdChannel {
+  std::shared_ptr<Channel> chan;
+};
+struct FdConsole {};
+struct FdPipeRead {
+  std::shared_ptr<Pipe> pipe;
+};
+struct FdPipeWrite {
+  std::shared_ptr<Pipe> pipe;
+};
+struct FdFile {
+  std::shared_ptr<FileNode> node;
+  u32 offset = 0;
+  bool writable = false;
+};
+using FdEntry =
+    std::variant<std::monostate, FdChannel, FdConsole, FdPipeRead, FdPipeWrite,
+                 FdFile>;
+
+// How a process died (for attack-result reporting).
+enum class ExitKind { kRunning, kExited, kKilledSigsegv, kKilledSigill };
+
+struct Process {
+  Pid pid = 0;
+  Pid parent = 0;
+  std::string name;
+  ProcState state = ProcState::kRunnable;
+  ExitKind exit_kind = ExitKind::kRunning;
+  u32 exit_code = 0;
+
+  arch::Regs regs;
+  std::unique_ptr<AddressSpace> as;
+  std::vector<FdEntry> fds;
+
+  WaitReason waiting = WaitNone{};
+  // Blocked syscall to re-run on wake (regs still hold its arguments).
+  bool retry_syscall = false;
+
+  // Split-memory bookkeeping (paper §5.2/§5.3): the page whose PTE was
+  // unrestricted for a single-stepped I-TLB load, to be re-restricted by
+  // the debug interrupt handler.
+  std::optional<u32> pending_split_vaddr;
+
+  // Attack/response bookkeeping.
+  bool shell_spawned = false;
+  std::optional<u32> recovery_handler;  // SYS_REGISTER_RECOVERY target
+
+  // Console output (fd 1).
+  std::string console;
+
+  u32 alloc_fd(FdEntry entry);
+
+  bool alive() const { return state != ProcState::kZombie; }
+};
+
+}  // namespace sm::kernel

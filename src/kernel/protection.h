@@ -1,0 +1,79 @@
+// ProtectionEngine: the kernel↔protection-policy boundary.
+//
+// The kernel owns generic memory management (VMAs, demand paging, COW,
+// teardown); a ProtectionEngine decides how pages are materialized and what
+// happens on permission/invalid-opcode faults. The paper's contribution —
+// the split-memory virtual Harvard architecture — is the SplitMemoryEngine
+// in sm::core; baselines (no protection, hardware execute-disable bit) are
+// engines too, so every experiment swaps policy without touching the OS.
+#pragma once
+
+#include <string>
+
+#include "arch/trap.h"
+#include "arch/types.h"
+
+namespace sm::kernel {
+
+class Kernel;
+struct Process;
+struct Vma;
+
+using arch::PageFaultInfo;
+using arch::u32;
+
+enum class FaultResolution {
+  kRetry,      // cause fixed; restart the faulting instruction
+  kKilled,     // process was terminated by the engine/response mode
+  kUnhandled,  // not mine; kernel delivers the default signal
+};
+
+class ProtectionEngine {
+ public:
+  virtual ~ProtectionEngine() = default;
+  virtual std::string name() const = 0;
+
+  // Demand-pages the page containing `vaddr` (vma guaranteed to cover it,
+  // PTE guaranteed non-present). Must leave a present PTE behind.
+  virtual void materialize(Kernel& k, Process& p, const Vma& vma,
+                           u32 vaddr) = 0;
+
+  // A permission fault on a PRESENT page after the kernel ruled out COW.
+  // The split engine implements Algorithm 1 here.
+  virtual FaultResolution on_protection_fault(Kernel& k, Process& p,
+                                              const PageFaultInfo& pf) = 0;
+
+  // Software-managed-TLB mode (paper SS4.7): the OS loads TLB entries
+  // itself on every miss. Return kRetry after installing the entry, or
+  // kUnhandled to fall through to the regular page-fault path (demand
+  // paging etc.). Default: install the current PTE if present+user.
+  virtual FaultResolution on_tlb_miss(Kernel& k, Process& p,
+                                      const PageFaultInfo& pf);
+
+  // The debug (single-step) interrupt; Algorithm 2 for the split engine.
+  virtual void on_debug_step(Kernel& k, Process& p);
+
+  // Invalid opcode in user mode; response modes (Algorithm 3) hook here.
+  virtual FaultResolution on_invalid_opcode(Kernel& k, Process& p);
+
+  // Called after fork() duplicated the page tables so the engine can fix
+  // engine-private state. Default: nothing.
+  virtual void on_fork(Kernel& k, Process& parent, Process& child);
+
+  // mprotect over present pages of one VMA (prot already updated on the
+  // VMA). Default: rewrite the writable bit and invlpg.
+  virtual void on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
+                           u32 end);
+};
+
+// The baseline: a conventional von Neumann system with no protection.
+// Demand paging maps a single user-accessible frame per page.
+class NoProtectionEngine : public ProtectionEngine {
+ public:
+  std::string name() const override { return "none"; }
+  void materialize(Kernel& k, Process& p, const Vma& vma, u32 vaddr) override;
+  FaultResolution on_protection_fault(Kernel& k, Process& p,
+                                      const PageFaultInfo& pf) override;
+};
+
+}  // namespace sm::kernel

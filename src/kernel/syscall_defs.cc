@@ -1,0 +1,42 @@
+#include "kernel/syscall_defs.h"
+
+#include <sstream>
+
+namespace sm::kernel {
+
+std::string guest_syscall_equs() {
+  std::ostringstream out;
+  auto equ = [&](const char* name, u32 v) {
+    out << ".equ " << name << ", " << v << "\n";
+  };
+  equ("SYS_EXIT", kSysExit);
+  equ("SYS_WRITE", kSysWrite);
+  equ("SYS_READ", kSysRead);
+  equ("SYS_OPEN", kSysOpen);
+  equ("SYS_CLOSE", kSysClose);
+  equ("SYS_SPAWN_SHELL", kSysSpawnShell);
+  equ("SYS_FORK", kSysFork);
+  equ("SYS_EXEC", kSysExec);
+  equ("SYS_WAITPID", kSysWaitpid);
+  equ("SYS_GETPID", kSysGetpid);
+  equ("SYS_BRK", kSysBrk);
+  equ("SYS_MMAP", kSysMmap);
+  equ("SYS_MUNMAP", kSysMunmap);
+  equ("SYS_PIPE", kSysPipe);
+  equ("SYS_YIELD", kSysYield);
+  equ("SYS_TIME", kSysTime);
+  equ("SYS_MPROTECT", kSysMprotect);
+  equ("SYS_DLOPEN", kSysDlopen);
+  equ("SYS_REGISTER_RECOVERY", kSysRegisterRecovery);
+  equ("SYS_RAND", kSysRand);
+  equ("O_READ", kOpenRead);
+  equ("O_WRITE", kOpenWrite);
+  equ("PROT_R", kProtR);
+  equ("PROT_W", kProtW);
+  equ("PROT_X", kProtX);
+  equ("FD_NET", kFdNet);
+  equ("FD_CONSOLE", kFdConsole);
+  return out.str();
+}
+
+}  // namespace sm::kernel

@@ -1,0 +1,57 @@
+// Syscall ABI shared between the kernel and guest assembly.
+//
+// Convention: syscall number in r0, arguments in r1..r4, result in r0
+// (0xFFFFFFFF == -1 on error). guest_syscall_equs() renders these numbers
+// as assembler .equ lines so guest programs never hard-code them.
+#pragma once
+
+#include <string>
+
+#include "arch/types.h"
+
+namespace sm::kernel {
+
+using arch::u32;
+
+enum Syscall : u32 {
+  kSysExit = 0,
+  kSysWrite = 1,   // write(fd, buf, len) -> n
+  kSysRead = 2,    // read(fd, buf, len) -> n (blocks; 0 on EOF)
+  kSysOpen = 3,    // open(path, flags) -> fd
+  kSysClose = 4,   // close(fd)
+  kSysSpawnShell = 5,  // the attack goal: returns a shell fd over the net
+  kSysFork = 6,
+  kSysExec = 7,    // exec(path) — only returns -1 on error
+  kSysWaitpid = 8, // waitpid(pid) -> exit code (blocks)
+  kSysGetpid = 9,
+  kSysBrk = 10,    // brk(new_end) -> heap end (new_end=0 queries)
+  kSysMmap = 11,   // mmap(hint, len, prot) -> addr
+  kSysMunmap = 12,
+  kSysPipe = 13,   // pipe(fds_ptr) -> 0; writes two u32 fds
+  kSysYield = 14,
+  kSysTime = 15,   // simulated cycle counter (low 32 bits)
+  kSysMprotect = 16,
+  kSysDlopen = 17,  // dlopen(path) -> image base (signature-verified)
+  kSysRegisterRecovery = 18,  // recovery response mode (paper §4.5 extension)
+  kSysRand = 19,   // deterministic PRNG
+};
+
+// open() flags.
+inline constexpr u32 kOpenRead = 0;
+inline constexpr u32 kOpenWrite = 1;  // creates/truncates
+
+// mmap()/mprotect() prot bits (match image::kProt*).
+inline constexpr u32 kProtR = 1;
+inline constexpr u32 kProtW = 2;
+inline constexpr u32 kProtX = 4;
+
+inline constexpr u32 kErrResult = 0xFFFFFFFFu;
+
+// Fixed fd numbers at process start.
+inline constexpr u32 kFdNet = 0;      // simulated socket (when attached)
+inline constexpr u32 kFdConsole = 1;  // process console output
+
+// Renders the ABI as assembler .equ directives for inclusion in guest code.
+std::string guest_syscall_equs();
+
+}  // namespace sm::kernel

@@ -1,0 +1,10 @@
+#include "metrics/cost_model.h"
+
+namespace sm::metrics {
+
+const CostModel& default_cost_model() {
+  static const CostModel model{};
+  return model;
+}
+
+}  // namespace sm::metrics

@@ -1,0 +1,61 @@
+// Cycle-cost model for the simulated machine.
+//
+// The paper evaluates a Linux kernel patch on a Pentium III; we evaluate a
+// simulated machine, so absolute numbers are meaningless but the *structure*
+// of the costs is preserved (see DESIGN.md §5):
+//   - a TLB hit is free, a hardware page-table walk is cheap,
+//   - a page-fault trap is expensive (kernel entry + handler + return),
+//   - the split-memory D-TLB load costs one trap + a kernel "touch",
+//   - the split-memory I-TLB load costs *two* traps (page fault + debug
+//     interrupt), matching paper §4.6,
+//   - a context switch reloads CR3 and therefore flushes both TLBs, which is
+//     "the greatest cause of overhead in the implemented system".
+#pragma once
+
+#include <cstdint>
+
+namespace sm::metrics {
+
+struct CostModel {
+  // Base execution.
+  std::uint64_t cycles_per_instr = 1;
+
+  // Address translation.
+  std::uint64_t tlb_hit = 0;    // extra cycles on a TLB hit
+  std::uint64_t tlb_walk = 24;  // hardware two-level page-table walk
+
+  // Traps and kernel crossings. A fault on the Pentium III class machine
+  // the paper measured costs on the order of a thousand cycles once the
+  // handler work is included; the split D-TLB load pays one of these, the
+  // split I-TLB load pays two.
+  std::uint64_t trap_cost = 1200;    // fault entry + handler + return
+  std::uint64_t syscall_cost = 150;  // lighter-weight kernel crossing
+  std::uint64_t kernel_touch = 30;   // the "read a byte" page-table walk in
+                                     // the split D-TLB load (Algorithm 1)
+
+  // Kernel memory-management work.
+  std::uint64_t demand_page = 500;  // allocate + fill one frame
+  std::uint64_t cow_copy = 800;     // copy-on-write duplication
+  std::uint64_t icache_sync = 2600; // i-cache/pipeline flush when the OS
+                                    // writes a code page (the cost that
+                                    // sank the paper's ret-call I-TLB
+                                    // loading experiment, SS4.2.4)
+  std::uint64_t soft_tlb_fill = 40; // SPARC-style software TLB-fill trap
+                                    // (paper SS4.7)
+
+  // Scheduling.
+  std::uint64_t context_switch = 4000;  // scheduler + CR3 reload (TLB flush)
+  std::uint64_t timeslice_instructions = 50000;
+
+  // Network/IO model used by the webserver harness (Fig. 8): a response is
+  // not complete before its bytes drain through the link, so large responses
+  // hide CPU overhead exactly as the paper's saturated 100 MBit NIC does.
+  double net_bytes_per_cycle = 0.145;
+  std::uint64_t net_request_latency = 500;
+};
+
+// The default model, tuned so the stand-alone split-memory ratios land in
+// the paper's bands (see EXPERIMENTS.md for the calibration record).
+const CostModel& default_cost_model();
+
+}  // namespace sm::metrics

@@ -1,0 +1,20 @@
+#include "metrics/stats.h"
+
+#include <ostream>
+
+namespace sm::metrics {
+
+std::ostream& operator<<(std::ostream& os, const Stats& s) {
+  os << "cycles=" << s.cycles << " instructions=" << s.instructions
+     << " itlb(h/m)=" << s.itlb_hits << "/" << s.itlb_misses
+     << " dtlb(h/m)=" << s.dtlb_hits << "/" << s.dtlb_misses
+     << " walks=" << s.hardware_walks << " page_faults=" << s.page_faults
+     << " split_loads(d/i)=" << s.split_dtlb_loads << "/"
+     << s.split_itlb_loads << " single_steps=" << s.single_steps
+     << " demand=" << s.demand_pages << " cow=" << s.cow_copies
+     << " syscalls=" << s.syscalls << " ctxsw=" << s.context_switches
+     << " detections=" << s.injections_detected;
+  return os;
+}
+
+}  // namespace sm::metrics

@@ -1,0 +1,51 @@
+// Event counters and the simulated cycle clock.
+//
+// Every architectural and kernel event of interest is counted here so tests
+// can pin behaviour ("exactly two traps per split I-TLB load") and benches
+// can report where time went.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace sm::metrics {
+
+struct Stats {
+  // Simulated time.
+  std::uint64_t cycles = 0;
+
+  // CPU.
+  std::uint64_t instructions = 0;
+
+  // TLB.
+  std::uint64_t itlb_hits = 0;
+  std::uint64_t itlb_misses = 0;
+  std::uint64_t dtlb_hits = 0;
+  std::uint64_t dtlb_misses = 0;
+  std::uint64_t tlb_flushes = 0;
+  std::uint64_t hardware_walks = 0;
+
+  // Faults and kernel crossings.
+  std::uint64_t page_faults = 0;
+  std::uint64_t split_dtlb_loads = 0;
+  std::uint64_t split_itlb_loads = 0;
+  std::uint64_t split_dtlb_fallbacks = 0;  // footnote-1 single-step path
+  std::uint64_t soft_tlb_fills = 0;        // software-TLB mode (SS4.7)
+  std::uint64_t single_steps = 0;
+  std::uint64_t demand_pages = 0;
+  std::uint64_t cow_copies = 0;
+  std::uint64_t syscalls = 0;
+  std::uint64_t invalid_opcode_faults = 0;
+
+  // Scheduling.
+  std::uint64_t context_switches = 0;
+
+  // Security events.
+  std::uint64_t injections_detected = 0;
+
+  void reset() { *this = Stats{}; }
+};
+
+std::ostream& operator<<(std::ostream& os, const Stats& s);
+
+}  // namespace sm::metrics

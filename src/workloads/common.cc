@@ -1,0 +1,71 @@
+#include <cmath>
+
+#include "core/split_engine.h"
+#include "workloads/internal.h"
+#include "workloads/workload.h"
+
+namespace sm::workloads {
+
+std::unique_ptr<kernel::ProtectionEngine> Protection::make_engine() const {
+  std::unique_ptr<kernel::ProtectionEngine> engine;
+  if (split_fraction) {
+    engine = std::make_unique<core::SplitMemoryEngine>(
+        core::SplitPolicy::fraction(*split_fraction, fraction_seed),
+        core::ResponseMode::kBreak);
+  } else {
+    engine = core::make_engine(mode);
+  }
+  if (auto* split = dynamic_cast<core::SplitMemoryEngine*>(engine.get())) {
+    split->set_itlb_load_method(itlb_method);
+  }
+  return engine;
+}
+
+std::string Protection::label() const {
+  std::string l;
+  if (split_fraction) {
+    l = "split-" + std::to_string(*split_fraction) + "%";
+  } else {
+    l = core::to_string(mode);
+  }
+  if (software_tlb) l += "+soft-tlb";
+  if (itlb_method == core::ItlbLoadMethod::kRetCall) l += "+ret-call";
+  return l;
+}
+
+double normalized(const WorkloadResult& baseline,
+                  const WorkloadResult& protected_r) {
+  const u64 b = baseline.sim_time != 0 ? baseline.sim_time : baseline.cycles;
+  const u64 p =
+      protected_r.sim_time != 0 ? protected_r.sim_time : protected_r.cycles;
+  if (p == 0) return 0;
+  return static_cast<double>(b) / static_cast<double>(p);
+}
+
+namespace internal {
+
+WorkloadResult run_program(const std::string& name, const std::string& body,
+                           const Protection& prot, kernel::KernelConfig cfg,
+                           u64 budget,
+                           const std::function<void(kernel::Kernel&)>& setup) {
+  WorkloadResult res;
+  res.name = name;
+  cfg.software_tlb = cfg.software_tlb || prot.software_tlb;
+  kernel::Kernel k(cfg);
+  k.set_engine(prot.make_engine());
+  const auto program = assembler::assemble(guest::program(body));
+  image::BuildOptions opts;
+  opts.name = name;
+  k.register_image(image::build_image(program, opts));
+  if (setup) setup(k);
+  const kernel::Pid pid = k.spawn(name);
+  const auto rr = k.run(budget);
+  res.completed = rr == kernel::Kernel::RunResult::kAllExited &&
+                  k.process(pid)->exit_kind == kernel::ExitKind::kExited;
+  res.cycles = k.stats().cycles;
+  res.stats = k.stats();
+  return res;
+}
+
+}  // namespace internal
+}  // namespace sm::workloads

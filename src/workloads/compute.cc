@@ -1,0 +1,294 @@
+// Compute-bound workloads: the gzip-style compressor and the nbench-style
+// kernel suite (paper Fig. 6, "gzip" and "nbench" bars).
+#include "workloads/internal.h"
+#include "workloads/workload.h"
+
+namespace sm::workloads {
+
+namespace {
+
+// gzip-style: fill a large input with an LCG, compress with a last-seen
+// hash table and back-reference probes (random reads across the whole
+// input, the TLB-pressure driver), then a verify pass over the output.
+std::string gzip_source(u32 bytes) {
+  return ".equ INSIZE, " + std::to_string(bytes) + "\n" + R"(
+_start:
+  ; fill input with pseudo-random bytes
+  movi r1, gz_in
+  movi r2, 0
+  movi r3, 12345
+gz_fill:
+  movi r4, 1103515245
+  mul r3, r4
+  addi r3, 12345
+  mov r4, r3
+  movi r5, 16
+  shr r4, r5
+  storeb [r1], r4
+  addi r1, 1
+  addi r2, 1
+  cmpi r2, INSIZE
+  jnz gz_fill
+  ; compress: hash last position of each byte value; probe the previous
+  ; occurrence (a back-reference read) and emit literal^ref
+  movi r1, gz_in
+  movi r2, gz_out
+  movi r0, 0
+gz_comp:
+  loadb r3, [r1]
+  mov r4, r3
+  movi r5, 2
+  shl r4, r5
+  addi r4, gz_hash
+  load r5, [r4]
+  store [r4], r0
+  addi r5, gz_in
+  loadb r5, [r5]
+  xor r3, r5
+  ; every 128 bytes, probe a far back-reference (dictionary lookup across
+  ; the whole window): the TLB-pressure access pattern of real compressors
+  mov r4, r0
+  movi r5, 255
+  and r4, r5
+  cmpi r4, 0
+  jnz gz_nofar
+  mov r4, r0
+  movi r5, 2654435761
+  mul r4, r5
+  movi r5, INSIZE
+  modu r4, r5
+  addi r4, gz_in
+  loadb r5, [r4]
+  xor r3, r5
+gz_nofar:
+  storeb [r2], r3
+  addi r1, 1
+  addi r2, 1
+  addi r0, 1
+  cmpi r0, INSIZE
+  jnz gz_comp
+  ; verify: checksum the output stream
+  movi r1, gz_out
+  movi r2, 0
+  movi r0, 0
+gz_verify:
+  loadb r3, [r1]
+  add r2, r3
+  addi r1, 1
+  addi r0, 1
+  cmpi r0, INSIZE
+  jnz gz_verify
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+gz_hash: .space 1024
+gz_in:   .space INSIZE
+gz_out:  .space INSIZE
+)";
+}
+
+// nbench-style kernels: numeric sort (insertion), string bubble sort,
+// bitfield manipulation, integer-arithmetic emulation. Small working sets.
+std::string nbench_source(u32 scale) {
+  return ".equ SCALE, " + std::to_string(scale) + "\n" + R"(
+.equ NSORT, 400
+.equ SSORT, 256
+_start:
+  movi r5, SCALE
+nb_outer:
+  push r5
+  call nb_numsort
+  call nb_strsort
+  call nb_bitfield
+  call nb_intmath
+  call nb_assign
+  pop r5
+  addi r5, -1
+  cmpi r5, 0
+  jnz nb_outer
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+
+; insertion sort over NSORT LCG-filled words
+nb_numsort:
+  movi r1, nums
+  movi r2, 0
+  movi r3, 99991
+ns_fill:
+  movi r4, 1103515245
+  mul r3, r4
+  addi r3, 12345
+  store [r1], r3
+  addi r1, 4
+  addi r2, 1
+  cmpi r2, NSORT
+  jnz ns_fill
+  movi r0, 1                ; i
+ns_outer:
+  cmpi r0, NSORT
+  jz ns_done
+  mov r1, r0                ; j
+ns_inner:
+  cmpi r1, 0
+  jz ns_next
+  ; compare nums[j-1] > nums[j] (unsigned)
+  mov r2, r1
+  movi r3, 4
+  mul r2, r3
+  addi r2, nums
+  load r3, [r2-4]
+  load r4, [r2]
+  cmp r3, r4
+  jb ns_next                ; already ordered
+  store [r2-4], r4
+  store [r2], r3
+  addi r1, -1
+  jmp ns_inner
+ns_next:
+  addi r0, 1
+  jmp ns_outer
+ns_done:
+  ret
+
+; bubble sort over SSORT bytes
+nb_strsort:
+  movi r1, chars
+  movi r2, 0
+  movi r3, 777
+ss_fill:
+  movi r4, 69069
+  mul r3, r4
+  addi r3, 1
+  mov r4, r3
+  movi r5, 24
+  shr r4, r5
+  storeb [r1], r4
+  addi r1, 1
+  addi r2, 1
+  cmpi r2, SSORT
+  jnz ss_fill
+  movi r0, 0                ; pass
+ss_outer:
+  cmpi r0, SSORT
+  jz ss_done
+  movi r1, chars
+  movi r2, 1                ; index
+ss_inner:
+  cmpi r2, SSORT
+  jz ss_next
+  loadb r3, [r1]
+  loadb r4, [r1+1]
+  cmp r3, r4
+  jb ss_skip
+  storeb [r1], r4
+  storeb [r1+1], r3
+ss_skip:
+  addi r1, 1
+  addi r2, 1
+  jmp ss_inner
+ss_next:
+  addi r0, 1
+  jmp ss_outer
+ss_done:
+  ret
+
+; bitfield twiddling over a 2 KiB bitmap
+nb_bitfield:
+  movi r0, 0                ; op counter
+bf_loop:
+  mov r1, r0
+  movi r2, 8191
+  and r1, r2
+  mov r2, r1
+  movi r3, 5
+  shr r2, r3                ; word index
+  movi r3, 4
+  mul r2, r3
+  addi r2, bitmap
+  movi r3, 31
+  and r1, r3                ; bit index
+  movi r4, 1
+  mov r3, r1
+  shl r4, r3
+  load r5, [r2]
+  xor r5, r4
+  store [r2], r5
+  addi r0, 1
+  cmpi r0, 16384
+  jnz bf_loop
+  ret
+
+; memory assignment across a 384 KiB matrix (the one nbench kernel whose
+; working set exceeds the TLB reach)
+nb_assign:
+  movi r0, 0
+nba_loop:
+  mov r1, r0
+  movi r2, 2654435761
+  mul r1, r2
+  movi r2, 262144
+  modu r1, r2
+  movi r2, 0xfffffffc
+  and r1, r2
+  addi r1, matrix
+  load r2, [r1]
+  addi r2, 1
+  store [r1], r2
+  addi r0, 1
+  cmpi r0, 150
+  jnz nba_loop
+  ret
+
+; integer multiply/divide emulation loop
+nb_intmath:
+  movi r0, 0
+  movi r1, 0x12345
+im_loop:
+  mov r2, r1
+  movi r3, 1021
+  mul r2, r3
+  addi r2, 17
+  movi r3, 97
+  div r2, r3
+  xor r1, r2
+  mov r4, r1
+  movi r3, 13
+  modu r4, r3
+  add r1, r4
+  addi r0, 1
+  cmpi r0, 20000
+  jnz im_loop
+  ret
+
+.bss
+nums:   .space 1600
+chars:  .space 256
+bitmap: .space 2048
+matrix: .space 262144
+)";
+}
+
+}  // namespace
+
+WorkloadResult run_gzip(const Protection& prot, u32 kilobytes) {
+  WorkloadResult res = internal::run_program(
+      "gzip", gzip_source(kilobytes * 1024), prot);
+  if (res.cycles != 0) {
+    res.throughput =
+        static_cast<double>(kilobytes) * 1024 * 1e6 / res.cycles;
+  }
+  return res;
+}
+
+WorkloadResult run_nbench(const Protection& prot, u32 scale) {
+  WorkloadResult res =
+      internal::run_program("nbench", nbench_source(scale), prot);
+  if (res.cycles != 0) {
+    res.throughput = static_cast<double>(scale) * 1e6 / res.cycles;
+  }
+  return res;
+}
+
+}  // namespace sm::workloads

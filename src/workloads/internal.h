@@ -1,0 +1,23 @@
+// Shared internals of the workload runners.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "asm/assembler.h"
+#include "guest/guestlib.h"
+#include "image/image.h"
+#include "kernel/kernel.h"
+#include "workloads/workload.h"
+
+namespace sm::workloads::internal {
+
+// Assembles `body`, boots a kernel under `prot`, runs the single guest to
+// completion (or budget) and collects cycles/stats. `setup` may register
+// extra images or seed the filesystem before spawn.
+WorkloadResult run_program(
+    const std::string& name, const std::string& body, const Protection& prot,
+    kernel::KernelConfig cfg = {}, u64 budget = 2'000'000'000,
+    const std::function<void(kernel::Kernel&)>& setup = nullptr);
+
+}  // namespace sm::workloads::internal

@@ -1,0 +1,427 @@
+// Unixbench-style microbenchmarks (paper Fig. 6 "Unixbench" bar, and the
+// "pipe-based context switching" stressor of Figs. 7 and 9).
+#include <cmath>
+
+#include "workloads/internal.h"
+#include "workloads/workload.h"
+
+namespace sm::workloads {
+
+namespace {
+
+std::string with_iters(u32 iters, const std::string& body) {
+  return ".equ ITERS, " + std::to_string(iters) + "\n" + body;
+}
+
+const char* kSyscallBody = R"(
+_start:
+  movi r5, ITERS
+sc_loop:
+  movi r0, SYS_GETPID
+  syscall
+  addi r5, -1
+  cmpi r5, 0
+  jnz sc_loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)";
+
+const char* kArithmeticBody = R"(
+_start:
+  movi r5, ITERS
+  movi r1, 7
+ar_loop:
+  mov r2, r1
+  movi r3, 31337
+  mul r2, r3
+  addi r2, 11
+  movi r3, 127
+  div r2, r3
+  add r1, r2
+  mov r2, r1
+  movi r3, 3
+  shl r2, r3
+  xor r1, r2
+  addi r5, -1
+  cmpi r5, 0
+  jnz ar_loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)";
+
+// Whetstone-style: emulated floating-point arithmetic (Lehmer generator
+// mantissa operations), pure register pressure.
+const char* kWhetstoneBody = R"(
+_start:
+  movi r5, ITERS
+  movi r1, 0x40490FDB     ; "pi" bits as the working value
+wh_loop:
+  mov r2, r1
+  movi r3, 16807          ; Lehmer multiplier
+  mul r2, r3
+  movi r3, 2147483647
+  modu r2, r3
+  mov r3, r2
+  movi r4, 1023
+  and r3, r4
+  addi r3, 1
+  div r2, r3              ; emulated mantissa divide
+  xor r1, r2
+  mov r2, r1
+  movi r3, 7
+  shr r2, r3
+  add r1, r2
+  addi r5, -1
+  cmpi r5, 0
+  jnz wh_loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)";
+
+const char* kFileReadBody = R"(
+_start:
+fr_outer:
+  movi r0, SYS_OPEN
+  movi r1, path
+  movi r2, O_READ
+  syscall
+  mov r5, r0
+fr_loop:
+  movi r0, SYS_READ
+  mov r1, r5
+  movi r2, block
+  movi r3, 1024
+  syscall
+  cmpi r0, 0
+  jnz fr_loop
+  movi r0, SYS_CLOSE
+  mov r1, r5
+  syscall
+  movi r4, count
+  load r5, [r4]
+  addi r5, 1
+  store [r4], r5
+  cmpi r5, ITERS
+  jnz fr_outer
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+path: .asciz "ub_srcfile"
+count: .word 0
+.bss
+block: .space 1024
+)";
+
+// Single-process pipe throughput: 512 bytes down and back per iteration.
+const char* kPipeThroughputBody = R"(
+_start:
+  movi r0, SYS_PIPE
+  movi r1, fds
+  syscall
+  movi r5, ITERS
+pt_loop:
+  movi r0, SYS_WRITE
+  movi r4, fds
+  load r1, [r4+4]
+  movi r2, block
+  movi r3, 512
+  syscall
+  movi r0, SYS_READ
+  movi r4, fds
+  load r1, [r4]
+  movi r2, block
+  movi r3, 512
+  syscall
+  addi r5, -1
+  cmpi r5, 0
+  jnz pt_loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+fds: .space 8
+block: .space 512
+)";
+
+// Two processes ping-pong a token through two pipes: every iteration is
+// two forced context switches, each flushing both TLBs — the paper's
+// worst case.
+const char* kPipeCtxSwitchBody = R"(
+_start:
+  movi r0, SYS_PIPE
+  movi r1, fds1
+  syscall
+  movi r0, SYS_PIPE
+  movi r1, fds2
+  syscall
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz px_child
+  mov r5, r0               ; child pid
+  movi r4, ITERS
+px_parent_loop:
+  movi r0, SYS_WRITE
+  push r4
+  movi r4, fds1
+  load r1, [r4+4]
+  movi r2, token
+  movi r3, 4
+  syscall
+  movi r0, SYS_READ
+  movi r4, fds2
+  load r1, [r4]
+  movi r2, token
+  movi r3, 4
+  syscall
+  pop r4
+  addi r4, -1
+  cmpi r4, 0
+  jnz px_parent_loop
+  movi r0, SYS_WAITPID
+  mov r1, r5
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+px_child:
+  movi r4, ITERS
+px_child_loop:
+  movi r0, SYS_READ
+  push r4
+  movi r4, fds1
+  load r1, [r4]
+  movi r2, token2
+  movi r3, 4
+  syscall
+  movi r0, SYS_WRITE
+  movi r4, fds2
+  load r1, [r4+4]
+  movi r2, token2
+  movi r3, 4
+  syscall
+  pop r4
+  addi r4, -1
+  cmpi r4, 0
+  jnz px_child_loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+token:  .word 0x12345678
+token2: .word 0
+.bss
+fds1: .space 8
+fds2: .space 8
+)";
+
+const char* kProcessCreationBody = R"(
+_start:
+  movi r5, ITERS
+pc_loop:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jnz pc_parent
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+pc_parent:
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+  addi r5, -1
+  cmpi r5, 0
+  jnz pc_loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)";
+
+const char* kExeclBody = R"(
+_start:
+  movi r5, ITERS
+ex_loop:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jnz ex_parent
+  movi r0, SYS_EXEC
+  movi r1, noop_path
+  syscall
+  movi r0, SYS_EXIT      ; only reached if exec failed
+  movi r1, 9
+  syscall
+ex_parent:
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+  addi r5, -1
+  cmpi r5, 0
+  jnz ex_loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+noop_path: .asciz "noop"
+)";
+
+const char* kFilesystemBody = R"(
+_start:
+  movi r5, ITERS
+fs_loop:
+  ; write 16 KiB in 1 KiB chunks
+  movi r0, SYS_OPEN
+  movi r1, path
+  movi r2, O_WRITE
+  syscall
+  mov r4, r0
+  movi r3, 16
+fs_wr:
+  push r3
+  movi r0, SYS_WRITE
+  mov r1, r4
+  movi r2, block
+  movi r3, 1024
+  syscall
+  pop r3
+  addi r3, -1
+  cmpi r3, 0
+  jnz fs_wr
+  movi r0, SYS_CLOSE
+  mov r1, r4
+  syscall
+  ; read it back
+  movi r0, SYS_OPEN
+  movi r1, path
+  movi r2, O_READ
+  syscall
+  mov r4, r0
+fs_rd:
+  movi r0, SYS_READ
+  mov r1, r4
+  movi r2, block
+  movi r3, 1024
+  syscall
+  cmpi r0, 0
+  jnz fs_rd
+  movi r0, SYS_CLOSE
+  mov r1, r4
+  syscall
+  addi r5, -1
+  cmpi r5, 0
+  jnz fs_loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+path: .asciz "ub_tmpfile"
+.bss
+block: .space 1024
+)";
+
+struct BenchSpec {
+  const char* body;
+  u32 default_iters;
+  double units;  // work units per iteration for throughput
+};
+
+BenchSpec spec_of(UnixBench b) {
+  switch (b) {
+    case UnixBench::kSyscall:
+      return {kSyscallBody, 20000, 1};
+    case UnixBench::kArithmetic:
+      return {kArithmeticBody, 50000, 1};
+    case UnixBench::kWhetstone:
+      return {kWhetstoneBody, 40000, 1};
+    case UnixBench::kFileRead:
+      return {kFileReadBody, 40, 64 * 1024};
+    case UnixBench::kPipeThroughput:
+      return {kPipeThroughputBody, 2000, 512};
+    case UnixBench::kPipeContextSwitch:
+      return {kPipeCtxSwitchBody, 1500, 2};
+    case UnixBench::kProcessCreation:
+      return {kProcessCreationBody, 150, 1};
+    case UnixBench::kExecl:
+      return {kExeclBody, 100, 1};
+    case UnixBench::kFilesystem:
+      return {kFilesystemBody, 60, 32 * 1024};
+  }
+  return {kSyscallBody, 1000, 1};
+}
+
+}  // namespace
+
+const char* to_string(UnixBench b) {
+  switch (b) {
+    case UnixBench::kSyscall:
+      return "syscall";
+    case UnixBench::kArithmetic:
+      return "arithmetic";
+    case UnixBench::kWhetstone:
+      return "whetstone";
+    case UnixBench::kFileRead:
+      return "file-read";
+    case UnixBench::kPipeThroughput:
+      return "pipe-throughput";
+    case UnixBench::kPipeContextSwitch:
+      return "pipe-ctxsw";
+    case UnixBench::kProcessCreation:
+      return "process-creation";
+    case UnixBench::kExecl:
+      return "execl";
+    case UnixBench::kFilesystem:
+      return "filesystem";
+  }
+  return "?";
+}
+
+WorkloadResult run_unixbench(UnixBench bench, const Protection& prot,
+                             u32 iterations) {
+  const BenchSpec spec = spec_of(bench);
+  const u32 iters = iterations != 0 ? iterations : spec.default_iters;
+  const auto setup = [&](kernel::Kernel& k) {
+    if (bench == UnixBench::kFileRead) {
+      k.fs().put("ub_srcfile", std::vector<arch::u8>(64 * 1024, 0x42));
+    }
+    if (bench == UnixBench::kExecl) {
+      const auto noop = assembler::assemble(guest::program(R"(
+_start:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)"));
+      image::BuildOptions opts;
+      opts.name = "noop";
+      k.register_image(image::build_image(noop, opts));
+    }
+  };
+  WorkloadResult res = internal::run_program(
+      to_string(bench), with_iters(iters, spec.body), prot, {},
+      /*budget=*/4'000'000'000, setup);
+  if (res.cycles != 0) {
+    res.throughput = spec.units * iters * 1e6 / res.cycles;
+  }
+  return res;
+}
+
+double unixbench_index(const Protection& prot) {
+  double log_sum = 0;
+  int n = 0;
+  for (const UnixBench b : kAllUnixBench) {
+    const WorkloadResult base = run_unixbench(b, Protection::none());
+    const WorkloadResult prot_r = run_unixbench(b, prot);
+    const double ratio = normalized(base, prot_r);
+    if (ratio > 0) {
+      log_sum += std::log(ratio);
+      ++n;
+    }
+  }
+  return n == 0 ? 0 : std::exp(log_sum / n);
+}
+
+}  // namespace sm::workloads

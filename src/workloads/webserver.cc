@@ -1,0 +1,190 @@
+// Apache-style webserver + ApacheBench-style driver (paper Figs. 6, 7, 8).
+//
+// N worker processes each serve requests from their own connection. The
+// driver hands every worker one request per round; a worker finishing a
+// response blocks on the next read, forcing a context switch (and the
+// CR3-reload TLB flush that makes this the split-memory worst case at
+// small response sizes). A network model caps throughput at the link rate
+// so large responses saturate the wire and hide CPU overhead, reproducing
+// the recovery in Fig. 8.
+#include "workloads/internal.h"
+#include "workloads/workload.h"
+
+namespace sm::workloads {
+
+namespace {
+
+const char* kWorkerBody = R"(
+_start:
+w_loop:
+  movi r1, FD_NET
+  movi r2, reqbuf
+  movi r3, 256
+  call read_line
+  cmpi r0, 0
+  jz w_exit
+  ; "GET <path>": the path starts at offset 4
+  movi r0, SYS_OPEN
+  movi r1, reqbuf+4
+  movi r2, O_READ
+  syscall
+  cmpi r0, -1
+  jz w_404
+  mov r5, r0
+w_send:
+  movi r0, SYS_READ
+  mov r1, r5
+  movi r2, iobuf
+  movi r3, 1024
+  syscall
+  cmpi r0, 0
+  jz w_close
+  ; the server touches every byte it serves (header scan / checksum)
+  mov r4, r0
+  movi r2, iobuf
+  movi r3, 0
+w_sum:
+  loadb r1, [r2]
+  add r3, r1
+  addi r2, 1
+  addi r4, -1
+  cmpi r4, 0
+  jnz w_sum
+  mov r3, r0
+  movi r0, SYS_WRITE
+  movi r1, FD_NET
+  movi r2, iobuf
+  syscall
+  jmp w_send
+w_close:
+  movi r0, SYS_CLOSE
+  mov r1, r5
+  syscall
+  ; access-log append: one record in each 4 KiB log page (Apache keeps
+  ; several per-request structures warm; they all refault after a context
+  ; switch under split memory)
+  movi r4, logptr
+  load r1, [r4]
+  movi r2, 0
+w_log:
+  mov r3, r1
+  addi r3, logbuf
+  store [r3], r0
+  addi r3, 4096
+  store [r3], r0
+  addi r3, 4096
+  store [r3], r0
+  addi r3, 4096
+  store [r3], r0
+  addi r3, 4096
+  store [r3], r0
+  addi r3, 4096
+  store [r3], r0
+  addi r3, 4096
+  store [r3], r0
+  addi r3, 4096
+  store [r3], r0
+  addi r1, 64
+  movi r3, 4095
+  and r1, r3
+  addi r2, 1
+  cmpi r2, 1
+  jnz w_log
+  movi r4, logptr
+  store [r4], r1
+  jmp w_loop
+w_404:
+  movi r1, FD_NET
+  movi r2, msg404
+  call print_fd
+  jmp w_loop
+w_exit:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+msg404: .asciz "404 not found\n"
+logptr: .word 0
+.bss
+reqbuf: .space 260
+iobuf:  .space 1024
+logbuf: .space 32768
+)";
+
+}  // namespace
+
+WebserverResult run_webserver(const Protection& prot,
+                              const WebserverConfig& cfg) {
+  WebserverResult out;
+  out.base.name = "webserver-" + std::to_string(cfg.response_bytes / 1024) +
+                  "KB";
+
+  kernel::KernelConfig kcfg;
+  kcfg.cost = cfg.cost;
+  kcfg.software_tlb = prot.software_tlb;
+  kernel::Kernel k(kcfg);
+  k.set_engine(prot.make_engine());
+
+  const auto program = assembler::assemble(guest::program(kWorkerBody));
+  image::BuildOptions opts;
+  opts.name = "httpd";
+  k.register_image(image::build_image(program, opts));
+
+  // The document being served.
+  std::vector<arch::u8> page(cfg.response_bytes);
+  for (std::size_t i = 0; i < page.size(); ++i) {
+    page[i] = static_cast<arch::u8>('A' + i % 61);
+  }
+  k.fs().put("page", page);
+
+  std::vector<kernel::Pid> pids;
+  std::vector<std::shared_ptr<kernel::Channel>> chans;
+  for (u32 w = 0; w < cfg.workers; ++w) {
+    const kernel::Pid pid = k.spawn("httpd");
+    pids.push_back(pid);
+    chans.push_back(k.attach_channel(pid));
+  }
+
+  const u32 rounds = (cfg.requests + cfg.workers - 1) / cfg.workers;
+  u32 issued = 0;
+  bool ok = true;
+  for (u32 r = 0; r < rounds && ok; ++r) {
+    u32 this_round = 0;
+    for (u32 w = 0; w < cfg.workers && issued < cfg.requests; ++w) {
+      chans[w]->host_write(std::string("GET page\n"));
+      ++issued;
+      ++this_round;
+    }
+    // Serve the round: run until every worker is blocked on its next read.
+    const auto rr = k.run(4'000'000'000);
+    if (rr != kernel::Kernel::RunResult::kAllBlocked) ok = false;
+    for (u32 w = 0; w < this_round; ++w) {
+      out.bytes_served += chans[w]->host_read_all().size();
+    }
+  }
+  // Hang up: workers see EOF and exit.
+  for (auto& c : chans) c->host_close();
+  k.run(1'000'000'000);
+
+  out.base.cycles = k.stats().cycles;
+  out.base.stats = k.stats();
+  out.base.completed =
+      ok && out.bytes_served >=
+                static_cast<u64>(cfg.requests) * cfg.response_bytes;
+
+  // Network model: the link drains at net_bytes_per_cycle with a fixed
+  // per-request latency; wall-clock is whichever of CPU or wire is slower.
+  const double net_time =
+      static_cast<double>(out.bytes_served) / cfg.cost.net_bytes_per_cycle +
+      static_cast<double>(cfg.requests) * cfg.cost.net_request_latency;
+  out.base.sim_time = std::max<u64>(out.base.cycles,
+                                    static_cast<u64>(net_time));
+  if (out.base.sim_time != 0) {
+    out.requests_per_mcycle =
+        static_cast<double>(cfg.requests) * 1e6 / out.base.sim_time;
+    out.base.throughput = out.requests_per_mcycle;
+  }
+  return out;
+}
+
+}  // namespace sm::workloads

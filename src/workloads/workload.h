@@ -1,0 +1,133 @@
+// Performance workloads reproducing the paper's evaluation programs
+// (§6.2): an Apache-style webserver driven by an ApacheBench-style client,
+// a gzip-style compressor, nbench-style compute kernels, and a
+// unixbench-style microbenchmark suite (including the pipe-based
+// context-switching stressor of Figs. 7 and 9).
+//
+// Every workload runs the same guest program under a configurable
+// protection engine and reports simulated cycles; figures are ratios of
+// protected to unprotected runs (normalized performance).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/split_engine.h"
+#include "kernel/kernel.h"
+#include "metrics/stats.h"
+
+namespace sm::workloads {
+
+using arch::u32;
+using arch::u64;
+
+// How a run is protected: either one of the standard modes or a custom
+// split fraction (Fig. 9).
+struct Protection {
+  core::ProtectionMode mode = core::ProtectionMode::kNone;
+  // When set (0-100), overrides mode with SplitMemoryEngine(fraction).
+  std::optional<u32> split_fraction;
+  u32 fraction_seed = 0;
+  // SPARC-style software-managed TLBs (paper SS4.7 portability study).
+  bool software_tlb = false;
+  // I-TLB load method for the split engine (paper SS4.2.4 side note).
+  core::ItlbLoadMethod itlb_method = core::ItlbLoadMethod::kSingleStep;
+
+  static Protection none() { return {}; }
+  static Protection split_all() {
+    Protection p;
+    p.mode = core::ProtectionMode::kSplitAll;
+    return p;
+  }
+  static Protection fraction(u32 percent, u32 seed = 0) {
+    Protection p;
+    p.mode = core::ProtectionMode::kSplitAll;
+    p.split_fraction = percent;
+    p.fraction_seed = seed;
+    return p;
+  }
+  Protection with_software_tlb() const {
+    Protection p = *this;
+    p.software_tlb = true;
+    return p;
+  }
+
+  std::unique_ptr<kernel::ProtectionEngine> make_engine() const;
+  std::string label() const;
+};
+
+struct WorkloadResult {
+  std::string name;
+  u64 cycles = 0;          // simulated CPU cycles
+  u64 sim_time = 0;        // cycles incl. the network/IO model (webserver)
+  double throughput = 0;   // work units per mega-cycle (workload-specific)
+  metrics::Stats stats;
+  bool completed = false;
+};
+
+// Normalized performance of `protected_r` relative to `baseline`
+// (the paper's y-axis: 1.0 = full speed).
+double normalized(const WorkloadResult& baseline,
+                  const WorkloadResult& protected_r);
+
+// --- compute workloads -------------------------------------------------
+
+// gzip-style compressor: LCG-filled input, hash + literal/run encoding,
+// two passes (compress + verify), streaming working set of `kilobytes`.
+WorkloadResult run_gzip(const Protection& prot, u32 kilobytes = 512);
+
+// nbench-style kernels: numeric sort, string sort, bitfield ops, integer
+// arithmetic emulation. Small working sets, computation bound.
+WorkloadResult run_nbench(const Protection& prot, u32 scale = 1);
+
+// --- unixbench-style suite ----------------------------------------------
+
+enum class UnixBench {
+  kSyscall,       // getpid loop
+  kArithmetic,    // dhrystone-style register arithmetic
+  kWhetstone,     // floating-point-emulation arithmetic (mul/div/mod mix)
+  kPipeThroughput,  // single-process pipe write/read
+  kPipeContextSwitch,  // two processes ping-pong over two pipes (Fig. 7)
+  kProcessCreation,    // fork + exit + waitpid
+  kExecl,         // fork + exec + waitpid
+  kFilesystem,    // file write/rewind/read loop ("file copy")
+  kFileRead,      // read-only streaming over a preloaded file
+};
+inline constexpr UnixBench kAllUnixBench[] = {
+    UnixBench::kSyscall,        UnixBench::kArithmetic,
+    UnixBench::kWhetstone,      UnixBench::kPipeThroughput,
+    UnixBench::kPipeContextSwitch, UnixBench::kProcessCreation,
+    UnixBench::kExecl,          UnixBench::kFilesystem,
+    UnixBench::kFileRead,
+};
+const char* to_string(UnixBench b);
+
+WorkloadResult run_unixbench(UnixBench bench, const Protection& prot,
+                             u32 iterations = 0 /* 0 = default */);
+
+// Geometric-mean index over the whole suite, normalized against the
+// unprotected run (the paper's single "Unixbench" bar in Fig. 6).
+double unixbench_index(const Protection& prot);
+
+// --- webserver ------------------------------------------------------------
+
+struct WebserverConfig {
+  u32 workers = 4;          // Apache-style worker processes
+  u32 requests = 64;        // total requests issued by the driver
+  u32 response_bytes = 32 * 1024;  // the "page size" served (Figs. 6-8)
+  metrics::CostModel cost{};       // net model comes from here
+};
+
+struct WebserverResult {
+  WorkloadResult base;      // cycles etc.
+  u64 bytes_served = 0;
+  double requests_per_mcycle = 0;  // incl. the network saturation model
+};
+
+WebserverResult run_webserver(const Protection& prot,
+                              const WebserverConfig& cfg = {});
+
+}  // namespace sm::workloads

@@ -1,0 +1,214 @@
+// CPU/ISA unit tests: instructions execute against an identity-mapped
+// address space; faults roll state back for precise restart.
+#include "arch/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/isa.h"
+
+namespace sm::arch {
+namespace {
+
+class CpuTest : public ::testing::Test {
+ protected:
+  CpuTest() : pm_(64), mmu_(pm_, stats_, cost_), cpu_(mmu_, stats_, cost_) {
+    // Identity-map the first 16 pages, user-writable.
+    const u32 root = PageTable::create(pm_);
+    PageTable pt(pm_, root);
+    for (u32 i = 0; i < 16; ++i) {
+      const u32 frame = pm_.alloc_frame();
+      pt.set(i * kPageSize,
+             Pte::make(frame, Pte::kPresent | Pte::kUser | Pte::kWritable));
+      frames_[i] = frame;
+    }
+    mmu_.set_cr3(root);
+    cpu_.regs().pc = 0x1000;
+    cpu_.regs().sp() = 0x8000;
+  }
+
+  // Writes code bytes at vaddr 0x1000 via the frames directly.
+  void code(std::initializer_list<u8> bytes) {
+    u32 off = 0;
+    for (u8 b : bytes) pm_.frame_bytes(frames_[1])[off++] = b;
+  }
+
+  std::optional<Trap> step() { return cpu_.step(); }
+
+  metrics::Stats stats_;
+  metrics::CostModel cost_;
+  PhysicalMemory pm_;
+  Mmu mmu_;
+  Cpu cpu_;
+  u32 frames_[16];
+};
+
+TEST_F(CpuTest, MoviMovAdd) {
+  code({0x01, 0, 5, 0, 0, 0,    // movi r0, 5
+        0x02, 1, 0,             // mov r1, r0
+        0x10, 1, 0});           // add r1, r0
+  EXPECT_FALSE(step().has_value());
+  EXPECT_FALSE(step().has_value());
+  EXPECT_FALSE(step().has_value());
+  EXPECT_EQ(cpu_.regs().r[1], 10u);
+  EXPECT_EQ(cpu_.regs().pc, 0x1000u + 6 + 3 + 3);
+}
+
+TEST_F(CpuTest, LoadStoreRoundTrip) {
+  code({0x01, 0, 0x44, 0x33, 0x22, 0x11,  // movi r0, 0x11223344
+        0x01, 1, 0x00, 0x20, 0, 0,        // movi r1, 0x2000
+        0x04, 1, 0, 4, 0, 0, 0,           // store [r1+4], r0
+        0x03, 2, 1, 4, 0, 0, 0});         // load r2, [r1+4]
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(step().has_value());
+  EXPECT_EQ(cpu_.regs().r[2], 0x11223344u);
+  EXPECT_EQ(pm_.frame_bytes(frames_[2])[4], 0x44);
+}
+
+TEST_F(CpuTest, ByteOpsZeroExtend) {
+  code({0x01, 0, 0xFF, 0x12, 0, 0,       // movi r0, 0x12FF
+        0x01, 1, 0x00, 0x20, 0, 0,       // movi r1, 0x2000
+        0x06, 1, 0, 0, 0, 0, 0,          // storeb [r1], r0
+        0x05, 2, 1, 0, 0, 0, 0});        // loadb r2, [r1]
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(step().has_value());
+  EXPECT_EQ(cpu_.regs().r[2], 0xFFu);
+}
+
+TEST_F(CpuTest, CallRetUseStack) {
+  // call 0x1100; (at 0x1100) ret
+  code({0x30, 0x00, 0x11, 0, 0});
+  pm_.frame_bytes(frames_[1])[0x100] = 0x32;  // ret
+  EXPECT_FALSE(step().has_value());
+  EXPECT_EQ(cpu_.regs().pc, 0x1100u);
+  EXPECT_EQ(cpu_.regs().sp(), 0x8000u - 4);
+  EXPECT_FALSE(step().has_value());
+  EXPECT_EQ(cpu_.regs().pc, 0x1005u);
+  EXPECT_EQ(cpu_.regs().sp(), 0x8000u);
+}
+
+TEST_F(CpuTest, CmpBranches) {
+  code({0x01, 0, 3, 0, 0, 0,    // movi r0, 3
+        0x1B, 0, 5, 0, 0, 0,    // cmpi r0, 5
+        0x23, 0x00, 0x20, 0, 0});  // jlt 0x2000
+  step();
+  step();
+  EXPECT_FALSE(step().has_value());
+  EXPECT_EQ(cpu_.regs().pc, 0x2000u);
+}
+
+TEST_F(CpuTest, UnsignedComparisonFlags) {
+  // 0xFFFFFFFF unsigned-above 1, signed-less-than 1.
+  code({0x01, 0, 0xFF, 0xFF, 0xFF, 0xFF,  // movi r0, -1
+        0x1B, 0, 1, 0, 0, 0,              // cmpi r0, 1
+        0x25, 0x00, 0x20, 0, 0,           // jb 0x2000 (not taken)
+        0x23, 0x00, 0x30, 0, 0});         // jlt 0x3000 (taken)
+  step();
+  step();
+  step();
+  EXPECT_EQ(cpu_.regs().pc, 0x1000u + 6 + 6 + 5);
+  step();
+  EXPECT_EQ(cpu_.regs().pc, 0x3000u);
+}
+
+TEST_F(CpuTest, InvalidOpcodeFaultsWithoutAdvancing) {
+  code({0x00});
+  const auto trap = step();
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->kind, TrapKind::kInvalidOpcode);
+  EXPECT_EQ(trap->opcode, 0x00);
+  EXPECT_EQ(cpu_.regs().pc, 0x1000u);  // precise: pc at faulting insn
+}
+
+TEST_F(CpuTest, DivideByZeroFaults) {
+  code({0x01, 0, 8, 0, 0, 0,  // movi r0, 8
+        0x13, 0, 1});         // div r0, r1 (r1 == 0)
+  step();
+  const auto trap = step();
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->kind, TrapKind::kDivideByZero);
+  EXPECT_EQ(cpu_.regs().r[0], 8u);  // unchanged
+}
+
+TEST_F(CpuTest, SyscallAdvancesPcAndTraps) {
+  code({0x40});
+  const auto trap = step();
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->kind, TrapKind::kSyscall);
+  EXPECT_EQ(cpu_.regs().pc, 0x1001u);
+}
+
+TEST_F(CpuTest, PageFaultRollsBackPartialState) {
+  // pop r0 then a store to an unmapped page: regs must be untouched.
+  code({0x01, 1, 0x00, 0x00, 0xF0, 0,   // movi r1, 0xF00000 (unmapped)
+        0x04, 1, 0, 0, 0, 0, 0});       // store [r1], r0
+  step();
+  const u32 sp_before = cpu_.regs().sp();
+  const auto trap = step();
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->kind, TrapKind::kPageFault);
+  EXPECT_EQ(trap->pf.addr, 0xF00000u);
+  EXPECT_TRUE(trap->pf.write);
+  EXPECT_FALSE(trap->pf.fetch);
+  EXPECT_EQ(cpu_.regs().sp(), sp_before);
+  EXPECT_EQ(cpu_.regs().pc, 0x1006u);  // at the store, not after
+}
+
+TEST_F(CpuTest, FetchFaultReportsFetchBit) {
+  cpu_.regs().pc = 0xF00000;
+  const auto trap = step();
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->kind, TrapKind::kPageFault);
+  EXPECT_TRUE(trap->pf.fetch);
+  EXPECT_EQ(trap->pf.addr, 0xF00000u);
+}
+
+TEST_F(CpuTest, TrapFlagSingleSteps) {
+  code({0x90, 0x90});  // nop; nop
+  cpu_.regs().set_tf(true);
+  const auto trap = step();
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->kind, TrapKind::kDebugStep);
+  EXPECT_EQ(cpu_.regs().pc, 0x1001u);  // instruction DID complete
+  cpu_.regs().set_tf(false);
+  EXPECT_FALSE(step().has_value());
+}
+
+TEST_F(CpuTest, PushPopRoundTrip) {
+  code({0x01, 3, 0xEF, 0xBE, 0, 0,  // movi r3, 0xBEEF
+        0x33, 3,                    // push r3
+        0x34, 4});                  // pop r4
+  step();
+  step();
+  step();
+  EXPECT_EQ(cpu_.regs().r[4], 0xBEEFu);
+  EXPECT_EQ(cpu_.regs().sp(), 0x8000u);
+}
+
+TEST_F(CpuTest, IndirectJumpAndCall) {
+  code({0x01, 2, 0x00, 0x30, 0, 0,  // movi r2, 0x3000
+        0x31, 2});                  // callr r2
+  step();
+  step();
+  EXPECT_EQ(cpu_.regs().pc, 0x3000u);
+  // Return address on stack is after the callr.
+  EXPECT_EQ(pm_.read32(static_cast<u64>(frames_[7]) * kPageSize + 0xFFC),
+            0x1008u);
+}
+
+TEST_F(CpuTest, BadRegisterFaultsGeneralProtection) {
+  code({0x02, 9, 0});  // mov r9, r0 — no such register
+  const auto trap = step();
+  ASSERT_TRUE(trap.has_value());
+  EXPECT_EQ(trap->kind, TrapKind::kGeneralProtection);
+}
+
+TEST_F(CpuTest, ShiftAndLogicOps) {
+  code({0x01, 0, 0xF0, 0, 0, 0,  // movi r0, 0xF0
+        0x01, 1, 4, 0, 0, 0,     // movi r1, 4
+        0x18, 0, 1,              // shr r0, r1 -> 0xF
+        0x17, 0, 1,              // shl r0, r1 -> 0xF0
+        0x1C, 0});               // not r0
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(step().has_value());
+  EXPECT_EQ(cpu_.regs().r[0], ~0xF0u);
+}
+
+}  // namespace
+}  // namespace sm::arch

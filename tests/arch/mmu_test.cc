@@ -1,0 +1,179 @@
+// MMU tests, including the TLB-desynchronization property the entire paper
+// rests on: after the I-TLB and D-TLB are filled from different PTE values,
+// instruction fetches and data accesses for the SAME virtual address reach
+// DIFFERENT physical frames.
+#include "arch/mmu.h"
+
+#include <gtest/gtest.h>
+
+namespace sm::arch {
+namespace {
+
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest() : pm_(64), mmu_(pm_, stats_, cost_) {
+    root_ = PageTable::create(pm_);
+    mmu_.set_cr3(root_);
+  }
+
+  PageTable pt() { return PageTable(pm_, root_); }
+
+  u32 map(u32 vaddr, u32 flags) {
+    const u32 frame = pm_.alloc_frame();
+    pt().set(vaddr, Pte::make(frame, flags));
+    return frame;
+  }
+
+  metrics::Stats stats_;
+  metrics::CostModel cost_;
+  PhysicalMemory pm_;
+  Mmu mmu_;
+  u32 root_;
+};
+
+constexpr u32 kUserRw = Pte::kPresent | Pte::kUser | Pte::kWritable;
+
+TEST_F(MmuTest, MissThenHit) {
+  map(0x5000, kUserRw);
+  mmu_.read8(0x5000);
+  EXPECT_EQ(stats_.dtlb_misses, 1u);
+  mmu_.read8(0x5004);
+  EXPECT_EQ(stats_.dtlb_hits, 1u);
+  EXPECT_EQ(stats_.dtlb_misses, 1u);
+}
+
+TEST_F(MmuTest, FetchUsesItlbDataUsesDtlb) {
+  map(0x5000, kUserRw);
+  mmu_.fetch8(0x5000);
+  EXPECT_EQ(stats_.itlb_misses, 1u);
+  EXPECT_EQ(stats_.dtlb_misses, 0u);
+  mmu_.read8(0x5000);
+  EXPECT_EQ(stats_.dtlb_misses, 1u);  // separate TLBs: both miss once
+}
+
+TEST_F(MmuTest, NotPresentFaults) {
+  EXPECT_THROW(mmu_.read8(0x7000), TrapException);
+  try {
+    mmu_.read8(0x7000);
+  } catch (const TrapException& e) {
+    EXPECT_FALSE(e.trap().pf.present);
+    EXPECT_EQ(e.trap().pf.addr, 0x7000u);
+  }
+}
+
+TEST_F(MmuTest, SupervisorPageFaultsForUserAccess) {
+  map(0x5000, Pte::kPresent | Pte::kWritable);  // no kUser: restricted
+  try {
+    mmu_.read8(0x5000);
+    FAIL() << "expected fault";
+  } catch (const TrapException& e) {
+    EXPECT_TRUE(e.trap().pf.present);  // protection, not absence
+  }
+}
+
+TEST_F(MmuTest, WriteToReadOnlyFaults) {
+  map(0x5000, Pte::kPresent | Pte::kUser);
+  mmu_.read8(0x5000);  // fills D-TLB read-only
+  EXPECT_THROW(mmu_.write8(0x5000, 1), TrapException);
+}
+
+TEST_F(MmuTest, NxBlocksFetchButNotData) {
+  map(0x5000, kUserRw | Pte::kNoExec);
+  EXPECT_NO_THROW(mmu_.read8(0x5000));
+  EXPECT_THROW(mmu_.fetch8(0x5000), TrapException);
+}
+
+TEST_F(MmuTest, TlbEntryPersistsAfterPteChange) {
+  // Fill the D-TLB, then clear the PTE: cached translation still serves.
+  const u32 frame = map(0x5000, kUserRw);
+  mmu_.write8(0x5000, 0xAB);
+  pt().set(0x5000, Pte{});  // unmap in the page table only
+  EXPECT_EQ(mmu_.read8(0x5000), 0xAB);  // still reachable via D-TLB
+  EXPECT_EQ(pm_.frame_bytes(frame)[0], 0xAB);
+  // After invlpg the truth is re-read from the page table: fault.
+  mmu_.invlpg(0x5000);
+  EXPECT_THROW(mmu_.read8(0x5000), TrapException);
+}
+
+TEST_F(MmuTest, SplitTlbDesynchronization) {
+  // The paper's §4.2 mechanism, at the hardware level:
+  //  1. PTE -> code frame; fetch fills the I-TLB.
+  //  2. PTE -> data frame; read fills the D-TLB.
+  //  3. Same virtual address now routes fetch and data to different frames.
+  const u32 code_frame = pm_.alloc_frame();
+  const u32 data_frame = pm_.alloc_frame();
+  pm_.frame_bytes(code_frame)[0] = 0x90;  // "real code"
+  pm_.frame_bytes(data_frame)[0] = 0xCC;  // "injected bytes"
+
+  pt().set(0x5000, Pte::make(code_frame, Pte::kPresent | Pte::kUser));
+  EXPECT_EQ(mmu_.fetch8(0x5000), 0x90);
+
+  pt().set(0x5000, Pte::make(data_frame, kUserRw));
+  EXPECT_EQ(mmu_.read8(0x5000), 0xCC);
+
+  // Desynchronized: fetch still sees the code frame.
+  EXPECT_EQ(mmu_.fetch8(0x5000), 0x90);
+  // Writing "shellcode" through the data path can NEVER reach the fetch
+  // path.
+  mmu_.write8(0x5000, 0x41);
+  EXPECT_EQ(mmu_.fetch8(0x5000), 0x90);
+  EXPECT_EQ(pm_.frame_bytes(data_frame)[0], 0x41);
+}
+
+TEST_F(MmuTest, FillDtlbViaWalkLoadsCurrentPte) {
+  const u32 frame = map(0x6000, kUserRw);
+  pm_.frame_bytes(frame)[8] = 0x7E;
+  EXPECT_TRUE(mmu_.fill_dtlb_via_walk(0x6008));
+  // Restrict the PTE afterwards, as Algorithm 1 does.
+  Pte pte = pt().get(0x6000);
+  pte.restrict_supervisor();
+  pt().set(0x6000, pte);
+  // The D-TLB entry was cached user-accessible: access still succeeds.
+  EXPECT_EQ(mmu_.read8(0x6008), 0x7E);
+  EXPECT_EQ(stats_.dtlb_hits, 1u);
+}
+
+TEST_F(MmuTest, FillDtlbViaWalkFailsOnUnmapped) {
+  EXPECT_FALSE(mmu_.fill_dtlb_via_walk(0xA000));
+}
+
+TEST_F(MmuTest, Cr3WriteFlushesBothTlbs) {
+  map(0x5000, kUserRw);
+  mmu_.read8(0x5000);
+  mmu_.fetch8(0x5000);
+  EXPECT_TRUE(mmu_.dtlb().contains(5));
+  EXPECT_TRUE(mmu_.itlb().contains(5));
+  mmu_.set_cr3(root_);
+  EXPECT_FALSE(mmu_.dtlb().contains(5));
+  EXPECT_FALSE(mmu_.itlb().contains(5));
+}
+
+TEST_F(MmuTest, StraddlingRead32) {
+  map(0x5000, kUserRw);
+  map(0x6000, kUserRw);
+  mmu_.write8(0x5FFF, 0x11);
+  mmu_.write8(0x6000, 0x22);
+  mmu_.write8(0x6001, 0x33);
+  mmu_.write8(0x6002, 0x44);
+  EXPECT_EQ(mmu_.read32(0x5FFF), 0x44332211u);
+}
+
+TEST_F(MmuTest, StraddlingWrite32FaultsAtomically) {
+  map(0x5000, kUserRw);  // 0x6000 unmapped
+  mmu_.write8(0x5FFF, 0x99);
+  EXPECT_THROW(mmu_.write32(0x5FFF, 0), TrapException);
+  EXPECT_EQ(mmu_.read8(0x5FFF), 0x99);  // first byte untouched
+}
+
+TEST_F(MmuTest, AccessedAndDirtyBitsSetOnWalk) {
+  map(0x5000, kUserRw);
+  mmu_.read8(0x5000);
+  EXPECT_TRUE(pt().get(0x5000).accessed());
+  EXPECT_FALSE(pt().get(0x5000).dirty());
+  mmu_.invlpg(0x5000);
+  mmu_.write8(0x5000, 1);
+  EXPECT_TRUE(pt().get(0x5000).dirty());
+}
+
+}  // namespace
+}  // namespace sm::arch

@@ -1,0 +1,89 @@
+#include "arch/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace sm::arch {
+namespace {
+
+TEST(PageTable, SetGetRoundTrip) {
+  PhysicalMemory pm(16);
+  PageTable pt(pm, PageTable::create(pm));
+  const Pte pte = Pte::make(7, Pte::kPresent | Pte::kUser | Pte::kWritable);
+  pt.set(0x08048000, pte);
+  EXPECT_EQ(pt.get(0x08048000), pte);
+  EXPECT_EQ(pt.get(0x08048FFF), pte);  // same page
+  EXPECT_FALSE(pt.get(0x08049000).present());
+}
+
+TEST(PageTable, WalkMatchesGetAndCountsAccesses) {
+  PhysicalMemory pm(16);
+  metrics::Stats stats;
+  PageTable pt(pm, PageTable::create(pm));
+  EXPECT_FALSE(pt.walk(0x1000, &stats).has_value());
+  EXPECT_EQ(stats.hardware_walks, 1u);
+  pt.set(0x1000, Pte::make(3, Pte::kPresent | Pte::kUser));
+  const auto pte = pt.walk(0x1000, &stats);
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->pfn(), 3u);
+}
+
+TEST(PageTable, DistinctDirectoriesForFarApartAddresses) {
+  PhysicalMemory pm(16);
+  PageTable pt(pm, PageTable::create(pm));
+  pt.set(0x00001000, Pte::make(1, Pte::kPresent));
+  pt.set(0xBFFFF000, Pte::make(2, Pte::kPresent));
+  EXPECT_EQ(pt.get(0x00001000).pfn(), 1u);
+  EXPECT_EQ(pt.get(0xBFFFF000).pfn(), 2u);
+}
+
+TEST(PageTable, ForEachMappingVisitsAllPresent) {
+  PhysicalMemory pm(16);
+  PageTable pt(pm, PageTable::create(pm));
+  pt.set(0x1000, Pte::make(1, Pte::kPresent));
+  pt.set(0x2000, Pte::make(2, Pte::kPresent));
+  pt.set(0x40000000, Pte::make(3, Pte::kPresent));
+  int count = 0;
+  u32 seen_mask = 0;
+  pt.for_each_mapping([&](u32 vaddr, Pte pte) {
+    ++count;
+    seen_mask |= 1u << pte.pfn();
+    if (pte.pfn() == 3) {
+      EXPECT_EQ(vaddr, 0x40000000u);
+    }
+  });
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(seen_mask, 0b1110u);
+}
+
+TEST(PageTable, DestroyReturnsTableFrames) {
+  PhysicalMemory pm(16);
+  const u32 before = pm.frames_in_use();
+  PageTable pt(pm, PageTable::create(pm));
+  pt.set(0x1000, Pte::make(1, Pte::kPresent));
+  pt.set(0x40000000, Pte::make(2, Pte::kPresent));
+  EXPECT_EQ(pm.frames_in_use(), before + 3);  // dir + 2 tables
+  pt.destroy();
+  EXPECT_EQ(pm.frames_in_use(), before);
+}
+
+TEST(PageTable, ClearRemovesMapping) {
+  PhysicalMemory pm(16);
+  PageTable pt(pm, PageTable::create(pm));
+  pt.set(0x5000, Pte::make(4, Pte::kPresent));
+  pt.clear(0x5000);
+  EXPECT_FALSE(pt.get(0x5000).present());
+}
+
+TEST(Pte, RestrictUnrestrict) {
+  Pte pte = Pte::make(9, Pte::kPresent | Pte::kUser | Pte::kSplit);
+  EXPECT_TRUE(pte.user());
+  pte.restrict_supervisor();
+  EXPECT_FALSE(pte.user());
+  EXPECT_TRUE(pte.split());
+  EXPECT_EQ(pte.pfn(), 9u);
+  pte.unrestrict();
+  EXPECT_TRUE(pte.user());
+}
+
+}  // namespace
+}  // namespace sm::arch

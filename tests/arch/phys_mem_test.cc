@@ -1,0 +1,62 @@
+#include "arch/phys_mem.h"
+
+#include <gtest/gtest.h>
+
+namespace sm::arch {
+namespace {
+
+TEST(PhysMem, AllocZeroesAndRefcounts) {
+  PhysicalMemory pm(8);
+  const u32 f = pm.alloc_frame();
+  EXPECT_EQ(pm.refcount(f), 1u);
+  EXPECT_EQ(pm.frames_in_use(), 1u);
+  for (u8 b : pm.frame_bytes(f)) EXPECT_EQ(b, 0);
+  pm.ref_frame(f);
+  EXPECT_EQ(pm.refcount(f), 2u);
+  pm.unref_frame(f);
+  EXPECT_EQ(pm.frames_in_use(), 1u);
+  pm.unref_frame(f);
+  EXPECT_EQ(pm.frames_in_use(), 0u);
+}
+
+TEST(PhysMem, ExhaustionThrows) {
+  PhysicalMemory pm(2);
+  pm.alloc_frame();
+  pm.alloc_frame();
+  EXPECT_THROW(pm.alloc_frame(), OutOfMemoryError);
+}
+
+TEST(PhysMem, FreedFrameIsReusedZeroed) {
+  PhysicalMemory pm(1);
+  const u32 f = pm.alloc_frame();
+  pm.frame_bytes(f)[0] = 0xAA;
+  pm.unref_frame(f);
+  const u32 g = pm.alloc_frame();
+  EXPECT_EQ(g, f);
+  EXPECT_EQ(pm.frame_bytes(g)[0], 0);
+}
+
+TEST(PhysMem, ReadWrite32LittleEndian) {
+  PhysicalMemory pm(1);
+  pm.alloc_frame();
+  pm.write32(4, 0x11223344);
+  EXPECT_EQ(pm.read8(4), 0x44);
+  EXPECT_EQ(pm.read8(7), 0x11);
+  EXPECT_EQ(pm.read32(4), 0x11223344u);
+}
+
+TEST(PhysMem, OutOfRangeAccessThrows) {
+  PhysicalMemory pm(1);
+  EXPECT_THROW(pm.read8(kPageSize), std::out_of_range);
+  EXPECT_THROW(pm.write32(kPageSize - 2, 1), std::out_of_range);
+}
+
+TEST(PhysMem, DoubleUnrefThrows) {
+  PhysicalMemory pm(2);
+  const u32 f = pm.alloc_frame();
+  pm.unref_frame(f);
+  EXPECT_THROW(pm.unref_frame(f), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sm::arch

@@ -1,0 +1,94 @@
+#include "arch/tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace sm::arch {
+namespace {
+
+TlbEntry entry(u32 vpn, u32 pfn, bool user = true, bool writable = true) {
+  TlbEntry e;
+  e.vpn = vpn;
+  e.pfn = pfn;
+  e.user = user;
+  e.writable = writable;
+  return e;
+}
+
+TEST(Tlb, InsertLookup) {
+  Tlb tlb;
+  EXPECT_EQ(tlb.lookup(5), nullptr);
+  tlb.insert(entry(5, 100));
+  const TlbEntry* e = tlb.lookup(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->pfn, 100u);
+}
+
+TEST(Tlb, EntriesPersistAfterInsertOfOthers) {
+  // The paper's core dependency: entries are snapshots that persist.
+  Tlb tlb;
+  tlb.insert(entry(1, 10));
+  tlb.insert(entry(2, 20));
+  EXPECT_EQ(tlb.lookup(1)->pfn, 10u);
+  EXPECT_EQ(tlb.lookup(2)->pfn, 20u);
+}
+
+TEST(Tlb, ReinsertSameVpnReplaces) {
+  Tlb tlb;
+  tlb.insert(entry(7, 70));
+  tlb.insert(entry(7, 71));
+  EXPECT_EQ(tlb.lookup(7)->pfn, 71u);
+  EXPECT_EQ(tlb.valid_count(), 1u);
+}
+
+TEST(Tlb, InvalidateDropsOneVpn) {
+  Tlb tlb;
+  tlb.insert(entry(3, 30));
+  tlb.insert(entry(4, 40));
+  tlb.invalidate(3);
+  EXPECT_EQ(tlb.lookup(3), nullptr);
+  EXPECT_NE(tlb.lookup(4), nullptr);
+}
+
+TEST(Tlb, FlushDropsEverything) {
+  Tlb tlb;
+  for (u32 v = 0; v < 32; ++v) tlb.insert(entry(v, v + 100));
+  tlb.flush();
+  EXPECT_EQ(tlb.valid_count(), 0u);
+}
+
+TEST(Tlb, LruEvictionWithinSet) {
+  Tlb tlb(/*num_entries=*/4, /*ways=*/4);  // one set
+  for (u32 v = 0; v < 4; ++v) tlb.insert(entry(v, v));
+  // Touch 0 so 1 is the LRU.
+  EXPECT_NE(tlb.lookup(0), nullptr);
+  tlb.insert(entry(9, 9));
+  EXPECT_EQ(tlb.lookup(1), nullptr);  // evicted
+  EXPECT_NE(tlb.lookup(0), nullptr);
+  EXPECT_NE(tlb.lookup(9), nullptr);
+}
+
+TEST(Tlb, CapacityEvictionNeverExceedsWays) {
+  Tlb tlb(64, 4);
+  for (u32 v = 0; v < 1024; v += 16) {
+    tlb.insert(entry(v, v));  // all map to set 0
+  }
+  EXPECT_LE(tlb.valid_count(), 4u);
+}
+
+TEST(Tlb, BadGeometryThrows) {
+  EXPECT_THROW(Tlb(10, 4), std::invalid_argument);
+  EXPECT_THROW(Tlb(24, 4), std::invalid_argument);  // 6 sets: not pow2
+  EXPECT_THROW(Tlb(8, 0), std::invalid_argument);
+}
+
+TEST(Tlb, PeekDoesNotDisturbLru) {
+  Tlb tlb(4, 4);
+  for (u32 v = 0; v < 4; ++v) tlb.insert(entry(v, v));
+  // Peek 0 (unlike lookup, must not refresh), so 0 is still LRU.
+  EXPECT_TRUE(tlb.peek(0).has_value());
+  tlb.insert(entry(9, 9));
+  EXPECT_EQ(tlb.lookup(0), nullptr);
+}
+
+}  // namespace
+}  // namespace sm::arch

@@ -1,0 +1,81 @@
+// Table 1: every applicable Wilander case must SUCCEED on the unprotected
+// system (otherwise the benchmark proves nothing) and be FOILED under
+// split memory.
+#include "attacks/wilander.h"
+
+#include <gtest/gtest.h>
+
+#include "guest/guestlib.h"
+
+namespace sm::attacks::wilander {
+namespace {
+
+using core::ProtectionMode;
+
+struct Cell {
+  Technique t;
+  Segment s;
+};
+
+std::vector<Cell> applicable_cells() {
+  std::vector<Cell> out;
+  for (const Technique t : kAllTechniques) {
+    for (const Segment s : kAllSegments) {
+      if (applicable(t, s)) out.push_back({t, s});
+    }
+  }
+  return out;
+}
+
+class WilanderCell : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(WilanderCell, SucceedsUnprotected) {
+  const auto [t, s] = GetParam();
+  const CaseResult r = run_case(t, s, ProtectionMode::kNone);
+  EXPECT_TRUE(r.shell_spawned)
+      << to_string(t) << "/" << to_string(s) << ": " << r.detail;
+}
+
+TEST_P(WilanderCell, FoiledBySplitMemory) {
+  const auto [t, s] = GetParam();
+  const CaseResult r = run_case(t, s, ProtectionMode::kSplitAll);
+  EXPECT_FALSE(r.shell_spawned)
+      << to_string(t) << "/" << to_string(s) << ": " << r.detail;
+  EXPECT_TRUE(r.detected) << to_string(t) << "/" << to_string(s);
+  EXPECT_TRUE(r.foiled());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WilanderCell, ::testing::ValuesIn(applicable_cells()),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      std::string name = std::string(to_string(info.param.t)) + "_" +
+                         to_string(info.param.s);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Wilander, GridHasTwentyApplicableCases) {
+  EXPECT_EQ(applicable_cells().size(), 20u);  // Table 1: 24 cells, 4 N/A
+}
+
+TEST(Wilander, NotApplicableCellsReportNa) {
+  const CaseResult r =
+      run_case(Technique::kOldBasePointer, Segment::kHeap,
+               ProtectionMode::kNone);
+  EXPECT_FALSE(r.applicable);
+  EXPECT_EQ(r.detail, "N/A");
+}
+
+TEST(Wilander, VictimSourcesAssemble) {
+  for (const Technique t : kAllTechniques) {
+    for (const Segment s : kAllSegments) {
+      EXPECT_NO_THROW(assembler::assemble(guest::program(victim_source(t, s))))
+          << to_string(t) << "/" << to_string(s);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sm::attacks::wilander

@@ -1,0 +1,149 @@
+// PaX PAGEEXEC baseline (paper ref [2]): software-only execute-disable via
+// the supervisor bit + D-TLB loads — same security envelope as the
+// hardware bit (stops classic injection, cannot protect mixed pages),
+// with software-load overhead between hardware-NX and full splitting.
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using core::ProtectionMode;
+using kernel::ExitKind;
+using testing::run_guest;
+
+const char* kSelfInject = R"(
+_start:
+  movi r1, buf
+  movi r2, payload
+  movi r3, payload_end
+  sub r3, r2
+  call memcpy
+  movi r5, buf
+  jmpr r5
+.data
+payload:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+payload_end: .byte 0
+.bss
+buf: .space 128
+)";
+
+TEST(Pageexec, FoilsClassicInjection) {
+  auto r = run_guest(kSelfInject, ProtectionMode::kPaxPageexec);
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kKilledSigsegv);
+  ASSERT_EQ(r.k->detections().size(), 1u);
+  EXPECT_EQ(r.k->detections()[0].mode, "pageexec");
+}
+
+TEST(Pageexec, BenignProgramsRunIdentically) {
+  const char* body = R"(
+_start:
+  movi r4, buf
+  movi r5, 0
+  movi r2, 0
+loop:
+  store [r4], r5
+  load r3, [r4]
+  add r2, r3
+  addi r4, 4
+  addi r5, 1
+  cmpi r5, 2000
+  jnz loop
+  mov r1, r2
+  movi r0, SYS_EXIT
+  syscall
+.bss
+buf: .space 8192
+)";
+  auto base = run_guest(body, ProtectionMode::kNone);
+  auto pax = run_guest(body, ProtectionMode::kPaxPageexec);
+  EXPECT_EQ(pax.proc().exit_code, base.proc().exit_code);
+  EXPECT_EQ(pax.proc().exit_kind, ExitKind::kExited);
+}
+
+TEST(Pageexec, OverheadBetweenHardwareNxAndSplitAll) {
+  // PAGEEXEC pays a trap per D-TLB miss on data pages but nothing on code
+  // fetches; split-all pays on both sides.
+  const char* body = R"(
+_start:
+  movi r3, 3
+pass:
+  movi r4, buf
+  movi r5, 100
+touch:
+  load r2, [r4]
+  addi r4, 4096
+  addi r5, -1
+  cmpi r5, 0
+  jnz touch
+  addi r3, -1
+  cmpi r3, 0
+  jnz pass
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 409600
+)";
+  const auto nx = run_guest(body, ProtectionMode::kHardwareNx);
+  const auto pax = run_guest(body, ProtectionMode::kPaxPageexec);
+  const auto split = run_guest(body, ProtectionMode::kSplitAll);
+  EXPECT_GT(pax.k->stats().cycles, nx.k->stats().cycles);
+  EXPECT_LT(pax.k->stats().cycles, split.k->stats().cycles);
+  EXPECT_GT(pax.k->stats().split_dtlb_loads, 100u);  // the PAGEEXEC loads
+}
+
+TEST(Pageexec, CannotProtectMixedPages) {
+  // Same limitation as the hardware bit (and the paper's motivation):
+  // a writable text page must stay executable.
+  const char* body = R"(
+_start:
+  movi r1, hole
+  movi r2, payload
+  movi r3, payload_end
+  sub r3, r2
+  call memcpy
+  movi r5, hole
+  jmpr r5
+hole:
+  .space 64
+.data
+payload:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+payload_end: .byte 0
+)";
+  testing::GuestRun r;
+  r.k = std::make_unique<kernel::Kernel>();
+  r.k->set_engine(core::make_engine(ProtectionMode::kPaxPageexec));
+  r.k->register_image(
+      testing::build_guest_image(body, "guest", /*mixed_text=*/true));
+  r.pid = r.k->spawn("guest");
+  r.k->run(10'000'000);
+  EXPECT_TRUE(r.proc().shell_spawned);  // the gap PAGEEXEC shares with NX
+}
+
+TEST(Pageexec, WorksUnderSoftwareTlbToo) {
+  kernel::KernelConfig cfg;
+  cfg.software_tlb = true;
+  auto r = testing::start_guest(kSelfInject, ProtectionMode::kPaxPageexec,
+                                core::ResponseMode::kBreak, cfg);
+  r.k->run(10'000'000);
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kKilledSigsegv);
+}
+
+TEST(Pageexec, FramesReclaimedOnExit) {
+  auto r = run_guest(kSelfInject, ProtectionMode::kPaxPageexec);
+  EXPECT_EQ(r.k->phys().frames_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace sm

@@ -1,0 +1,309 @@
+// Property-based tests of the system invariants (DESIGN.md §6), fuzzed
+// with deterministic seeds:
+//  1. SECURITY: on split pages, user writes can never change what fetch
+//     sees.
+//  2. TRANSPARENCY: benign programs behave identically under every engine.
+//  3. TLB COHERENCE: outside split pages the TLBs never disagree with the
+//     page tables.
+//  4. ACCOUNTING: no frame leaks, whatever the program did.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using arch::u32;
+
+using core::ProtectionMode;
+using testing::run_guest;
+
+// --- random benign program generator --------------------------------------
+
+// Emits a random straight-line program over r0-r3 with loads/stores into a
+// scratch buffer (r4 = base), folding everything into the exit code.
+std::string random_program(u32 seed, int length) {
+  std::mt19937 rng(seed);
+  std::ostringstream out;
+  out << "_start:\n  movi r4, scratch\n";
+  for (int r = 0; r < 4; ++r) {
+    out << "  movi r" << r << ", " << rng() % 1000 << "\n";
+  }
+  for (int i = 0; i < length; ++i) {
+    const int a = rng() % 4;
+    const int b = rng() % 4;
+    const u32 off = (rng() % 1000) * 4;
+    switch (rng() % 10) {
+      case 0:
+        out << "  add r" << a << ", r" << b << "\n";
+        break;
+      case 1:
+        out << "  sub r" << a << ", r" << b << "\n";
+        break;
+      case 2:
+        out << "  mul r" << a << ", r" << b << "\n";
+        break;
+      case 3:
+        out << "  xor r" << a << ", r" << b << "\n";
+        break;
+      case 4:
+        out << "  addi r" << a << ", " << rng() % 100000 << "\n";
+        break;
+      case 5:
+        out << "  store [r4+" << off << "], r" << a << "\n";
+        break;
+      case 6:
+        out << "  load r" << a << ", [r4+" << off << "]\n";
+        break;
+      case 7:
+        out << "  storeb [r4+" << off << "], r" << a << "\n";
+        break;
+      case 8:
+        out << "  push r" << a << "\n  pop r" << b << "\n";
+        break;
+      case 9: {
+        const u32 shift = rng() % 31 + 1;
+        out << "  movi r" << b << ", " << shift << "\n  shr r" << a << ", r"
+            << b << "\n";
+        break;
+      }
+    }
+  }
+  out << R"(
+  add r0, r1
+  add r0, r2
+  add r0, r3
+  movi r1, FD_CONSOLE
+  mov r2, r0
+  push r2
+  movi r1, FD_CONSOLE
+  pop r2
+  call put_hex_fd
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+.bss
+scratch: .space 8192
+)";
+  return out.str();
+}
+
+struct Observed {
+  kernel::ExitKind kind;
+  u32 code;
+  std::string console;
+  arch::u64 instructions;
+};
+
+Observed observe(const std::string& body, ProtectionMode mode) {
+  auto r = run_guest(body, mode);
+  return {r.proc().exit_kind, r.proc().exit_code, r.proc().console,
+          r.k->stats().instructions};
+}
+
+class TransparencyFuzz : public ::testing::TestWithParam<u32> {};
+
+TEST_P(TransparencyFuzz, AllEnginesProduceIdenticalResults) {
+  const std::string body = random_program(GetParam(), 120);
+  const Observed base = observe(body, ProtectionMode::kNone);
+  ASSERT_EQ(base.kind, kernel::ExitKind::kExited);
+  for (const auto mode :
+       {ProtectionMode::kSplitAll, ProtectionMode::kHardwareNx,
+        ProtectionMode::kNxPlusSplitMixed}) {
+    const Observed other = observe(body, mode);
+    EXPECT_EQ(other.kind, base.kind) << core::to_string(mode);
+    EXPECT_EQ(other.code, base.code) << core::to_string(mode);
+    EXPECT_EQ(other.console, base.console) << core::to_string(mode);
+    EXPECT_EQ(other.instructions, base.instructions) << core::to_string(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransparencyFuzz,
+                         ::testing::Range(1u, 21u));
+
+class FractionTransparencyFuzz : public ::testing::TestWithParam<u32> {};
+
+TEST_P(FractionTransparencyFuzz, PartialSplittingIsAlsoTransparent) {
+  const std::string body = random_program(GetParam() * 977, 80);
+  const Observed base = observe(body, ProtectionMode::kNone);
+  ASSERT_EQ(base.kind, kernel::ExitKind::kExited);
+  for (const u32 pct : {10u, 50u, 90u}) {
+    testing::GuestRun r;
+    r.k = std::make_unique<kernel::Kernel>();
+    r.k->set_engine(std::make_unique<core::SplitMemoryEngine>(
+        core::SplitPolicy::fraction(pct, GetParam())));
+    r.k->register_image(testing::build_guest_image(body));
+    r.pid = r.k->spawn("guest");
+    r.k->run(50'000'000);
+    EXPECT_EQ(r.proc().exit_code, base.code) << pct << "%";
+    EXPECT_EQ(r.proc().console, base.console) << pct << "%";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FractionTransparencyFuzz,
+                         ::testing::Range(1u, 9u));
+
+// --- security invariant -----------------------------------------------------
+
+class SecurityFuzz : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SecurityFuzz, WritesNeverReachTheFetchPath) {
+  // The guest fills a buffer with RANDOM bytes (some of which are valid
+  // opcodes, even NOP sleds) and jumps into it at a random offset. Under
+  // split memory this must NEVER execute attacker bytes: the process dies
+  // (or, if the code frame bytes at that point happen to equal the data —
+  // impossible here since the buffer page's code frame is zero-filled).
+  std::mt19937 rng(GetParam());
+  std::ostringstream fill;
+  const int n = 64;
+  fill << "_start:\n  movi r4, buf\n";
+  for (int i = 0; i < n; ++i) {
+    fill << "  movi r5, " << rng() % 256 << "\n  storeb [r4+" << i
+         << "], r5\n";
+  }
+  fill << "  movi r5, buf+" << rng() % n << "\n  jmpr r5\n"
+       << "  movi r0, SYS_EXIT\n  movi r1, 0\n  syscall\n"
+       << ".bss\nbuf: .space 4096\n";
+
+  auto r = run_guest(fill.str(), ProtectionMode::kSplitAll);
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_NE(r.proc().exit_kind, kernel::ExitKind::kExited);
+  // And the fetch path saw the pristine code frame: the injected bytes are
+  // visible through the DATA view only.
+  // (Detection may or may not fire depending on whether the jump target
+  // decodes to an invalid opcode; dying without executing is the invariant.)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecurityFuzz, ::testing::Range(1u, 13u));
+
+// --- TLB coherence ----------------------------------------------------------
+
+TEST(TlbCoherence, NonSplitPagesNeverDesynchronize) {
+  const char* body = R"(
+_start:
+  movi r4, buf
+  movi r5, 0
+loop:
+  store [r4], r5
+  load r2, [r4]
+  addi r4, 4096
+  addi r5, 1
+  cmpi r5, 8
+  jnz loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 32768
+)";
+  testing::GuestRun r = testing::start_guest(body, ProtectionMode::kNone);
+  r.k->run(100'000);
+  // For every mapped page: any cached TLB entry agrees with the PTE.
+  kernel::Process& p = r.proc();
+  if (p.as != nullptr) {
+    p.as->pt().for_each_mapping([&](u32 vaddr, arch::Pte pte) {
+      const u32 vpn = arch::vpn_of(vaddr);
+      if (const auto e = r.k->mmu().dtlb().peek(vpn)) {
+        EXPECT_EQ(e->pfn, pte.pfn()) << "D-TLB stale for " << std::hex
+                                     << vaddr;
+      }
+      if (const auto e = r.k->mmu().itlb().peek(vpn)) {
+        EXPECT_EQ(e->pfn, pte.pfn()) << "I-TLB stale for " << std::hex
+                                     << vaddr;
+      }
+    });
+  }
+}
+
+TEST(TlbCoherence, SplitPagesDesynchronizeExactlyAsIntended) {
+  // Under split memory, a page that both executed and was read has the
+  // I-TLB pointing at the code frame and the D-TLB at the data frame.
+  const char* body = R"(
+_start:
+  movi r4, _start
+  load r5, [r4]           ; read our own text page as data
+  jmp spin
+spin:
+  jmp spin
+)";
+  testing::GuestRun r = testing::start_guest(body, ProtectionMode::kSplitAll);
+  r.k->run(1'000);
+  kernel::Process& p = r.proc();
+  const auto program =
+      assembler::assemble(guest::program(body));
+  const u32 vpn = arch::vpn_of(program.symbol("_start"));
+  const auto* pair = p.as->split_pair(vpn);
+  ASSERT_NE(pair, nullptr);
+  const auto ie = r.k->mmu().itlb().peek(vpn);
+  const auto de = r.k->mmu().dtlb().peek(vpn);
+  ASSERT_TRUE(ie.has_value());
+  ASSERT_TRUE(de.has_value());
+  EXPECT_EQ(ie->pfn, pair->code_frame);
+  EXPECT_EQ(de->pfn, pair->data_frame);
+  EXPECT_NE(ie->pfn, de->pfn);
+}
+
+// --- accounting ------------------------------------------------------------
+
+class AccountingFuzz : public ::testing::TestWithParam<u32> {};
+
+TEST_P(AccountingFuzz, NoFrameLeaksEver) {
+  const std::string body = random_program(GetParam() * 31, 60);
+  for (const auto mode : {ProtectionMode::kNone, ProtectionMode::kSplitAll,
+                          ProtectionMode::kNxPlusSplitMixed}) {
+    auto r = run_guest(body, mode);
+    ASSERT_TRUE(r.k->all_exited());
+    EXPECT_EQ(r.k->phys().frames_in_use(), 0u) << core::to_string(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccountingFuzz, ::testing::Range(1u, 9u));
+
+// --- fault-protocol termination ---------------------------------------------
+
+TEST(Termination, SplitFaultsPerInstructionAreBounded) {
+  // Worst-case instruction: fetch on one split page + data access on
+  // another, both cold. Must complete with a bounded number of traps.
+  const char* body = R"(
+_start:
+  movi r4, buf
+  load r5, [r4]
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 64
+)";
+  auto r = run_guest(body, ProtectionMode::kSplitAll);
+  ASSERT_TRUE(r.k->all_exited());
+  const auto& s = r.k->stats();
+  // A handful of pages; generous bound that still catches livelock.
+  EXPECT_LT(s.page_faults, 40u);
+  EXPECT_LT(s.single_steps, 10u);
+}
+
+TEST(Termination, InstructionReadingItsOwnPageTerminates) {
+  // The corner case the paper's Algorithm 1 classifies by "addr == EIP":
+  // a LOAD whose data operand is its own instruction page. Must terminate
+  // (and, as in the paper, the data read is served from the code frame
+  // while the PTE is unrestricted for the single-step).
+  const char* body = R"(
+_start:
+  movi r4, _start
+  load r5, [r4]
+  mov r1, r5
+  movi r0, SYS_EXIT
+  syscall
+)";
+  auto r = run_guest(body, ProtectionMode::kSplitAll);
+  ASSERT_TRUE(r.k->all_exited());
+  EXPECT_EQ(r.proc().exit_kind, kernel::ExitKind::kExited);
+  // The word read is the first instruction's own encoding (movi r4, imm).
+  EXPECT_EQ(r.proc().exit_code & 0xFFu, 0x01u);
+}
+
+}  // namespace
+}  // namespace sm

@@ -1,0 +1,287 @@
+// Tests for the split-memory engine: the fault protocol (Algorithms 1-2),
+// the security property (injected bytes never reach the fetch path), and
+// the response modes (Algorithm 3).
+#include "core/split_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using core::ProtectionMode;
+using core::ResponseMode;
+using kernel::ExitKind;
+using testing::run_guest;
+using testing::start_guest;
+
+// A self-injection victim: copies shellcode bytes into a bss buffer and
+// jumps to it. On a von Neumann machine this spawns a shell; under split
+// memory the fetch lands on the zero-filled code frame.
+const char* kSelfInject = R"(
+_start:
+  movi r1, buf
+  movi r2, payload
+  movi r3, payload_end
+  sub r3, r2
+  call memcpy
+  movi r5, buf
+  jmpr r5                 ; "hijacked control flow"
+.data
+payload:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+payload_end: .byte 0
+.bss
+buf: .space 256
+)";
+
+TEST(SplitEngine, InjectionSucceedsUnprotected) {
+  auto r = run_guest(kSelfInject, ProtectionMode::kNone);
+  EXPECT_TRUE(r.proc().shell_spawned);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kExited);
+}
+
+TEST(SplitEngine, InjectionFoiledBySplitMemory) {
+  auto r = run_guest(kSelfInject, ProtectionMode::kSplitAll);
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kKilledSigill);
+  ASSERT_EQ(r.k->detections().size(), 1u);
+  const auto& ev = r.k->detections()[0];
+  EXPECT_EQ(ev.mode, "break");
+  // EIP points at the injected code's address in the bss buffer.
+  EXPECT_EQ(ev.eip, testing::build_guest_image(kSelfInject).symbol("buf"));
+  // The recorded shellcode is the attacker's payload (read from the DATA
+  // frame): its first instruction is movi r0, SYS_SPAWN_SHELL.
+  ASSERT_GE(ev.shellcode.size(), 6u);
+  EXPECT_EQ(ev.shellcode[0], 0x01);
+  EXPECT_EQ(ev.shellcode[2], kernel::kSysSpawnShell);
+}
+
+TEST(SplitEngine, InjectionFoiledByNx) {
+  auto r = run_guest(kSelfInject, ProtectionMode::kHardwareNx);
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kKilledSigsegv);
+  ASSERT_EQ(r.k->detections().size(), 1u);
+  EXPECT_EQ(r.k->detections()[0].mode, "nx");
+}
+
+TEST(SplitEngine, ItlbLoadUsesExactlyTwoTraps) {
+  // A minimal program: N instructions on one code page, data elsewhere.
+  const char* body = R"(
+_start:
+  movi r0, SYS_EXIT
+  movi r1, 7
+  syscall
+)";
+  auto r = run_guest(body, ProtectionMode::kSplitAll);
+  EXPECT_EQ(r.proc().exit_code, 7u);
+  const auto& s = r.k->stats();
+  // One code page was I-TLB-loaded: one split I-load, one single-step.
+  EXPECT_EQ(s.split_itlb_loads, 1u);
+  EXPECT_EQ(s.single_steps, 1u);
+}
+
+TEST(SplitEngine, DtlbLoadPerDataPage) {
+  const char* body = R"(
+_start:
+  movi r1, buf
+  load r2, [r1]          ; page 1 of bss
+  movi r1, buf2
+  load r2, [r1]          ; page 2 of bss
+  load r3, [r1+4]        ; same page: D-TLB hit, no new split load
+  movi r0, SYS_EXIT
+  syscall
+.bss
+buf:  .space 4096
+buf2: .space 4096
+)";
+  auto r = run_guest(body, ProtectionMode::kSplitAll);
+  const auto& s = r.k->stats();
+  // Data pages split-loaded: 2 bss pages + stack page(s) touched at most
+  // never (no stack use here) => exactly 2.
+  EXPECT_EQ(s.split_dtlb_loads, 2u);
+}
+
+TEST(SplitEngine, MixedPageProtectedBySplitButNotByNx) {
+  // Program PATCHES ITS OWN TEXT PAGE (writes shellcode into the padding
+  // after the jump) and jumps to it: a mixed code+data page, the layout
+  // the execute-disable bit cannot protect (paper Fig. 1b).
+  const char* body = R"(
+_start:
+  movi r1, hole
+  movi r2, payload
+  movi r3, payload_end
+  sub r3, r2
+  call memcpy
+  movi r5, hole
+  jmpr r5
+hole:
+  .space 64
+.data
+payload:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+payload_end: .byte 0
+)";
+  // Build with a writable text segment (a "mixed page" program).
+  auto make = [&](ProtectionMode mode) {
+    testing::GuestRun r;
+    r.k = std::make_unique<kernel::Kernel>();
+    r.k->set_engine(core::make_engine(mode));
+    r.k->register_image(
+        testing::build_guest_image(body, "guest", /*mixed_text=*/true));
+    r.pid = r.k->spawn("guest");
+    r.k->run(10'000'000);
+    return r;
+  };
+
+  // NX cannot protect the mixed page: the attack succeeds.
+  auto nx = make(ProtectionMode::kHardwareNx);
+  EXPECT_TRUE(nx.proc().shell_spawned);
+
+  // Split memory: the write went to the data frame; the fetch sees the
+  // ORIGINAL text bytes (zero padding in the hole -> #UD -> killed).
+  auto split = make(ProtectionMode::kSplitAll);
+  EXPECT_FALSE(split.proc().shell_spawned);
+  EXPECT_EQ(split.proc().exit_kind, ExitKind::kKilledSigill);
+
+  // Combined mode: the mixed page is split even though everything else
+  // uses NX.
+  auto combined = make(ProtectionMode::kNxPlusSplitMixed);
+  EXPECT_FALSE(combined.proc().shell_spawned);
+}
+
+TEST(SplitEngine, ObserveModeLetsTheAttackContinue) {
+  auto r = run_guest(kSelfInject, ProtectionMode::kSplitAll);
+  ASSERT_EQ(r.proc().exit_kind, ExitKind::kKilledSigill);
+
+  testing::GuestRun obs = start_guest(kSelfInject, ProtectionMode::kSplitAll,
+                                      ResponseMode::kObserve);
+  obs.k->run(10'000'000);
+  // Detected AND the attack proceeded: shell spawned, clean exit.
+  EXPECT_EQ(obs.k->detections().size(), 1u);
+  EXPECT_TRUE(obs.proc().shell_spawned);
+  EXPECT_EQ(obs.proc().exit_kind, ExitKind::kExited);
+}
+
+TEST(SplitEngine, ObserveModeLogsOnlyFirstExecutionPerPage) {
+  // After observe locks the page onto the data frame, later executions on
+  // that page run unhindered (paper §5.5).
+  const char* body = R"(
+_start:
+  movi r1, buf
+  movi r2, payload
+  movi r3, payload_end
+  sub r3, r2
+  call memcpy
+  movi r5, buf
+  callr r5               ; first injected run: detected, then continues
+  movi r5, buf
+  callr r5               ; second run: no further detection
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+payload:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+  ret
+payload_end: .byte 0
+.bss
+buf: .space 256
+)";
+  auto r = start_guest(body, ProtectionMode::kSplitAll,
+                       ResponseMode::kObserve);
+  r.k->run(10'000'000);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kExited);
+  EXPECT_EQ(r.k->detections().size(), 1u);
+}
+
+TEST(SplitEngine, ForensicsModeInjectsExitShellcode) {
+  auto r = start_guest(kSelfInject, ProtectionMode::kSplitAll,
+                       ResponseMode::kForensics);
+  // The paper's §6.1.3 demo: forensic shellcode = exit(0).
+  auto* engine = dynamic_cast<core::SplitMemoryEngine*>(&r.k->engine());
+  ASSERT_NE(engine, nullptr);
+  const auto program = assembler::assemble(guest::prelude() + R"(
+_start:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)");
+  engine->set_forensic_shellcode(program.text);
+
+  r.k->run(10'000'000);
+  // Attack detected; shellcode dumped; process exited GRACEFULLY (no
+  // segfault) because the forensic shellcode ran instead of the attack.
+  ASSERT_EQ(r.k->detections().size(), 1u);
+  EXPECT_FALSE(r.k->detections()[0].disassembly.empty());
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kExited);
+  EXPECT_EQ(r.proc().exit_code, 0u);
+}
+
+TEST(SplitEngine, RecoveryModeTransfersToRegisteredHandler) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_REGISTER_RECOVERY
+  movi r1, recover
+  syscall
+  movi r1, buf
+  movi r2, payload
+  movi r3, payload_end
+  sub r3, r2
+  call memcpy
+  movi r5, buf
+  jmpr r5
+recover:
+  ; graceful cleanup path: exit(99)
+  movi r0, SYS_EXIT
+  movi r1, 99
+  syscall
+.data
+payload:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+payload_end: .byte 0
+.bss
+buf: .space 256
+)";
+  auto r = start_guest(body, ProtectionMode::kSplitAll,
+                       ResponseMode::kRecovery);
+  r.k->run(10'000'000);
+  EXPECT_EQ(r.k->detections().size(), 1u);
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kExited);
+  EXPECT_EQ(r.proc().exit_code, 99u);
+}
+
+TEST(SplitEngine, SplitPagesFreeBothFramesOnExit) {
+  auto r = run_guest(kSelfInject, ProtectionMode::kSplitAll);
+  EXPECT_EQ(r.k->phys().frames_in_use(), 0u);
+}
+
+TEST(SplitEngine, GenuineIllegalInstructionIsNotMisclassified) {
+  // An invalid opcode inside the REAL text (not injected) must not be
+  // reported as a code-injection attack: the code and data views agree at
+  // EIP, so the engine passes it through as a plain SIGILL.
+  const char* body = R"(
+_start:
+  .byte 0xFF
+)";
+  auto r = run_guest(body, ProtectionMode::kSplitAll);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kKilledSigill);
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_TRUE(r.k->detections().empty());
+}
+
+}  // namespace
+}  // namespace sm

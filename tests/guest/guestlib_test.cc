@@ -1,0 +1,345 @@
+// Guest libc tests: string routines, the exploitable allocator, and
+// setjmp/longjmp — exercised inside the simulator where they actually run.
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using arch::u32;
+
+using core::ProtectionMode;
+using testing::run_guest;
+
+u32 exit_code(const char* body,
+              ProtectionMode mode = ProtectionMode::kSplitAll) {
+  auto r = run_guest(body, mode);
+  EXPECT_TRUE(r.k->all_exited()) << "guest did not exit";
+  EXPECT_EQ(r.proc().exit_kind, kernel::ExitKind::kExited);
+  return r.proc().exit_code;
+}
+
+TEST(GuestLibc, Strlen) {
+  EXPECT_EQ(exit_code(R"(
+_start:
+  movi r1, s
+  call strlen
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+.data
+s: .asciz "hello, world"
+)"),
+            12u);
+}
+
+TEST(GuestLibc, StrcpyCopiesIncludingNul) {
+  EXPECT_EQ(exit_code(R"(
+_start:
+  movi r1, dst
+  movi r2, src
+  call strcpy
+  movi r1, dst
+  call strlen
+  mov r1, r0
+  movi r4, dst
+  loadb r2, [r4+2]
+  add r1, r2              ; 3 + 'd'
+  movi r0, SYS_EXIT
+  syscall
+.data
+src: .asciz "abd"
+.bss
+dst: .space 16
+)"),
+            3u + 'd');
+}
+
+TEST(GuestLibc, MemcpyAndMemset) {
+  EXPECT_EQ(exit_code(R"(
+_start:
+  movi r1, buf
+  movi r2, 0xEE
+  movi r3, 32
+  call memset
+  movi r1, buf+8
+  movi r2, src
+  movi r3, 4
+  call memcpy
+  movi r4, buf
+  loadb r1, [r4+7]        ; 0xEE
+  loadb r2, [r4+8]        ; 'x'
+  add r1, r2
+  movi r0, SYS_EXIT
+  syscall
+.data
+src: .ascii "xyzw"
+.bss
+buf: .space 32
+)"),
+            0xEEu + 'x');
+}
+
+TEST(GuestLibc, MallocReturnsDistinctWritableChunks) {
+  EXPECT_EQ(exit_code(R"(
+_start:
+  call malloc_init
+  movi r1, 100
+  call malloc
+  push r0
+  movi r1, 100
+  call malloc
+  pop r5
+  ; distinct?
+  cmp r0, r5
+  jz fail
+  ; both writable, independently
+  movi r2, 7
+  store [r5], r2
+  movi r2, 9
+  store [r0], r2
+  load r1, [r5]
+  load r2, [r0]
+  add r1, r2              ; 16
+  movi r0, SYS_EXIT
+  syscall
+fail:
+  movi r0, SYS_EXIT
+  movi r1, 99
+  syscall
+)"),
+            16u);
+}
+
+TEST(GuestLibc, FreeThenMallocReusesTheChunk) {
+  EXPECT_EQ(exit_code(R"(
+_start:
+  call malloc_init
+  movi r1, 64
+  call malloc
+  push r0
+  ; allocate a barrier so the freed chunk does not merge into wilderness
+  movi r1, 64
+  call malloc
+  pop r5
+  push r5
+  mov r1, r5
+  call free
+  movi r1, 64
+  call malloc
+  pop r5
+  cmp r0, r5              ; first-fit: same payload back
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)"),
+            0u);
+}
+
+TEST(GuestLibc, FreeCoalescesForward) {
+  EXPECT_EQ(exit_code(R"(
+_start:
+  call malloc_init
+  movi r1, 64
+  call malloc
+  movi r4, slot_a
+  store [r4], r0          ; A
+  movi r1, 64
+  call malloc
+  movi r4, slot_b
+  store [r4], r0          ; B
+  movi r1, 64
+  call malloc             ; C: barrier before wilderness
+  movi r4, slot_b
+  load r1, [r4]
+  call free               ; free B
+  movi r4, slot_a
+  load r1, [r4]
+  call free               ; free A: coalesces with B via unlink
+  ; now a 128-byte request fits in the merged A+B chunk (first fit)
+  movi r1, 120
+  call malloc
+  movi r4, slot_a
+  load r5, [r4]
+  cmp r0, r5
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+slot_a: .space 4
+slot_b: .space 4
+)"),
+            0u);
+}
+
+TEST(GuestLibc, MallocExhaustionReturnsNull) {
+  EXPECT_EQ(exit_code(R"(
+_start:
+  call malloc_init
+  ; the arena is 256 KiB; ask for more
+  movi r1, 0x80000
+  call malloc
+  cmpi r0, 0
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)"),
+            0u);
+}
+
+TEST(GuestLibc, SetjmpReturnsZeroThenLongjmpValue) {
+  EXPECT_EQ(exit_code(R"(
+_start:
+  movi r1, jb
+  call setjmp
+  cmpi r0, 0
+  jnz second
+  ; first pass
+  movi r4, counter
+  load r5, [r4]
+  addi r5, 1
+  store [r4], r5
+  movi r1, jb
+  movi r2, 33
+  call longjmp
+second:
+  ; r0 == 33, counter == 1 (no double increment)
+  movi r4, counter
+  load r5, [r4]
+  add r0, r5
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+.data
+counter: .word 0
+.bss
+jb: .space 12
+)"),
+            34u);
+}
+
+TEST(GuestLibc, LongjmpUnwindsNestedFrames) {
+  EXPECT_EQ(exit_code(R"(
+_start:
+  movi r1, jb
+  call setjmp
+  cmpi r0, 0
+  jnz done
+  call level1
+  ; never reached
+  movi r0, SYS_EXIT
+  movi r1, 99
+  syscall
+level1:
+  push fp
+  mov fp, sp
+  call level2
+  mov sp, fp
+  pop fp
+  ret
+level2:
+  movi r1, jb
+  movi r2, 21
+  call longjmp
+done:
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+.bss
+jb: .space 12
+)"),
+            21u);
+}
+
+TEST(GuestLibc, PutHexFormats) {
+  const char* body = R"(
+_start:
+  movi r1, FD_CONSOLE
+  movi r2, 0xDEADBEEF
+  call put_hex_fd
+  movi r1, FD_CONSOLE
+  movi r2, 0x7
+  call put_hex_fd
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)";
+  auto r = run_guest(body, ProtectionMode::kNone);
+  EXPECT_EQ(r.console(), "0xdeadbeef\n0x00000007\n");
+}
+
+TEST(GuestLibc, ReadLineStopsAtNewlineAndTerminates) {
+  const char* body = R"(
+_start:
+  movi r1, FD_NET
+  movi r2, buf
+  movi r3, 32
+  call read_line
+  mov r5, r0              ; length
+  movi r4, buf
+  loadb r1, [r4+4]        ; NUL written?
+  add r5, r1
+  movi r4, total
+  store [r4], r5
+  ; read the next line to prove the newline was consumed
+  movi r1, FD_NET
+  movi r2, buf
+  movi r3, 32
+  call read_line
+  movi r4, total
+  load r5, [r4]
+  add r5, r0
+  mov r1, r5
+  movi r0, SYS_EXIT
+  syscall
+.bss
+buf: .space 32
+total: .space 4
+)";
+  auto r = testing::start_guest(body, ProtectionMode::kNone);
+  r.chan->host_write(std::string("abcd\nxy\n"));
+  r.k->run(10'000'000);
+  // 4 (first line) + 0 (NUL) + 2 (second line) = 6
+  EXPECT_EQ(r.proc().exit_code, 6u);
+}
+
+TEST(GuestLibc, ReadNReadsExactly) {
+  const char* body = R"(
+_start:
+  movi r1, FD_NET
+  movi r2, buf
+  movi r3, 10
+  call read_n
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+.bss
+buf: .space 16
+)";
+  auto r = testing::start_guest(body, ProtectionMode::kNone);
+  r.chan->host_write(std::string("12345"));  // partial
+  r.k->run(1'000'000);
+  EXPECT_FALSE(r.k->all_exited());  // still blocked for 5 more
+  r.chan->host_write(std::string("67890"));
+  r.k->run(10'000'000);
+  EXPECT_EQ(r.proc().exit_code, 10u);
+}
+
+}  // namespace
+}  // namespace sm

@@ -1,0 +1,110 @@
+#include "image/image.h"
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+
+namespace sm::image {
+namespace {
+
+Image sample_image() {
+  const auto p = assembler::assemble(R"(
+_start:
+  movi r0, 1
+  ret
+.data
+greeting: .asciz "hey"
+.bss
+buf: .space 4096
+)");
+  BuildOptions opts;
+  opts.name = "sample";
+  return build_image(p, opts);
+}
+
+TEST(Image, BuildFromProgram) {
+  const Image img = sample_image();
+  EXPECT_EQ(img.name, "sample");
+  ASSERT_EQ(img.segments.size(), 3u);
+  EXPECT_EQ(img.segments[0].name, "text");
+  EXPECT_EQ(img.segments[0].prot, kProtRead | kProtExec);
+  EXPECT_FALSE(img.segments[0].mixed());
+  EXPECT_EQ(img.segments[1].name, "data");
+  EXPECT_EQ(img.segments[1].prot, kProtRead | kProtWrite);
+  EXPECT_EQ(img.segments[2].name, "bss");
+  EXPECT_EQ(img.segments[2].mem_size, 4096u);
+  EXPECT_TRUE(img.segments[2].bytes.empty());
+  EXPECT_EQ(img.entry, img.symbol("_start"));
+}
+
+TEST(Image, MixedTextOption) {
+  const auto p = assembler::assemble("_start: nop\n");
+  BuildOptions opts;
+  opts.mixed_text = true;
+  const Image img = build_image(p, opts);
+  EXPECT_TRUE(img.segments[0].mixed());
+}
+
+TEST(Image, SerializeDeserializeRoundTrip) {
+  const Image img = sample_image();
+  const Image back = Image::deserialize(img.serialize());
+  EXPECT_EQ(back.name, img.name);
+  EXPECT_EQ(back.entry, img.entry);
+  ASSERT_EQ(back.segments.size(), img.segments.size());
+  for (std::size_t i = 0; i < img.segments.size(); ++i) {
+    EXPECT_EQ(back.segments[i].name, img.segments[i].name);
+    EXPECT_EQ(back.segments[i].vaddr, img.segments[i].vaddr);
+    EXPECT_EQ(back.segments[i].mem_size, img.segments[i].mem_size);
+    EXPECT_EQ(back.segments[i].prot, img.segments[i].prot);
+    EXPECT_EQ(back.segments[i].bytes, img.segments[i].bytes);
+  }
+  EXPECT_EQ(back.symbols, img.symbols);
+}
+
+TEST(Image, SignAndVerify) {
+  Image img = sample_image();
+  const std::vector<arch::u8> key = {'s', 'e', 'c', 'r', 'e', 't'};
+  EXPECT_FALSE(img.verify(key));  // unsigned
+  img.sign(key);
+  EXPECT_TRUE(img.verify(key));
+  const std::vector<arch::u8> wrong_key = {'w', 'r', 'o', 'n', 'g'};
+  EXPECT_FALSE(img.verify(wrong_key));
+}
+
+TEST(Image, TamperedImageFailsVerification) {
+  Image img = sample_image();
+  const std::vector<arch::u8> key = {1, 2, 3};
+  img.sign(key);
+  // A trojaned byte in the text segment must invalidate the signature —
+  // the DigSig-style property the paper relies on for library loading.
+  img.segments[0].bytes[0] ^= 0xFF;
+  EXPECT_FALSE(img.verify(key));
+}
+
+TEST(Image, SignatureSurvivesSerialization) {
+  Image img = sample_image();
+  const std::vector<arch::u8> key = {9, 9};
+  img.sign(key);
+  const Image back = Image::deserialize(img.serialize());
+  EXPECT_TRUE(back.verify(key));
+}
+
+TEST(Image, TruncatedBytesRejected) {
+  const Image img = sample_image();
+  auto bytes = img.serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(Image::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Image, BadMagicRejected) {
+  auto bytes = sample_image().serialize();
+  bytes[0] ^= 0x55;
+  EXPECT_THROW(Image::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Image, MissingSymbolThrows) {
+  EXPECT_THROW(sample_image().symbol("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sm::image

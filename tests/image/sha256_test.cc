@@ -1,0 +1,54 @@
+#include "image/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sm::image {
+namespace {
+
+std::vector<arch::u8> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(hex_digest(sha256(bytes(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_digest(sha256(bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      hex_digest(sha256(bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongInputCrossesBlockBoundaries) {
+  // One million 'a' characters (FIPS 180 test vector).
+  const std::vector<arch::u8> a(1'000'000, 'a');
+  EXPECT_EQ(hex_digest(sha256(a)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HmacSha256, Rfc4231Vector1) {
+  const std::vector<arch::u8> key(20, 0x0b);
+  EXPECT_EQ(hex_digest(hmac_sha256(key, bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Vector2) {
+  EXPECT_EQ(hex_digest(hmac_sha256(bytes("Jefe"),
+                                   bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const std::vector<arch::u8> key(131, 0xaa);
+  EXPECT_EQ(hex_digest(hmac_sha256(
+                key, bytes("Test Using Larger Than Block-Size Key - Hash "
+                           "Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+}  // namespace
+}  // namespace sm::image

@@ -1,0 +1,228 @@
+// Direct unit tests for AddressSpace (VMA bookkeeping, split-pair
+// registry, teardown) and GuestMem (kernel-side views of split pages).
+#include <gtest/gtest.h>
+
+#include "kernel/address_space.h"
+#include "kernel/guest_mem.h"
+
+namespace sm::kernel {
+namespace {
+
+using arch::kPageSize;
+using arch::PhysicalMemory;
+using arch::Pte;
+
+Vma make_vma(u32 start, u32 end, u32 prot = 3) {
+  Vma v;
+  v.start = start;
+  v.end = end;
+  v.prot = prot;
+  v.name = "test";
+  return v;
+}
+
+TEST(AddressSpaceUnit, VmaAddFindRemove) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x10000, 0x14000));
+  as.add_vma(make_vma(0x20000, 0x21000));
+  EXPECT_NE(as.find_vma(0x10000), nullptr);
+  EXPECT_NE(as.find_vma(0x13FFF), nullptr);
+  EXPECT_EQ(as.find_vma(0x14000), nullptr);
+  EXPECT_NE(as.find_vma(0x20000), nullptr);
+}
+
+TEST(AddressSpaceUnit, OverlappingVmaRejected) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x10000, 0x14000));
+  EXPECT_THROW(as.add_vma(make_vma(0x12000, 0x15000)),
+               std::invalid_argument);
+  EXPECT_THROW(as.add_vma(make_vma(0x0F000, 0x11000)),
+               std::invalid_argument);
+  // Adjacent is fine.
+  EXPECT_NO_THROW(as.add_vma(make_vma(0x14000, 0x15000)));
+}
+
+TEST(AddressSpaceUnit, MisalignedVmaRejected) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  EXPECT_THROW(as.add_vma(make_vma(0x10800, 0x14000)),
+               std::invalid_argument);
+  EXPECT_THROW(as.add_vma(make_vma(0x10000, 0x10000)),
+               std::invalid_argument);
+}
+
+TEST(AddressSpaceUnit, RemoveRangeSplitsVmas) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x10000, 0x18000));
+  as.remove_range(0x12000, 0x14000);
+  EXPECT_NE(as.find_vma(0x10000), nullptr);  // left piece
+  EXPECT_EQ(as.find_vma(0x12000), nullptr);  // hole
+  EXPECT_EQ(as.find_vma(0x13FFF), nullptr);
+  const Vma* right = as.find_vma(0x14000);
+  ASSERT_NE(right, nullptr);
+  EXPECT_EQ(right->end, 0x18000u);
+}
+
+TEST(AddressSpaceUnit, RemoveRangeFreesMappedFrames) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x10000, 0x12000));
+  const u32 f = pm.alloc_frame();
+  as.pt().set(0x10000, Pte::make(f, Pte::kPresent | Pte::kUser));
+  const u32 used = pm.frames_in_use();
+  as.remove_range(0x10000, 0x12000);
+  EXPECT_EQ(pm.frames_in_use(), used - 1);
+}
+
+TEST(AddressSpaceUnit, FindMmapGapSkipsExistingVmas) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x40000000, 0x40004000));
+  const u32 gap = as.find_mmap_gap(0x2000);
+  EXPECT_GE(gap, 0x40004000u);
+  as.add_vma(make_vma(gap, gap + 0x2000));
+  const u32 gap2 = as.find_mmap_gap(0x1000);
+  EXPECT_GE(gap2, gap + 0x2000);
+}
+
+TEST(AddressSpaceUnit, SplitPairRegistryAndUnsplit) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x10000, 0x11000));
+  SplitPair pair{pm.alloc_frame(), pm.alloc_frame()};
+  as.pt().set(0x10000, Pte::make(pair.code_frame,
+                                 Pte::kPresent | Pte::kSplit));
+  as.register_split(0x10, pair);
+  ASSERT_NE(as.split_pair(0x10), nullptr);
+  EXPECT_EQ(as.split_pair(0x10)->data_frame, pair.data_frame);
+  EXPECT_EQ(as.split_pair(0x11), nullptr);
+
+  // Observe mode locks the PTE onto the data frame, then unsplits.
+  as.pt().set(0x10000,
+              Pte::make(pair.data_frame, Pte::kPresent | Pte::kUser));
+  const u32 used = pm.frames_in_use();
+  as.unsplit(0x10, /*kept_frame=*/pair.data_frame);
+  EXPECT_EQ(as.split_pair(0x10), nullptr);
+  EXPECT_EQ(pm.frames_in_use(), used - 1);  // code frame released
+  // Teardown releases the kept frame exactly once (no double free).
+}
+
+TEST(AddressSpaceUnit, DestroyFreesSplitPairsOnce) {
+  PhysicalMemory pm(64);
+  const u32 before = pm.frames_in_use();
+  {
+    AddressSpace as(pm);
+    as.add_vma(make_vma(0x10000, 0x11000));
+    SplitPair pair{pm.alloc_frame(), pm.alloc_frame()};
+    as.pt().set(0x10000,
+                Pte::make(pair.code_frame, Pte::kPresent | Pte::kSplit));
+    as.register_split(0x10, pair);
+    // destructor runs destroy()
+  }
+  EXPECT_EQ(pm.frames_in_use(), before);
+}
+
+TEST(AddressSpaceUnit, InitialPageBytesRespectsBackingWindow) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  Vma v = make_vma(0x10000, 0x12000);
+  auto backing = std::make_shared<std::vector<arch::u8>>();
+  backing->resize(kPageSize + 10, 0xAA);
+  (*backing)[0] = 0x11;
+  (*backing)[kPageSize] = 0x22;
+  v.backing = backing;
+  as.add_vma(v);
+
+  std::vector<arch::u8> page(kPageSize);
+  as.initial_page_bytes(*as.find_vma(0x10000), 0x10000, page);
+  EXPECT_EQ(page[0], 0x11);
+  // Second page: first 10 bytes from backing, rest zero-filled.
+  as.initial_page_bytes(*as.find_vma(0x11000), 0x11000, page);
+  EXPECT_EQ(page[0], 0x22);
+  EXPECT_EQ(page[10], 0x00);
+}
+
+TEST(GuestMemUnit, ViewsSelectTheRightFrame) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x10000, 0x11000));
+  SplitPair pair{pm.alloc_frame(), pm.alloc_frame()};
+  pm.frame_bytes(pair.code_frame)[4] = 0xC0;
+  pm.frame_bytes(pair.data_frame)[4] = 0xDA;
+  as.pt().set(0x10000,
+              Pte::make(pair.code_frame, Pte::kPresent | Pte::kSplit));
+  as.register_split(0x10, pair);
+
+  GuestMem gm(as);
+  arch::u8 b = 0;
+  ASSERT_TRUE(gm.read(0x10004, {&b, 1}, View::kData));
+  EXPECT_EQ(b, 0xDA);
+  ASSERT_TRUE(gm.read(0x10004, {&b, 1}, View::kCode));
+  EXPECT_EQ(b, 0xC0);
+
+  // kBoth writes hit both frames; kData only the data frame.
+  const arch::u8 w = 0x77;
+  ASSERT_TRUE(gm.write(0x10008, {&w, 1}, View::kBoth));
+  EXPECT_EQ(pm.frame_bytes(pair.code_frame)[8], 0x77);
+  EXPECT_EQ(pm.frame_bytes(pair.data_frame)[8], 0x77);
+  const arch::u8 w2 = 0x55;
+  ASSERT_TRUE(gm.write(0x10008, {&w2, 1}, View::kData));
+  EXPECT_EQ(pm.frame_bytes(pair.code_frame)[8], 0x77);
+  EXPECT_EQ(pm.frame_bytes(pair.data_frame)[8], 0x55);
+}
+
+TEST(GuestMemUnit, UnmappedAccessReturnsFalseAndWritesNothing) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x10000, 0x11000));
+  const u32 f = pm.alloc_frame();
+  as.pt().set(0x10000, Pte::make(f, Pte::kPresent | Pte::kUser));
+
+  GuestMem gm(as);
+  // Range straddling into an unmapped page: nothing may be written.
+  std::vector<arch::u8> data(16, 0xEE);
+  EXPECT_FALSE(gm.write(0x10FF8, data));
+  EXPECT_EQ(pm.frame_bytes(f)[kPageSize - 8], 0x00);
+  std::vector<arch::u8> out(16);
+  EXPECT_FALSE(gm.read(0x10FF8, out));
+}
+
+TEST(GuestMemUnit, ReadCstrStopsAtNulAndBounds) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x10000, 0x11000));
+  const u32 f = pm.alloc_frame();
+  as.pt().set(0x10000, Pte::make(f, Pte::kPresent | Pte::kUser));
+  auto bytes = pm.frame_bytes(f);
+  bytes[0] = 'h';
+  bytes[1] = 'i';
+  bytes[2] = 0;
+
+  GuestMem gm(as);
+  const auto s = gm.read_cstr(0x10000);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, "hi");
+  // Unterminated within max_len -> nullopt.
+  bytes[2] = 'x';
+  EXPECT_FALSE(gm.read_cstr(0x10000, 3).has_value());
+}
+
+TEST(GuestMemUnit, Write32ReadsBackLittleEndian) {
+  PhysicalMemory pm(64);
+  AddressSpace as(pm);
+  as.add_vma(make_vma(0x10000, 0x11000));
+  const u32 f = pm.alloc_frame();
+  as.pt().set(0x10000, Pte::make(f, Pte::kPresent | Pte::kUser));
+  GuestMem gm(as);
+  ASSERT_TRUE(gm.write32(0x10010, 0xA1B2C3D4));
+  EXPECT_EQ(pm.frame_bytes(f)[0x10], 0xD4);
+  const auto v = gm.read32(0x10010);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0xA1B2C3D4u);
+}
+
+}  // namespace
+}  // namespace sm::kernel

@@ -1,0 +1,172 @@
+// Unit tests for the host<->guest plumbing: Channel, Pipe, FileSystem, and
+// the Sebek logging hook.
+#include <gtest/gtest.h>
+
+#include "core/sebek.h"
+#include "kernel/channel.h"
+#include "kernel/filesystem.h"
+#include "support/guest_runner.h"
+
+namespace sm::kernel {
+namespace {
+
+TEST(Channel, HostToGuestAndBack) {
+  Channel c;
+  c.host_write(std::string("abc"));
+  EXPECT_EQ(c.guest_readable(), 3u);
+  u8 buf[8];
+  EXPECT_EQ(c.guest_read(std::span<u8>(buf, 2)), 2u);
+  EXPECT_EQ(buf[0], 'a');
+  EXPECT_EQ(c.guest_readable(), 1u);
+  c.guest_write(std::span<const u8>(buf, 2));
+  EXPECT_EQ(c.host_read_string(), "ab");
+  EXPECT_EQ(c.bytes_to_host(), 2u);
+}
+
+TEST(Channel, EofOnlyAfterCloseAndDrain) {
+  Channel c;
+  c.host_write(std::string("x"));
+  c.host_close();
+  EXPECT_FALSE(c.guest_eof());  // one byte still buffered
+  u8 b;
+  c.guest_read(std::span<u8>(&b, 1));
+  EXPECT_TRUE(c.guest_eof());
+}
+
+TEST(Channel, HostReadAllDrains) {
+  Channel c;
+  c.guest_write(std::vector<u8>{1, 2, 3});
+  EXPECT_EQ(c.host_read_all().size(), 3u);
+  EXPECT_TRUE(c.host_read_all().empty());
+}
+
+TEST(PipeUnit, BoundedCapacity) {
+  Pipe p;
+  p.add_reader();
+  p.add_writer();
+  std::vector<u8> big(Pipe::kCapacity + 100, 7);
+  EXPECT_EQ(p.write(big), Pipe::kCapacity);
+  EXPECT_EQ(p.writable(), 0u);
+  std::vector<u8> out(1000);
+  EXPECT_EQ(p.read(out), 1000u);
+  EXPECT_EQ(p.writable(), 1000u);
+}
+
+TEST(PipeUnit, EofAfterLastWriterGone) {
+  Pipe p;
+  p.add_reader();
+  p.add_writer();
+  p.add_writer();  // a forked copy
+  const u8 b = 1;
+  p.write({&b, 1});
+  p.remove_writer();
+  EXPECT_FALSE(p.eof());  // one writer left, one byte buffered
+  p.remove_writer();
+  EXPECT_FALSE(p.eof());  // buffered byte still readable
+  std::vector<u8> out(4);
+  p.read(out);
+  EXPECT_TRUE(p.eof());
+}
+
+TEST(PipeUnit, ReadClosedAfterLastReaderGone) {
+  Pipe p;
+  p.add_reader();
+  p.add_writer();
+  EXPECT_FALSE(p.read_closed());
+  p.remove_reader();
+  EXPECT_TRUE(p.read_closed());
+}
+
+TEST(FileSystemUnit, CreateTruncateLookup) {
+  FileSystem fs;
+  EXPECT_FALSE(fs.exists("f"));
+  auto node = fs.create("f", false);
+  node->bytes = {1, 2, 3};
+  EXPECT_TRUE(fs.exists("f"));
+  EXPECT_EQ(fs.lookup("f")->bytes.size(), 3u);
+  fs.create("f", /*truncate=*/true);
+  EXPECT_TRUE(fs.lookup("f")->bytes.empty());
+  EXPECT_TRUE(fs.remove("f"));
+  EXPECT_FALSE(fs.exists("f"));
+  EXPECT_EQ(fs.lookup("f"), nullptr);
+}
+
+TEST(FileSystemUnit, PutText) {
+  FileSystem fs;
+  fs.put("greeting", std::string("hi"));
+  ASSERT_NE(fs.lookup("greeting"), nullptr);
+  EXPECT_EQ(fs.lookup("greeting")->bytes.size(), 2u);
+}
+
+TEST(SebekUnit, ActivationGating) {
+  // Without a detection, an activation-gated logger stays silent; an
+  // ungated one records everything.
+  const char* body = R"(
+_start:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+  mov r1, r0
+  movi r2, buf
+  movi r3, 16
+  movi r0, SYS_READ
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 16
+)";
+  {
+    auto r = sm::testing::start_guest(body,
+                                      core::ProtectionMode::kNone);
+    core::SebekLogger gated(/*activate_on_detection=*/true);
+    gated.attach(*r.k);
+    r.chan->host_write(std::string("whoami\n"));
+    r.k->run(10'000'000);
+    EXPECT_TRUE(gated.entries().empty());  // no detection ever fired
+  }
+  {
+    auto r = sm::testing::start_guest(body,
+                                      core::ProtectionMode::kNone);
+    core::SebekLogger always(/*activate_on_detection=*/false);
+    always.attach(*r.k);
+    r.chan->host_write(std::string("whoami\n"));
+    r.k->run(10'000'000);
+    ASSERT_FALSE(always.entries().empty());
+    EXPECT_NE(always.dump().find("whoami"), std::string::npos);
+  }
+}
+
+TEST(SebekUnit, DumpEscapesNonPrintable) {
+  core::SebekLogger logger(false);
+  kernel::Kernel k;
+  logger.attach(k);
+  // Drive the hook directly through a process-less call is impossible;
+  // instead verify the dump formatting with a synthetic entry via a guest.
+  auto img = sm::testing::build_guest_image(R"(
+_start:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+  mov r1, r0
+  movi r2, buf
+  movi r3, 8
+  movi r0, SYS_READ
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 8
+)");
+  k.register_image(std::move(img));
+  const auto pid = k.spawn("guest");
+  auto chan = k.attach_channel(pid);
+  // (split literal: "\x01b" would parse as the single hex escape 0x1B)
+  chan->host_write(std::string("a\x01") + "b\n");
+  k.run(10'000'000);
+  const std::string dump = logger.dump();
+  EXPECT_NE(dump.find("a.b\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sm::kernel

@@ -1,0 +1,197 @@
+// Dynamic/shared library loading under memory splitting (paper §4.3):
+// libraries are detected at load/runtime, signature-verified, and their
+// pages split like everything else.
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using arch::u32;
+using core::ProtectionMode;
+using kernel::ExitKind;
+
+image::Image make_library(const std::string& name, u32 base,
+                          const std::string& body) {
+  assembler::Layout layout;
+  layout.text_base = base;
+  layout.data_base = base + 0x10000;
+  layout.bss_base = base + 0x20000;
+  const auto program = assembler::assemble(body, layout);
+  image::BuildOptions opts;
+  opts.name = name;
+  opts.entry_symbol = "lib_entry";
+  return image::build_image(program, opts);
+}
+
+const char* kHostBody = R"(
+_start:
+  movi r0, SYS_DLOPEN
+  movi r1, libname
+  syscall
+  cmpi r0, -1
+  jz fail
+  mov r5, r0
+  callr r5                 ; call lib_entry (returns a value in r0)
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+fail:
+  movi r0, SYS_EXIT
+  movi r1, 250
+  syscall
+.data
+libname: .asciz "libmath"
+)";
+
+const char* kLibBody = R"(
+lib_entry:
+  ; compute 6*7 using the library's own data page
+  movi r4, factor
+  load r0, [r4]
+  movi r2, 6
+  mul r0, r2
+  ret
+.data
+factor: .word 7
+)";
+
+class DlopenEngines : public ::testing::TestWithParam<ProtectionMode> {};
+INSTANTIATE_TEST_SUITE_P(Engines, DlopenEngines,
+                         ::testing::Values(ProtectionMode::kNone,
+                                           ProtectionMode::kSplitAll,
+                                           ProtectionMode::kHardwareNx,
+                                           ProtectionMode::kNxPlusSplitMixed));
+
+TEST_P(DlopenEngines, LibraryLoadsAndRuns) {
+  testing::GuestRun r = testing::start_guest(kHostBody, GetParam());
+  r.k->register_image(make_library("libmath", 0x40000000, kLibBody));
+  r.k->run(10'000'000);
+  ASSERT_TRUE(r.k->all_exited());
+  EXPECT_EQ(r.proc().exit_code, 42u);
+}
+
+TEST(Dlopen, LibraryPagesAreSplit) {
+  testing::GuestRun r =
+      testing::start_guest(kHostBody, ProtectionMode::kSplitAll);
+  r.k->register_image(make_library("libmath", 0x40000000, kLibBody));
+  r.k->run(10'000'000);
+  ASSERT_TRUE(r.k->all_exited());
+  // The library text page was I-TLB-loaded (it is split); its data page
+  // was D-TLB-loaded.
+  EXPECT_GE(r.k->stats().split_itlb_loads, 2u);  // host text + lib text
+}
+
+TEST(Dlopen, InjectionIntoLibraryDataIsFoiled) {
+  // Inject into the LIBRARY's writable data page and jump there.
+  const char* host = R"(
+_start:
+  movi r0, SYS_DLOPEN
+  movi r1, libname
+  syscall
+  cmpi r0, -1
+  jz fail
+  ; write shellcode into the library's data area (base + 0x10000)
+  movi r1, 0x40010000
+  movi r2, payload
+  movi r3, payload_end
+  sub r3, r2
+  call memcpy
+  movi r5, 0x40010000
+  jmpr r5
+fail:
+  movi r0, SYS_EXIT
+  movi r1, 250
+  syscall
+.data
+libname: .asciz "libmath"
+payload:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+payload_end: .byte 0
+)";
+  testing::GuestRun r = testing::start_guest(host, ProtectionMode::kSplitAll);
+  r.k->register_image(make_library("libmath", 0x40000000, kLibBody));
+  r.k->run(10'000'000);
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_EQ(r.k->detections().size(), 1u);
+}
+
+TEST(Dlopen, DoubleLoadIsRejected) {
+  const char* host = R"(
+_start:
+  movi r0, SYS_DLOPEN
+  movi r1, libname
+  syscall
+  mov r5, r0
+  movi r0, SYS_DLOPEN
+  movi r1, libname
+  syscall
+  cmpi r0, -1             ; second load: address-range collision
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  cmpi r5, -1
+  jz first_failed
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+first_failed:
+  movi r0, SYS_EXIT
+  movi r1, 2
+  syscall
+.data
+libname: .asciz "libmath"
+)";
+  testing::GuestRun r = testing::start_guest(host, ProtectionMode::kSplitAll);
+  r.k->register_image(make_library("libmath", 0x40000000, kLibBody));
+  r.k->run(10'000'000);
+  EXPECT_EQ(r.proc().exit_code, 0u);
+}
+
+TEST(Dlopen, UnknownLibraryReturnsError) {
+  testing::GuestRun r = testing::start_guest(R"(
+_start:
+  movi r0, SYS_DLOPEN
+  movi r1, libname
+  syscall
+  cmpi r0, -1
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+libname: .asciz "nosuchlib"
+)",
+                                              ProtectionMode::kNone);
+  r.k->run(10'000'000);
+  EXPECT_EQ(r.proc().exit_code, 0u);
+}
+
+TEST(Dlopen, SignatureGateRefusesTamperedLibrary) {
+  kernel::KernelConfig cfg;
+  cfg.require_signatures = true;
+  cfg.signing_key = {7, 7, 7};
+  kernel::Kernel k(cfg);
+  k.set_engine(core::make_engine(ProtectionMode::kSplitAll));
+  image::Image host = testing::build_guest_image(kHostBody);
+  host.sign(cfg.signing_key);
+  k.register_image(std::move(host));
+  image::Image lib = make_library("libmath", 0x40000000, kLibBody);
+  lib.sign(cfg.signing_key);
+  lib.segments[0].bytes[2] ^= 0x1;  // tamper post-signing
+  k.register_image(std::move(lib));
+  const auto pid = k.spawn("guest");
+  k.run(10'000'000);
+  EXPECT_EQ(k.process(pid)->exit_code, 250u);  // dlopen returned -1
+}
+
+}  // namespace
+}  // namespace sm

@@ -1,0 +1,264 @@
+// fork(), copy-on-write, waitpid and exec — the kernel machinery the
+// paper's §5.4 modifications (COW + demand paging under splitting) rely on.
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using core::ProtectionMode;
+using kernel::ExitKind;
+using testing::run_guest;
+
+class ForkBothEngines : public ::testing::TestWithParam<ProtectionMode> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, ForkBothEngines,
+                         ::testing::Values(ProtectionMode::kNone,
+                                           ProtectionMode::kSplitAll));
+
+TEST_P(ForkBothEngines, ChildSeesZeroParentSeesPid) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall                 ; r0 = child's exit code
+  addi r0, 100
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+child:
+  movi r0, SYS_EXIT
+  movi r1, 7
+  syscall
+)";
+  auto r = run_guest(body, GetParam());
+  EXPECT_TRUE(r.k->all_exited());
+  EXPECT_EQ(r.proc().exit_code, 107u);  // 100 + child's 7
+}
+
+TEST_P(ForkBothEngines, CowIsolatesWrites) {
+  // Parent writes 1 to a global AFTER forking; the child must still see
+  // the original 42 (copy-on-write isolation), and vice versa.
+  const char* body = R"(
+_start:
+  movi r4, shared
+  movi r5, 42
+  store [r4], r5
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  ; parent: overwrite, then wait for the child's verdict
+  movi r4, shared
+  movi r5, 1
+  store [r4], r5
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+  mov r1, r0              ; child exit code (0 = saw 42)
+  movi r0, SYS_EXIT
+  syscall
+child:
+  movi r0, SYS_YIELD      ; let the parent write first
+  syscall
+  movi r0, SYS_YIELD
+  syscall
+  movi r4, shared
+  load r5, [r4]
+  cmpi r5, 42
+  jz child_ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+child_ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+shared: .word 0
+)";
+  auto r = run_guest(body, GetParam());
+  EXPECT_TRUE(r.k->all_exited());
+  EXPECT_EQ(r.proc().exit_code, 0u) << "child observed the parent's write";
+}
+
+TEST_P(ForkBothEngines, GrandchildrenWork) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+  mov r1, r0
+  addi r1, 1
+  movi r0, SYS_EXIT
+  syscall
+child:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz grandchild
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+  mov r1, r0
+  addi r1, 1
+  movi r0, SYS_EXIT
+  syscall
+grandchild:
+  movi r0, SYS_EXIT
+  movi r1, 40
+  syscall
+)";
+  auto r = run_guest(body, GetParam());
+  EXPECT_EQ(r.proc().exit_code, 42u);
+}
+
+TEST_P(ForkBothEngines, NoFrameLeaksAcrossForkExit) {
+  const char* body = R"(
+_start:
+  movi r5, 5
+loop:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r1, r0
+  push r5
+  movi r0, SYS_WAITPID
+  syscall
+  pop r5
+  addi r5, -1
+  cmpi r5, 0
+  jnz loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+child:
+  ; touch some memory so the child owns pages of its own
+  movi r4, buf
+  movi r5, 99
+  store [r4], r5
+  store [r4+4096], r5
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 8192
+)";
+  auto r = run_guest(body, GetParam());
+  ASSERT_TRUE(r.k->all_exited());
+  EXPECT_EQ(r.k->phys().frames_in_use(), 0u);
+}
+
+TEST_P(ForkBothEngines, ExecReplacesTheImage) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_EXEC
+  movi r1, path
+  syscall
+  ; only reached on failure
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+.data
+path: .asciz "other"
+)";
+  testing::GuestRun r = testing::start_guest(body, GetParam());
+  const auto other = assembler::assemble(guest::program(R"(
+_start:
+  movi r1, msg
+  call print
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+msg: .asciz "exec'd\n"
+)"));
+  image::BuildOptions opts;
+  opts.name = "other";
+  r.k->register_image(image::build_image(other, opts));
+  r.k->run(10'000'000);
+  EXPECT_EQ(r.proc().exit_code, 0u);
+  EXPECT_EQ(r.console(), "exec'd\n");
+}
+
+TEST(ForkCow, SharedSplitPairsAreCopiedOnWrite) {
+  // Under split memory, a COW'd split page must duplicate BOTH frames.
+  const char* body = R"(
+_start:
+  movi r4, shared
+  movi r5, 42
+  store [r4], r5
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+  movi r4, shared
+  load r1, [r4]           ; must still be 42
+  movi r0, SYS_EXIT
+  syscall
+child:
+  movi r4, shared
+  movi r5, 9
+  store [r4], r5          ; COW duplication of the split pair
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+shared: .word 0
+)";
+  auto r = run_guest(body, ProtectionMode::kSplitAll);
+  ASSERT_TRUE(r.k->all_exited());
+  EXPECT_EQ(r.proc().exit_code, 42u);
+  EXPECT_GE(r.k->stats().cow_copies, 1u);
+  EXPECT_EQ(r.k->phys().frames_in_use(), 0u);
+}
+
+TEST(ForkCow, ReadOnlySharingAvoidsCopies) {
+  // A child that only READS shared memory never triggers a COW copy of
+  // those pages.
+  const char* body = R"(
+_start:
+  movi r4, shared
+  movi r5, 5
+  store [r4], r5
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+child:
+  movi r4, shared
+  load r1, [r4]
+  movi r0, SYS_EXIT
+  syscall
+.data
+shared: .word 0
+)";
+  auto r = run_guest(body, ProtectionMode::kNone);
+  ASSERT_TRUE(r.k->all_exited());
+  EXPECT_EQ(r.proc().exit_code, 5u);
+  // Stack pages COW (the child pushes/pops), but `shared`'s data page
+  // must not have been copied: allow at most the stack copies.
+  EXPECT_LE(r.k->stats().cow_copies, 2u);
+}
+
+}  // namespace
+}  // namespace sm

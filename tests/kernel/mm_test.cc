@@ -1,0 +1,254 @@
+// Memory-management syscalls: brk, mmap/munmap, mprotect, demand paging —
+// including the W+X mmap path that creates mixed pages (paper §2: "the
+// combination of write and execute accesses leads to mixed pages").
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using arch::u32;
+
+using core::ProtectionMode;
+using kernel::ExitKind;
+using testing::run_guest;
+
+class MmBothEngines : public ::testing::TestWithParam<ProtectionMode> {};
+INSTANTIATE_TEST_SUITE_P(Engines, MmBothEngines,
+                         ::testing::Values(ProtectionMode::kNone,
+                                           ProtectionMode::kSplitAll,
+                                           ProtectionMode::kHardwareNx));
+
+TEST_P(MmBothEngines, BrkGrowsTheHeap) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_BRK
+  movi r1, 0
+  syscall                 ; r0 = current break
+  mov r5, r0
+  mov r1, r5
+  movi r2, 8192
+  add r1, r2
+  movi r0, SYS_BRK
+  syscall                 ; extend by 8 KiB
+  ; write at both ends of the new region
+  movi r2, 123
+  store [r5], r2
+  store [r5+8188], r2
+  load r1, [r5+8188]
+  movi r0, SYS_EXIT
+  syscall
+)";
+  auto r = run_guest(body, GetParam());
+  EXPECT_EQ(r.proc().exit_code, 123u);
+}
+
+TEST_P(MmBothEngines, MmapReadWrite) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_MMAP
+  movi r1, 0
+  movi r2, 16384
+  movi r3, 3              ; PROT_R|PROT_W
+  syscall
+  mov r5, r0
+  movi r2, 77
+  store [r5], r2
+  store [r5+12288], r2
+  load r1, [r5+12288]
+  movi r0, SYS_EXIT
+  syscall
+)";
+  auto r = run_guest(body, GetParam());
+  EXPECT_EQ(r.proc().exit_code, 77u);
+}
+
+TEST_P(MmBothEngines, MunmapUnmapsAndFrees) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_MMAP
+  movi r1, 0
+  movi r2, 4096
+  movi r3, 3
+  syscall
+  mov r5, r0
+  movi r2, 1
+  store [r5], r2
+  movi r0, SYS_MUNMAP
+  mov r1, r5
+  movi r2, 4096
+  syscall
+  load r2, [r5]           ; must fault: SIGSEGV
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)";
+  auto r = run_guest(body, GetParam());
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kKilledSigsegv);
+  EXPECT_EQ(r.k->phys().frames_in_use(), 0u);
+}
+
+TEST(Mm, MprotectRevokesWrite) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_MMAP
+  movi r1, 0
+  movi r2, 4096
+  movi r3, 3
+  syscall
+  mov r5, r0
+  movi r2, 5
+  store [r5], r2          ; writable: ok
+  movi r0, SYS_MPROTECT
+  mov r1, r5
+  movi r2, 4096
+  movi r3, 1              ; PROT_R only
+  syscall
+  movi r2, 6
+  store [r5], r2          ; must SIGSEGV
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)";
+  auto r = run_guest(body, ProtectionMode::kNone);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kKilledSigsegv);
+}
+
+TEST(Mm, WxMmapIsExecutableUnderNxButSplitUnderCombined) {
+  // Writing code into a W+X mapping and jumping to it: allowed by NX
+  // (mixed page!), foiled by the combined NX+split engine.
+  const char* body = R"(
+_start:
+  movi r0, SYS_MMAP
+  movi r1, 0
+  movi r2, 4096
+  movi r3, 7              ; R|W|X: a mixed page
+  syscall
+  mov r5, r0
+  ; copy payload into it
+  mov r1, r5
+  movi r2, payload
+  movi r3, payload_end
+  sub r3, r2
+  call memcpy
+  callr r5
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+payload:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+  ret
+payload_end: .byte 0
+)";
+  auto nx = run_guest(body, ProtectionMode::kHardwareNx);
+  EXPECT_TRUE(nx.proc().shell_spawned);  // the NX gap
+
+  auto combined = run_guest(body, ProtectionMode::kNxPlusSplitMixed);
+  EXPECT_FALSE(combined.proc().shell_spawned);
+  EXPECT_EQ(combined.k->detections().size(), 1u);
+
+  auto split = run_guest(body, ProtectionMode::kSplitAll);
+  EXPECT_FALSE(split.proc().shell_spawned);
+}
+
+TEST(Mm, NxBlocksStackExecutionButAllowsData) {
+  const char* body = R"(
+_start:
+  ; read/write the stack: fine
+  movi r2, 11
+  store [sp-8], r2
+  load r1, [sp-8]
+  ; execute from the stack: NX kills us
+  mov r5, sp
+  movi r2, 512
+  sub r5, r2
+  jmpr r5
+)";
+  auto r = run_guest(body, ProtectionMode::kHardwareNx);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kKilledSigsegv);
+  ASSERT_EQ(r.k->detections().size(), 1u);
+  EXPECT_EQ(r.k->detections()[0].mode, "nx");
+}
+
+TEST(Mm, DemandPagingOnlyMaterializesTouchedPages) {
+  // A 1 MiB bss of which only 2 pages are touched: only those (plus code,
+  // data, stack) may consume frames.
+  const char* body = R"(
+_start:
+  movi r4, big
+  movi r5, 1
+  store [r4], r5
+  store [r4+524288], r5
+  movi r0, SYS_TIME
+  syscall
+  jmp spin
+spin:
+  jmp spin
+.bss
+big: .space 1048576
+)";
+  testing::GuestRun r = testing::start_guest(body, ProtectionMode::kNone);
+  r.k->run(1'000);
+  // code+data+2 bss+stack + page tables: well under 32 frames.
+  EXPECT_LT(r.k->phys().frames_in_use(), 32u);
+  EXPECT_GE(r.k->stats().demand_pages, 3u);
+}
+
+TEST(Mm, SplitDoublesFramesForTouchedPages) {
+  const char* body = R"(
+_start:
+  movi r4, buf
+  movi r5, 1
+  store [r4], r5
+  store [r4+4096], r5
+  store [r4+8192], r5
+  movi r0, SYS_TIME
+  syscall
+  jmp spin
+spin:
+  jmp spin
+.bss
+buf: .space 16384
+)";
+  testing::GuestRun plain = testing::start_guest(body, ProtectionMode::kNone);
+  plain.k->run(1'000);
+  testing::GuestRun split =
+      testing::start_guest(body, ProtectionMode::kSplitAll);
+  split.k->run(1'000);
+  // "the memory usage of an application is effectively doubled" for split
+  // pages (paper §5.1) — modulo the shared page-table frames.
+  const u32 p = plain.k->phys().frames_in_use();
+  const u32 s = split.k->phys().frames_in_use();
+  EXPECT_GT(s, p + 3);
+  EXPECT_LE(s, 2 * p);
+}
+
+TEST(Mm, OutOfPhysicalMemoryIsReportedNotUB) {
+  kernel::KernelConfig cfg;
+  cfg.phys_frames = 24;  // tiny machine
+  const char* body = R"(
+_start:
+  movi r4, big
+  movi r5, 0
+touch:
+  store [r4], r5
+  addi r4, 4096
+  addi r5, 1
+  cmpi r5, 64
+  jnz touch
+  movi r0, SYS_EXIT
+  syscall
+.bss
+big: .space 262144
+)";
+  testing::GuestRun r =
+      testing::start_guest(body, ProtectionMode::kSplitAll,
+                           core::ResponseMode::kBreak, cfg);
+  EXPECT_THROW(r.k->run(10'000'000), arch::OutOfMemoryError);
+}
+
+}  // namespace
+}  // namespace sm

@@ -1,0 +1,331 @@
+// Pipes, blocking I/O, and the scheduler interactions that drive the
+// paper's context-switch stress results.
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using core::ProtectionMode;
+using testing::run_guest;
+
+TEST(Pipes, SingleProcessRoundTrip) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_PIPE
+  movi r1, fds
+  syscall
+  movi r0, SYS_WRITE
+  movi r4, fds
+  load r1, [r4+4]
+  movi r2, msg
+  movi r3, 5
+  syscall
+  movi r0, SYS_READ
+  movi r4, fds
+  load r1, [r4]
+  movi r2, buf
+  movi r3, 5
+  syscall
+  mov r5, r0              ; bytes read
+  movi r4, buf
+  loadb r1, [r4]
+  cmpi r1, 'h'
+  jnz bad
+  mov r1, r5
+  movi r0, SYS_EXIT
+  syscall
+bad:
+  movi r0, SYS_EXIT
+  movi r1, 99
+  syscall
+.data
+msg: .asciz "hello"
+.bss
+fds: .space 8
+buf: .space 8
+)";
+  auto r = run_guest(body, ProtectionMode::kSplitAll);
+  EXPECT_EQ(r.proc().exit_code, 5u);
+}
+
+TEST(Pipes, PingPongForcesContextSwitches) {
+  const char* body = R"(
+.equ N, 50
+_start:
+  movi r0, SYS_PIPE
+  movi r1, fds1
+  syscall
+  movi r0, SYS_PIPE
+  movi r1, fds2
+  syscall
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r5, r0
+  movi r4, N
+ploop:
+  push r4
+  movi r0, SYS_WRITE
+  movi r4, fds1
+  load r1, [r4+4]
+  movi r2, tok
+  movi r3, 4
+  syscall
+  movi r0, SYS_READ
+  movi r4, fds2
+  load r1, [r4]
+  movi r2, tok
+  movi r3, 4
+  syscall
+  pop r4
+  addi r4, -1
+  cmpi r4, 0
+  jnz ploop
+  mov r1, r5
+  movi r0, SYS_WAITPID
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+child:
+  movi r4, N
+cloop:
+  push r4
+  movi r0, SYS_READ
+  movi r4, fds1
+  load r1, [r4]
+  movi r2, tok2
+  movi r3, 4
+  syscall
+  movi r0, SYS_WRITE
+  movi r4, fds2
+  load r1, [r4+4]
+  movi r2, tok2
+  movi r3, 4
+  syscall
+  pop r4
+  addi r4, -1
+  cmpi r4, 0
+  jnz cloop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+tok:  .word 1
+tok2: .word 0
+.bss
+fds1: .space 8
+fds2: .space 8
+)";
+  auto plain = run_guest(body, ProtectionMode::kNone);
+  ASSERT_TRUE(plain.k->all_exited());
+  // 50 round trips = at least ~100 context switches.
+  EXPECT_GE(plain.k->stats().context_switches, 100u);
+
+  auto split = run_guest(body, ProtectionMode::kSplitAll);
+  ASSERT_TRUE(split.k->all_exited());
+  // The paper's central performance claim: every switch costs the split
+  // system TLB refills through page faults.
+  EXPECT_GT(split.k->stats().split_dtlb_loads, 100u);
+  EXPECT_GT(split.k->stats().cycles, plain.k->stats().cycles * 3 / 2);
+}
+
+TEST(Pipes, WriterBlocksWhenFull) {
+  // Write 70000 bytes into a 65536-byte pipe: the writer must block until
+  // the reader drains; the reader consumes until EOF (the writer's exit
+  // releases the last write end).
+  const char* body = R"(
+_start:
+  movi r0, SYS_PIPE
+  movi r1, fds
+  syscall
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz reader
+  ; writer: exactly 70000 bytes, retrying partial writes
+  movi r0, SYS_CLOSE      ; drop our read end
+  movi r4, fds
+  load r1, [r4]
+  syscall
+  movi r5, 70000
+wloop:
+  mov r3, r5
+  cmpi r3, 1000
+  jb wsize
+  movi r3, 1000
+wsize:
+  push r5
+  movi r0, SYS_WRITE
+  movi r4, fds
+  load r1, [r4+4]
+  movi r2, block
+  syscall
+  mov r3, r0
+  pop r5
+  sub r5, r3
+  cmpi r5, 0
+  jnz wloop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+reader:
+  movi r0, SYS_CLOSE      ; drop our write end
+  movi r4, fds
+  load r1, [r4+4]
+  syscall
+  movi r5, 0              ; total
+rloop:
+  push r5
+  movi r0, SYS_READ
+  movi r4, fds
+  load r1, [r4]
+  movi r2, block
+  movi r3, 1000
+  syscall
+  mov r3, r0
+  pop r5
+  cmpi r3, 0
+  jz rdone                ; EOF
+  add r5, r3
+  jmp rloop
+rdone:
+  movi r2, 1000
+  div r5, r2
+  mov r1, r5              ; 70
+  movi r0, SYS_EXIT
+  syscall
+.bss
+fds: .space 8
+block: .space 1000
+)";
+  auto r = run_guest(body, ProtectionMode::kNone);
+  ASSERT_TRUE(r.k->all_exited());
+  for (const auto& [pid, proc] : r.k->processes()) {
+    EXPECT_EQ(proc->exit_kind, kernel::ExitKind::kExited);
+    if (proc->pid != r.pid) {
+      EXPECT_EQ(proc->exit_code, 70u);
+    }
+  }
+}
+
+TEST(Pipes, EofAfterWriterCloses) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_PIPE
+  movi r1, fds
+  syscall
+  movi r0, SYS_WRITE
+  movi r4, fds
+  load r1, [r4+4]
+  movi r2, fds            ; any 4 bytes
+  movi r3, 4
+  syscall
+  movi r0, SYS_CLOSE
+  movi r4, fds
+  load r1, [r4+4]
+  syscall
+  ; drain the 4 bytes, then the next read returns 0 (EOF)
+  movi r0, SYS_READ
+  movi r4, fds
+  load r1, [r4]
+  movi r2, buf
+  movi r3, 16
+  syscall
+  mov r5, r0
+  movi r0, SYS_READ
+  movi r4, fds
+  load r1, [r4]
+  movi r2, buf
+  movi r3, 16
+  syscall
+  add r5, r0              ; 4 + 0
+  mov r1, r5
+  movi r0, SYS_EXIT
+  syscall
+.bss
+fds: .space 8
+buf: .space 16
+)";
+  auto r = run_guest(body, ProtectionMode::kNone);
+  EXPECT_EQ(r.proc().exit_code, 4u);
+}
+
+TEST(Scheduler, YieldRoundRobins) {
+  // Two processes increment a channel counter alternately via yields; both
+  // must make progress and exit.
+  const char* body = R"(
+_start:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  movi r5, 10
+py:
+  movi r0, SYS_YIELD
+  syscall
+  addi r5, -1
+  cmpi r5, 0
+  jnz py
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+child:
+  movi r5, 10
+cy:
+  movi r0, SYS_YIELD
+  syscall
+  addi r5, -1
+  cmpi r5, 0
+  jnz cy
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)";
+  auto r = run_guest(body, ProtectionMode::kNone);
+  EXPECT_GE(r.k->stats().context_switches, 10u);
+}
+
+TEST(Scheduler, TimerPreemptsCpuHogs) {
+  // Two CPU-bound processes with no blocking: only the timer can
+  // interleave them; both must finish.
+  const char* body = R"(
+_start:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  movi r5, 200000
+ploop:
+  addi r5, -1
+  cmpi r5, 0
+  jnz ploop
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+child:
+  movi r5, 200000
+closs:
+  addi r5, -1
+  cmpi r5, 0
+  jnz closs
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)";
+  auto r = run_guest(body, ProtectionMode::kNone);
+  ASSERT_TRUE(r.k->all_exited());
+  EXPECT_GE(r.k->stats().context_switches, 5u);
+}
+
+}  // namespace
+}  // namespace sm

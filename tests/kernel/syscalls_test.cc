@@ -1,0 +1,365 @@
+// Syscall edge cases and error paths: bad descriptors, bad pointers, bad
+// numbers — the kernel must return -1 (or kill on wild pointers), never
+// corrupt state.
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using arch::u32;
+using core::ProtectionMode;
+using kernel::ExitKind;
+using testing::run_guest;
+using testing::start_guest;
+
+u32 result_of(const char* body) {
+  auto r = run_guest(body, ProtectionMode::kSplitAll);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kExited);
+  return r.proc().exit_code;
+}
+
+TEST(Syscalls, BadSyscallNumberReturnsError) {
+  EXPECT_EQ(result_of(R"(
+_start:
+  movi r0, 9999
+  syscall
+  cmpi r0, -1
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)"),
+            0u);
+}
+
+TEST(Syscalls, ReadFromBadFdReturnsError) {
+  EXPECT_EQ(result_of(R"(
+_start:
+  movi r0, SYS_READ
+  movi r1, 42
+  movi r2, buf
+  movi r3, 4
+  syscall
+  cmpi r0, -1
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 8
+)"),
+            0u);
+}
+
+TEST(Syscalls, WriteWithUnmappedBufferReturnsError) {
+  EXPECT_EQ(result_of(R"(
+_start:
+  movi r0, SYS_WRITE
+  movi r1, FD_CONSOLE
+  movi r2, 0x00000100    ; far outside any VMA
+  movi r3, 8
+  syscall
+  cmpi r0, -1
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)"),
+            0u);
+}
+
+TEST(Syscalls, OpenMissingFileReturnsError) {
+  EXPECT_EQ(result_of(R"(
+_start:
+  movi r0, SYS_OPEN
+  movi r1, path
+  movi r2, O_READ
+  syscall
+  cmpi r0, -1
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+path: .asciz "does-not-exist"
+)"),
+            0u);
+}
+
+TEST(Syscalls, FileWriteThenReadBack) {
+  EXPECT_EQ(result_of(R"(
+_start:
+  movi r0, SYS_OPEN
+  movi r1, path
+  movi r2, O_WRITE
+  syscall
+  mov r5, r0
+  movi r0, SYS_WRITE
+  mov r1, r5
+  movi r2, content
+  movi r3, 6
+  syscall
+  movi r0, SYS_CLOSE
+  mov r1, r5
+  syscall
+  movi r0, SYS_OPEN
+  movi r1, path
+  movi r2, O_READ
+  syscall
+  mov r5, r0
+  movi r0, SYS_READ
+  mov r1, r5
+  movi r2, buf
+  movi r3, 16
+  syscall
+  mov r1, r0              ; 6 bytes
+  movi r4, buf
+  loadb r2, [r4+1]
+  add r1, r2              ; + 'e'
+  movi r0, SYS_EXIT
+  syscall
+.data
+path: .asciz "afile"
+content: .ascii "hello\n"
+.bss
+buf: .space 16
+)"),
+            6u + 'e');
+}
+
+TEST(Syscalls, WaitpidOnUnknownPidReturnsError) {
+  EXPECT_EQ(result_of(R"(
+_start:
+  movi r0, SYS_WAITPID
+  movi r1, 777
+  syscall
+  cmpi r0, -1
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)"),
+            0u);
+}
+
+TEST(Syscalls, GetpidAndRandWork) {
+  auto r = run_guest(R"(
+_start:
+  movi r0, SYS_GETPID
+  syscall
+  mov r5, r0
+  movi r0, SYS_RAND
+  syscall
+  cmpi r0, 0
+  jz maybe_zero
+maybe_zero:
+  mov r1, r5
+  movi r0, SYS_EXIT
+  syscall
+)",
+                     ProtectionMode::kNone);
+  EXPECT_EQ(r.proc().exit_code, 1u);  // first pid
+}
+
+TEST(Syscalls, ExecMissingImageReturnsError) {
+  EXPECT_EQ(result_of(R"(
+_start:
+  movi r0, SYS_EXEC
+  movi r1, path
+  syscall
+  cmpi r0, -1
+  jz ok
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+ok:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+path: .asciz "missing"
+)"),
+            0u);
+}
+
+TEST(Syscalls, TimeAdvancesMonotonically) {
+  EXPECT_EQ(result_of(R"(
+_start:
+  movi r0, SYS_TIME
+  syscall
+  mov r5, r0
+  movi r4, 0
+burn:
+  addi r4, 1
+  cmpi r4, 100
+  jnz burn
+  movi r0, SYS_TIME
+  syscall
+  cmp r0, r5
+  jb bad                  ; time went backwards?
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+bad:
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+)"),
+            0u);
+}
+
+TEST(Syscalls, ConsoleReadsReturnZero) {
+  EXPECT_EQ(result_of(R"(
+_start:
+  movi r0, SYS_READ
+  movi r1, FD_CONSOLE
+  movi r2, buf
+  movi r3, 4
+  syscall
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+.bss
+buf: .space 4
+)"),
+            0u);
+}
+
+TEST(Signatures, UnsignedImageRefusedWhenRequired) {
+  kernel::KernelConfig cfg;
+  cfg.require_signatures = true;
+  cfg.signing_key = {1, 2, 3};
+  kernel::Kernel k(cfg);
+  k.register_image(testing::build_guest_image(R"(
+_start:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)"));
+  EXPECT_THROW(k.spawn("guest"), std::runtime_error);
+}
+
+TEST(Signatures, SignedImageRuns) {
+  kernel::KernelConfig cfg;
+  cfg.require_signatures = true;
+  cfg.signing_key = {1, 2, 3};
+  kernel::Kernel k(cfg);
+  image::Image img = testing::build_guest_image(R"(
+_start:
+  movi r0, SYS_EXIT
+  movi r1, 5
+  syscall
+)");
+  img.sign(cfg.signing_key);
+  k.register_image(std::move(img));
+  const auto pid = k.spawn("guest");
+  k.run(1'000'000);
+  EXPECT_EQ(k.process(pid)->exit_code, 5u);
+}
+
+TEST(Signatures, ExecRefusesTamperedImage) {
+  kernel::KernelConfig cfg;
+  cfg.require_signatures = true;
+  cfg.signing_key = {9};
+  kernel::Kernel k(cfg);
+  image::Image host = testing::build_guest_image(R"(
+_start:
+  movi r0, SYS_EXEC
+  movi r1, path
+  syscall
+  cmpi r0, -1
+  jz refused
+  movi r0, SYS_EXIT
+  movi r1, 1
+  syscall
+refused:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+path: .asciz "evil"
+)");
+  host.sign(cfg.signing_key);
+  k.register_image(std::move(host));
+
+  image::Image evil = testing::build_guest_image("_start:\n  nop\n", "evil");
+  evil.sign(cfg.signing_key);
+  evil.segments[0].bytes[0] ^= 0xFF;  // tampered after signing
+  k.register_image(std::move(evil));
+
+  const auto pid = k.spawn("guest");
+  k.run(1'000'000);
+  EXPECT_EQ(k.process(pid)->exit_code, 0u);  // exec was refused
+}
+
+TEST(Loader, MisalignedSegmentIsRejected) {
+  image::Image img = testing::build_guest_image(R"(
+_start:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+)");
+  img.segments[0].vaddr += 12;  // knock the text segment off its page
+  kernel::Kernel k;
+  k.register_image(std::move(img));
+  EXPECT_THROW(k.spawn("guest"), std::runtime_error);
+}
+
+TEST(StackRandomization, VariesAcrossSeedsAndStaysAligned) {
+  const char* body = R"(
+_start:
+  mov r1, sp
+  movi r0, SYS_EXIT
+  syscall
+)";
+  std::set<u32> seen;
+  for (u32 seed = 1; seed <= 8; ++seed) {
+    kernel::KernelConfig cfg;
+    cfg.stack_randomization = true;
+    cfg.rng_seed = seed;
+    auto r = start_guest(body, ProtectionMode::kNone,
+                         core::ResponseMode::kBreak, cfg);
+    r.k->run(1'000'000);
+    const u32 sp = r.proc().exit_code;
+    EXPECT_EQ(sp % 16, 0u) << "stack must stay 16-byte aligned";
+    seen.insert(sp);
+  }
+  EXPECT_GE(seen.size(), 6u) << "randomization barely varies";
+}
+
+TEST(StackRandomization, OffByDefaultIsDeterministic) {
+  const char* body = R"(
+_start:
+  mov r1, sp
+  movi r0, SYS_EXIT
+  syscall
+)";
+  auto a = run_guest(body, ProtectionMode::kNone);
+  auto b = run_guest(body, ProtectionMode::kNone);
+  EXPECT_EQ(a.proc().exit_code, b.proc().exit_code);
+}
+
+}  // namespace
+}  // namespace sm

@@ -1,0 +1,54 @@
+// Metrics: counter formatting and cost-model defaults.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/cost_model.h"
+#include "metrics/stats.h"
+
+namespace sm::metrics {
+namespace {
+
+TEST(Stats, StreamFormatNamesEveryHeadlineCounter) {
+  Stats s;
+  s.cycles = 12;
+  s.instructions = 7;
+  s.page_faults = 3;
+  s.split_dtlb_loads = 2;
+  s.split_itlb_loads = 1;
+  std::ostringstream os;
+  os << s;
+  const std::string out = os.str();
+  EXPECT_NE(out.find("cycles=12"), std::string::npos);
+  EXPECT_NE(out.find("instructions=7"), std::string::npos);
+  EXPECT_NE(out.find("page_faults=3"), std::string::npos);
+  EXPECT_NE(out.find("split_loads(d/i)=2/1"), std::string::npos);
+}
+
+TEST(Stats, ResetClearsEverything) {
+  Stats s;
+  s.cycles = 5;
+  s.context_switches = 9;
+  s.soft_tlb_fills = 4;
+  s.reset();
+  EXPECT_EQ(s.cycles, 0u);
+  EXPECT_EQ(s.context_switches, 0u);
+  EXPECT_EQ(s.soft_tlb_fills, 0u);
+}
+
+TEST(CostModel, DefaultsEncodeThePaperCostStructure) {
+  const CostModel& m = default_cost_model();
+  // A trap costs far more than a hardware walk; the split I-TLB load pays
+  // TWO traps (fault + debug), the D-load one trap + touch (SS4.6).
+  EXPECT_GT(m.trap_cost, 10 * m.tlb_walk);
+  EXPECT_GT(m.context_switch, m.trap_cost);
+  EXPECT_LT(m.kernel_touch, m.trap_cost);
+  // The SPARC-style fill is a cheap trap (SS4.7).
+  EXPECT_LT(m.soft_tlb_fill, m.trap_cost / 10);
+  // The abandoned ret-call method's cache flush exceeds the debug trap it
+  // saves (SS4.2.4 side note).
+  EXPECT_GT(m.icache_sync, m.trap_cost);
+}
+
+}  // namespace
+}  // namespace sm::metrics

@@ -1,0 +1,58 @@
+// Test/bench helper: assemble a guest program, boot a kernel with a chosen
+// protection engine, and run it to completion.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "asm/assembler.h"
+#include "core/split_engine.h"
+#include "guest/guestlib.h"
+#include "image/image.h"
+#include "kernel/kernel.h"
+
+namespace sm::testing {
+
+struct GuestRun {
+  std::unique_ptr<kernel::Kernel> k;
+  kernel::Pid pid = 0;
+  std::shared_ptr<kernel::Channel> chan;
+
+  kernel::Process& proc() { return *k->process(pid); }
+  std::string console() { return proc().console; }
+};
+
+inline image::Image build_guest_image(const std::string& body,
+                                      const std::string& name = "guest",
+                                      bool mixed_text = false) {
+  const auto program = assembler::assemble(guest::program(body));
+  image::BuildOptions opts;
+  opts.name = name;
+  opts.mixed_text = mixed_text;
+  return image::build_image(program, opts);
+}
+
+// Boots a kernel running `body` under `mode`, with a channel on fd 0.
+inline GuestRun start_guest(const std::string& body,
+                            core::ProtectionMode mode,
+                            core::ResponseMode response =
+                                core::ResponseMode::kBreak,
+                            kernel::KernelConfig cfg = {}) {
+  GuestRun r;
+  r.k = std::make_unique<kernel::Kernel>(cfg);
+  r.k->set_engine(core::make_engine(mode, response));
+  r.k->register_image(build_guest_image(body));
+  r.pid = r.k->spawn("guest");
+  r.chan = r.k->attach_channel(r.pid);
+  return r;
+}
+
+// Runs body to completion (no channel interaction) and returns the run.
+inline GuestRun run_guest(const std::string& body, core::ProtectionMode mode,
+                          arch::u64 budget = 50'000'000) {
+  GuestRun r = start_guest(body, mode);
+  r.k->run(budget);
+  return r;
+}
+
+}  // namespace sm::testing

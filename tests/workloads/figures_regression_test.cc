@@ -1,0 +1,74 @@
+// Regression guards for the paper-shape results: if a future change to the
+// cost model, kernel, or engines drifts a headline figure out of its band,
+// these fail before the bench output quietly changes.
+#include <gtest/gtest.h>
+
+#include "workloads/workload.h"
+
+namespace sm::workloads {
+namespace {
+
+TEST(FigureBands, Gzip) {
+  const double n = normalized(run_gzip(Protection::none()),
+                              run_gzip(Protection::split_all()));
+  EXPECT_GT(n, 0.82);  // paper ~0.87
+  EXPECT_LT(n, 0.96);
+}
+
+TEST(FigureBands, Nbench) {
+  const double n = normalized(run_nbench(Protection::none()),
+                              run_nbench(Protection::split_all()));
+  EXPECT_GT(n, 0.90);  // paper ~0.97
+  EXPECT_LT(n, 0.995);
+}
+
+TEST(FigureBands, PipeCtxswWorstCase) {
+  const double n =
+      normalized(run_unixbench(UnixBench::kPipeContextSwitch,
+                               Protection::none()),
+                 run_unixbench(UnixBench::kPipeContextSwitch,
+                               Protection::split_all()));
+  EXPECT_LT(n, 0.55);  // paper: at or below ~0.5
+  EXPECT_GT(n, 0.30);
+}
+
+TEST(FigureBands, Apache32KB) {
+  WebserverConfig cfg;
+  cfg.response_bytes = 32 * 1024;
+  const double n = normalized(run_webserver(Protection::none(), cfg).base,
+                              run_webserver(Protection::split_all(), cfg).base);
+  EXPECT_GT(n, 0.84);  // paper ~0.89
+  EXPECT_LT(n, 0.95);
+}
+
+TEST(FigureBands, Apache1KBStress) {
+  WebserverConfig cfg;
+  cfg.response_bytes = 1024;
+  const double n = normalized(run_webserver(Protection::none(), cfg).base,
+                              run_webserver(Protection::split_all(), cfg).base);
+  EXPECT_LT(n, 0.55);  // paper: at or below ~0.5
+}
+
+TEST(FigureBands, TenPercentSplitRecovers) {
+  const auto base =
+      run_unixbench(UnixBench::kPipeContextSwitch, Protection::none());
+  double sum = 0;
+  for (arch::u32 seed = 0; seed < 4; ++seed) {
+    sum += normalized(base, run_unixbench(UnixBench::kPipeContextSwitch,
+                                          Protection::fraction(10, seed)));
+  }
+  const double n = sum / 4;
+  EXPECT_GT(n, 0.70);  // paper ~0.80 at 10%
+}
+
+TEST(FigureBands, DeterministicRuns) {
+  // The whole simulation is deterministic: identical configs give
+  // identical cycle counts (what makes every figure reproducible).
+  const auto a = run_gzip(Protection::split_all(), 64);
+  const auto b = run_gzip(Protection::split_all(), 64);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stats.page_faults, b.stats.page_faults);
+}
+
+}  // namespace
+}  // namespace sm::workloads

@@ -1,0 +1,89 @@
+// smdis — assemble a guest program and disassemble/inspect the result.
+//
+//   smdis [--symbols] [--data] [--no-libc] program.s
+//
+// Prints an objdump-style listing of the text section; --symbols adds the
+// symbol table, --data hex-dumps the data section.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asm/assembler.h"
+#include "asm/disassembler.h"
+#include "guest/guestlib.h"
+
+using namespace sm;
+
+int main(int argc, char** argv) {
+  bool symbols = false;
+  bool data = false;
+  bool with_libc = true;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--symbols") {
+      symbols = true;
+    } else if (a == "--data") {
+      data = true;
+    } else if (a == "--no-libc") {
+      with_libc = false;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: smdis [--symbols] [--data] [--no-libc] "
+                   "program.s\n");
+      return 64;
+    } else {
+      path = a;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "smdis: no input file\n");
+    return 64;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "smdis: cannot open %s\n", path.c_str());
+    return 66;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  assembler::Program program;
+  try {
+    program = assembler::assemble(with_libc ? guest::program(ss.str())
+                                            : guest::prelude() + ss.str());
+  } catch (const assembler::AsmError& e) {
+    std::fprintf(stderr, "smdis: %s\n", e.what());
+    return 65;
+  }
+
+  std::printf("text (%zu bytes at 0x%08x):\n", program.text.size(),
+              program.layout.text_base);
+  std::printf("%s",
+              assembler::format(assembler::disassemble(
+                                    program.text, program.layout.text_base))
+                  .c_str());
+
+  if (data) {
+    std::printf("\ndata (%zu bytes at 0x%08x):\n", program.data.size(),
+                program.layout.data_base);
+    for (std::size_t i = 0; i < program.data.size(); i += 16) {
+      std::printf("%08zx: ", program.layout.data_base + i);
+      for (std::size_t j = i; j < i + 16 && j < program.data.size(); ++j) {
+        std::printf("%02x ", program.data[j]);
+      }
+      std::printf("\n");
+    }
+    std::printf("\nbss: %u bytes at 0x%08x\n", program.bss_size,
+                program.layout.bss_base);
+  }
+
+  if (symbols) {
+    std::printf("\nsymbols:\n");
+    for (const auto& [name, addr] : program.symbols) {
+      std::printf("  %08x %s\n", addr, name.c_str());
+    }
+  }
+  return 0;
+}
