@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nx_vs_split.dir/ablation_nx_vs_split.cc.o"
+  "CMakeFiles/ablation_nx_vs_split.dir/ablation_nx_vs_split.cc.o.d"
+  "ablation_nx_vs_split"
+  "ablation_nx_vs_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nx_vs_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

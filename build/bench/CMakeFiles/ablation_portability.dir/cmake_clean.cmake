@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_portability.dir/ablation_portability.cc.o"
+  "CMakeFiles/ablation_portability.dir/ablation_portability.cc.o.d"
+  "ablation_portability"
+  "ablation_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

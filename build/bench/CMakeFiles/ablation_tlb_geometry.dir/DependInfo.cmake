@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_tlb_geometry.cc" "bench/CMakeFiles/ablation_tlb_geometry.dir/ablation_tlb_geometry.cc.o" "gcc" "bench/CMakeFiles/ablation_tlb_geometry.dir/ablation_tlb_geometry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/sm_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/sm_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sm_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/sm_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tlb_geometry.dir/ablation_tlb_geometry.cc.o"
+  "CMakeFiles/ablation_tlb_geometry.dir/ablation_tlb_geometry.cc.o.d"
+  "ablation_tlb_geometry"
+  "ablation_tlb_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tlb_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_response_modes.dir/fig5_response_modes.cc.o"
+  "CMakeFiles/fig5_response_modes.dir/fig5_response_modes.cc.o.d"
+  "fig5_response_modes"
+  "fig5_response_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_response_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

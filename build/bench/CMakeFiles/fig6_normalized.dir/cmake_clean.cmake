@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_normalized.dir/fig6_normalized.cc.o"
+  "CMakeFiles/fig6_normalized.dir/fig6_normalized.cc.o.d"
+  "fig6_normalized"
+  "fig6_normalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_normalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ctxsw_stress.dir/fig7_ctxsw_stress.cc.o"
+  "CMakeFiles/fig7_ctxsw_stress.dir/fig7_ctxsw_stress.cc.o.d"
+  "fig7_ctxsw_stress"
+  "fig7_ctxsw_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ctxsw_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_apache_pagesize.dir/fig8_apache_pagesize.cc.o"
+  "CMakeFiles/fig8_apache_pagesize.dir/fig8_apache_pagesize.cc.o.d"
+  "fig8_apache_pagesize"
+  "fig8_apache_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_apache_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_apache_pagesize.
+# This may be replaced when dependencies are built.

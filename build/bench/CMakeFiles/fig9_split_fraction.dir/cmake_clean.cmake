@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_split_fraction.dir/fig9_split_fraction.cc.o"
+  "CMakeFiles/fig9_split_fraction.dir/fig9_split_fraction.cc.o.d"
+  "fig9_split_fraction"
+  "fig9_split_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_split_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_wilander.dir/table1_wilander.cc.o"
+  "CMakeFiles/table1_wilander.dir/table1_wilander.cc.o.d"
+  "table1_wilander"
+  "table1_wilander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_wilander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

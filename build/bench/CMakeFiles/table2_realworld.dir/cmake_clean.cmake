@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_realworld.dir/table2_realworld.cc.o"
+  "CMakeFiles/table2_realworld.dir/table2_realworld.cc.o.d"
+  "table2_realworld"
+  "table2_realworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_realworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/honeypot_observe.dir/honeypot_observe.cpp.o"
+  "CMakeFiles/honeypot_observe.dir/honeypot_observe.cpp.o.d"
+  "honeypot_observe"
+  "honeypot_observe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/honeypot_observe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

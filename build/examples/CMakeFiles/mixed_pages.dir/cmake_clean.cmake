@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_pages.dir/mixed_pages.cpp.o"
+  "CMakeFiles/mixed_pages.dir/mixed_pages.cpp.o.d"
+  "mixed_pages"
+  "mixed_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signed_libraries.dir/signed_libraries.cpp.o"
+  "CMakeFiles/signed_libraries.dir/signed_libraries.cpp.o.d"
+  "signed_libraries"
+  "signed_libraries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signed_libraries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/cpu.cc" "src/arch/CMakeFiles/sm_arch.dir/cpu.cc.o" "gcc" "src/arch/CMakeFiles/sm_arch.dir/cpu.cc.o.d"
+  "/root/repo/src/arch/mmu.cc" "src/arch/CMakeFiles/sm_arch.dir/mmu.cc.o" "gcc" "src/arch/CMakeFiles/sm_arch.dir/mmu.cc.o.d"
+  "/root/repo/src/arch/page_table.cc" "src/arch/CMakeFiles/sm_arch.dir/page_table.cc.o" "gcc" "src/arch/CMakeFiles/sm_arch.dir/page_table.cc.o.d"
+  "/root/repo/src/arch/phys_mem.cc" "src/arch/CMakeFiles/sm_arch.dir/phys_mem.cc.o" "gcc" "src/arch/CMakeFiles/sm_arch.dir/phys_mem.cc.o.d"
+  "/root/repo/src/arch/tlb.cc" "src/arch/CMakeFiles/sm_arch.dir/tlb.cc.o" "gcc" "src/arch/CMakeFiles/sm_arch.dir/tlb.cc.o.d"
+  "/root/repo/src/arch/trap.cc" "src/arch/CMakeFiles/sm_arch.dir/trap.cc.o" "gcc" "src/arch/CMakeFiles/sm_arch.dir/trap.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/sm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_arch.dir/cpu.cc.o"
+  "CMakeFiles/sm_arch.dir/cpu.cc.o.d"
+  "CMakeFiles/sm_arch.dir/mmu.cc.o"
+  "CMakeFiles/sm_arch.dir/mmu.cc.o.d"
+  "CMakeFiles/sm_arch.dir/page_table.cc.o"
+  "CMakeFiles/sm_arch.dir/page_table.cc.o.d"
+  "CMakeFiles/sm_arch.dir/phys_mem.cc.o"
+  "CMakeFiles/sm_arch.dir/phys_mem.cc.o.d"
+  "CMakeFiles/sm_arch.dir/tlb.cc.o"
+  "CMakeFiles/sm_arch.dir/tlb.cc.o.d"
+  "CMakeFiles/sm_arch.dir/trap.cc.o"
+  "CMakeFiles/sm_arch.dir/trap.cc.o.d"
+  "libsm_arch.a"
+  "libsm_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_asm.dir/assembler.cc.o"
+  "CMakeFiles/sm_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/sm_asm.dir/disassembler.cc.o"
+  "CMakeFiles/sm_asm.dir/disassembler.cc.o.d"
+  "libsm_asm.a"
+  "libsm_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

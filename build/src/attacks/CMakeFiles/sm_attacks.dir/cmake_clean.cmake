@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_attacks.dir/nx_bypass.cc.o"
+  "CMakeFiles/sm_attacks.dir/nx_bypass.cc.o.d"
+  "CMakeFiles/sm_attacks.dir/realworld.cc.o"
+  "CMakeFiles/sm_attacks.dir/realworld.cc.o.d"
+  "CMakeFiles/sm_attacks.dir/shellcode.cc.o"
+  "CMakeFiles/sm_attacks.dir/shellcode.cc.o.d"
+  "CMakeFiles/sm_attacks.dir/wilander.cc.o"
+  "CMakeFiles/sm_attacks.dir/wilander.cc.o.d"
+  "libsm_attacks.a"
+  "libsm_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/sebek.cc" "src/core/CMakeFiles/sm_core.dir/sebek.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/sebek.cc.o.d"
+  "/root/repo/src/core/split_engine.cc" "src/core/CMakeFiles/sm_core.dir/split_engine.cc.o" "gcc" "src/core/CMakeFiles/sm_core.dir/split_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/sm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/sm_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sm_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_core.dir/sebek.cc.o"
+  "CMakeFiles/sm_core.dir/sebek.cc.o.d"
+  "CMakeFiles/sm_core.dir/split_engine.cc.o"
+  "CMakeFiles/sm_core.dir/split_engine.cc.o.d"
+  "libsm_core.a"
+  "libsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_guest.dir/guestlib.cc.o"
+  "CMakeFiles/sm_guest.dir/guestlib.cc.o.d"
+  "libsm_guest.a"
+  "libsm_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

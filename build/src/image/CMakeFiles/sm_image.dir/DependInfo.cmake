@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/image.cc" "src/image/CMakeFiles/sm_image.dir/image.cc.o" "gcc" "src/image/CMakeFiles/sm_image.dir/image.cc.o.d"
+  "/root/repo/src/image/sha256.cc" "src/image/CMakeFiles/sm_image.dir/sha256.cc.o" "gcc" "src/image/CMakeFiles/sm_image.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/sm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/sm_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

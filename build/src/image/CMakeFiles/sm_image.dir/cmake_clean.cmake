@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_image.dir/image.cc.o"
+  "CMakeFiles/sm_image.dir/image.cc.o.d"
+  "CMakeFiles/sm_image.dir/sha256.cc.o"
+  "CMakeFiles/sm_image.dir/sha256.cc.o.d"
+  "libsm_image.a"
+  "libsm_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

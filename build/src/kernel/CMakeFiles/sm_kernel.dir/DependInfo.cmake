@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/address_space.cc" "src/kernel/CMakeFiles/sm_kernel.dir/address_space.cc.o" "gcc" "src/kernel/CMakeFiles/sm_kernel.dir/address_space.cc.o.d"
+  "/root/repo/src/kernel/channel.cc" "src/kernel/CMakeFiles/sm_kernel.dir/channel.cc.o" "gcc" "src/kernel/CMakeFiles/sm_kernel.dir/channel.cc.o.d"
+  "/root/repo/src/kernel/filesystem.cc" "src/kernel/CMakeFiles/sm_kernel.dir/filesystem.cc.o" "gcc" "src/kernel/CMakeFiles/sm_kernel.dir/filesystem.cc.o.d"
+  "/root/repo/src/kernel/guest_mem.cc" "src/kernel/CMakeFiles/sm_kernel.dir/guest_mem.cc.o" "gcc" "src/kernel/CMakeFiles/sm_kernel.dir/guest_mem.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/sm_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/sm_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/kernel/CMakeFiles/sm_kernel.dir/process.cc.o" "gcc" "src/kernel/CMakeFiles/sm_kernel.dir/process.cc.o.d"
+  "/root/repo/src/kernel/syscall_defs.cc" "src/kernel/CMakeFiles/sm_kernel.dir/syscall_defs.cc.o" "gcc" "src/kernel/CMakeFiles/sm_kernel.dir/syscall_defs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/sm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sm_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/sm_asm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_kernel.dir/address_space.cc.o"
+  "CMakeFiles/sm_kernel.dir/address_space.cc.o.d"
+  "CMakeFiles/sm_kernel.dir/channel.cc.o"
+  "CMakeFiles/sm_kernel.dir/channel.cc.o.d"
+  "CMakeFiles/sm_kernel.dir/filesystem.cc.o"
+  "CMakeFiles/sm_kernel.dir/filesystem.cc.o.d"
+  "CMakeFiles/sm_kernel.dir/guest_mem.cc.o"
+  "CMakeFiles/sm_kernel.dir/guest_mem.cc.o.d"
+  "CMakeFiles/sm_kernel.dir/kernel.cc.o"
+  "CMakeFiles/sm_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/sm_kernel.dir/process.cc.o"
+  "CMakeFiles/sm_kernel.dir/process.cc.o.d"
+  "CMakeFiles/sm_kernel.dir/syscall_defs.cc.o"
+  "CMakeFiles/sm_kernel.dir/syscall_defs.cc.o.d"
+  "libsm_kernel.a"
+  "libsm_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_metrics.dir/cost_model.cc.o"
+  "CMakeFiles/sm_metrics.dir/cost_model.cc.o.d"
+  "CMakeFiles/sm_metrics.dir/stats.cc.o"
+  "CMakeFiles/sm_metrics.dir/stats.cc.o.d"
+  "libsm_metrics.a"
+  "libsm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

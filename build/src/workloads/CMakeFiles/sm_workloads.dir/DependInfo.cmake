@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/common.cc" "src/workloads/CMakeFiles/sm_workloads.dir/common.cc.o" "gcc" "src/workloads/CMakeFiles/sm_workloads.dir/common.cc.o.d"
+  "/root/repo/src/workloads/compute.cc" "src/workloads/CMakeFiles/sm_workloads.dir/compute.cc.o" "gcc" "src/workloads/CMakeFiles/sm_workloads.dir/compute.cc.o.d"
+  "/root/repo/src/workloads/unixbench.cc" "src/workloads/CMakeFiles/sm_workloads.dir/unixbench.cc.o" "gcc" "src/workloads/CMakeFiles/sm_workloads.dir/unixbench.cc.o.d"
+  "/root/repo/src/workloads/webserver.cc" "src/workloads/CMakeFiles/sm_workloads.dir/webserver.cc.o" "gcc" "src/workloads/CMakeFiles/sm_workloads.dir/webserver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/sm_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sm_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/sm_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_workloads.dir/common.cc.o"
+  "CMakeFiles/sm_workloads.dir/common.cc.o.d"
+  "CMakeFiles/sm_workloads.dir/compute.cc.o"
+  "CMakeFiles/sm_workloads.dir/compute.cc.o.d"
+  "CMakeFiles/sm_workloads.dir/unixbench.cc.o"
+  "CMakeFiles/sm_workloads.dir/unixbench.cc.o.d"
+  "CMakeFiles/sm_workloads.dir/webserver.cc.o"
+  "CMakeFiles/sm_workloads.dir/webserver.cc.o.d"
+  "libsm_workloads.a"
+  "libsm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/cpu_test.cc" "tests/CMakeFiles/arch_tests.dir/arch/cpu_test.cc.o" "gcc" "tests/CMakeFiles/arch_tests.dir/arch/cpu_test.cc.o.d"
+  "/root/repo/tests/arch/isa_coverage_test.cc" "tests/CMakeFiles/arch_tests.dir/arch/isa_coverage_test.cc.o" "gcc" "tests/CMakeFiles/arch_tests.dir/arch/isa_coverage_test.cc.o.d"
+  "/root/repo/tests/arch/mmu_test.cc" "tests/CMakeFiles/arch_tests.dir/arch/mmu_test.cc.o" "gcc" "tests/CMakeFiles/arch_tests.dir/arch/mmu_test.cc.o.d"
+  "/root/repo/tests/arch/page_table_test.cc" "tests/CMakeFiles/arch_tests.dir/arch/page_table_test.cc.o" "gcc" "tests/CMakeFiles/arch_tests.dir/arch/page_table_test.cc.o.d"
+  "/root/repo/tests/arch/phys_mem_test.cc" "tests/CMakeFiles/arch_tests.dir/arch/phys_mem_test.cc.o" "gcc" "tests/CMakeFiles/arch_tests.dir/arch/phys_mem_test.cc.o.d"
+  "/root/repo/tests/arch/tlb_test.cc" "tests/CMakeFiles/arch_tests.dir/arch/tlb_test.cc.o" "gcc" "tests/CMakeFiles/arch_tests.dir/arch/tlb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attacks/CMakeFiles/sm_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/sm_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/sm_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/sm_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/sm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_tests.dir/arch/cpu_test.cc.o"
+  "CMakeFiles/arch_tests.dir/arch/cpu_test.cc.o.d"
+  "CMakeFiles/arch_tests.dir/arch/isa_coverage_test.cc.o"
+  "CMakeFiles/arch_tests.dir/arch/isa_coverage_test.cc.o.d"
+  "CMakeFiles/arch_tests.dir/arch/mmu_test.cc.o"
+  "CMakeFiles/arch_tests.dir/arch/mmu_test.cc.o.d"
+  "CMakeFiles/arch_tests.dir/arch/page_table_test.cc.o"
+  "CMakeFiles/arch_tests.dir/arch/page_table_test.cc.o.d"
+  "CMakeFiles/arch_tests.dir/arch/phys_mem_test.cc.o"
+  "CMakeFiles/arch_tests.dir/arch/phys_mem_test.cc.o.d"
+  "CMakeFiles/arch_tests.dir/arch/tlb_test.cc.o"
+  "CMakeFiles/arch_tests.dir/arch/tlb_test.cc.o.d"
+  "arch_tests"
+  "arch_tests.pdb"
+  "arch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacks_tests.dir/attacks/combined_mode_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/combined_mode_test.cc.o.d"
+  "CMakeFiles/attacks_tests.dir/attacks/nx_bypass_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/nx_bypass_test.cc.o.d"
+  "CMakeFiles/attacks_tests.dir/attacks/realworld_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/realworld_test.cc.o.d"
+  "CMakeFiles/attacks_tests.dir/attacks/wilander_test.cc.o"
+  "CMakeFiles/attacks_tests.dir/attacks/wilander_test.cc.o.d"
+  "attacks_tests"
+  "attacks_tests.pdb"
+  "attacks_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacks_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tests.dir/core/extensions_test.cc.o"
+  "CMakeFiles/extension_tests.dir/core/extensions_test.cc.o.d"
+  "CMakeFiles/extension_tests.dir/core/pageexec_test.cc.o"
+  "CMakeFiles/extension_tests.dir/core/pageexec_test.cc.o.d"
+  "CMakeFiles/extension_tests.dir/core/straddle_test.cc.o"
+  "CMakeFiles/extension_tests.dir/core/straddle_test.cc.o.d"
+  "extension_tests"
+  "extension_tests.pdb"
+  "extension_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_tests.dir/guest/guestlib_test.cc.o"
+  "CMakeFiles/guest_tests.dir/guest/guestlib_test.cc.o.d"
+  "guest_tests"
+  "guest_tests.pdb"
+  "guest_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

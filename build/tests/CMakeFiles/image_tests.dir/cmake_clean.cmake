@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_tests.dir/image/image_test.cc.o"
+  "CMakeFiles/image_tests.dir/image/image_test.cc.o.d"
+  "CMakeFiles/image_tests.dir/image/sha256_test.cc.o"
+  "CMakeFiles/image_tests.dir/image/sha256_test.cc.o.d"
+  "image_tests"
+  "image_tests.pdb"
+  "image_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

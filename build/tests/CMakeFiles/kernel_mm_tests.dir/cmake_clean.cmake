@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_mm_tests.dir/kernel/address_space_test.cc.o"
+  "CMakeFiles/kernel_mm_tests.dir/kernel/address_space_test.cc.o.d"
+  "CMakeFiles/kernel_mm_tests.dir/kernel/fork_cow_test.cc.o"
+  "CMakeFiles/kernel_mm_tests.dir/kernel/fork_cow_test.cc.o.d"
+  "CMakeFiles/kernel_mm_tests.dir/kernel/mm_test.cc.o"
+  "CMakeFiles/kernel_mm_tests.dir/kernel/mm_test.cc.o.d"
+  "CMakeFiles/kernel_mm_tests.dir/kernel/pipes_test.cc.o"
+  "CMakeFiles/kernel_mm_tests.dir/kernel/pipes_test.cc.o.d"
+  "kernel_mm_tests"
+  "kernel_mm_tests.pdb"
+  "kernel_mm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_mm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_tests.dir/kernel/channel_fs_test.cc.o"
+  "CMakeFiles/syscall_tests.dir/kernel/channel_fs_test.cc.o.d"
+  "CMakeFiles/syscall_tests.dir/kernel/dlopen_test.cc.o"
+  "CMakeFiles/syscall_tests.dir/kernel/dlopen_test.cc.o.d"
+  "CMakeFiles/syscall_tests.dir/kernel/syscalls_test.cc.o"
+  "CMakeFiles/syscall_tests.dir/kernel/syscalls_test.cc.o.d"
+  "syscall_tests"
+  "syscall_tests.pdb"
+  "syscall_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/arch_tests[1]_include.cmake")
+include("/root/repo/build/tests/asm_tests[1]_include.cmake")
+include("/root/repo/build/tests/image_tests[1]_include.cmake")
+include("/root/repo/build/tests/kernel_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/attacks_tests[1]_include.cmake")
+include("/root/repo/build/tests/kernel_mm_tests[1]_include.cmake")
+include("/root/repo/build/tests/guest_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/extension_tests[1]_include.cmake")
+include("/root/repo/build/tests/syscall_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/metrics_tests[1]_include.cmake")

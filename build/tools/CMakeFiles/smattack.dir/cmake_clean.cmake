@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smattack.dir/smattack.cc.o"
+  "CMakeFiles/smattack.dir/smattack.cc.o.d"
+  "smattack"
+  "smattack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smattack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

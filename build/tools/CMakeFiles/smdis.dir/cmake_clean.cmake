@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smdis.dir/smdis.cc.o"
+  "CMakeFiles/smdis.dir/smdis.cc.o.d"
+  "smdis"
+  "smdis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smdis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

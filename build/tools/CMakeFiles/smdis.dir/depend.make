@@ -1,0 +1,2 @@
+# Empty dependencies file for smdis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smrun.dir/smrun.cc.o"
+  "CMakeFiles/smrun.dir/smrun.cc.o.d"
+  "smrun"
+  "smrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for smrun.
+# This may be replaced when dependencies are built.
