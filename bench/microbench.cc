@@ -5,6 +5,8 @@
 // simulated cycles.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "arch/cpu.h"
 #include "arch/mmu.h"
 #include "asm/assembler.h"
@@ -86,6 +88,90 @@ void BM_CpuStepArithmetic(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CpuStepArithmetic);
+
+// Steady-state Cpu::step() with the decode cache and fetch memo warm: a
+// straight-line block of the common instruction mix ending in a back-edge,
+// so every step is one memo-translate + one decode-cache probe. This is
+// the hot-loop number the figure sweeps are bound by.
+void BM_CpuStepCached(benchmark::State& state) {
+  arch::PhysicalMemory pm(64);
+  metrics::Stats stats;
+  metrics::CostModel cost;
+  arch::Mmu mmu(pm, stats, cost);
+  arch::Cpu cpu(mmu, stats, cost);
+  const arch::u32 root = arch::PageTable::create(pm);
+  arch::PageTable pt(pm, root);
+  const arch::u32 frame = pm.alloc_frame();
+  pt.set(0x1000, Pte::make(frame, Pte::kPresent | Pte::kUser));
+  // addi r0, 1 ; mov r1, r0 ; add r1, r1 ; cmp r0, r1 ; jmp 0x1000
+  const arch::u8 block[] = {0x19, 0, 1,    0, 0, 0,     // addi
+                            0x02, 1, 0,                 // mov
+                            0x10, 1, 1,                 // add
+                            0x1A, 0, 1,                 // cmp
+                            0x20, 0x00, 0x10, 0, 0};    // jmp 0x1000
+  auto code = pm.frame_bytes(frame);
+  std::copy(std::begin(block), std::end(block), code.begin());
+  mmu.set_cr3(root);
+  cpu.regs().pc = 0x1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu.step());
+  }
+  state.counters["decode_hit_rate"] =
+      static_cast<double>(stats.decode_cache_hits) /
+      static_cast<double>(stats.decode_cache_hits + stats.decode_cache_misses);
+}
+BENCHMARK(BM_CpuStepCached);
+
+// The Mmu's one-entry fetch-translation memo alone: repeated instruction
+// fetches on one page, no decode in the loop.
+void BM_FetchFastPath(benchmark::State& state) {
+  arch::PhysicalMemory pm(64);
+  metrics::Stats stats;
+  metrics::CostModel cost;
+  arch::Mmu mmu(pm, stats, cost);
+  const arch::u32 root = arch::PageTable::create(pm);
+  arch::PageTable pt(pm, root);
+  pt.set(0x1000, Pte::make(pm.alloc_frame(), Pte::kPresent | Pte::kUser));
+  mmu.set_cr3(root);
+  mmu.fetch8(0x1000);  // warm the I-TLB and the memo
+  arch::u32 off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mmu.translate(0x1000 + off, arch::Access::kFetch));
+    off = (off + 1) & arch::kPageMask;
+  }
+}
+BENCHMARK(BM_FetchFastPath);
+
+// Worst case for the decode cache: the code frame is rewritten before every
+// step, so every fetch takes the probe + stale-generation + re-decode path.
+// Guards against the coherence machinery costing more than it saves.
+void BM_DecodeCacheInvalidate(benchmark::State& state) {
+  arch::PhysicalMemory pm(64);
+  metrics::Stats stats;
+  metrics::CostModel cost;
+  arch::Mmu mmu(pm, stats, cost);
+  arch::Cpu cpu(mmu, stats, cost);
+  const arch::u32 root = arch::PageTable::create(pm);
+  arch::PageTable pt(pm, root);
+  const arch::u32 frame = pm.alloc_frame();
+  pt.set(0x1000, Pte::make(frame, Pte::kPresent | Pte::kUser));
+  const arch::u64 frame_pa = static_cast<arch::u64>(frame) * kPageSize;
+  // addi r0, 1 ; jmp 0x1000
+  pm.write8(frame_pa + 0, 0x19);
+  pm.write8(frame_pa + 2, 1);
+  pm.write8(frame_pa + 6, 0x20);
+  pm.write8(frame_pa + 8, 0x10);
+  mmu.set_cr3(root);
+  cpu.regs().pc = 0x1000;
+  for (auto _ : state) {
+    // Same bytes, but the write bumps the frame generation: the next step
+    // must re-decode.
+    pm.write8(frame_pa + 2, 1);
+    benchmark::DoNotOptimize(cpu.step());
+  }
+}
+BENCHMARK(BM_DecodeCacheInvalidate);
 
 void BM_SplitFaultProtocol(benchmark::State& state) {
   // One guest instruction loop on a split page with a data access to a

@@ -2,23 +2,43 @@
 
 namespace sm::arch {
 
-struct Cpu::Decoded {
-  Op op;
-  u8 ra = 0;
-  u8 rb = 0;
-  u32 imm = 0;
-  u32 len = 0;
-};
-
 void Cpu::check_reg(u8 r) const {
   if (r >= kNumRegs) {
     throw TrapException(Trap::simple(TrapKind::kGeneralProtection));
   }
 }
 
-Cpu::Decoded Cpu::fetch_decode() {
+Decoded Cpu::fetch_decode() {
   const u32 pc = regs_.pc;
-  const u8 opcode = mmu_->fetch8(pc);
+  // One real translation for the first byte: bills the I-TLB hit/miss (and
+  // any walk or fault) exactly as the byte-at-a-time path's first fetch
+  // would, and yields the physical key for the decode cache.
+  const u64 pa = mmu_->translate(pc, Access::kFetch);
+  PhysicalMemory& pm = mmu_->phys();
+  const u64 gen = pm.generation(static_cast<u32>(pa >> kPageShift));
+
+  DecodeCache::Entry& slot = dcache_.slot(pa);
+  if (slot.pa == pa) {
+    if (slot.gen == gen) {
+      // Hit. Only non-straddling instructions are cached, so in the slow
+      // path bytes 1..len-1 would have been guaranteed I-TLB hits on the
+      // very entry byte 0 just used (inserted on its miss, or already
+      // present). Bill those hits wholesale; the LRU outcome is identical
+      // because consecutive touches of one entry collapse.
+      ++stats_->decode_cache_hits;
+      const u32 extra = slot.d.len - 1;
+      stats_->itlb_hits += extra;
+      stats_->cycles += extra * cost_->tlb_hit;
+      return slot.d;
+    }
+    // Same physical location, stale frame generation: the code frame was
+    // rewritten (self-modifying code, exec, forensic injection, frame
+    // reuse) — re-decode from the current bytes.
+    ++stats_->decode_cache_invalidations;
+  }
+  ++stats_->decode_cache_misses;
+
+  const u8 opcode = pm.read8(pa);
   const u32 len = instr_length(opcode);
   if (len == 0) {
     throw TrapException(Trap::invalid_opcode(opcode));
@@ -113,6 +133,14 @@ Cpu::Decoded Cpu::fetch_decode() {
       break;
     default:
       break;
+  }
+  // Memoize fully validated decodes whose bytes live in one frame; a
+  // straddling tail sits in a second frame the entry's generation key
+  // cannot cover, so those always take the slow path above.
+  if (page_offset(pc) + len <= kPageSize) {
+    slot.pa = pa;
+    slot.gen = gen;
+    slot.d = d;
   }
   return d;
 }

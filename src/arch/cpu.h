@@ -15,6 +15,7 @@
 
 #include <optional>
 
+#include "arch/decode_cache.h"
 #include "arch/isa.h"
 #include "arch/mmu.h"
 #include "arch/trap.h"
@@ -52,10 +53,13 @@ class Cpu {
   // Executes one instruction. See the file comment for the contract.
   std::optional<Trap> step();
 
+  // The physically-keyed decoded-instruction cache (test/bench access).
+  DecodeCache& decode_cache() { return dcache_; }
+
  private:
-  // Fetches the instruction bytes at pc through the I-TLB path.
-  // Throws TrapException on fetch faults or #UD.
-  struct Decoded;
+  // Fetches the instruction bytes at pc through the I-TLB path, consulting
+  // the decode cache first. Simulated costs are billed identically on hit
+  // and miss. Throws TrapException on fetch faults or #UD.
   Decoded fetch_decode();
   std::optional<Trap> execute(const Decoded& d);
 
@@ -67,6 +71,7 @@ class Cpu {
   metrics::Stats* stats_;
   const metrics::CostModel* cost_;
   Regs regs_;
+  DecodeCache dcache_;
 };
 
 }  // namespace sm::arch

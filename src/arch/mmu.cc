@@ -16,12 +16,14 @@ void Mmu::set_cr3(u32 root_pfn) {
 }
 
 void Mmu::flush_tlbs() {
+  drop_fetch_memo();
   itlb_.flush();
   dtlb_.flush();
   ++stats_->tlb_flushes;
 }
 
 void Mmu::invlpg(u32 vaddr) {
+  drop_fetch_memo();
   itlb_.invalidate(vpn_of(vaddr));
   dtlb_.invalidate(vpn_of(vaddr));
 }
@@ -42,6 +44,21 @@ u64 Mmu::translate(u32 vaddr, Access acc) {
   Tlb& tlb = is_fetch ? itlb_ : dtlb_;
   const u32 vpn = vpn_of(vaddr);
 
+  if (is_fetch && fetch_memo_.valid && fetch_memo_.vpn == vpn &&
+      fetch_memo_.tlb_version == itlb_.version()) {
+    // Memo hit: the I-TLB entry this memo snapshot came from is provably
+    // unchanged (version match), so serve the translation without the set
+    // scan — with identical billing, the same LRU touch lookup() would
+    // have applied, and the same permission outcome.
+    ++stats_->itlb_hits;
+    ++stats_->fetch_fastpath_hits;
+    stats_->cycles += cost_->tlb_hit;
+    itlb_.touch(fetch_memo_.entry_index);
+    if (!fetch_memo_.user) fault(vaddr, acc, /*present=*/true);
+    if (fetch_memo_.no_exec) fault(vaddr, acc, /*present=*/true);
+    return finish(vaddr, fetch_memo_.pfn);
+  }
+
   if (const TlbEntry* e = tlb.lookup(vpn)) {
     // Hit: permissions come from the cached attributes, NOT the PTE. This
     // is the persistence property split memory depends on.
@@ -54,6 +71,16 @@ u64 Mmu::translate(u32 vaddr, Access acc) {
     if (!e->user) fault(vaddr, acc, /*present=*/true);
     if (acc == Access::kWrite && !e->writable) fault(vaddr, acc, true);
     if (is_fetch && e->no_exec) fault(vaddr, acc, true);
+    if (is_fetch) {
+      // Memoize for the next fetch (only after every check passed).
+      fetch_memo_.vpn = vpn;
+      fetch_memo_.pfn = e->pfn;
+      fetch_memo_.entry_index = itlb_.index_of(e);
+      fetch_memo_.tlb_version = itlb_.version();
+      fetch_memo_.user = e->user;
+      fetch_memo_.no_exec = e->no_exec;
+      fetch_memo_.valid = true;
+    }
     return finish(vaddr, e->pfn);
   }
 
@@ -92,14 +119,20 @@ u64 Mmu::translate(u32 vaddr, Access acc) {
 }
 
 u32 Mmu::read32(u32 va) {
-  // A 32-bit access may straddle a page boundary; translate per byte then.
+  // Contained in one page (the common case): a single translation covers
+  // all four bytes.
   if (page_offset(va) <= kPageSize - 4) {
     return pm_->read32(translate(va, Access::kRead));
   }
+  // Page-straddling access: one translation per page — as the hardware
+  // would do — rather than one per byte.
+  const u32 first_len = kPageSize - page_offset(va);
+  const u64 pa0 = translate(va, Access::kRead);
+  const u64 pa1 = translate(va + first_len, Access::kRead);
   u32 v = 0;
   for (u32 i = 0; i < 4; ++i) {
-    v |= static_cast<u32>(pm_->read8(translate(va + i, Access::kRead)))
-         << (8 * i);
+    const u64 pa = i < first_len ? pa0 + i : pa1 + (i - first_len);
+    v |= static_cast<u32>(pm_->read8(pa)) << (8 * i);
   }
   return v;
 }
@@ -109,11 +142,13 @@ void Mmu::write32(u32 va, u32 v) {
     pm_->write32(translate(va, Access::kWrite), v);
     return;
   }
-  // Pre-translate every byte so a fault leaves memory untouched.
-  u64 pa[4];
-  for (u32 i = 0; i < 4; ++i) pa[i] = translate(va + i, Access::kWrite);
+  // Pre-translate both pages so a fault leaves memory untouched.
+  const u32 first_len = kPageSize - page_offset(va);
+  const u64 pa0 = translate(va, Access::kWrite);
+  const u64 pa1 = translate(va + first_len, Access::kWrite);
   for (u32 i = 0; i < 4; ++i) {
-    pm_->write8(pa[i], static_cast<u8>(v >> (8 * i)));
+    const u64 pa = i < first_len ? pa0 + i : pa1 + (i - first_len);
+    pm_->write8(pa, static_cast<u8>(v >> (8 * i)));
   }
 }
 
@@ -157,6 +192,7 @@ bool Mmu::fill_itlb_via_call(u32 vaddr) {
 
 void Mmu::insert_tlb_entry(bool instruction, u32 vpn, u32 pfn, bool user,
                            bool writable, bool no_exec) {
+  drop_fetch_memo();
   TlbEntry entry;
   entry.vpn = vpn;
   entry.pfn = pfn;

@@ -10,6 +10,14 @@
 // (see kernel/guest_mem.h) and never perturbs the TLBs — except through
 // fill_dtlb_via_walk(), which models the paper's "touch a byte while the
 // PTE is unrestricted" D-TLB load (Algorithm 1, lines 7-11).
+//
+// Fetch fast path: a one-entry (VPN → PFN, perms) memo of the last
+// instruction-fetch translation is consulted before the I-TLB set scan.
+// It is a pure host-time shortcut — it only serves translations the I-TLB
+// would have served itself (same hit billing, same LRU touch, same
+// permission checks) and is dropped on invlpg, flush_tlbs, set_cr3 and
+// insert_tlb_entry, plus implicitly on ANY I-TLB mutation via the TLB's
+// version counter (so an LRU eviction by an unrelated fill kills it too).
 #pragma once
 
 #include "arch/page_table.h"
@@ -92,11 +100,24 @@ class Mmu {
     return static_cast<u64>(pfn) * kPageSize + page_offset(vaddr);
   }
 
+  // Last successful instruction-fetch translation (see file comment).
+  struct FetchMemo {
+    u32 vpn = 0;
+    u32 pfn = 0;
+    u32 entry_index = 0;  // into the I-TLB, for the LRU touch
+    u64 tlb_version = 0;  // must match itlb_.version() to be usable
+    bool user = false;
+    bool no_exec = false;
+    bool valid = false;
+  };
+  void drop_fetch_memo() { fetch_memo_.valid = false; }
+
   PhysicalMemory* pm_;
   metrics::Stats* stats_;
   const metrics::CostModel* cost_;
   Tlb itlb_;
   Tlb dtlb_;
+  FetchMemo fetch_memo_;
   u32 cr3_ = 0;
   u32 walk_failure_period_ = 0;
   u32 walk_fill_count_ = 0;

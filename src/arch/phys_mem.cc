@@ -8,6 +8,7 @@ namespace sm::arch {
 PhysicalMemory::PhysicalMemory(u32 num_frames)
     : num_frames_(num_frames),
       bytes_(static_cast<std::size_t>(num_frames) * kPageSize, 0),
+      generations_(num_frames, 0),
       refcounts_(num_frames, 0) {
   free_list_.reserve(num_frames);
   // Hand out low frames first: push in reverse so pop_back yields frame 0.
@@ -34,13 +35,22 @@ u32 PhysicalMemory::read32(u64 pa) const {
   return v;
 }
 
+void PhysicalMemory::bump_generation(u64 pa, u64 len) {
+  if (len == 0) return;
+  const u64 first = pa >> kPageShift;
+  const u64 last = (pa + len - 1) >> kPageShift;
+  for (u64 f = first; f <= last; ++f) ++generations_[f];
+}
+
 void PhysicalMemory::write8(u64 pa, u8 v) {
   check_pa(pa, 1);
+  ++generations_[pa >> kPageShift];
   bytes_[pa] = v;
 }
 
 void PhysicalMemory::write32(u64 pa, u32 v) {
   check_pa(pa, 4);
+  bump_generation(pa, 4);
   std::memcpy(&bytes_[pa], &v, 4);
 }
 
@@ -51,12 +61,19 @@ void PhysicalMemory::read(u64 pa, std::span<u8> out) const {
 
 void PhysicalMemory::write(u64 pa, std::span<const u8> in) {
   check_pa(pa, in.size());
+  bump_generation(pa, in.size());
   std::memcpy(&bytes_[pa], in.data(), in.size());
 }
 
 std::span<u8> PhysicalMemory::frame_bytes(u32 pfn) {
   check_pa(static_cast<u64>(pfn) * kPageSize, kPageSize);
+  ++generations_[pfn];
   return {&bytes_[static_cast<u64>(pfn) * kPageSize], kPageSize};
+}
+
+u64 PhysicalMemory::generation(u32 pfn) const {
+  if (pfn >= num_frames_) throw std::out_of_range("bad pfn");
+  return generations_[pfn];
 }
 
 std::span<const u8> PhysicalMemory::frame_bytes(u32 pfn) const {

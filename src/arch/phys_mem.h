@@ -4,6 +4,14 @@
 // address spaces (copy-on-write fork, shared libraries) and because every
 // split page owns *two* frames that must both return to the free pool on
 // process exit (paper §5.4).
+//
+// Every frame also carries a generation counter that is bumped by every
+// mutation path — write8/write32/span writes, the mutable frame_bytes()
+// view (kernel loader, fork/exec copies, split-engine frame duplication),
+// and frame reallocation. The CPU's physically-keyed decode cache stores
+// the generation it decoded under and treats a mismatch as an
+// invalidation, which is what keeps self-modifying code, forensics-mode
+// shellcode injection, and observe-mode page unsplitting bit-exact.
 #pragma once
 
 #include <cstddef>
@@ -34,9 +42,14 @@ class PhysicalMemory {
   void read(u64 pa, std::span<u8> out) const;
   void write(u64 pa, std::span<const u8> in);
 
-  // Direct view of one frame's bytes (kernel-internal use).
+  // Direct view of one frame's bytes (kernel-internal use). The mutable
+  // overload conservatively counts as a write: callers take it to fill or
+  // copy frames, and any cached decode of the old contents must die.
   std::span<u8> frame_bytes(u32 pfn);
   std::span<const u8> frame_bytes(u32 pfn) const;
+
+  // Mutation generation of one frame (see file comment).
+  u64 generation(u32 pfn) const;
 
   // --- frame allocator --------------------------------------------------
   // Allocates a zeroed frame with refcount 1. Throws OutOfMemoryError.
@@ -51,9 +64,11 @@ class PhysicalMemory {
 
  private:
   void check_pa(u64 pa, u64 len) const;
+  void bump_generation(u64 pa, u64 len);
 
   u32 num_frames_;
   std::vector<u8> bytes_;
+  std::vector<u64> generations_;
   std::vector<u32> refcounts_;
   std::vector<u32> free_list_;
   u32 frames_in_use_ = 0;

@@ -58,6 +58,7 @@ void Tlb::insert(const TlbEntry& entry) {
   entries_[victim] = entry;
   entries_[victim].valid = true;
   entries_[victim].stamp = ++clock_;
+  ++version_;
 }
 
 void Tlb::invalidate(u32 vpn) {
@@ -66,10 +67,12 @@ void Tlb::invalidate(u32 vpn) {
     TlbEntry& e = entries_[base + w];
     if (e.valid && e.vpn == vpn) e.valid = false;
   }
+  ++version_;
 }
 
 void Tlb::flush() {
   for (TlbEntry& e : entries_) e.valid = false;
+  ++version_;
 }
 
 bool Tlb::contains(u32 vpn) const { return peek(vpn).has_value(); }

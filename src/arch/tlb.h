@@ -54,12 +54,26 @@ class Tlb {
   u32 valid_count() const;
   u32 capacity() const { return static_cast<u32>(entries_.size()); }
 
+  // --- fast-path support (Mmu's one-entry fetch memo) --------------------
+  // Monotonic mutation counter: bumped by every insert/invalidate/flush.
+  // A memo that captured version() is valid only while it still matches —
+  // any entry churn (including LRU evictions by unrelated fills) kills it.
+  u64 version() const { return version_; }
+  // Stable index of a looked-up entry, for touch() without a set scan.
+  u32 index_of(const TlbEntry* e) const {
+    return static_cast<u32>(e - entries_.data());
+  }
+  // Refreshes one entry's LRU stamp exactly as lookup() would, so a memo
+  // hit leaves replacement behaviour identical to the slow path.
+  void touch(u32 index) { entries_[index].stamp = ++clock_; }
+
  private:
   u32 set_of(u32 vpn) const { return vpn & (num_sets_ - 1); }
 
   u32 ways_;
   u32 num_sets_;
   u64 clock_ = 0;
+  u64 version_ = 0;
   std::vector<TlbEntry> entries_;  // num_sets_ * ways_, set-major
 };
 

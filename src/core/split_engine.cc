@@ -80,6 +80,9 @@ void SplitMemoryEngine::materialize(Kernel& k, Process& p, const Vma& vma,
     pair.data_frame = k.alloc_initial_frame(p, vma, page);
     pair.code_frame = pm.alloc_frame();
     if (vma.executable()) {
+      // The mutable frame_bytes() view bumps the code frame's generation,
+      // invalidating any decode-cache entries keyed to it (the frame is
+      // fresh here, but the same rule covers every later re-population).
       std::ranges::copy(pm.frame_bytes(pair.data_frame),
                         pm.frame_bytes(pair.code_frame).begin());
     }

@@ -5,6 +5,12 @@
 // For memory-split pages the caller chooses a view: syscalls act on the
 // DATA view (what the process reads/writes), the loader and the forensic
 // shellcode injector write the CODE view or BOTH.
+//
+// All writes land through PhysicalMemory's write paths, which bump the
+// target frame's generation counter — so a kernel write to a code frame
+// (loader relocation, forensic injection) automatically invalidates any
+// decoded-instruction-cache entries for that frame. No explicit flush
+// hook is needed here; see DESIGN.md §8.
 #pragma once
 
 #include <optional>

@@ -13,7 +13,10 @@ std::ostream& operator<<(std::ostream& os, const Stats& s) {
      << s.split_itlb_loads << " single_steps=" << s.single_steps
      << " demand=" << s.demand_pages << " cow=" << s.cow_copies
      << " syscalls=" << s.syscalls << " ctxsw=" << s.context_switches
-     << " detections=" << s.injections_detected;
+     << " detections=" << s.injections_detected
+     << " decode$(h/m/inv)=" << s.decode_cache_hits << "/"
+     << s.decode_cache_misses << "/" << s.decode_cache_invalidations
+     << " fetch_fast=" << s.fetch_fastpath_hits;
   return os;
 }
 

@@ -25,6 +25,13 @@ struct Stats {
   std::uint64_t tlb_flushes = 0;
   std::uint64_t hardware_walks = 0;
 
+  // Host-side fast paths (simulator speed only; these add NO cycles —
+  // every event here is billed as the slow path it short-circuits).
+  std::uint64_t fetch_fastpath_hits = 0;  // Mmu one-entry fetch memo
+  std::uint64_t decode_cache_hits = 0;
+  std::uint64_t decode_cache_misses = 0;
+  std::uint64_t decode_cache_invalidations = 0;  // stale frame generation
+
   // Faults and kernel crossings.
   std::uint64_t page_faults = 0;
   std::uint64_t split_dtlb_loads = 0;

@@ -1,0 +1,187 @@
+// The physically-keyed decoded-instruction cache: hit/miss/invalidate
+// behaviour, generation-counter coherence with every code-frame mutation
+// path, the no-straddle rule, and — most importantly — that the fast path
+// bills simulated costs exactly like the slow path it short-circuits.
+#include "arch/decode_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+#include "arch/cpu.h"
+
+namespace sm::arch {
+namespace {
+
+class DecodeCacheTest : public ::testing::Test {
+ protected:
+  DecodeCacheTest()
+      : pm_(64), mmu_(pm_, stats_, cost_), cpu_(mmu_, stats_, cost_) {
+    const u32 root = PageTable::create(pm_);
+    PageTable pt(pm_, root);
+    for (u32 i = 1; i < 8; ++i) {
+      frames_[i] = pm_.alloc_frame();
+      pt.set(i * kPageSize,
+             Pte::make(frames_[i], Pte::kPresent | Pte::kUser | Pte::kWritable));
+    }
+    mmu_.set_cr3(root);
+    cpu_.regs().pc = 0x1000;
+    cpu_.regs().sp() = 0x7000;
+  }
+
+  // movi r1, <imm8> at physical offset `off` of frame `f`.
+  void put_movi(u32 f, u32 off, u8 imm) {
+    const u64 pa = static_cast<u64>(frames_[f]) * kPageSize + off;
+    pm_.write8(pa + 0, 0x01);
+    pm_.write8(pa + 1, 1);
+    pm_.write8(pa + 2, imm);
+    pm_.write8(pa + 3, 0);
+    pm_.write8(pa + 4, 0);
+    pm_.write8(pa + 5, 0);
+  }
+
+  metrics::Stats stats_;
+  metrics::CostModel cost_;
+  PhysicalMemory pm_;
+  Mmu mmu_;
+  Cpu cpu_;
+  u32 frames_[8];
+};
+
+TEST_F(DecodeCacheTest, SecondExecutionHits) {
+  put_movi(1, 0, 7);
+  EXPECT_FALSE(cpu_.step().has_value());
+  EXPECT_EQ(stats_.decode_cache_misses, 1u);
+  EXPECT_EQ(stats_.decode_cache_hits, 0u);
+
+  cpu_.regs().pc = 0x1000;
+  EXPECT_FALSE(cpu_.step().has_value());
+  EXPECT_EQ(stats_.decode_cache_hits, 1u);
+  EXPECT_EQ(stats_.decode_cache_misses, 1u);
+  EXPECT_EQ(cpu_.regs().r[1], 7u);
+}
+
+TEST_F(DecodeCacheTest, PhysWriteToCodeFrameInvalidates) {
+  put_movi(1, 0, 11);
+  EXPECT_FALSE(cpu_.step().has_value());
+  EXPECT_EQ(cpu_.regs().r[1], 11u);
+
+  // Self-modifying code: rewrite the immediate byte through physical
+  // memory (as a guest store through the D-TLB would) and re-execute.
+  pm_.write8(static_cast<u64>(frames_[1]) * kPageSize + 2, 22);
+  cpu_.regs().pc = 0x1000;
+  EXPECT_FALSE(cpu_.step().has_value());
+  EXPECT_EQ(cpu_.regs().r[1], 22u);  // the NEW bytes executed
+  EXPECT_GE(stats_.decode_cache_invalidations, 1u);
+}
+
+TEST_F(DecodeCacheTest, MutableFrameViewInvalidates) {
+  put_movi(1, 0, 11);
+  EXPECT_FALSE(cpu_.step().has_value());
+
+  // Kernel-style mutation: loader/exec/split-engine copies go through the
+  // mutable frame_bytes() view, which must also kill cached decodes.
+  pm_.frame_bytes(frames_[1])[2] = 33;
+  cpu_.regs().pc = 0x1000;
+  EXPECT_FALSE(cpu_.step().has_value());
+  EXPECT_EQ(cpu_.regs().r[1], 33u);
+}
+
+TEST_F(DecodeCacheTest, StraddlingInstructionIsNeverCached) {
+  // movi spanning the 0x1000/0x2000 page boundary: starts 3 bytes before
+  // the end of frame 1, tail lives in frame 2.
+  const u64 base = static_cast<u64>(frames_[1]) * kPageSize + kPageSize - 3;
+  pm_.write8(base + 0, 0x01);
+  pm_.write8(base + 1, 1);
+  pm_.write8(base + 2, 44);
+  const u64 tail = static_cast<u64>(frames_[2]) * kPageSize;
+  pm_.write8(tail + 0, 0);
+  pm_.write8(tail + 1, 0);
+  pm_.write8(tail + 2, 0);
+
+  cpu_.regs().pc = 0x2000 - 3;
+  EXPECT_FALSE(cpu_.step().has_value());
+  EXPECT_EQ(cpu_.regs().r[1], 44u);
+  const auto misses = stats_.decode_cache_misses;
+  cpu_.regs().pc = 0x2000 - 3;
+  EXPECT_FALSE(cpu_.step().has_value());
+  // Re-executed, still a miss: straddlers take the slow path every time.
+  EXPECT_EQ(stats_.decode_cache_misses, misses + 1);
+  EXPECT_EQ(stats_.decode_cache_hits, 0u);
+}
+
+TEST_F(DecodeCacheTest, PhysicallyKeyedSharedFrameSharesDecodes) {
+  // Map a second virtual page onto frame 1 (as fork/shared text does).
+  PageTable pt(pm_, mmu_.cr3());
+  pt.set(0x5000, Pte::make(frames_[1], Pte::kPresent | Pte::kUser));
+  pm_.ref_frame(frames_[1]);
+  put_movi(1, 0, 9);
+
+  cpu_.regs().pc = 0x1000;
+  EXPECT_FALSE(cpu_.step().has_value());
+  EXPECT_EQ(stats_.decode_cache_misses, 1u);
+
+  // Different virtual address, same physical location: the decode is
+  // already cached.
+  cpu_.regs().pc = 0x5000;
+  EXPECT_FALSE(cpu_.step().has_value());
+  EXPECT_EQ(stats_.decode_cache_hits, 1u);
+  EXPECT_EQ(stats_.decode_cache_misses, 1u);
+}
+
+TEST_F(DecodeCacheTest, HitBillsExactlyWhatTheSlowPathWould) {
+  // The acceptance bar for the whole optimisation: simulated figures are
+  // bit-identical, i.e. a decode-cache hit bills the same cycles and TLB
+  // events as a warm-TLB re-decode of the same instruction.
+  put_movi(1, 0, 5);
+  EXPECT_FALSE(cpu_.step().has_value());  // cold: fill TLB + cache
+
+  auto snap = [&] {
+    return std::tuple{stats_.cycles, stats_.itlb_hits, stats_.itlb_misses,
+                      stats_.hardware_walks, stats_.instructions};
+  };
+
+  cpu_.regs().pc = 0x1000;
+  const auto before_hit = snap();
+  EXPECT_FALSE(cpu_.step().has_value());  // decode-cache hit
+  const auto after_hit = snap();
+  EXPECT_EQ(stats_.decode_cache_hits, 1u);
+
+  // Rewrite the immediate with the SAME value: semantics unchanged, but
+  // the generation bump forces the slow byte-at-a-time path with a warm
+  // TLB — precisely what the hit short-circuited.
+  pm_.write8(static_cast<u64>(frames_[1]) * kPageSize + 2, 5);
+  cpu_.regs().pc = 0x1000;
+  const auto before_slow = snap();
+  EXPECT_FALSE(cpu_.step().has_value());
+  const auto after_slow = snap();
+  EXPECT_GE(stats_.decode_cache_invalidations, 1u);
+
+  auto delta = [](const auto& a, const auto& b) {
+    return std::tuple{std::get<0>(b) - std::get<0>(a),
+                      std::get<1>(b) - std::get<1>(a),
+                      std::get<2>(b) - std::get<2>(a),
+                      std::get<3>(b) - std::get<3>(a),
+                      std::get<4>(b) - std::get<4>(a)};
+  };
+  EXPECT_EQ(delta(before_hit, after_hit), delta(before_slow, after_slow));
+}
+
+TEST_F(DecodeCacheTest, ClearDropsAllEntries) {
+  put_movi(1, 0, 7);
+  EXPECT_FALSE(cpu_.step().has_value());
+  cpu_.decode_cache().clear();
+  cpu_.regs().pc = 0x1000;
+  EXPECT_FALSE(cpu_.step().has_value());
+  EXPECT_EQ(stats_.decode_cache_hits, 0u);
+  EXPECT_EQ(stats_.decode_cache_misses, 2u);
+}
+
+TEST(DecodeCacheUnit, RejectsNonPowerOfTwoSize) {
+  EXPECT_THROW(DecodeCache(3), std::invalid_argument);
+  EXPECT_NO_THROW(DecodeCache(8));
+}
+
+}  // namespace
+}  // namespace sm::arch

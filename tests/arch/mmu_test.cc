@@ -165,6 +165,101 @@ TEST_F(MmuTest, StraddlingWrite32FaultsAtomically) {
   EXPECT_EQ(mmu_.read8(0x5FFF), 0x99);  // first byte untouched
 }
 
+// --- Fetch-translation memo (the one-entry fast path ahead of the I-TLB
+// set scan). The memo must never outlive any event that can change what a
+// fetch translates to: invlpg, CR3 reload, software TLB insertion, or a
+// PTE repoint made visible by an invalidation.
+
+TEST_F(MmuTest, FetchMemoHitsAfterFirstFetch) {
+  map(0x5000, kUserRw);
+  mmu_.fetch8(0x5000);  // walk + I-TLB fill; memo armed on the TLB hit path
+  EXPECT_EQ(stats_.fetch_fastpath_hits, 0u);
+  mmu_.fetch8(0x5001);  // first memo consult happens on the second fetch
+  mmu_.fetch8(0x5002);
+  EXPECT_GE(stats_.fetch_fastpath_hits, 1u);
+  EXPECT_EQ(stats_.itlb_misses, 1u);
+}
+
+TEST_F(MmuTest, InvlpgDropsFetchMemoAndForcesRewalk) {
+  map(0x5000, kUserRw);
+  mmu_.fetch8(0x5000);
+  mmu_.fetch8(0x5001);  // memo warm
+  const auto walks = stats_.hardware_walks;
+  mmu_.invlpg(0x5000);
+  mmu_.fetch8(0x5002);
+  EXPECT_EQ(stats_.itlb_misses, 2u);          // re-walked, not memo-served
+  EXPECT_GT(stats_.hardware_walks, walks);
+}
+
+TEST_F(MmuTest, Cr3ReloadDropsFetchMemo) {
+  map(0x5000, kUserRw);
+  mmu_.fetch8(0x5000);
+  mmu_.fetch8(0x5001);
+  mmu_.set_cr3(root_);  // flushes TLBs; the memo must die with them
+  mmu_.fetch8(0x5002);
+  EXPECT_EQ(stats_.itlb_misses, 2u);
+}
+
+TEST_F(MmuTest, InsertTlbEntryDropsFetchMemo) {
+  const u32 f1 = map(0x5000, kUserRw);
+  mmu_.fetch8(0x5000);
+  mmu_.fetch8(0x5001);  // memo points at f1
+  // Software TLB handler redirects the fetch mapping to a fresh frame (the
+  // paper's software-loaded split-TLB variant). The very next fetch must
+  // observe the new pfn, not the memoized one.
+  const u32 f2 = pm_.alloc_frame();
+  pm_.frame_bytes(f2)[3] = 0xAB;
+  pm_.frame_bytes(f1)[3] = 0xCD;
+  mmu_.insert_tlb_entry(/*instruction=*/true, 5, f2, /*user=*/true,
+                        /*writable=*/false, /*no_exec=*/false);
+  EXPECT_EQ(mmu_.fetch8(0x5003), 0xAB);
+}
+
+TEST_F(MmuTest, FetchMemoDoesNotMaskPteRepoint) {
+  // Repointing the PTE without invalidation must NOT take effect (TLB
+  // persistence semantics, which the memo inherits); after invlpg it must.
+  const u32 f1 = map(0x5000, kUserRw);
+  pm_.frame_bytes(f1)[0] = 0x11;
+  mmu_.fetch8(0x5000);
+  mmu_.fetch8(0x5001);  // memo warm
+  const u32 f2 = pm_.alloc_frame();
+  pm_.frame_bytes(f2)[0] = 0x22;
+  pt().set(0x5000, Pte::make(f2, kUserRw));
+  EXPECT_EQ(mmu_.fetch8(0x5000), 0x11);  // stale mapping still live
+  mmu_.invlpg(0x5000);
+  EXPECT_EQ(mmu_.fetch8(0x5000), 0x22);  // invalidation exposes the repoint
+}
+
+// --- Straddle regression: a 32-bit access crossing a page boundary spans
+// exactly two pages, so it must cost exactly two translations — not one
+// per byte.
+
+TEST_F(MmuTest, StraddlingRead32TranslatesOncePerPage) {
+  map(0x5000, kUserRw);
+  map(0x6000, kUserRw);
+  mmu_.read8(0x5000);  // warm both D-TLB entries so deltas are pure hits
+  mmu_.read8(0x6000);
+  for (u32 off : {4093u, 4094u, 4095u}) {
+    const auto hits = stats_.dtlb_hits;
+    mmu_.read32(0x5000 + off);
+    EXPECT_EQ(stats_.dtlb_hits, hits + 2) << "offset " << off;
+  }
+  const auto hits = stats_.dtlb_hits;
+  mmu_.read32(0x5000 + 4092);  // fully inside one page: one translation
+  EXPECT_EQ(stats_.dtlb_hits, hits + 1);
+}
+
+TEST_F(MmuTest, StraddlingWrite32TranslatesOncePerPage) {
+  map(0x5000, kUserRw);
+  map(0x6000, kUserRw);
+  mmu_.write8(0x5000, 0);
+  mmu_.write8(0x6000, 0);
+  const auto hits = stats_.dtlb_hits;
+  mmu_.write32(0x5FFD, 0xA1B2C3D4);
+  EXPECT_EQ(stats_.dtlb_hits, hits + 2);
+  EXPECT_EQ(mmu_.read32(0x5FFD), 0xA1B2C3D4u);
+}
+
 TEST_F(MmuTest, AccessedAndDirtyBitsSetOnWalk) {
   map(0x5000, kUserRw);
   mmu_.read8(0x5000);

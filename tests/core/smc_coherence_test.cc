@@ -1,0 +1,115 @@
+// Self-modifying-code coherence: the host-side decoded-instruction cache
+// must never change GUEST-visible semantics. On an unsplit (von Neumann)
+// page a guest store over already-executed code must be picked up by the
+// next fetch; on a split page the same store must NOT be (the paper's
+// Harvard guarantee) — and the decode cache, being keyed by physical
+// address of the *code* frame, gets that for free. Forensics mode writes
+// shellcode into a code frame after the fact, which is the third way code
+// bytes can change under a warm cache.
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using core::ProtectionMode;
+using core::ResponseMode;
+using kernel::ExitKind;
+using testing::start_guest;
+
+// A guest that executes `site`, patches site's immediate byte from 11 to
+// 22 through a data store, then executes `site` again and exits with r1.
+// The exit code therefore reports which bytes the SECOND fetch decoded.
+const char* kSelfPatch = R"(
+_start:
+  movi r3, 0
+loop:
+site:
+  movi r1, 11
+  addi r3, 1
+  cmpi r3, 2
+  jz done
+  movi r4, site
+  movi r5, 22
+  storeb [r4+2], r5       ; patch the imm byte of `site`
+  jmp loop
+done:
+  movi r0, SYS_EXIT
+  syscall
+)";
+
+testing::GuestRun run_self_patch(ProtectionMode mode) {
+  testing::GuestRun r;
+  r.k = std::make_unique<kernel::Kernel>();
+  r.k->set_engine(core::make_engine(mode));
+  // Writable text segment so the store to `site` is legal: a mixed page.
+  r.k->register_image(
+      testing::build_guest_image(kSelfPatch, "guest", /*mixed_text=*/true));
+  r.pid = r.k->spawn("guest");
+  r.k->run(10'000'000);
+  return r;
+}
+
+TEST(SmcCoherence, UnsplitPageSecondFetchSeesPatchedBytes) {
+  auto r = run_self_patch(ProtectionMode::kNone);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kExited);
+  // Von Neumann semantics: the store hit the one-and-only frame, the first
+  // execution's cached decode of `site` went stale, and the second fetch
+  // re-decoded the patched bytes.
+  EXPECT_EQ(r.proc().exit_code, 22u);
+  EXPECT_GE(r.k->stats().decode_cache_invalidations, 1u);
+}
+
+TEST(SmcCoherence, SplitPageSecondFetchSeesOriginalBytes) {
+  auto r = run_self_patch(ProtectionMode::kSplitAll);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kExited);
+  // Harvard guarantee: the store was routed to the data frame; the code
+  // frame the decode cache is keyed on never changed, so serving the
+  // cached decode of `site` is not just fast but CORRECT.
+  EXPECT_EQ(r.proc().exit_code, 11u);
+}
+
+TEST(SmcCoherence, ForensicShellcodeInjectedAfterTheFactExecutes) {
+  // Forensics mode rewrites a zero-filled code frame with the forensic
+  // payload mid-run — after fetches already faulted on that frame. The
+  // generation bump from that write must force re-decode so the payload
+  // (exit(42)) actually executes rather than any stale decode.
+  const char* body = R"(
+_start:
+  movi r1, buf
+  movi r2, payload
+  movi r3, payload_end
+  sub r3, r2
+  call memcpy
+  movi r5, buf
+  jmpr r5
+.data
+payload:
+  movi r0, SYS_SPAWN_SHELL
+  syscall
+payload_end: .byte 0
+.bss
+buf: .space 256
+)";
+  auto r = start_guest(body, ProtectionMode::kSplitAll,
+                       ResponseMode::kForensics);
+  auto* engine = dynamic_cast<core::SplitMemoryEngine*>(&r.k->engine());
+  ASSERT_NE(engine, nullptr);
+  const auto program = assembler::assemble(guest::prelude() + R"(
+_start:
+  movi r0, SYS_EXIT
+  movi r1, 42
+  syscall
+)");
+  engine->set_forensic_shellcode(program.text);
+
+  r.k->run(10'000'000);
+  ASSERT_EQ(r.k->detections().size(), 1u);
+  EXPECT_FALSE(r.proc().shell_spawned);
+  EXPECT_EQ(r.proc().exit_kind, ExitKind::kExited);
+  EXPECT_EQ(r.proc().exit_code, 42u);
+}
+
+}  // namespace
+}  // namespace sm

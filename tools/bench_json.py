@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Run the microbenchmark suite and write BENCH_microbench.json at the repo
+root, so the perf trajectory of the simulator hot paths is tracked across
+PRs.
+
+Usage:
+    tools/bench_json.py [--build-dir build] [--min-time 0.1]
+                        [--filter REGEX] [--out BENCH_microbench.json]
+
+The emitter wraps google-benchmark's --benchmark_out JSON (schema unchanged,
+so any benchmark-diff tooling keeps working) and atomically replaces the
+output file only after a successful run.
+"""
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory (default: build)")
+    ap.add_argument("--min-time", default="0.1",
+                    help="--benchmark_min_time per case (default: 0.1)")
+    ap.add_argument("--filter", default="",
+                    help="--benchmark_filter regex (default: all cases)")
+    ap.add_argument("--out", default="BENCH_microbench.json",
+                    help="output path, relative to the repo root")
+    args = ap.parse_args()
+
+    exe = os.path.join(REPO_ROOT, args.build_dir, "bench", "microbench")
+    if not os.path.exists(exe):
+        print(f"error: {exe} not found — build the `microbench` target first "
+              f"(cmake --build {args.build_dir} --target microbench)",
+              file=sys.stderr)
+        return 1
+
+    out_path = os.path.join(REPO_ROOT, args.out)
+    tmp_path = out_path + ".tmp"
+    cmd = [exe,
+           f"--benchmark_out={tmp_path}",
+           "--benchmark_out_format=json",
+           f"--benchmark_min_time={args.min_time}"]
+    if args.filter:
+        cmd.append(f"--benchmark_filter={args.filter}")
+
+    print("+", " ".join(cmd))
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        return proc.returncode
+    os.replace(tmp_path, out_path)
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
