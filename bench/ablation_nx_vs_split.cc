@@ -4,49 +4,97 @@
 //  2. Performance: what each protection level costs on the worst-case
 //     pipe-ctxsw stressor — the paper's argument for the combined
 //     NX+split-mixed deployment.
+//
+// One security point and one performance point per engine; the kNone
+// performance point doubles as the normalization baseline (identical by
+// determinism to a separate baseline run).
 #include <cstdio>
+#include <vector>
 
 #include "attacks/nx_bypass.h"
 #include "attacks/realworld.h"
+#include "runner/experiment_runner.h"
 #include "workloads/workload.h"
 
 using namespace sm;
 using namespace sm::workloads;
 using core::ProtectionMode;
 
-int main() {
-  const ProtectionMode modes[] = {
+namespace {
+
+double eff(const WorkloadResult& r) {
+  return static_cast<double>(r.sim_time != 0 ? r.sim_time : r.cycles);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const runner::RunnerOptions opts = runner::parse_runner_args(
+      argc, argv, "ablation_nx_vs_split",
+      "Security and worst-case performance of every protection engine "
+      "(none, NX, PAGEEXEC, NX+split-mixed, split-all)");
+  runner::ExperimentRunner pool(opts);
+
+  std::vector<ProtectionMode> modes = {
       ProtectionMode::kNone, ProtectionMode::kHardwareNx,
       ProtectionMode::kPaxPageexec, ProtectionMode::kNxPlusSplitMixed,
       ProtectionMode::kSplitAll};
+  if (opts.quick) {
+    modes = {ProtectionMode::kNone, ProtectionMode::kHardwareNx,
+             ProtectionMode::kSplitAll};
+  }
+
+  std::vector<runner::SweepPoint> points;
+  for (const ProtectionMode m : modes) {
+    points.push_back({runner::strf("security/%s", core::to_string(m)),
+                      [m] {
+      runner::PointResult res;
+      const auto classic = attacks::realworld::run_attack(
+          attacks::realworld::Exploit::kBindTsig, m);
+      const auto bypass = attacks::run_nx_bypass(m);
+      res.text = runner::strf("%-18s %-22s %-22s\n", core::to_string(m),
+                              classic.shell_spawned ? "COMPROMISED"
+                                                    : "foiled",
+                              bypass.shell_spawned ? "COMPROMISED"
+                                                   : "foiled");
+      res.add("classic_compromised", classic.shell_spawned);
+      res.add("bypass_compromised", bypass.shell_spawned);
+      return res;
+    }});
+  }
+  const std::size_t first_perf = points.size();
+  for (const ProtectionMode m : modes) {
+    points.push_back({runner::strf("perf/%s", core::to_string(m)), [m] {
+      runner::PointResult res;
+      Protection prot;
+      prot.mode = m;
+      const auto r = run_unixbench(UnixBench::kPipeContextSwitch, prot);
+      res.add("eff", eff(r));
+      return res;
+    }});
+  }
+
+  const runner::ResultTable table = pool.run(points);
 
   std::printf("Security ablation (attack outcome per engine)\n\n");
   std::printf("%-18s %-22s %-22s\n", "engine", "stack smash (bind)",
               "DEP bypass (mmap WX)");
-  for (const ProtectionMode m : modes) {
-    const auto classic =
-        attacks::realworld::run_attack(attacks::realworld::Exploit::kBindTsig,
-                                       m);
-    const auto bypass = attacks::run_nx_bypass(m);
-    std::printf("%-18s %-22s %-22s\n", core::to_string(m),
-                classic.shell_spawned ? "COMPROMISED" : "foiled",
-                bypass.shell_spawned ? "COMPROMISED" : "foiled");
-  }
+  table.print(stdout);
   std::printf(
       "\n(the execute-disable bit stops the classic smash but not the\n"
       " mmap-RWX bypass; split memory stops both — paper SS2 motivation)\n");
 
   std::printf("\nPerformance ablation (pipe-ctxsw, normalized)\n\n");
-  const auto base =
-      run_unixbench(UnixBench::kPipeContextSwitch, Protection::none());
-  for (const ProtectionMode m : modes) {
-    Protection prot;
-    prot.mode = m;
-    const auto r = run_unixbench(UnixBench::kPipeContextSwitch, prot);
-    std::printf("%-18s %10.3f\n", core::to_string(m), normalized(base, r));
+  // modes[0] is kNone: its run IS the unprotected baseline.
+  const double base_eff = metric(table[first_perf], "eff");
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const double p_eff = metric(table[first_perf + i], "eff");
+    std::printf("%-18s %10.3f\n", core::to_string(modes[i]),
+                p_eff == 0 ? 0.0 : base_eff / p_eff);
   }
   std::printf(
       "\n(nx+split-mixed keeps worst-case performance near the NX level\n"
       " because this workload has no mixed pages to split — paper SS4.2.1)\n");
+  pool.report(table);
   return 0;
 }

@@ -8,79 +8,119 @@
 //     faults + debug interrupts) vs a SPARC-style software-managed TLB
 //     where the OS loads the TLBs directly — the paper's prediction that
 //     the overhead "would be noticeably lower" on such machines.
+//
+// Every workload run is its own sweep point; rows normalize from the
+// collected values in a fixed order.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "runner/experiment_runner.h"
 #include "workloads/workload.h"
 
 using namespace sm;
 using namespace sm::workloads;
 
-int main() {
-  std::printf("Ablation: I-TLB load method (x86), pipe-ctxsw stressor\n\n");
-  {
-    const auto base =
-        run_unixbench(UnixBench::kPipeContextSwitch, Protection::none());
-    Protection single = Protection::split_all();
+namespace {
+
+double eff(const WorkloadResult& r) {
+  return static_cast<double>(r.sim_time != 0 ? r.sim_time : r.cycles);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const runner::RunnerOptions opts = runner::parse_runner_args(
+      argc, argv, "ablation_portability",
+      "I-TLB load method (single-step vs ret-call) and architecture style "
+      "(x86 vs software-managed TLBs)");
+  runner::ExperimentRunner pool(opts);
+
+  std::vector<runner::SweepPoint> points;
+  auto add_point = [&](const std::string& label,
+                       std::function<WorkloadResult()> run) {
+    points.push_back({label, [run = std::move(run)] {
+      runner::PointResult res;
+      res.add("eff", eff(run()));
+      return res;
+    }});
+  };
+
+  // Section 1: I-TLB load method, pipe-ctxsw stressor. Indices 0-2.
+  add_point("itlb/base", [] {
+    return run_unixbench(UnixBench::kPipeContextSwitch, Protection::none());
+  });
+  add_point("itlb/single-step", [] {
+    return run_unixbench(UnixBench::kPipeContextSwitch,
+                         Protection::split_all());
+  });
+  add_point("itlb/ret-call", [] {
     Protection retcall = Protection::split_all();
     retcall.itlb_method = core::ItlbLoadMethod::kRetCall;
-    const auto r_single =
-        run_unixbench(UnixBench::kPipeContextSwitch, single);
-    const auto r_retcall =
-        run_unixbench(UnixBench::kPipeContextSwitch, retcall);
-    std::printf("%-28s %10.3f\n", "single-step (shipped)",
-                normalized(base, r_single));
-    std::printf("%-28s %10.3f\n", "ret-call (abandoned)",
-                normalized(base, r_retcall));
-    std::printf("\n(the ret-call variant is slower, matching the paper's "
-                "SS4.2.4 finding)\n");
+    return run_unixbench(UnixBench::kPipeContextSwitch, retcall);
+  });
+
+  // Section 2: architecture style. Four runs per row (x86 base/split,
+  // soft-TLB base/split); quick mode keeps only the pipe-ctxsw row.
+  struct RowSpec {
+    const char* name;
+    std::function<WorkloadResult(const Protection&)> run;
+  };
+  std::vector<RowSpec> rows;
+  if (!opts.quick) {
+    rows.push_back({"gzip",
+                    [](const Protection& p) { return run_gzip(p, 128); }});
   }
+  rows.push_back({"pipe-ctxsw", [](const Protection& p) {
+    return run_unixbench(UnixBench::kPipeContextSwitch, p);
+  }});
+  if (!opts.quick) {
+    rows.push_back({"apache-1KB", [](const Protection& p) {
+      WebserverConfig cfg;
+      cfg.response_bytes = 1024;
+      return run_webserver(p, cfg).base;
+    }});
+  }
+  const std::size_t first_row = points.size();
+  for (const RowSpec& row : rows) {
+    add_point(row.name + std::string("/base"),
+              [&row] { return row.run(Protection::none()); });
+    add_point(row.name + std::string("/split"),
+              [&row] { return row.run(Protection::split_all()); });
+    add_point(row.name + std::string("/soft-base"), [&row] {
+      return row.run(Protection::none().with_software_tlb());
+    });
+    add_point(row.name + std::string("/soft-split"), [&row] {
+      return row.run(Protection::split_all().with_software_tlb());
+    });
+  }
+
+  const runner::ResultTable table = pool.run(points);
+
+  std::printf("Ablation: I-TLB load method (x86), pipe-ctxsw stressor\n\n");
+  const double itlb_base = metric(table[0], "eff");
+  auto norm = [](double b, double p) { return p == 0 ? 0.0 : b / p; };
+  std::printf("%-28s %10.3f\n", "single-step (shipped)",
+              norm(itlb_base, metric(table[1], "eff")));
+  std::printf("%-28s %10.3f\n", "ret-call (abandoned)",
+              norm(itlb_base, metric(table[2], "eff")));
+  std::printf("\n(the ret-call variant is slower, matching the paper's "
+              "SS4.2.4 finding)\n");
 
   std::printf("\nAblation: architecture style (paper SS4.7)\n\n");
   std::printf("%-14s %16s %16s\n", "workload", "x86 normalized",
               "soft-TLB normalized");
-  struct Row {
-    const char* name;
-    double x86;
-    double sparc;
-  };
-  auto print_row = [](const char* name, double x86, double sparc) {
-    std::printf("%-14s %16.3f %16.3f\n", name, x86, sparc);
-  };
-  {
-    const auto b = run_gzip(Protection::none(), 128);
-    const auto p = run_gzip(Protection::split_all(), 128);
-    const auto sb = run_gzip(Protection::none().with_software_tlb(), 128);
-    const auto sp =
-        run_gzip(Protection::split_all().with_software_tlb(), 128);
-    print_row("gzip", normalized(b, p), normalized(sb, sp));
-  }
-  {
-    const auto b =
-        run_unixbench(UnixBench::kPipeContextSwitch, Protection::none());
-    const auto p = run_unixbench(UnixBench::kPipeContextSwitch,
-                                 Protection::split_all());
-    const auto sb = run_unixbench(UnixBench::kPipeContextSwitch,
-                                  Protection::none().with_software_tlb());
-    const auto sp =
-        run_unixbench(UnixBench::kPipeContextSwitch,
-                      Protection::split_all().with_software_tlb());
-    print_row("pipe-ctxsw", normalized(b, p), normalized(sb, sp));
-  }
-  {
-    WebserverConfig cfg;
-    cfg.response_bytes = 1024;
-    const auto b = run_webserver(Protection::none(), cfg);
-    const auto p = run_webserver(Protection::split_all(), cfg);
-    const auto sb =
-        run_webserver(Protection::none().with_software_tlb(), cfg);
-    const auto sp =
-        run_webserver(Protection::split_all().with_software_tlb(), cfg);
-    print_row("apache-1KB", normalized(b.base, p.base),
-              normalized(sb.base, sp.base));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::size_t p = first_row + i * 4;
+    std::printf("%-14s %16.3f %16.3f\n", rows[i].name,
+                norm(metric(table[p], "eff"), metric(table[p + 1], "eff")),
+                norm(metric(table[p + 2], "eff"),
+                     metric(table[p + 3], "eff")));
   }
   std::printf(
       "\n(on the software-TLB machine the split loads are single cheap\n"
       " traps — the paper's SS4.7 claim that overhead would be noticeably\n"
       " lower on SPARC-style architectures)\n");
+  pool.report(table);
   return 0;
 }

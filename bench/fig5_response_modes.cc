@@ -7,60 +7,81 @@
 //                         visible), and the paper's exit(0) forensic
 //                         shellcode demo runs the process to a clean exit
 //   (d) Sebek log       — the commands typed into the observe-mode shell
+//
+// Each mode is one sweep point on the experiment-runner pool; output is
+// assembled in point order, so it is byte-identical for any --jobs.
 #include <cstdio>
+#include <vector>
 
 #include "attacks/realworld.h"
 #include "attacks/shellcode.h"
+#include "runner/experiment_runner.h"
 
 using namespace sm;
 using namespace sm::attacks::realworld;
 
-int main() {
+int main(int argc, char** argv) {
+  const runner::RunnerOptions opts = runner::parse_runner_args(
+      argc, argv, "fig5_response_modes",
+      "Fig. 5: WU-FTPD exploit under break/observe/forensics response modes");
+  runner::ExperimentRunner pool(opts);
+
+  std::vector<runner::SweepPoint> points;
+  points.push_back({"break", [] {
+    runner::PointResult res;
+    AttackOptions o;
+    o.response = core::ResponseMode::kBreak;
+    const AttackResult r =
+        run_attack(Exploit::kWuFtpd, core::ProtectionMode::kSplitAll, o);
+    res.text = "=== (a) break mode ===\n";
+    res.text += runner::strf("detected=%d shell=%d -> %s\n", r.detected,
+                             r.shell_spawned, r.detail.c_str());
+    res.add("ok", r.detected && !r.shell_spawned);
+    return res;
+  }});
+  points.push_back({"observe", [] {
+    runner::PointResult res;
+    AttackOptions o;
+    o.response = core::ResponseMode::kObserve;
+    o.attach_sebek = true;
+    o.shell_commands = {"id", "uname -a", "cat /etc/shadow"};
+    const AttackResult r =
+        run_attack(Exploit::kWuFtpd, core::ProtectionMode::kSplitAll, o);
+    res.text = "\n=== (b) observe mode ===\n";
+    res.text += runner::strf("detected=%d shell=%d -> %s\n", r.detected,
+                             r.shell_spawned, r.detail.c_str());
+    res.text += runner::strf("attacker shell transcript (echoed):\n%s\n",
+                             r.shell_transcript.c_str());
+    res.text += runner::strf("=== (d) Sebek log during observe mode ===\n%s",
+                             r.sebek_log.c_str());
+    res.add("ok", r.detected && r.shell_spawned &&
+                      r.sebek_log.find("cat /etc/shadow") !=
+                          std::string::npos);
+    return res;
+  }});
+  points.push_back({"forensics", [] {
+    runner::PointResult res;
+    AttackOptions o;
+    o.response = core::ResponseMode::kForensics;
+    const AttackResult r =
+        run_attack(Exploit::kWuFtpd, core::ProtectionMode::kSplitAll, o);
+    res.text = "\n=== (c) forensics mode ===\n";
+    res.text += runner::strf("detected=%d shell=%d\n", r.detected,
+                             r.shell_spawned);
+    res.text += runner::strf(
+        "dump of the first injected shellcode bytes at EIP:\n%s\n",
+        r.forensic_dump.c_str());
+    res.add("ok", r.detected && !r.shell_spawned &&
+                      r.forensic_dump.find("nop") != std::string::npos);
+    return res;
+  }});
+
+  const runner::ResultTable table = pool.run(points);
+  table.print(stdout);
   bool ok = true;
-
-  std::printf("=== (a) break mode ===\n");
-  {
-    AttackOptions opts;
-    opts.response = core::ResponseMode::kBreak;
-    const AttackResult r =
-        run_attack(Exploit::kWuFtpd, core::ProtectionMode::kSplitAll, opts);
-    std::printf("detected=%d shell=%d -> %s\n", r.detected, r.shell_spawned,
-                r.detail.c_str());
-    ok = ok && r.detected && !r.shell_spawned;
-  }
-
-  std::printf("\n=== (b) observe mode ===\n");
-  {
-    AttackOptions opts;
-    opts.response = core::ResponseMode::kObserve;
-    opts.attach_sebek = true;
-    opts.shell_commands = {"id", "uname -a", "cat /etc/shadow"};
-    const AttackResult r =
-        run_attack(Exploit::kWuFtpd, core::ProtectionMode::kSplitAll, opts);
-    std::printf("detected=%d shell=%d -> %s\n", r.detected, r.shell_spawned,
-                r.detail.c_str());
-    std::printf("attacker shell transcript (echoed):\n%s\n",
-                r.shell_transcript.c_str());
-    std::printf("=== (d) Sebek log during observe mode ===\n%s",
-                r.sebek_log.c_str());
-    ok = ok && r.detected && r.shell_spawned &&
-         r.sebek_log.find("cat /etc/shadow") != std::string::npos;
-  }
-
-  std::printf("\n=== (c) forensics mode ===\n");
-  {
-    AttackOptions opts;
-    opts.response = core::ResponseMode::kForensics;
-    const AttackResult r =
-        run_attack(Exploit::kWuFtpd, core::ProtectionMode::kSplitAll, opts);
-    std::printf("detected=%d shell=%d\n", r.detected, r.shell_spawned);
-    std::printf("dump of the first injected shellcode bytes at EIP:\n%s\n",
-                r.forensic_dump.c_str());
-    ok = ok && r.detected && !r.shell_spawned &&
-         r.forensic_dump.find("nop") != std::string::npos;
-  }
-
+  for (const auto& rec : table.points()) ok = ok && metric(rec, "ok") != 0;
   std::printf("paper Fig. 5 behaviours: %s\n",
               ok ? "REPRODUCED" : "MISMATCH");
+  pool.report(table);
   return ok ? 0 : 1;
 }

@@ -1,57 +1,132 @@
 // Reproduces paper Fig. 6: "Normalized performance for applications and
 // benchmarks" under stand-alone split memory (worst case):
 //   Apache/32KB ~= 0.89, gzip ~= 0.87, nbench ~= 0.97, Unixbench ~= 0.82.
+//
+// Each benchmark (and each unixbench sub-test) is one sweep point running
+// its own base+split pair; the Unixbench index is the geometric mean of
+// the per-test points, exactly what workloads::unixbench_index computes.
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
+#include "runner/experiment_runner.h"
 #include "workloads/workload.h"
 
 using namespace sm;
 using namespace sm::workloads;
 
-int main() {
-  std::printf("Fig. 6: normalized performance (protected / unprotected)\n\n");
-  std::printf("%-16s %12s %12s %10s %10s\n", "benchmark", "base cycles",
-              "split cycles", "normalized", "paper");
+namespace {
+
+// Effective simulated time: what normalized() compares.
+double eff(const WorkloadResult& r) {
+  return static_cast<double>(r.sim_time != 0 ? r.sim_time : r.cycles);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const runner::RunnerOptions opts = runner::parse_runner_args(
+      argc, argv, "fig6_normalized",
+      "Fig. 6: normalized performance (protected / unprotected) for "
+      "apache-32KB, gzip, nbench and the unixbench suite");
+  runner::ExperimentRunner pool(opts);
 
   const Protection none = Protection::none();
   const Protection split = Protection::split_all();
 
-  {
+  std::vector<runner::SweepPoint> points;
+  points.push_back({"apache-32KB", [&] {
+    runner::PointResult res;
     WebserverConfig cfg;
     cfg.response_bytes = 32 * 1024;
     const auto b = run_webserver(none, cfg);
     const auto p = run_webserver(split, cfg);
-    std::printf("%-16s %12llu %12llu %10.3f %10s\n", "apache-32KB",
-                static_cast<unsigned long long>(b.base.cycles),
-                static_cast<unsigned long long>(p.base.cycles),
-                normalized(b.base, p.base), "~0.89");
-  }
-  {
+    res.text = runner::strf("%-16s %12llu %12llu %10.3f %10s\n",
+                            "apache-32KB",
+                            static_cast<unsigned long long>(b.base.cycles),
+                            static_cast<unsigned long long>(p.base.cycles),
+                            normalized(b.base, p.base), "~0.89");
+    res.add("normalized", normalized(b.base, p.base));
+    res.add("base_cycles", static_cast<double>(b.base.cycles));
+    res.add("split_cycles", static_cast<double>(p.base.cycles));
+    return res;
+  }});
+  points.push_back({"gzip", [&] {
+    runner::PointResult res;
     const auto b = run_gzip(none);
     const auto p = run_gzip(split);
-    std::printf("%-16s %12llu %12llu %10.3f %10s\n", "gzip",
-                static_cast<unsigned long long>(b.cycles),
-                static_cast<unsigned long long>(p.cycles), normalized(b, p),
-                "~0.87");
-  }
-  {
+    res.text = runner::strf("%-16s %12llu %12llu %10.3f %10s\n", "gzip",
+                            static_cast<unsigned long long>(b.cycles),
+                            static_cast<unsigned long long>(p.cycles),
+                            normalized(b, p), "~0.87");
+    res.add("normalized", normalized(b, p));
+    res.add("base_cycles", static_cast<double>(b.cycles));
+    res.add("split_cycles", static_cast<double>(p.cycles));
+    return res;
+  }});
+  points.push_back({"nbench", [&] {
+    runner::PointResult res;
     const auto b = run_nbench(none);
     const auto p = run_nbench(split);
-    std::printf("%-16s %12llu %12llu %10.3f %10s\n", "nbench",
-                static_cast<unsigned long long>(b.cycles),
-                static_cast<unsigned long long>(p.cycles), normalized(b, p),
-                "~0.97");
+    res.text = runner::strf("%-16s %12llu %12llu %10.3f %10s\n", "nbench",
+                            static_cast<unsigned long long>(b.cycles),
+                            static_cast<unsigned long long>(p.cycles),
+                            normalized(b, p), "~0.97");
+    res.add("normalized", normalized(b, p));
+    res.add("base_cycles", static_cast<double>(b.cycles));
+    res.add("split_cycles", static_cast<double>(p.cycles));
+    return res;
+  }});
+
+  // One point per unixbench sub-test; quick mode keeps a representative
+  // trio (compute-, pipe- and ctxsw-bound).
+  std::vector<UnixBench> suite;
+  if (opts.quick) {
+    suite = {UnixBench::kSyscall, UnixBench::kPipeThroughput,
+             UnixBench::kPipeContextSwitch};
+  } else {
+    suite.assign(std::begin(kAllUnixBench), std::end(kAllUnixBench));
   }
-  {
-    const double idx = unixbench_index(split);
-    std::printf("%-16s %12s %12s %10.3f %10s\n", "unixbench", "-", "-", idx,
-                "~0.82");
-    std::printf("\nunixbench per-test detail:\n");
-    for (const UnixBench ub : kAllUnixBench) {
+  const std::size_t first_ub = points.size();
+  for (const UnixBench ub : suite) {
+    points.push_back({runner::strf("unixbench/%s", to_string(ub)), [&, ub] {
+      runner::PointResult res;
       const auto b = run_unixbench(ub, none);
       const auto p = run_unixbench(ub, split);
-      std::printf("  %-20s %10.3f\n", to_string(ub), normalized(b, p));
+      res.add("normalized", normalized(b, p));
+      res.add("base_eff", eff(b));
+      res.add("split_eff", eff(p));
+      return res;
+    }});
+  }
+
+  const runner::ResultTable table = pool.run(points);
+
+  std::printf("Fig. 6: normalized performance (protected / unprotected)\n\n");
+  std::printf("%-16s %12s %12s %10s %10s\n", "benchmark", "base cycles",
+              "split cycles", "normalized", "paper");
+  table.print(stdout);
+
+  // The suite index: geometric mean over the per-test normalized values,
+  // the same formula (and, by determinism, the same doubles) as
+  // workloads::unixbench_index.
+  double log_sum = 0;
+  int n = 0;
+  for (std::size_t i = first_ub; i < table.size(); ++i) {
+    const double ratio = metric(table[i], "normalized");
+    if (ratio > 0) {
+      log_sum += std::log(ratio);
+      ++n;
     }
   }
+  const double idx = n == 0 ? 0 : std::exp(log_sum / n);
+  std::printf("%-16s %12s %12s %10.3f %10s\n", "unixbench", "-", "-", idx,
+              "~0.82");
+  std::printf("\nunixbench per-test detail:\n");
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    std::printf("  %-20s %10.3f\n", to_string(suite[i]),
+                metric(table[first_ub + i], "normalized"));
+  }
+  pool.report(table);
   return 0;
 }

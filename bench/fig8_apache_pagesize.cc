@@ -3,40 +3,70 @@
 // request and suffer most; large pages amortize the TLB-refill cost over
 // more work and begin to saturate the network link, so normalized
 // performance recovers toward 1.0.
+//
+// One sweep point per page size (each runs its own base+split pair); the
+// monotonicity check walks the collected points in sweep order.
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "runner/experiment_runner.h"
 #include "workloads/workload.h"
 
 using namespace sm;
 using namespace sm::workloads;
 
-int main() {
-  std::printf("Fig. 8: Apache throughput vs served page size\n\n");
-  std::printf("%-10s %14s %14s %10s %10s\n", "page size", "base req/Mcyc",
-              "split req/Mcyc", "normalized", "net-bound");
+int main(int argc, char** argv) {
+  const runner::RunnerOptions opts = runner::parse_runner_args(
+      argc, argv, "fig8_apache_pagesize",
+      "Fig. 8: Apache throughput vs served page size (1 KB..512 KB)");
+  runner::ExperimentRunner pool(opts);
 
   const Protection none = Protection::none();
   const Protection split = Protection::split_all();
 
+  std::vector<u32> sizes_kb = {1u, 4u, 16u, 32u, 64u, 128u, 256u, 512u};
+  if (opts.quick) sizes_kb = {1u, 32u, 512u};
+
+  std::vector<runner::SweepPoint> points;
+  for (const u32 kb : sizes_kb) {
+    points.push_back({runner::strf("%uKB", kb), [&, kb] {
+      runner::PointResult res;
+      WebserverConfig cfg;
+      cfg.response_bytes = kb * 1024;
+      // Keep total bytes served roughly constant across the sweep.
+      cfg.requests = std::max(16u, 4096u / kb);
+      const auto b = run_webserver(none, cfg);
+      const auto p = run_webserver(split, cfg);
+      const double n = normalized(b.base, p.base);
+      const bool netbound = p.base.sim_time > p.base.cycles;
+      res.text = runner::strf("%7uKB %14.2f %14.2f %10.3f %10s\n", kb,
+                              b.requests_per_mcycle, p.requests_per_mcycle, n,
+                              netbound ? "yes" : "no");
+      res.add("normalized", n);
+      res.add("base_req_per_mcycle", b.requests_per_mcycle);
+      res.add("split_req_per_mcycle", p.requests_per_mcycle);
+      res.add("net_bound", netbound);
+      return res;
+    }});
+  }
+
+  const runner::ResultTable table = pool.run(points);
+  std::printf("Fig. 8: Apache throughput vs served page size\n\n");
+  std::printf("%-10s %14s %14s %10s %10s\n", "page size", "base req/Mcyc",
+              "split req/Mcyc", "normalized", "net-bound");
+  table.print(stdout);
+
   double prev = 0;
   bool monotone = true;
-  for (const u32 kb : {1u, 4u, 16u, 32u, 64u, 128u, 256u, 512u}) {
-    WebserverConfig cfg;
-    cfg.response_bytes = kb * 1024;
-    // Keep total bytes served roughly constant across the sweep.
-    cfg.requests = std::max(16u, 4096u / kb);
-    const auto b = run_webserver(none, cfg);
-    const auto p = run_webserver(split, cfg);
-    const double n = normalized(b.base, p.base);
-    const bool netbound = p.base.sim_time > p.base.cycles;
-    std::printf("%7uKB %14.2f %14.2f %10.3f %10s\n", kb,
-                b.requests_per_mcycle, p.requests_per_mcycle, n,
-                netbound ? "yes" : "no");
+  for (const auto& rec : table.points()) {
+    const double n = metric(rec, "normalized");
     if (n + 0.02 < prev) monotone = false;  // allow small noise
     prev = n;
   }
   std::printf("\npaper shape (low at 1KB, recovering toward 1.0 as pages "
               "grow and the link saturates): %s\n",
               monotone ? "REPRODUCED" : "MISMATCH");
+  pool.report(table);
   return monotone ? 0 : 1;
 }

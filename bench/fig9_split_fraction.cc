@@ -4,37 +4,87 @@
 // bit covers the rest, even the worst-case benchmark runs near full speed
 // (~0.80 at 10% split in the paper), degrading smoothly to the stand-alone
 // figure at 100%.
+//
+// The sweep fans out as one point per (split %, seed) pair plus one
+// baseline point; rows aggregate the collected per-seed results in sweep
+// order, so the table is byte-identical for any --jobs.
 #include <cstdio>
+#include <vector>
 
+#include "runner/experiment_runner.h"
 #include "workloads/workload.h"
 
 using namespace sm;
 using namespace sm::workloads;
 
-int main() {
+namespace {
+
+double eff(const WorkloadResult& r) {
+  return static_cast<double>(r.sim_time != 0 ? r.sim_time : r.cycles);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const runner::RunnerOptions opts = runner::parse_runner_args(
+      argc, argv, "fig9_split_fraction",
+      "Fig. 9: pipe-based context switching vs % of pages split "
+      "(averaged over several random page choices)");
+  runner::ExperimentRunner pool(opts);
+
+  std::vector<u32> pcts = {0u, 5u, 10u, 20u, 30u, 40u, 50u, 60u,
+                           70u, 80u, 90u, 100u};
+  u32 seeds = 8;  // average over several random page choices
+  if (opts.quick) {
+    pcts = {0u, 10u, 100u};
+    seeds = 2;
+  }
+
+  std::vector<runner::SweepPoint> points;
+  points.push_back({"base", [] {
+    runner::PointResult res;
+    const auto base = run_unixbench(UnixBench::kPipeContextSwitch,
+                                    Protection::none());
+    res.add("eff", eff(base));
+    res.add("cycles", static_cast<double>(base.cycles));
+    return res;
+  }});
+  for (const u32 pct : pcts) {
+    for (u32 seed = 0; seed < seeds; ++seed) {
+      points.push_back({runner::strf("p=%u seed=%u", pct, seed),
+                        [pct, seed] {
+        runner::PointResult res;
+        const auto p = run_unixbench(UnixBench::kPipeContextSwitch,
+                                     Protection::fraction(pct, seed));
+        res.add("eff", eff(p));
+        res.add("cycles", static_cast<double>(p.cycles));
+        return res;
+      }});
+    }
+  }
+
+  const runner::ResultTable table = pool.run(points);
   std::printf("Fig. 9: pipe-based context switching vs %% of pages split\n\n");
   std::printf("%-8s %12s %10s\n", "split %", "cycles", "normalized");
 
-  const auto base = run_unixbench(UnixBench::kPipeContextSwitch,
-                                  Protection::none());
+  const double base_eff = metric(table[0], "eff");
   double at10 = 0;
   double at100 = 1;
   double prev = 2.0;
   bool monotone = true;
-  constexpr u32 kSeeds = 8;  // average over several random page choices
-  for (const u32 pct : {0u, 5u, 10u, 20u, 30u, 40u, 50u, 60u, 70u, 80u, 90u,
-                        100u}) {
+  for (std::size_t pi = 0; pi < pcts.size(); ++pi) {
+    const u32 pct = pcts[pi];
     double sum = 0;
     u64 cycle_sum = 0;
-    for (u32 seed = 0; seed < kSeeds; ++seed) {
-      const auto p = run_unixbench(UnixBench::kPipeContextSwitch,
-                                   Protection::fraction(pct, seed));
-      sum += normalized(base, p);
-      cycle_sum += p.cycles;
+    for (u32 seed = 0; seed < seeds; ++seed) {
+      const auto& rec = table[1 + pi * seeds + seed];
+      const double p_eff = metric(rec, "eff");
+      sum += p_eff == 0 ? 0 : base_eff / p_eff;
+      cycle_sum += static_cast<u64>(metric(rec, "cycles"));
     }
-    const double n = sum / kSeeds;
+    const double n = sum / seeds;
     std::printf("%7u%% %12llu %10.3f\n", pct,
-                static_cast<unsigned long long>(cycle_sum / kSeeds), n);
+                static_cast<unsigned long long>(cycle_sum / seeds), n);
     if (pct == 10) at10 = n;
     if (pct == 100) at100 = n;
     if (n > prev + 0.05) monotone = false;
@@ -44,5 +94,6 @@ int main() {
   std::printf("\npaper shape (~0.80 at 10%%, stand-alone level at 100%%, "
               "monotone): %s\n",
               ok ? "REPRODUCED" : "MISMATCH");
+  pool.report(table);
   return ok ? 0 : 1;
 }

@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "arch/cpu.h"
 #include "arch/mmu.h"
@@ -146,6 +149,35 @@ BENCHMARK(BM_FetchFastPath);
 // Worst case for the decode cache: the code frame is rewritten before every
 // step, so every fetch takes the probe + stale-generation + re-decode path.
 // Guards against the coherence machinery costing more than it saves.
+// The Mmu's read/write data-translation memos: a load+store pair walking
+// one page, so after warm-up every translation is a memo hit (the path
+// Cpu::push/pop and Load/Store take in straight-line code).
+void BM_DataMemo(benchmark::State& state) {
+  arch::PhysicalMemory pm(64);
+  metrics::Stats stats;
+  metrics::CostModel cost;
+  arch::Mmu mmu(pm, stats, cost);
+  const arch::u32 root = arch::PageTable::create(pm);
+  arch::PageTable pt(pm, root);
+  pt.set(0x1000, Pte::make(pm.alloc_frame(),
+                           Pte::kPresent | Pte::kUser | Pte::kWritable));
+  mmu.set_cr3(root);
+  mmu.read8(0x1000);      // warm the D-TLB and the read memo
+  mmu.write8(0x1000, 0);  // warm the write memo
+  arch::u32 off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mmu.translate(0x1000 + off, arch::Access::kRead));
+    benchmark::DoNotOptimize(
+        mmu.translate(0x1000 + off, arch::Access::kWrite));
+    off = (off + 1) & arch::kPageMask;
+  }
+  state.counters["data_fastpath_hit_rate"] =
+      static_cast<double>(stats.data_fastpath_hits) /
+      static_cast<double>(stats.dtlb_hits + stats.dtlb_misses);
+}
+BENCHMARK(BM_DataMemo);
+
 void BM_DecodeCacheInvalidate(benchmark::State& state) {
   arch::PhysicalMemory pm(64);
   metrics::Stats stats;
@@ -219,4 +251,58 @@ BENCHMARK(BM_AssembleGuestLibc);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the microbench shares the figure binaries' CLI convention
+// (`--jobs`, `--json <path>`, `--help`) on top of google-benchmark's own
+// flags, which still pass through untouched.
+int main(int argc, char** argv) {
+  std::vector<std::string> passthrough;
+  passthrough.emplace_back(argc > 0 ? argv[0] : "microbench");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "microbench — google-benchmark suite of the simulator's host-side "
+          "hot paths\n"
+          "\n"
+          "Flags (shared bench convention):\n"
+          "  --json <path>   write google-benchmark JSON to <path>\n"
+          "                  (alias for --benchmark_out=<path>\n"
+          "                  --benchmark_out_format=json; merged by\n"
+          "                  tools/bench_json.py).\n"
+          "  --jobs=N        accepted for convention; microbenchmarks are\n"
+          "                  timing-sensitive and always run serially, so\n"
+          "                  the value is ignored.\n"
+          "  --help          this text.\n"
+          "\n"
+          "All --benchmark_* flags pass through to google-benchmark\n"
+          "(e.g. --benchmark_filter=REGEX, --benchmark_min_time=0.1).\n");
+      return 0;
+    } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      const std::string path = value_of("--json");
+      if (path.empty()) {
+        std::fprintf(stderr, "microbench: --json requires a path\n");
+        return 2;
+      }
+      passthrough.push_back("--benchmark_out=" + path);
+      passthrough.push_back("--benchmark_out_format=json");
+    } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
+      (void)value_of("--jobs");  // accepted, ignored (see --help)
+    } else {
+      passthrough.push_back(arg);
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(passthrough.size());
+  for (std::string& s : passthrough) cargs.push_back(s.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

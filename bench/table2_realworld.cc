@@ -1,38 +1,65 @@
 // Reproduces paper Table 2: "Five Real-World Vulnerabilities" — each
 // exploit runs against the unprotected baseline (attack result: rootshell)
-// and under stand-alone split memory (result: foiled).
+// and under stand-alone split memory (result: foiled). One sweep point per
+// exploit; rows print in table order.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "attacks/realworld.h"
+#include "runner/experiment_runner.h"
 
 using namespace sm;
 using namespace sm::attacks::realworld;
 
-int main() {
+int main(int argc, char** argv) {
+  const runner::RunnerOptions opts = runner::parse_runner_args(
+      argc, argv, "table2_realworld",
+      "Table 2: five real-world exploits, unprotected baseline vs "
+      "stand-alone split memory");
+  runner::ExperimentRunner pool(opts);
+
+  std::vector<Exploit> exploits(std::begin(kAllExploits),
+                                std::end(kAllExploits));
+  if (opts.quick) exploits.resize(2);
+
+  std::vector<runner::SweepPoint> points;
+  for (const Exploit e : exploits) {
+    points.push_back({exploit_name(e), [e] {
+      runner::PointResult res;
+      const AttackResult base = run_attack(e, core::ProtectionMode::kNone);
+      const AttackResult split =
+          run_attack(e, core::ProtectionMode::kSplitAll);
+      std::string base_result =
+          base.shell_spawned ? "rootshell" : "NO SHELL (unexpected)";
+      if (e == Exploit::kSamba) {
+        base_result += " (attempt " + std::to_string(base.attempts) + ")";
+      }
+      const std::string split_result =
+          !split.shell_spawned && split.detected
+              ? "foiled (detected)"
+              : (split.shell_spawned ? "NOT FOILED" : "foiled");
+      res.text = runner::strf("%-32s %-32s %-7s %-22s %-s\n", software(e),
+                              exploit_name(e), injects_to(e),
+                              base_result.c_str(), split_result.c_str());
+      res.add("ok", base.shell_spawned && !split.shell_spawned &&
+                        split.detected);
+      return res;
+    }});
+  }
+
+  const runner::ResultTable table = pool.run(points);
   std::printf("Table 2: five real-world vulnerabilities\n\n");
   std::printf("%-32s %-32s %-7s %-22s %-s\n", "software", "exploit",
               "injects", "unprotected result", "split-memory result");
-
+  table.print(stdout);
   bool all_good = true;
-  for (const Exploit e : kAllExploits) {
-    const AttackResult base = run_attack(e, core::ProtectionMode::kNone);
-    const AttackResult split = run_attack(e, core::ProtectionMode::kSplitAll);
-    std::string base_result =
-        base.shell_spawned ? "rootshell" : "NO SHELL (unexpected)";
-    if (e == Exploit::kSamba) {
-      base_result += " (attempt " + std::to_string(base.attempts) + ")";
-    }
-    const std::string split_result =
-        !split.shell_spawned && split.detected
-            ? "foiled (detected)"
-            : (split.shell_spawned ? "NOT FOILED" : "foiled");
-    std::printf("%-32s %-32s %-7s %-22s %-s\n", software(e), exploit_name(e),
-                injects_to(e), base_result.c_str(), split_result.c_str());
-    all_good = all_good && base.shell_spawned && !split.shell_spawned &&
-               split.detected;
+  for (const auto& rec : table.points()) {
+    all_good = all_good && metric(rec, "ok") != 0;
   }
   std::printf("\npaper: all five exploits spawn a shell unprotected and are "
               "foiled by split memory — %s\n",
               all_good ? "REPRODUCED" : "MISMATCH");
+  pool.report(table);
   return all_good ? 0 : 1;
 }

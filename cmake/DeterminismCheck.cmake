@@ -1,0 +1,42 @@
+# Determinism regression for the parallel experiment runner.
+#
+# Runs BENCH twice — `--jobs=1` and `--jobs=${JOBS}` — and fails unless
+# both exit codes and every byte of stdout match: `--jobs` must never
+# change simulated output (DESIGN.md §9 determinism contract).
+#
+# Usage:
+#   cmake -DBENCH=<path> -DJOBS=<n> -DWORK_DIR=<dir> -P DeterminismCheck.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED JOBS OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "DeterminismCheck: BENCH, JOBS and WORK_DIR required")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(out_serial "${WORK_DIR}/jobs1.stdout")
+set(out_parallel "${WORK_DIR}/jobsN.stdout")
+
+execute_process(
+  COMMAND "${BENCH}" --jobs=1 --no-progress
+  OUTPUT_FILE "${out_serial}"
+  RESULT_VARIABLE rc_serial)
+execute_process(
+  COMMAND "${BENCH}" --jobs=${JOBS} --no-progress
+  OUTPUT_FILE "${out_parallel}"
+  RESULT_VARIABLE rc_parallel)
+
+if(NOT rc_serial STREQUAL rc_parallel)
+  message(FATAL_ERROR
+    "${BENCH}: exit code differs between --jobs=1 (${rc_serial}) and "
+    "--jobs=${JOBS} (${rc_parallel})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${out_serial}" "${out_parallel}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "${BENCH}: stdout differs between --jobs=1 and --jobs=${JOBS} "
+    "(compare ${out_serial} vs ${out_parallel})")
+endif()
+
+message(STATUS
+  "${BENCH}: --jobs=${JOBS} output byte-identical to --jobs=1 (rc=${rc_serial})")

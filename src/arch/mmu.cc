@@ -17,6 +17,7 @@ void Mmu::set_cr3(u32 root_pfn) {
 
 void Mmu::flush_tlbs() {
   drop_fetch_memo();
+  drop_data_memos();
   itlb_.flush();
   dtlb_.flush();
   ++stats_->tlb_flushes;
@@ -24,6 +25,7 @@ void Mmu::flush_tlbs() {
 
 void Mmu::invlpg(u32 vaddr) {
   drop_fetch_memo();
+  drop_data_memos();
   itlb_.invalidate(vpn_of(vaddr));
   dtlb_.invalidate(vpn_of(vaddr));
 }
@@ -59,6 +61,23 @@ u64 Mmu::translate(u32 vaddr, Access acc) {
     return finish(vaddr, fetch_memo_.pfn);
   }
 
+  if (!is_fetch && data_memo_enabled_) {
+    // Data-side mirror of the fetch memo: one entry per access kind. A hit
+    // is billed and LRU-stamped exactly like the set scan it replaces, and
+    // the permission checks repeat the slow path's (the memo is only armed
+    // after they passed, so they re-pass by construction).
+    const DataMemo& m = acc == Access::kWrite ? write_memo_ : read_memo_;
+    if (m.valid && m.vpn == vpn && m.tlb_version == dtlb_.version()) {
+      ++stats_->dtlb_hits;
+      ++stats_->data_fastpath_hits;
+      stats_->cycles += cost_->tlb_hit;
+      dtlb_.touch(m.entry_index);
+      if (!m.user) fault(vaddr, acc, /*present=*/true);
+      if (acc == Access::kWrite && !m.writable) fault(vaddr, acc, true);
+      return finish(vaddr, m.pfn);
+    }
+  }
+
   if (const TlbEntry* e = tlb.lookup(vpn)) {
     // Hit: permissions come from the cached attributes, NOT the PTE. This
     // is the persistence property split memory depends on.
@@ -80,6 +99,17 @@ u64 Mmu::translate(u32 vaddr, Access acc) {
       fetch_memo_.user = e->user;
       fetch_memo_.no_exec = e->no_exec;
       fetch_memo_.valid = true;
+    } else if (data_memo_enabled_) {
+      // Memoize for the next same-kind data access (after checks passed,
+      // so a write memo implies the writable bit was verified).
+      DataMemo& m = acc == Access::kWrite ? write_memo_ : read_memo_;
+      m.vpn = vpn;
+      m.pfn = e->pfn;
+      m.entry_index = dtlb_.index_of(e);
+      m.tlb_version = dtlb_.version();
+      m.user = e->user;
+      m.writable = e->writable;
+      m.valid = true;
     }
     return finish(vaddr, e->pfn);
   }
@@ -193,6 +223,7 @@ bool Mmu::fill_itlb_via_call(u32 vaddr) {
 void Mmu::insert_tlb_entry(bool instruction, u32 vpn, u32 pfn, bool user,
                            bool writable, bool no_exec) {
   drop_fetch_memo();
+  drop_data_memos();
   TlbEntry entry;
   entry.vpn = vpn;
   entry.pfn = pfn;

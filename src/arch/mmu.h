@@ -18,6 +18,15 @@
 // permission checks) and is dropped on invlpg, flush_tlbs, set_cr3 and
 // insert_tlb_entry, plus implicitly on ANY I-TLB mutation via the TLB's
 // version counter (so an LRU eviction by an unrelated fill kills it too).
+//
+// Data fast path: the same memo, mirrored for Access::kRead and
+// Access::kWrite as two separate entries keyed to the D-TLB's version
+// counter. Cpu::push/pop and Load/Store/Loadb/Storeb otherwise pay a full
+// D-TLB set scan per access; a memo hit bills one D-TLB hit and re-stamps
+// the entry's LRU clock exactly like the scan it replaced. The write memo
+// is armed only by a write that passed the writable check, so the read
+// memo can never launder a store past a read-only entry. Toggleable via
+// set_data_memo_enabled() for the billing-identity tests.
 #pragma once
 
 #include "arch/page_table.h"
@@ -90,6 +99,14 @@ class Mmu {
   void invlpg(u32 vaddr);  // drops vaddr's VPN from both TLBs
   void flush_tlbs();
 
+  // Host-side data-translation memo (see file comment). Default on; the
+  // off switch exists so tests can prove billing identity.
+  void set_data_memo_enabled(bool on) {
+    data_memo_enabled_ = on;
+    if (!on) drop_data_memos();
+  }
+  bool data_memo_enabled() const { return data_memo_enabled_; }
+
   Tlb& itlb() { return itlb_; }
   Tlb& dtlb() { return dtlb_; }
 
@@ -112,12 +129,31 @@ class Mmu {
   };
   void drop_fetch_memo() { fetch_memo_.valid = false; }
 
+  // Last successful data translation, one entry per access kind (see file
+  // comment). Valid only while tlb_version matches dtlb_.version().
+  struct DataMemo {
+    u32 vpn = 0;
+    u32 pfn = 0;
+    u32 entry_index = 0;  // into the D-TLB, for the LRU touch
+    u64 tlb_version = 0;
+    bool user = false;
+    bool writable = false;
+    bool valid = false;
+  };
+  void drop_data_memos() {
+    read_memo_.valid = false;
+    write_memo_.valid = false;
+  }
+
   PhysicalMemory* pm_;
   metrics::Stats* stats_;
   const metrics::CostModel* cost_;
   Tlb itlb_;
   Tlb dtlb_;
   FetchMemo fetch_memo_;
+  DataMemo read_memo_;
+  DataMemo write_memo_;
+  bool data_memo_enabled_ = true;
   u32 cr3_ = 0;
   u32 walk_failure_period_ = 0;
   u32 walk_fill_count_ = 0;

@@ -53,6 +53,8 @@ class Tlb {
 
   u32 valid_count() const;
   u32 capacity() const { return static_cast<u32>(entries_.size()); }
+  u32 ways() const { return ways_; }
+  u32 sets() const { return num_sets_; }
 
   // --- fast-path support (Mmu's one-entry fetch memo) --------------------
   // Monotonic mutation counter: bumped by every insert/invalidate/flush.

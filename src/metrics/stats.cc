@@ -16,7 +16,8 @@ std::ostream& operator<<(std::ostream& os, const Stats& s) {
      << " detections=" << s.injections_detected
      << " decode$(h/m/inv)=" << s.decode_cache_hits << "/"
      << s.decode_cache_misses << "/" << s.decode_cache_invalidations
-     << " fetch_fast=" << s.fetch_fastpath_hits;
+     << " fetch_fast=" << s.fetch_fastpath_hits
+     << " data_fast=" << s.data_fastpath_hits;
   return os;
 }
 

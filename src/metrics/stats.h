@@ -28,6 +28,7 @@ struct Stats {
   // Host-side fast paths (simulator speed only; these add NO cycles —
   // every event here is billed as the slow path it short-circuits).
   std::uint64_t fetch_fastpath_hits = 0;  // Mmu one-entry fetch memo
+  std::uint64_t data_fastpath_hits = 0;   // Mmu read/write data memos
   std::uint64_t decode_cache_hits = 0;
   std::uint64_t decode_cache_misses = 0;
   std::uint64_t decode_cache_invalidations = 0;  // stale frame generation

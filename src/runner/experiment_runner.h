@@ -1,0 +1,80 @@
+// Host-parallel experiment runner for the figure/table/ablation benches.
+//
+// Every sweep point of the paper's evaluation battery is a fully
+// self-contained simulation — each thunk constructs its own Kernel, Mmu,
+// Tlb and Stats, and `src/` has no mutable globals — so fanning the points
+// out across a std::thread pool cannot change any simulated number. The
+// runner's determinism contract (tested in ctest, documented in DESIGN.md
+// §9) is:
+//
+//   `--jobs=N` stdout is byte-identical to `--jobs=1` stdout.
+//
+// It holds because results are collected into a ResultTable by submission
+// index (never completion order), table text is assembled only after the
+// pool drains, and the only nondeterministic outputs — per-point progress
+// lines and the wall-clock summary — go to stderr.
+//
+// A point that throws is recorded; after the pool drains the runner
+// rethrows the lowest-index failure as a std::runtime_error prefixed with
+// the failing point's label (so `--jobs` does not change which error
+// surfaces either).
+//
+// Shared CLI convention (also honoured by bench/microbench):
+//   --jobs=N        worker threads (0 or absent = hardware_concurrency)
+//   --json <path>   write the ResultTable JSON sidecar for bench_json.py
+//   --quick         reduced point set (bench_smoke ctest target)
+//   --no-progress   suppress stderr progress lines
+//   --help          per-binary flag documentation
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+#include "runner/result_table.h"
+
+namespace sm::runner {
+
+struct SweepPoint {
+  std::string label;
+  std::function<PointResult()> run;
+};
+
+struct RunnerOptions {
+  arch::u32 jobs = 0;  // 0 = hardware_concurrency (min 1)
+  bool progress = true;
+  bool quick = false;
+  std::string json_path;   // empty = no JSON sidecar
+  std::string bench_name;  // filled by parse_runner_args
+};
+
+// Parses the shared bench CLI (see header comment). Prints documentation
+// and exits(0) on --help; prints usage to stderr and exits(2) on an
+// unknown flag or malformed value.
+RunnerOptions parse_runner_args(int argc, char** argv, const char* bench_name,
+                                const char* description);
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunnerOptions opts);
+
+  // Executes the points on the pool and returns the table, in index order.
+  // Multiple run() calls accumulate wall_seconds (staged sweeps).
+  ResultTable run(const std::vector<SweepPoint>& points);
+
+  arch::u32 jobs() const { return jobs_; }
+  double wall_seconds() const { return wall_seconds_; }
+
+  // Writes the JSON sidecar when --json was given and prints the stderr
+  // wall-clock summary. Call once, after the last run().
+  void report(const ResultTable& table) const;
+
+ private:
+  RunnerOptions opts_;
+  arch::u32 jobs_;
+  std::size_t points_run_ = 0;
+  double wall_seconds_ = 0;
+};
+
+}  // namespace sm::runner

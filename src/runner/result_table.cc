@@ -1,0 +1,106 @@
+#include "runner/result_table.h"
+
+#include <cmath>
+#include <cstdarg>
+
+namespace sm::runner {
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+double metric(const PointRecord& rec, const std::string& name, double def) {
+  for (const Metric& m : rec.result.metrics) {
+    if (m.name == name) return m.value;
+  }
+  return def;
+}
+
+void ResultTable::print(std::FILE* out) const {
+  for (const PointRecord& p : points_) {
+    if (!p.result.text.empty()) {
+      std::fwrite(p.result.text.data(), 1, p.result.text.size(), out);
+    }
+  }
+  std::fflush(out);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    return strf("%.0f", v);
+  }
+  return strf("%.17g", v);
+}
+
+}  // namespace
+
+std::string ResultTable::to_json(const std::string& bench_name, arch::u32 jobs,
+                                 double wall_seconds) const {
+  std::string out = "{\n";
+  out += strf("  \"name\": \"%s\",\n", json_escape(bench_name).c_str());
+  out += strf("  \"jobs\": %u,\n", jobs);
+  out += strf("  \"wall_seconds\": %.6f,\n", wall_seconds);
+  out += "  \"points\": [\n";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const PointRecord& p = points_[i];
+    out += strf("    {\"label\": \"%s\", \"wall_seconds\": %.6f, "
+                "\"metrics\": {",
+                json_escape(p.label).c_str(), p.wall_seconds);
+    for (std::size_t m = 0; m < p.result.metrics.size(); ++m) {
+      if (m != 0) out += ", ";
+      out += strf("\"%s\": %s",
+                  json_escape(p.result.metrics[m].name).c_str(),
+                  json_number(p.result.metrics[m].value).c_str());
+    }
+    out += i + 1 < points_.size() ? "}},\n" : "}}\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool ResultTable::write_json(const std::string& path,
+                             const std::string& bench_name, arch::u32 jobs,
+                             double wall_seconds) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string doc = to_json(bench_name, jobs, wall_seconds);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace sm::runner

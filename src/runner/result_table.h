@@ -1,0 +1,78 @@
+// Ordered result collection for the parallel experiment runner.
+//
+// A sweep point produces a PointResult: the verbatim table text it would
+// have printed in a serial run (possibly empty — many benches format rows
+// in main() from collected metrics instead) plus named numeric metrics.
+// The runner stores one PointRecord per point, indexed by submission
+// order, so the assembled table is independent of completion order and
+// therefore of --jobs.
+//
+// Everything simulated lives in the metrics; wall_seconds is the only
+// host-time field and is emitted ONLY into the JSON sidecar, never into
+// the table text — that is what keeps `--jobs=N` output byte-identical
+// to `--jobs=1`.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace sm::runner {
+
+// printf-style formatting into a std::string, so ported benches can keep
+// their exact historical row formats.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string
+strf(const char* fmt, ...);
+
+struct Metric {
+  std::string name;
+  double value = 0;
+};
+
+struct PointResult {
+  std::string text;             // verbatim stdout chunk for this point
+  std::vector<Metric> metrics;  // named values for JSON + summary logic
+
+  void add(const std::string& name, double value) {
+    metrics.push_back({name, value});
+  }
+};
+
+struct PointRecord {
+  std::string label;
+  PointResult result;
+  double wall_seconds = 0;  // host time; JSON only
+};
+
+// Looks up a metric by name; `def` when absent.
+double metric(const PointRecord& rec, const std::string& name,
+              double def = 0);
+
+class ResultTable {
+ public:
+  void reserve(std::size_t n) { points_.reserve(n); }
+  void add(PointRecord rec) { points_.push_back(std::move(rec)); }
+
+  const std::vector<PointRecord>& points() const { return points_; }
+  const PointRecord& operator[](std::size_t i) const { return points_[i]; }
+  std::size_t size() const { return points_.size(); }
+
+  // Concatenates every point's text in index order.
+  void print(std::FILE* out) const;
+
+  // JSON document for tools/bench_json.py --figures (schema: DESIGN.md §9).
+  std::string to_json(const std::string& bench_name, arch::u32 jobs,
+                      double wall_seconds) const;
+  bool write_json(const std::string& path, const std::string& bench_name,
+                  arch::u32 jobs, double wall_seconds) const;
+
+ private:
+  std::vector<PointRecord> points_;
+};
+
+}  // namespace sm::runner

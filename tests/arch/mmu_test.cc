@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 namespace sm::arch {
 namespace {
 
@@ -258,6 +261,185 @@ TEST_F(MmuTest, StraddlingWrite32TranslatesOncePerPage) {
   mmu_.write32(0x5FFD, 0xA1B2C3D4);
   EXPECT_EQ(stats_.dtlb_hits, hits + 2);
   EXPECT_EQ(mmu_.read32(0x5FFD), 0xA1B2C3D4u);
+}
+
+// --- Data-translation memos (read/write one-entry fast paths ahead of the
+// D-TLB set scan, mirroring the fetch memo). Same lifetime rules: any TLB
+// churn (invlpg, CR3 reload, software insert, eviction) kills them, and a
+// memo hit bills exactly what the set-scan hit it replaces would have.
+
+TEST_F(MmuTest, DataMemoHitsAfterRepeatedReads) {
+  map(0x5000, kUserRw);
+  mmu_.read8(0x5000);  // walk + D-TLB fill
+  EXPECT_EQ(stats_.data_fastpath_hits, 0u);
+  mmu_.read8(0x5001);  // set-scan hit; read memo armed here
+  mmu_.read8(0x5002);  // memo hit
+  EXPECT_GE(stats_.data_fastpath_hits, 1u);
+  EXPECT_EQ(stats_.dtlb_misses, 1u);
+  EXPECT_EQ(stats_.dtlb_hits, 2u);  // memo hits bill as ordinary D-TLB hits
+}
+
+TEST_F(MmuTest, DataMemoReadAndWriteEntriesAreSeparate) {
+  map(0x5000, kUserRw);
+  mmu_.read8(0x5000);
+  mmu_.read8(0x5001);
+  mmu_.read8(0x5002);  // read memo warm and hitting
+  const auto fast = stats_.data_fastpath_hits;
+  mmu_.write8(0x5003, 1);  // first write: set scan, arms the write memo
+  EXPECT_EQ(stats_.data_fastpath_hits, fast);
+  mmu_.write8(0x5004, 2);  // second write: write-memo hit
+  EXPECT_GT(stats_.data_fastpath_hits, fast);
+}
+
+TEST_F(MmuTest, DataMemoNeverGrantsWriteThroughReadOnlyPage) {
+  map(0x5000, Pte::kPresent | Pte::kUser);  // read-only
+  mmu_.read8(0x5000);
+  mmu_.read8(0x5001);
+  mmu_.read8(0x5002);  // read memo warm for this vpn
+  EXPECT_GE(stats_.data_fastpath_hits, 1u);
+  // The warm READ memo must not let a WRITE through: the write consults its
+  // own (cold) memo, set-scans, and faults on the missing writable bit.
+  EXPECT_THROW(mmu_.write8(0x5003, 1), TrapException);
+}
+
+TEST_F(MmuTest, InvlpgDropsDataMemoAndForcesRewalk) {
+  map(0x5000, kUserRw);
+  mmu_.read8(0x5000);
+  mmu_.read8(0x5001);  // memo warm
+  const auto walks = stats_.hardware_walks;
+  mmu_.invlpg(0x5000);
+  mmu_.read8(0x5002);
+  EXPECT_EQ(stats_.dtlb_misses, 2u);  // re-walked, not memo-served
+  EXPECT_GT(stats_.hardware_walks, walks);
+}
+
+TEST_F(MmuTest, Cr3ReloadDropsDataMemo) {
+  map(0x5000, kUserRw);
+  mmu_.read8(0x5000);
+  mmu_.read8(0x5001);
+  mmu_.set_cr3(root_);  // flushes TLBs; the memos must die with them
+  mmu_.read8(0x5002);
+  EXPECT_EQ(stats_.dtlb_misses, 2u);
+}
+
+TEST_F(MmuTest, InsertTlbEntryDropsDataMemo) {
+  const u32 f1 = map(0x5000, kUserRw);
+  mmu_.read8(0x5000);
+  mmu_.read8(0x5001);  // read memo points at f1
+  const u32 f2 = pm_.alloc_frame();
+  pm_.frame_bytes(f2)[3] = 0xAB;
+  pm_.frame_bytes(f1)[3] = 0xCD;
+  // Software TLB handler redirects the data mapping: the very next read
+  // must observe the new pfn, not the memoized one.
+  mmu_.insert_tlb_entry(/*instruction=*/false, 5, f2, /*user=*/true,
+                        /*writable=*/true, /*no_exec=*/false);
+  EXPECT_EQ(mmu_.read8(0x5003), 0xAB);
+}
+
+TEST_F(MmuTest, DataMemoDoesNotMaskPteRepoint) {
+  const u32 f1 = map(0x5000, kUserRw);
+  pm_.frame_bytes(f1)[0] = 0x11;
+  mmu_.read8(0x5000);
+  mmu_.read8(0x5001);  // memo warm
+  const u32 f2 = pm_.alloc_frame();
+  pm_.frame_bytes(f2)[0] = 0x22;
+  pt().set(0x5000, Pte::make(f2, kUserRw));
+  EXPECT_EQ(mmu_.read8(0x5000), 0x11);  // TLB persistence, memo inherits it
+  mmu_.invlpg(0x5000);
+  EXPECT_EQ(mmu_.read8(0x5000), 0x22);  // invalidation exposes the repoint
+}
+
+TEST_F(MmuTest, DataMemoBillingIdentity) {
+  // The memo is a host-side fast path ONLY: replaying the same access trace
+  // with the memo disabled must produce identical values in every simulated
+  // counter. Compare whole Stats structs with the fastpath diagnostics
+  // (which differ by design) zeroed out.
+  auto run_trace = [](bool memo_on, metrics::Stats& stats) {
+    metrics::CostModel cost;
+    PhysicalMemory pm(96);
+    Mmu mmu(pm, stats, cost);
+    mmu.set_data_memo_enabled(memo_on);
+    const u32 root = PageTable::create(pm);
+    PageTable pt(pm, root);
+    std::vector<u32> bases;
+    for (u32 i = 0; i < 24; ++i) {
+      const u32 va = 0x10000 + i * 0x1000;
+      pt.set(va, Pte::make(pm.alloc_frame(), kUserRw));
+      bases.push_back(va);
+    }
+    const u32 ro = 0x40000;
+    pt.set(ro, Pte::make(pm.alloc_frame(), Pte::kPresent | Pte::kUser));
+    mmu.set_cr3(root);
+
+    for (u32 rep = 0; rep < 3; ++rep) {
+      for (const u32 va : bases) {  // sequential: memo-friendly
+        mmu.write32(va + 8, va);
+        mmu.read32(va + 8);
+        mmu.read8(va + (rep * 17) % 256);
+      }
+      for (u32 i = 0; i + 1 < bases.size(); i += 5) {
+        mmu.read32(bases[i] + 0xFFE);  // page-straddling access
+      }
+      for (u32 i = 0; i < 8; ++i) {  // ping-pong: memo-hostile
+        mmu.read8(bases[i % 2] + i);
+      }
+      mmu.read8(ro);
+      try {
+        mmu.write8(ro + 1, 1);  // permission fault inside the trace
+      } catch (const TrapException&) {
+      }
+      mmu.invlpg(bases[3]);
+      if (rep == 1) mmu.flush_tlbs();
+    }
+  };
+
+  metrics::Stats with_memo, without_memo;
+  run_trace(true, with_memo);
+  run_trace(false, without_memo);
+  EXPECT_GT(with_memo.data_fastpath_hits, 0u);   // fast path exercised
+  EXPECT_EQ(without_memo.data_fastpath_hits, 0u);
+
+  // Every simulated counter identical.
+  EXPECT_EQ(with_memo.cycles, without_memo.cycles);
+  EXPECT_EQ(with_memo.dtlb_hits, without_memo.dtlb_hits);
+  EXPECT_EQ(with_memo.dtlb_misses, without_memo.dtlb_misses);
+  EXPECT_EQ(with_memo.hardware_walks, without_memo.hardware_walks);
+  EXPECT_EQ(with_memo.page_faults, without_memo.page_faults);
+  EXPECT_EQ(with_memo.tlb_flushes, without_memo.tlb_flushes);
+  metrics::Stats a = with_memo, b = without_memo;
+  a.data_fastpath_hits = b.data_fastpath_hits = 0;
+  a.fetch_fastpath_hits = b.fetch_fastpath_hits = 0;
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0);
+}
+
+TEST_F(MmuTest, DataMemoLruStampMatchesSetScan) {
+  // A memo hit must re-stamp the same entry a set scan would have, or later
+  // eviction decisions diverge from the memo-off machine. Detect that
+  // through eviction order, using the WRITE memo so interleaved reads (which
+  // re-arm the read memo) can't disturb it:
+  //   fill a set; scan-hit-write page0 (arms write memo); scan-hit-read
+  //   page1; WRITE-MEMO-hit page0 — if touch() works page0 is now MRU and
+  //   page1 is the set's LRU; after re-touching the other ways and forcing
+  //   one eviction, page0 must still be resident.
+  const u32 sets = mmu_.dtlb().sets();
+  const u32 ways = mmu_.dtlb().ways();
+  ASSERT_GE(ways, 3u);
+  std::vector<u32> vpns;  // all land in set 0
+  for (u32 i = 0; i <= ways; ++i) vpns.push_back((i + 16) * sets);
+  for (const u32 vpn : vpns) map(vpn << 12, kUserRw);
+
+  for (u32 i = 0; i < ways; ++i) mmu_.write8(vpns[i] << 12, 1);  // fill set
+  mmu_.write8((vpns[0] << 12) + 1, 1);  // scan hit: arms write memo (page0)
+  mmu_.read8((vpns[1] << 12) + 1);      // scan hit: stamps page1 newer
+  const auto fast = stats_.data_fastpath_hits;
+  mmu_.write8((vpns[0] << 12) + 2, 1);  // write-memo hit: page0 back to MRU
+  EXPECT_GT(stats_.data_fastpath_hits, fast);
+  for (u32 i = 2; i < ways; ++i) mmu_.read8((vpns[i] << 12) + 1);
+  mmu_.read8(vpns[ways] << 12);  // (ways+1)-th page: evicts the LRU = page1
+  const auto misses = stats_.dtlb_misses;
+  mmu_.read8((vpns[0] << 12) + 3);  // page0 survived iff touch() re-stamped
+  EXPECT_EQ(stats_.dtlb_misses, misses);
+  EXPECT_FALSE(mmu_.dtlb().contains(vpns[1]));  // page1 paid the eviction
 }
 
 TEST_F(MmuTest, AccessedAndDirtyBitsSetOnWalk) {

@@ -1,0 +1,194 @@
+// ExperimentRunner unit tests: index-ordered collection (the determinism
+// contract's mechanism), labeled exception propagation, CLI parsing and
+// the JSON sidecar. The workload-level determinism regression lives in
+// ctest (determinism_* tests diff real figure binaries at --jobs=1 vs N).
+#include "runner/experiment_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sm::runner {
+namespace {
+
+RunnerOptions quiet_opts(arch::u32 jobs) {
+  RunnerOptions o;
+  o.jobs = jobs;
+  o.progress = false;
+  o.bench_name = "runner_test";
+  return o;
+}
+
+std::vector<SweepPoint> counting_points(int n) {
+  std::vector<SweepPoint> points;
+  for (int i = 0; i < n; ++i) {
+    points.push_back({strf("p%d", i), [i] {
+      PointResult res;
+      res.text = strf("row %d\n", i);
+      res.add("index", i);
+      res.add("square", i * i);
+      return res;
+    }});
+  }
+  return points;
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%-8s %4d %6.3f", "ab", 7, 1.25), "ab          7  1.250");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(ExperimentRunner, CollectsByIndexNotCompletionOrder) {
+  ExperimentRunner pool(quiet_opts(8));
+  const ResultTable table = pool.run(counting_points(50));
+  ASSERT_EQ(table.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(table[i].label, strf("p%d", i));
+    EXPECT_EQ(table[i].result.text, strf("row %d\n", i));
+    EXPECT_EQ(metric(table[i], "index"), i);
+    EXPECT_EQ(metric(table[i], "square"), i * i);
+  }
+}
+
+TEST(ExperimentRunner, ParallelTableMatchesSerialTable) {
+  ExperimentRunner serial(quiet_opts(1));
+  ExperimentRunner parallel(quiet_opts(8));
+  const ResultTable a = serial.run(counting_points(32));
+  const ResultTable b = parallel.run(counting_points(32));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].result.text, b[i].result.text);
+    EXPECT_EQ(metric(a[i], "square"), metric(b[i], "square"));
+  }
+}
+
+TEST(ExperimentRunner, EmptyPointSet) {
+  ExperimentRunner pool(quiet_opts(4));
+  EXPECT_EQ(pool.run({}).size(), 0u);
+}
+
+TEST(ExperimentRunner, ExceptionCarriesFailingPointLabel) {
+  std::vector<SweepPoint> points = counting_points(8);
+  points[5] = {"exploding-point", []() -> PointResult {
+    throw std::runtime_error("boom");
+  }};
+  ExperimentRunner pool(quiet_opts(4));
+  try {
+    pool.run(points);
+    FAIL() << "expected propagation";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("exploding-point"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+  }
+}
+
+TEST(ExperimentRunner, LowestIndexFailureWinsRegardlessOfJobs) {
+  for (const arch::u32 jobs : {1u, 8u}) {
+    std::vector<SweepPoint> points = counting_points(16);
+    points[12] = {"late-failure", []() -> PointResult {
+      throw std::runtime_error("late");
+    }};
+    points[3] = {"early-failure", []() -> PointResult {
+      throw std::runtime_error("early");
+    }};
+    ExperimentRunner pool(quiet_opts(jobs));
+    try {
+      pool.run(points);
+      FAIL() << "expected propagation";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("early-failure"),
+                std::string::npos)
+          << "jobs=" << jobs << ": " << e.what();
+    }
+  }
+}
+
+TEST(ExperimentRunner, OtherPointsStillRunWhenOneFails) {
+  std::atomic<int> ran{0};
+  std::vector<SweepPoint> points;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back({strf("p%d", i), [i, &ran]() -> PointResult {
+      if (i == 0) throw std::runtime_error("first fails");
+      ++ran;
+      return {};
+    }});
+  }
+  ExperimentRunner pool(quiet_opts(2));
+  EXPECT_THROW(pool.run(points), std::runtime_error);
+  EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ResultTable, PrintConcatenatesInOrder) {
+  ResultTable t;
+  t.add({"a", {"first\n", {}}, 0.0});
+  t.add({"b", {"", {}}, 0.0});  // metric-only points contribute no text
+  t.add({"c", {"third\n", {}}, 0.0});
+  std::string path = ::testing::TempDir() + "runner_print.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w+");
+  ASSERT_NE(f, nullptr);
+  t.print(f);
+  std::fclose(f);
+  std::ifstream in(path);
+  std::stringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), "first\nthird\n");
+}
+
+TEST(ResultTable, JsonSidecarHasLabelsAndMetrics) {
+  ResultTable t;
+  PointRecord rec;
+  rec.label = "p=10 seed=\"2\"";
+  rec.result.add("normalized", 0.8125);  // exactly representable in binary
+  rec.result.add("cycles", 123456789.0);
+  rec.wall_seconds = 0.25;
+  t.add(rec);
+  const std::string doc = t.to_json("fig_test", 4, 1.5);
+  EXPECT_NE(doc.find("\"name\": \"fig_test\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"jobs\": 4"), std::string::npos);
+  EXPECT_NE(doc.find("\"p=10 seed=\\\"2\\\"\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"normalized\": 0.8125"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"cycles\": 123456789"), std::string::npos) << doc;
+
+  const std::string path = ::testing::TempDir() + "runner_test.json";
+  ASSERT_TRUE(t.write_json(path, "fig_test", 4, 1.5));
+  std::ifstream in(path);
+  std::stringstream file;
+  file << in.rdbuf();
+  EXPECT_EQ(file.str(), doc);
+}
+
+TEST(ParseRunnerArgs, SharedCliConvention) {
+  const char* argv1[] = {"bench", "--jobs=3", "--json=/tmp/x.json",
+                         "--quick"};
+  RunnerOptions o1 = parse_runner_args(4, const_cast<char**>(argv1), "bench",
+                                       "desc");
+  EXPECT_EQ(o1.jobs, 3u);
+  EXPECT_EQ(o1.json_path, "/tmp/x.json");
+  EXPECT_TRUE(o1.quick);
+  EXPECT_TRUE(o1.progress);
+
+  const char* argv2[] = {"bench", "--jobs", "5", "--json", "out.json",
+                         "--no-progress"};
+  RunnerOptions o2 = parse_runner_args(6, const_cast<char**>(argv2), "bench",
+                                       "desc");
+  EXPECT_EQ(o2.jobs, 5u);
+  EXPECT_EQ(o2.json_path, "out.json");
+  EXPECT_FALSE(o2.quick);
+  EXPECT_FALSE(o2.progress);
+
+  const char* argv3[] = {"bench"};
+  RunnerOptions o3 = parse_runner_args(1, const_cast<char**>(argv3), "bench",
+                                       "desc");
+  EXPECT_EQ(o3.jobs, 0u);  // resolved to hardware_concurrency by the runner
+  ExperimentRunner pool(o3);
+  EXPECT_GE(pool.jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace sm::runner

@@ -4,6 +4,7 @@
 // full sweeps).
 #include <gtest/gtest.h>
 
+#include "workloads/internal.h"
 #include "workloads/workload.h"
 
 namespace sm::workloads {
@@ -106,6 +107,75 @@ TEST(Workloads, ProtectionLabels) {
   EXPECT_EQ(Protection::none().label(), "none");
   EXPECT_EQ(Protection::split_all().label(), "split-all");
   EXPECT_EQ(Protection::fraction(25).label(), "split-25%");
+}
+
+TEST(Workloads, DataMemoBillingIdentityAtKernelLevel) {
+  // End-to-end billing identity for the data-translation memo: a full
+  // guest run (faults, fork, context switches, split reloads included)
+  // must produce identical simulated numbers with the memo disabled.
+  const char* kProg = R"(
+_start:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz work
+  mov r1, r0
+  movi r0, SYS_WAITPID
+  syscall
+work:
+  movi r5, 24
+  movi r4, buf
+pagel:
+  movi r7, 16
+inner:
+  store [r4], r7
+  load r6, [r4]
+  addi r4, 4
+  addi r7, -1
+  cmpi r7, 0
+  jnz inner
+  addi r4, 4032
+  movi r0, SYS_YIELD
+  syscall
+  addi r5, -1
+  cmpi r5, 0
+  jnz pagel
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 98304
+)";
+  auto run = [&](bool memo_on) {
+    return internal::run_program(
+        "memo-identity", kProg, Protection::split_all(), {}, 2'000'000'000,
+        [memo_on](kernel::Kernel& k) {
+          k.mmu().set_data_memo_enabled(memo_on);
+        });
+  };
+  const auto with_memo = run(true);
+  const auto without_memo = run(false);
+  ASSERT_TRUE(with_memo.completed);
+  ASSERT_TRUE(without_memo.completed);
+  EXPECT_GT(with_memo.stats.data_fastpath_hits, 0u);
+  EXPECT_EQ(without_memo.stats.data_fastpath_hits, 0u);
+  EXPECT_EQ(with_memo.cycles, without_memo.cycles);
+  EXPECT_EQ(with_memo.stats.instructions, without_memo.stats.instructions);
+  EXPECT_EQ(with_memo.stats.dtlb_hits, without_memo.stats.dtlb_hits);
+  EXPECT_EQ(with_memo.stats.dtlb_misses, without_memo.stats.dtlb_misses);
+  EXPECT_EQ(with_memo.stats.itlb_hits, without_memo.stats.itlb_hits);
+  EXPECT_EQ(with_memo.stats.itlb_misses, without_memo.stats.itlb_misses);
+  EXPECT_EQ(with_memo.stats.page_faults, without_memo.stats.page_faults);
+  EXPECT_EQ(with_memo.stats.hardware_walks,
+            without_memo.stats.hardware_walks);
+  EXPECT_EQ(with_memo.stats.split_dtlb_loads,
+            without_memo.stats.split_dtlb_loads);
+  EXPECT_EQ(with_memo.stats.split_itlb_loads,
+            without_memo.stats.split_itlb_loads);
+  EXPECT_EQ(with_memo.stats.context_switches,
+            without_memo.stats.context_switches);
+  EXPECT_EQ(with_memo.stats.cow_copies, without_memo.stats.cow_copies);
+  EXPECT_EQ(with_memo.stats.syscalls, without_memo.stats.syscalls);
 }
 
 TEST(Workloads, NormalizedHandlesDegenerateInputs) {
