@@ -5,9 +5,13 @@
 # change simulated output (DESIGN.md §9 determinism contract).
 #
 # Usage:
-#   cmake -DBENCH=<path> -DJOBS=<n> -DWORK_DIR=<dir> -P DeterminismCheck.cmake
+#   cmake -DBENCH=<path> -DJOBS=<n> -DWORK_DIR=<dir>
+#         [-DEXTRA_ARGS=<arg;arg;...>] -P DeterminismCheck.cmake
 if(NOT DEFINED BENCH OR NOT DEFINED JOBS OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "DeterminismCheck: BENCH, JOBS and WORK_DIR required")
+endif()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
 endif()
 
 file(MAKE_DIRECTORY "${WORK_DIR}")
@@ -15,11 +19,11 @@ set(out_serial "${WORK_DIR}/jobs1.stdout")
 set(out_parallel "${WORK_DIR}/jobsN.stdout")
 
 execute_process(
-  COMMAND "${BENCH}" --jobs=1 --no-progress
+  COMMAND "${BENCH}" ${EXTRA_ARGS} --jobs=1 --no-progress
   OUTPUT_FILE "${out_serial}"
   RESULT_VARIABLE rc_serial)
 execute_process(
-  COMMAND "${BENCH}" --jobs=${JOBS} --no-progress
+  COMMAND "${BENCH}" ${EXTRA_ARGS} --jobs=${JOBS} --no-progress
   OUTPUT_FILE "${out_parallel}"
   RESULT_VARIABLE rc_parallel)
 

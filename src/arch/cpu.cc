@@ -17,26 +17,26 @@ Decoded Cpu::fetch_decode() {
   PhysicalMemory& pm = mmu_->phys();
   const u64 gen = pm.generation(static_cast<u32>(pa >> kPageShift));
 
-  DecodeCache::Entry& slot = dcache_.slot(pa);
-  if (slot.pa == pa) {
-    if (slot.gen == gen) {
+  DecodeCache::Entry* slot = dcache_enabled_ ? &dcache_.slot(pa) : nullptr;
+  if (slot != nullptr && slot->pa == pa) {
+    if (slot->gen == gen) {
       // Hit. Only non-straddling instructions are cached, so in the slow
       // path bytes 1..len-1 would have been guaranteed I-TLB hits on the
       // very entry byte 0 just used (inserted on its miss, or already
       // present). Bill those hits wholesale; the LRU outcome is identical
       // because consecutive touches of one entry collapse.
       ++stats_->decode_cache_hits;
-      const u32 extra = slot.d.len - 1;
+      const u32 extra = slot->d.len - 1;
       stats_->itlb_hits += extra;
       stats_->cycles += extra * cost_->tlb_hit;
-      return slot.d;
+      return slot->d;
     }
     // Same physical location, stale frame generation: the code frame was
     // rewritten (self-modifying code, exec, forensic injection, frame
     // reuse) — re-decode from the current bytes.
     ++stats_->decode_cache_invalidations;
   }
-  ++stats_->decode_cache_misses;
+  if (slot != nullptr) ++stats_->decode_cache_misses;
 
   const u8 opcode = pm.read8(pa);
   const u32 len = instr_length(opcode);
@@ -137,10 +137,10 @@ Decoded Cpu::fetch_decode() {
   // Memoize fully validated decodes whose bytes live in one frame; a
   // straddling tail sits in a second frame the entry's generation key
   // cannot cover, so those always take the slow path above.
-  if (page_offset(pc) + len <= kPageSize) {
-    slot.pa = pa;
-    slot.gen = gen;
-    slot.d = d;
+  if (slot != nullptr && page_offset(pc) + len <= kPageSize) {
+    slot->pa = pa;
+    slot->gen = gen;
+    slot->d = d;
   }
   return d;
 }

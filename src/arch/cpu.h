@@ -56,6 +56,13 @@ class Cpu {
   // The physically-keyed decoded-instruction cache (test/bench access).
   DecodeCache& decode_cache() { return dcache_; }
 
+  // Host-side shortcut toggle, mirroring Mmu::set_data_memo_enabled: off
+  // forces every fetch down the byte-at-a-time decode path, which the
+  // billing-identity contract says must produce identical simulated stats.
+  // The differential-fuzz oracle flips this to prove it on random programs.
+  void set_decode_cache_enabled(bool on) { dcache_enabled_ = on; }
+  bool decode_cache_enabled() const { return dcache_enabled_; }
+
  private:
   // Fetches the instruction bytes at pc through the I-TLB path, consulting
   // the decode cache first. Simulated costs are billed identically on hit
@@ -72,6 +79,7 @@ class Cpu {
   const metrics::CostModel* cost_;
   Regs regs_;
   DecodeCache dcache_;
+  bool dcache_enabled_ = true;
 };
 
 }  // namespace sm::arch

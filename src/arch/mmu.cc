@@ -71,7 +71,7 @@ u64 Mmu::translate(u32 vaddr, Access acc) {
       ++stats_->dtlb_hits;
       ++stats_->data_fastpath_hits;
       stats_->cycles += cost_->tlb_hit;
-      dtlb_.touch(m.entry_index);
+      if (!inject_memo_lru_bug_) dtlb_.touch(m.entry_index);
       if (!m.user) fault(vaddr, acc, /*present=*/true);
       if (acc == Access::kWrite && !m.writable) fault(vaddr, acc, true);
       return finish(vaddr, m.pfn);

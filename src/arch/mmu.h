@@ -107,6 +107,14 @@ class Mmu {
   }
   bool data_memo_enabled() const { return data_memo_enabled_; }
 
+  // Fault injection for the differential-fuzz oracle's self-test: when
+  // armed, a data-memo hit skips the LRU re-stamp the set scan would have
+  // applied — exactly the class of "the fast path forgot a side effect"
+  // bug the memo's billing-identity contract forbids. The D-TLB's eviction
+  // order then silently drifts from the memo-off run, which the oracle
+  // must detect as a stats divergence (see tools/fuzz_driver --inject-lru-bug).
+  void set_inject_memo_lru_bug(bool on) { inject_memo_lru_bug_ = on; }
+
   Tlb& itlb() { return itlb_; }
   Tlb& dtlb() { return dtlb_; }
 
@@ -154,6 +162,7 @@ class Mmu {
   DataMemo read_memo_;
   DataMemo write_memo_;
   bool data_memo_enabled_ = true;
+  bool inject_memo_lru_bug_ = false;
   u32 cr3_ = 0;
   u32 walk_failure_period_ = 0;
   u32 walk_fill_count_ = 0;

@@ -135,9 +135,29 @@ FaultResolution SplitMemoryEngine::on_protection_fault(
       pt.set(pf.addr, pte);
       return FaultResolution::kRetry;
     }
+    // While the PTE is unrestricted for the single-step window, a data
+    // access BY the stepped instruction to this same page would hardware-
+    // walk the momentarily user-accessible PTE and load the D-TLB with the
+    // CODE frame — on a writable (mixed) page that lets a store reach
+    // executed code, the exact channel split memory exists to close, and
+    // it desynchronizes the data view for reads. Pre-load the D-TLB with
+    // the data frame first so any same-page access during the window hits
+    // the TLB and never walks. Read-only pages are exempt: both frames
+    // hold identical bytes there, so the window is unobservable.
+    if (const Vma* vma = p.as->find_vma(pf.addr);
+        vma != nullptr && vma->writable()) {
+      Pte dpte = pte;
+      dpte.set_pfn(pair->data_frame);
+      pt.set(pf.addr, dpte);
+      ++k.stats().split_dtlb_loads;
+      k.mmu().fill_dtlb_via_walk(pf.addr);  // on a footnote-1 walk failure
+                                            // the window simply stays open
+      pt.set(pf.addr, pte);  // back to the code frame for the fetch walk
+    }
     // Algorithm 1, lines 1-5: route the fetch to the code page and
     // single-step so the debug handler can re-restrict afterwards.
     regs.set_tf(true);
+    retire_stale_pending(k, p, page_floor(pf.addr));
     p.pending_split_vaddr = page_floor(pf.addr);
     return FaultResolution::kRetry;
   }
@@ -157,6 +177,7 @@ FaultResolution SplitMemoryEngine::on_protection_fault(
     // debug interrupt re-restricts.
     ++k.stats().split_dtlb_fallbacks;
     regs.set_tf(true);
+    retire_stale_pending(k, p, page_floor(pf.addr));
     p.pending_split_vaddr = page_floor(pf.addr);
     return FaultResolution::kRetry;
   }
@@ -188,6 +209,23 @@ FaultResolution SplitMemoryEngine::on_tlb_miss(Kernel& k, Process& p,
     return FaultResolution::kRetry;
   }
   return ProtectionEngine::on_tlb_miss(k, p, pf);
+}
+
+void SplitMemoryEngine::retire_stale_pending(Kernel& k, Process& p,
+                                             u32 new_page) {
+  (void)k;
+  if (!p.pending_split_vaddr || *p.pending_split_vaddr == new_page) return;
+  // The previously-stepped page's TLB entry (if the retry got far enough
+  // to fill it) persists past this restriction — the persistence property
+  // the whole design rests on — so the restarted instruction still
+  // completes; only the PTE's window closes.
+  PageTable pt = p.as->pt();
+  Pte pte = pt.get(*p.pending_split_vaddr);
+  if (pte.present() && pte.split()) {
+    pte.restrict_supervisor();
+    pt.set(*p.pending_split_vaddr, pte);
+  }
+  p.pending_split_vaddr.reset();
 }
 
 void SplitMemoryEngine::on_debug_step(Kernel& k, Process& p) {

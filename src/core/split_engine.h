@@ -106,6 +106,12 @@ class SplitMemoryEngine : public kernel::ProtectionEngine {
 
  private:
   bool should_split(const Vma& vma, u32 vpn) const;
+  // If a single-step is pending for a DIFFERENT page, its debug trap never
+  // fired (the stepped instruction itself faulted first — e.g. a fetch
+  // straddling onto a second split page, or a footnote-1 fallback data
+  // fault mid-step). Re-restrict that page before repointing the pending
+  // slot, or its PTE stays user-accessible forever.
+  void retire_stale_pending(Kernel& k, Process& p, u32 new_page);
   FaultResolution handle_nx_fault(Kernel& k, Process& p,
                                   const arch::PageFaultInfo& pf);
   void kill_via_break(Kernel& k, Process& p, u32 pc);

@@ -1,0 +1,71 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace sm::fuzz {
+
+namespace fs = std::filesystem;
+
+std::string to_corpus_file(const FuzzCase& c) {
+  char head[64];
+  std::snprintf(head, sizeof head, ";!seed 0x%016llx\n",
+                static_cast<unsigned long long>(c.seed));
+  std::string out = head;
+  if (c.mixed_text) out += ";!mixed_text\n";
+  out += c.body;
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  return out;
+}
+
+FuzzCase from_corpus_file(const std::string& text) {
+  FuzzCase c;
+  std::istringstream in(text);
+  std::string line;
+  std::string body;
+  while (std::getline(in, line)) {
+    if (line.rfind(";!seed", 0) == 0) {
+      c.seed = std::strtoull(line.c_str() + 6, nullptr, 0);
+      continue;
+    }
+    if (line.rfind(";!mixed_text", 0) == 0) {
+      c.mixed_text = true;
+      continue;
+    }
+    body += line;
+    body += '\n';
+  }
+  c.body = std::move(body);
+  return c;
+}
+
+std::string save_case(const std::string& dir, const std::string& stem,
+                      const FuzzCase& c) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path = (fs::path(dir) / (stem + ".sm")).string();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "";
+  out << to_corpus_file(c);
+  return out ? path : "";
+}
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  std::vector<CorpusEntry> entries;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (!de.is_regular_file() || de.path().extension() != ".sm") continue;
+    std::ifstream in(de.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    entries.push_back({de.path().filename().string(),
+                       from_corpus_file(buf.str())});
+  }
+  std::ranges::sort(entries, {}, &CorpusEntry::name);
+  return entries;
+}
+
+}  // namespace sm::fuzz

@@ -1,0 +1,39 @@
+// On-disk corpus of fuzz cases (.sm files).
+//
+// Format: assembly body prefixed by directive comments the assembler
+// ignores but the replayer reads:
+//
+//   ;!seed 0x1234abcd          ; provenance (informational on replay)
+//   ;!mixed_text               ; build the image with a writable text VMA
+//   _start:
+//     ...
+//
+// tests/fuzz/corpus/ holds checked-in seed cases replayed by ctest
+// (fuzz_corpus target); `fuzz_driver --save DIR` appends shrunk
+// reproducers in the same format, so a divergence found in a campaign
+// becomes a regression case by copying one file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.h"
+
+namespace sm::fuzz {
+
+std::string to_corpus_file(const FuzzCase& c);
+FuzzCase from_corpus_file(const std::string& text);
+
+// Writes `<dir>/<stem>.sm`; returns the path ("" on I/O failure).
+std::string save_case(const std::string& dir, const std::string& stem,
+                      const FuzzCase& c);
+
+// Loads every *.sm under dir, sorted by filename so replay order (and
+// therefore driver output) is deterministic. Missing/empty dir -> empty.
+struct CorpusEntry {
+  std::string name;  // filename without directory
+  FuzzCase c;
+};
+std::vector<CorpusEntry> load_corpus(const std::string& dir);
+
+}  // namespace sm::fuzz

@@ -1,0 +1,89 @@
+// Seeded random guest-program generator for differential fuzzing.
+//
+// generate(seed) produces a benign assembly program for the simulated
+// machine, biased toward the paths where the split-memory engine, the
+// decode cache and the translation memos earn their keep: instruction
+// fetches that straddle page boundaries, stack and heap accesses next to
+// page edges, fork/COW, mmap/mprotect, D-TLB set pressure, and (in
+// mixed-text images) stores into the text segment.
+//
+// Two properties are load-bearing:
+//
+//  1. DETERMINISM. The program is a pure function of the seed. No host
+//     entropy, no iteration over unordered containers.
+//
+//  2. BENIGNITY. The program must behave identically under every
+//     protection engine, so the differential oracle can demand exact
+//     equality. That is why the generator never emits write-THEN-EXECUTE
+//     sequences (real JIT/SMC is architecturally visible under split
+//     memory — the paper's §6.2 compatibility caveat); text-segment
+//     stores only ever target a scratch pad that control flow never
+//     reaches, and only when the image is built with a writable text
+//     VMA (mixed_text), so NX baselines do not kill what the others run.
+//     SYS_TIME is likewise excluded: it returns the cycle counter, which
+//     legitimately differs across engines.
+//
+// The emitted body is structured as
+//     <prologue> ;;A0 <action0> ;;A1 <action1> ... ;;END <epilogue>
+// where every action is self-contained (initializes the registers it
+// reads, balances the stack, folds its results into the r5 checksum) so
+// the shrinker can delete any subset of actions and still have a valid,
+// benign program.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/isa.h"
+#include "arch/types.h"
+
+namespace sm::fuzz {
+
+using arch::u32;
+using arch::u64;
+
+struct FuzzCase {
+  u64 seed = 0;
+  bool mixed_text = false;  // text VMA writable+executable (paper Fig. 1b)
+  std::string body;         // assembly; harness wraps with prelude + libc
+};
+
+struct GenOptions {
+  u32 min_actions = 8;
+  u32 max_actions = 24;
+  // Allow rare program-terminating actions (wild store → SIGSEGV,
+  // embedded #UD byte → SIGILL, divide by zero → SIGFPE). These are still
+  // benign in the oracle's sense — every engine must kill the process at
+  // the same instruction with the same signal.
+  bool allow_lethal = true;
+};
+
+FuzzCase generate(u64 seed, const GenOptions& opts = {});
+
+// The generator's opcode bias table. Every opcode of arch::Op appears
+// with weight > 0; tests/arch/isa_coverage_test.cc fails listing any
+// isa.h opcode missing from this map, which keeps fuzz coverage honest
+// as the ISA grows.
+const std::map<arch::Op, u32>& opcode_weights();
+
+// --- body structure (shared with the shrinker) ---------------------------
+inline constexpr const char* kActionMarker = ";;A";
+inline constexpr const char* kEndMarker = ";;END";
+
+struct SplitBody {
+  std::string prologue;              // up to the first ;;A marker
+  std::vector<std::string> actions;  // one chunk per ;;A marker
+  std::string epilogue;              // from ;;END (exclusive) to the end
+};
+
+SplitBody split_actions(const std::string& body);
+// Reassembles a body; action markers are re-numbered densely.
+std::string join_actions(const SplitBody& parts);
+
+// Static instruction count of a body: lines that are neither empty,
+// comments, labels nor directives. The shrinker's "≤ N instructions"
+// reproducer bound is measured with this.
+u32 count_instructions(const std::string& body);
+
+}  // namespace sm::fuzz

@@ -1,0 +1,276 @@
+#include "fuzz/oracle.h"
+
+#include <sstream>
+
+#include "asm/assembler.h"
+#include "guest/guestlib.h"
+#include "image/image.h"
+
+namespace sm::fuzz {
+
+namespace {
+
+image::Image build(const FuzzCase& c) {
+  const auto program = assembler::assemble(guest::program(c.body));
+  image::BuildOptions opts;
+  opts.name = "fuzz";
+  opts.mixed_text = c.mixed_text;
+  return image::build_image(program, opts);
+}
+
+const char* run_result_name(kernel::Kernel::RunResult r) {
+  switch (r) {
+    case kernel::Kernel::RunResult::kAllExited: return "all-exited";
+    case kernel::Kernel::RunResult::kAllBlocked: return "all-blocked";
+    case kernel::Kernel::RunResult::kBudgetExhausted: return "budget-exhausted";
+  }
+  return "?";
+}
+
+const char* exit_kind_name(kernel::ExitKind k) {
+  switch (k) {
+    case kernel::ExitKind::kRunning: return "running";
+    case kernel::ExitKind::kExited: return "exited";
+    case kernel::ExitKind::kKilledSigsegv: return "sigsegv";
+    case kernel::ExitKind::kKilledSigill: return "sigill";
+  }
+  return "?";
+}
+
+// Every simulated counter, by name, plus whether it is one of the
+// host-side fast-path counters the billing clause exempts. Cycles are
+// listed first so a billing divergence reports the clock before the
+// downstream counters it desynchronized.
+struct CounterRef {
+  const char* name;
+  std::uint64_t metrics::Stats::*field;
+  bool host_side;
+};
+
+constexpr CounterRef kCounters[] = {
+    {"cycles", &metrics::Stats::cycles, false},
+    {"instructions", &metrics::Stats::instructions, false},
+    {"itlb_hits", &metrics::Stats::itlb_hits, false},
+    {"itlb_misses", &metrics::Stats::itlb_misses, false},
+    {"dtlb_hits", &metrics::Stats::dtlb_hits, false},
+    {"dtlb_misses", &metrics::Stats::dtlb_misses, false},
+    {"tlb_flushes", &metrics::Stats::tlb_flushes, false},
+    {"hardware_walks", &metrics::Stats::hardware_walks, false},
+    {"fetch_fastpath_hits", &metrics::Stats::fetch_fastpath_hits, true},
+    {"data_fastpath_hits", &metrics::Stats::data_fastpath_hits, true},
+    {"decode_cache_hits", &metrics::Stats::decode_cache_hits, true},
+    {"decode_cache_misses", &metrics::Stats::decode_cache_misses, true},
+    {"decode_cache_invalidations", &metrics::Stats::decode_cache_invalidations,
+     true},
+    {"page_faults", &metrics::Stats::page_faults, false},
+    {"split_dtlb_loads", &metrics::Stats::split_dtlb_loads, false},
+    {"split_itlb_loads", &metrics::Stats::split_itlb_loads, false},
+    {"split_dtlb_fallbacks", &metrics::Stats::split_dtlb_fallbacks, false},
+    {"soft_tlb_fills", &metrics::Stats::soft_tlb_fills, false},
+    {"single_steps", &metrics::Stats::single_steps, false},
+    {"demand_pages", &metrics::Stats::demand_pages, false},
+    {"cow_copies", &metrics::Stats::cow_copies, false},
+    {"syscalls", &metrics::Stats::syscalls, false},
+    {"invalid_opcode_faults", &metrics::Stats::invalid_opcode_faults, false},
+    {"context_switches", &metrics::Stats::context_switches, false},
+    {"injections_detected", &metrics::Stats::injections_detected, false},
+};
+
+// Compares one non-reference run against the reference on the behavioural
+// clause. Empty string == equal.
+std::string diff_behavior(const RunObservation& ref, const std::string& ref_l,
+                          const RunObservation& got, const std::string& got_l) {
+  std::ostringstream d;
+  const std::string head = got_l + " vs " + ref_l + ": ";
+  if (got.result != ref.result)
+    return head + "run result " + run_result_name(got.result) + " != " +
+           run_result_name(ref.result);
+  if (got.detections != ref.detections)
+    return head + "detections " + std::to_string(got.detections) + " != " +
+           std::to_string(ref.detections);
+  if (got.instructions != ref.instructions)
+    return head + "retired instructions " + std::to_string(got.instructions) +
+           " != " + std::to_string(ref.instructions);
+  if (got.procs.size() != ref.procs.size())
+    return head + "process count " + std::to_string(got.procs.size()) +
+           " != " + std::to_string(ref.procs.size());
+  for (std::size_t i = 0; i < ref.procs.size(); ++i) {
+    const ProcObservation& a = ref.procs[i];
+    const ProcObservation& b = got.procs[i];
+    const std::string who = head + "pid " + std::to_string(a.pid) + " ";
+    if (b.pid != a.pid)
+      return who + "pid mismatch " + std::to_string(b.pid);
+    if (b.exit_kind != a.exit_kind)
+      return who + "exit kind " + std::string(exit_kind_name(b.exit_kind)) +
+             " != " + exit_kind_name(a.exit_kind);
+    if (b.exit_code != a.exit_code)
+      return who + "exit code " + std::to_string(b.exit_code) + " != " +
+             std::to_string(a.exit_code);
+    if (b.console != a.console) return who + "console output differs";
+    if (b.syscalls != a.syscalls) {
+      std::size_t j = 0;
+      while (j < a.syscalls.size() && j < b.syscalls.size() &&
+             a.syscalls[j] == b.syscalls[j])
+        ++j;
+      d << who << "syscall trace differs at #" << j << ": "
+        << (j < b.syscalls.size() ? to_string(b.syscalls[j]) : "<end>")
+        << " != "
+        << (j < a.syscalls.size() ? to_string(a.syscalls[j]) : "<end>");
+      return d.str();
+    }
+    if (b.digest != a.digest) {
+      d << who << "final-memory digest "
+        << (b.digest ? image::hex_digest(*b.digest).substr(0, 16) : "<none>")
+        << " != "
+        << (a.digest ? image::hex_digest(*a.digest).substr(0, 16) : "<none>");
+      return d.str();
+    }
+  }
+  return "";
+}
+
+// Compares full simulated stats (billing clause). Host-side fast-path
+// counters are exempt — they are the knob being toggled.
+std::string diff_billing(const RunObservation& ref, const std::string& ref_l,
+                         const RunObservation& got, const std::string& got_l) {
+  for (const CounterRef& c : kCounters) {
+    if (c.host_side) continue;
+    const std::uint64_t a = ref.stats.*c.field;
+    const std::uint64_t b = got.stats.*c.field;
+    if (a != b)
+      return got_l + " vs " + ref_l + ": " + c.name + " " +
+             std::to_string(b) + " != " + std::to_string(a);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<OracleConfig> behavioral_configs() {
+  using core::ProtectionMode;
+  using core::ResponseMode;
+  std::vector<OracleConfig> cfgs;
+  cfgs.push_back({.label = "none", .mode = ProtectionMode::kNone});
+  cfgs.push_back({.label = "split-break", .mode = ProtectionMode::kSplitAll});
+  cfgs.push_back({.label = "split-observe",
+                  .mode = ProtectionMode::kSplitAll,
+                  .response = ResponseMode::kObserve});
+  cfgs.push_back({.label = "split-forensics",
+                  .mode = ProtectionMode::kSplitAll,
+                  .response = ResponseMode::kForensics});
+  cfgs.push_back({.label = "nx", .mode = ProtectionMode::kHardwareNx});
+  cfgs.push_back({.label = "pageexec", .mode = ProtectionMode::kPaxPageexec});
+  cfgs.push_back(
+      {.label = "nx+split", .mode = ProtectionMode::kNxPlusSplitMixed});
+  cfgs.push_back({.label = "split-soft-tlb",
+                  .mode = ProtectionMode::kSplitAll,
+                  .software_tlb = true});
+  cfgs.push_back({.label = "split-eager",
+                  .mode = ProtectionMode::kSplitAll,
+                  .eager_load = true});
+  return cfgs;
+}
+
+std::vector<OracleConfig> billing_configs() {
+  using core::ProtectionMode;
+  std::vector<OracleConfig> cfgs;
+  for (const auto& [engine, mode] :
+       {std::pair<const char*, ProtectionMode>{"none", ProtectionMode::kNone},
+        {"split-break", ProtectionMode::kSplitAll}}) {
+    const std::string base = engine;
+    cfgs.push_back({.label = base + "/fastpaths", .mode = mode});
+    cfgs.push_back(
+        {.label = base + "/no-memo", .mode = mode, .data_memo = false});
+    cfgs.push_back(
+        {.label = base + "/no-dcache", .mode = mode, .decode_cache = false});
+  }
+  return cfgs;
+}
+
+RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
+                        u64 budget) {
+  kernel::KernelConfig kc;
+  kc.record_syscall_trace = true;
+  kc.capture_exit_digest = true;
+  kc.software_tlb = cfg.software_tlb;
+  kc.eager_load = cfg.eager_load;
+  kernel::Kernel k(kc);
+  k.set_engine(core::make_engine(cfg.mode, cfg.response));
+  k.register_image(build(c));
+  k.spawn("fuzz");
+  k.mmu().set_data_memo_enabled(cfg.data_memo);
+  k.cpu().set_decode_cache_enabled(cfg.decode_cache);
+  if (cfg.inject_lru_bug) k.mmu().set_inject_memo_lru_bug(true);
+
+  RunObservation obs;
+  obs.result = k.run(budget);
+  for (const auto& [pid, proc] : k.processes()) {
+    ProcObservation po;
+    po.pid = pid;
+    po.exit_kind = proc->exit_kind;
+    po.exit_code = proc->exit_code;
+    po.console = proc->console;
+    po.syscalls = proc->syscall_trace;
+    po.digest = proc->exit_digest;
+    obs.procs.push_back(std::move(po));
+  }
+  obs.instructions = k.stats().instructions;
+  obs.detections = k.detections().size();
+  obs.stats = k.stats();
+  return obs;
+}
+
+OracleVerdict check_case(const FuzzCase& c, const OracleOptions& opts) {
+  OracleVerdict v;
+
+  // --- behavioural clause: every engine matches the unprotected run ------
+  if (!opts.billing_only) {
+    const std::vector<OracleConfig> cfgs = behavioral_configs();
+    RunObservation ref = run_case(c, cfgs.front(), opts.budget);
+    if (ref.result != kernel::Kernel::RunResult::kAllExited) {
+      v.ok = false;
+      v.divergence = std::string("reference run did not exit: ") +
+                     run_result_name(ref.result);
+      return v;
+    }
+    for (std::size_t i = 1; i < cfgs.size(); ++i) {
+      const RunObservation got = run_case(c, cfgs[i], opts.budget);
+      const std::string d =
+          diff_behavior(ref, cfgs.front().label, got, cfgs[i].label);
+      if (!d.empty()) {
+        v.ok = false;
+        v.divergence = d;
+        return v;
+      }
+    }
+  }
+
+  // --- billing clause: fast-path toggles change no simulated number ------
+  if (!opts.behavioral_only) {
+    std::vector<OracleConfig> cfgs = billing_configs();
+    if (opts.inject_lru_bug) {
+      // The bug only fires where the memo is live.
+      for (OracleConfig& cfg : cfgs)
+        if (cfg.data_memo) cfg.inject_lru_bug = true;
+    }
+    // Each engine's toggled runs compare against that engine's baseline
+    // (billing identity is a within-engine contract); billing_configs()
+    // interleaves them as [baseline, no-memo, no-dcache] per engine.
+    for (std::size_t base = 0; base + 2 < cfgs.size(); base += 3) {
+      const RunObservation ref = run_case(c, cfgs[base], opts.budget);
+      for (std::size_t i = base + 1; i < base + 3; ++i) {
+        const RunObservation got = run_case(c, cfgs[i], opts.budget);
+        const std::string d =
+            diff_billing(ref, cfgs[base].label, got, cfgs[i].label);
+        if (!d.empty()) {
+          v.ok = false;
+          v.divergence = d;
+          return v;
+        }
+      }
+    }
+  }
+  return v;
+}
+
+}  // namespace sm::fuzz

@@ -1,0 +1,103 @@
+// Differential oracle: runs one generated guest program under every
+// protection engine and fast-path configuration, and checks the paper's
+// equivalence contract.
+//
+// For a BENIGN program (the only kind the generator emits), protection is
+// supposed to be invisible:
+//
+//   BEHAVIOURAL EQUALITY — across engines (none / split break|observe|
+//   forensics / hardware NX / PaX PAGEEXEC / NX+split-mixed) and across
+//   kernel paging strategies (software TLB, eager load): identical exit
+//   kind and code, console output, syscall trace, final-memory digest and
+//   retired-instruction count for every process, and zero detections.
+//   Simulated cycle counts legitimately differ — split protection costs
+//   extra traps; that is the paper's Table 2 — so cycles are NOT compared
+//   here.
+//
+//   BILLING IDENTITY — within one engine, toggling the simulator-only fast
+//   paths (Mmu data memos, decode cache) must leave every simulated stat
+//   identical, including cycles: the fast paths are host-side
+//   optimizations and bill exactly what the slow path they short-circuit
+//   would have. Only the host-side counters themselves
+//   (fetch/data_fastpath_hits, decode_cache_*) may differ.
+//
+// check_case() returns the first violated clause as a human-readable
+// divergence string — which doubles as the shrinker's predicate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/split_engine.h"
+#include "fuzz/generator.h"
+#include "image/sha256.h"
+#include "kernel/kernel.h"
+#include "metrics/stats.h"
+
+namespace sm::fuzz {
+
+// One kernel+engine configuration the oracle runs a case under.
+struct OracleConfig {
+  std::string label;
+  core::ProtectionMode mode = core::ProtectionMode::kNone;
+  core::ResponseMode response = core::ResponseMode::kBreak;
+  bool software_tlb = false;
+  bool eager_load = false;
+  // Simulator fast paths (billing-identity axis).
+  bool data_memo = true;
+  bool decode_cache = true;
+  // Oracle self-test: plant the deliberate memo-LRU billing bug
+  // (Mmu::set_inject_memo_lru_bug) so the campaign can prove it would
+  // catch one.
+  bool inject_lru_bug = false;
+};
+
+// Everything observable from one run.
+struct ProcObservation {
+  kernel::Pid pid = 0;
+  kernel::ExitKind exit_kind = kernel::ExitKind::kRunning;
+  u32 exit_code = 0;
+  std::string console;
+  std::vector<kernel::SyscallRecord> syscalls;
+  std::optional<image::Digest> digest;
+};
+
+struct RunObservation {
+  kernel::Kernel::RunResult result = kernel::Kernel::RunResult::kAllExited;
+  std::vector<ProcObservation> procs;  // pid order
+  u64 instructions = 0;                // retired instructions, all processes
+  std::size_t detections = 0;
+  metrics::Stats stats;  // full counters, for the billing clause
+};
+
+struct OracleOptions {
+  u64 budget = 20'000'000;
+  // Arm the deliberate LRU billing bug on every memo-enabled run.
+  bool inject_lru_bug = false;
+  // Restrict to one clause (the shrinker uses billing_only to keep
+  // predicate evaluations cheap).
+  bool behavioral_only = false;
+  bool billing_only = false;
+};
+
+struct OracleVerdict {
+  bool ok = true;
+  std::string divergence;  // empty iff ok
+
+  explicit operator bool() const { return ok; }
+};
+
+// Builds the case's image, runs it under `cfg`, returns the observation.
+RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
+                        u64 budget = 20'000'000);
+
+// The full differential sweep. Throws asm::AsmError if the body does not
+// assemble (generator bug / hand-written corpus typo).
+OracleVerdict check_case(const FuzzCase& c, const OracleOptions& opts = {});
+
+// The two sweeps, exposed for tests.
+std::vector<OracleConfig> behavioral_configs();
+std::vector<OracleConfig> billing_configs();
+
+}  // namespace sm::fuzz

@@ -1,0 +1,50 @@
+// Deterministic PRNG for the fuzz subsystem (splitmix64).
+//
+// Everything downstream of a seed — program shape, operands, corpus file
+// names — must be a pure function of that seed so a campaign is exactly
+// reproducible from its --seed, on any host, at any --jobs. Host entropy
+// (std::random_device, time, ASLR'd pointers) is therefore banned here.
+#pragma once
+
+#include "arch/types.h"
+
+namespace sm::fuzz {
+
+using arch::u32;
+using arch::u64;
+
+class Rng {
+ public:
+  explicit Rng(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    // splitmix64: passes BigCrush, two multiplies per draw, and any seed
+    // (including 0) is a fine starting point.
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n); 0 when n == 0.
+  u32 below(u32 n) { return n == 0 ? 0 : static_cast<u32>(next() % n); }
+
+  // Uniform in [lo, hi] inclusive.
+  u32 range(u32 lo, u32 hi) { return lo + below(hi - lo + 1); }
+
+  // True with probability percent/100.
+  bool chance(u32 percent) { return below(100) < percent; }
+
+ private:
+  u64 state_;
+};
+
+// Derives an independent per-case seed from a campaign seed and an index,
+// so --seed S --count N always names the same N programs regardless of
+// --jobs or replay order.
+inline u64 case_seed(u64 campaign_seed, u64 index) {
+  Rng r(campaign_seed ^ (index * 0xA24BAED4963EE407ull + 1));
+  return r.next();
+}
+
+}  // namespace sm::fuzz

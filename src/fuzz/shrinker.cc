@@ -1,0 +1,147 @@
+#include "fuzz/shrinker.h"
+
+#include <sstream>
+#include <vector>
+
+namespace sm::fuzz {
+
+namespace {
+
+struct Tracker {
+  const DivergesFn& diverges;
+  u32 calls = 0;
+
+  // Divergence of `candidate`, or "" if it runs clean / fails to assemble
+  // (the predicate is expected to catch AsmError itself; a throwing
+  // candidate is treated as not-reproducing).
+  std::string test(const FuzzCase& candidate) {
+    ++calls;
+    try {
+      return diverges(candidate);
+    } catch (...) {
+      return "";
+    }
+  }
+};
+
+FuzzCase with_body(const FuzzCase& c, std::string body) {
+  FuzzCase out = c;
+  out.body = std::move(body);
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const FuzzCase& c, const DivergesFn& diverges) {
+  Tracker t{diverges};
+  ShrinkResult res;
+  res.reduced = c;
+  res.divergence = t.test(c);
+  if (res.divergence.empty()) {
+    // Not divergent in the first place; nothing to do.
+    res.predicate_calls = t.calls;
+    return res;
+  }
+
+  // --- phase 1: drop whole actions (ddmin) -------------------------------
+  {
+    SplitBody parts = split_actions(res.reduced.body);
+    std::size_t chunk = parts.actions.size() / 2;
+    if (chunk == 0) chunk = 1;
+    while (!parts.actions.empty()) {
+      bool removed = false;
+      for (std::size_t at = 0; at < parts.actions.size();) {
+        SplitBody candidate = parts;
+        const std::size_t n = std::min(chunk, candidate.actions.size() - at);
+        candidate.actions.erase(candidate.actions.begin() + at,
+                                candidate.actions.begin() + at + n);
+        const std::string d =
+            t.test(with_body(res.reduced, join_actions(candidate)));
+        if (!d.empty()) {
+          parts = std::move(candidate);
+          res.divergence = d;
+          removed = true;  // keep `at`: the next chunk slid into place
+        } else {
+          at += n;
+        }
+      }
+      if (!removed) {
+        if (chunk == 1) break;
+        chunk = (chunk + 1) / 2;
+      }
+    }
+    res.reduced.body = join_actions(parts);
+  }
+
+  // --- phase 2: drop individual lines inside surviving actions -----------
+  {
+    SplitBody parts = split_actions(res.reduced.body);
+    for (std::size_t a = 0; a < parts.actions.size(); ++a) {
+      std::vector<std::string> lines = split_lines(parts.actions[a]);
+      for (std::size_t i = 0; i < lines.size();) {
+        std::vector<std::string> candidate = lines;
+        candidate.erase(candidate.begin() + i);
+        SplitBody cp = parts;
+        cp.actions[a] = join_lines(candidate);
+        const std::string d =
+            t.test(with_body(res.reduced, join_actions(cp)));
+        if (!d.empty()) {
+          lines = std::move(candidate);
+          parts.actions[a] = join_lines(lines);
+          res.divergence = d;
+        } else {
+          ++i;
+        }
+      }
+    }
+    res.reduced.body = join_actions(parts);
+  }
+
+  // --- phase 3: simplify the prologue (straddle pad, entry jump) ----------
+  {
+    SplitBody parts = split_actions(res.reduced.body);
+    std::vector<std::string> lines = split_lines(parts.prologue);
+    for (std::size_t i = 0; i < lines.size();) {
+      // Never drop the _start label itself.
+      if (lines[i].rfind("_start", 0) == 0) {
+        ++i;
+        continue;
+      }
+      std::vector<std::string> candidate = lines;
+      candidate.erase(candidate.begin() + i);
+      SplitBody cp = parts;
+      cp.prologue = join_lines(candidate);
+      const std::string d = t.test(with_body(res.reduced, join_actions(cp)));
+      if (!d.empty()) {
+        lines = std::move(candidate);
+        parts.prologue = join_lines(lines);
+        res.divergence = d;
+      } else {
+        ++i;
+      }
+    }
+    res.reduced.body = join_actions(parts);
+  }
+
+  res.predicate_calls = t.calls;
+  return res;
+}
+
+}  // namespace sm::fuzz

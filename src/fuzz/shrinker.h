@@ -1,0 +1,39 @@
+// Greedy trace-divergence shrinker.
+//
+// Given a case the oracle flagged and a predicate "does this body still
+// diverge?", produces a minimal-ish reproducer:
+//
+//   phase 1 — action-level ddmin: the generator emits bodies as
+//             self-contained ;;A-delimited actions precisely so whole
+//             actions can be deleted without invalidating the rest; try
+//             removing chunks of n/2, n/4, ... 1 actions to a fixed point.
+//   phase 2 — line-level deletion inside the surviving actions (drops
+//             dead folds, redundant register setup, unneeded variants).
+//   phase 3 — prologue simplification (the page-straddle entry pad).
+//
+// A candidate is accepted only if it still assembles AND the predicate
+// still reports a divergence — the shrinker never "fixes" the case into a
+// different failure. Every predicate evaluation is deterministic, so the
+// reduced reproducer is a pure function of (input case, predicate).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fuzz/generator.h"
+
+namespace sm::fuzz {
+
+// Returns the divergence string for a candidate, or "" if it runs clean.
+// (oracle::check_case wrapped with an assemble-check is the usual one.)
+using DivergesFn = std::function<std::string(const FuzzCase&)>;
+
+struct ShrinkResult {
+  FuzzCase reduced;
+  std::string divergence;   // the reduced case's divergence
+  u32 predicate_calls = 0;  // cost accounting for the driver's report
+};
+
+ShrinkResult shrink(const FuzzCase& c, const DivergesFn& diverges);
+
+}  // namespace sm::fuzz

@@ -237,6 +237,7 @@ void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) 
   p.state = ProcState::kZombie;
   p.exit_kind = kind;
   p.exit_code = 0xFF;
+  if (cfg_.capture_exit_digest && p.as) p.exit_digest = final_memory_digest(p);
   p.as.reset();
   release_all_fds(p);
   if (current_ && *current_ == p.pid) current_ = std::nullopt;
@@ -338,7 +339,7 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
 
     if (p.retry_syscall) {
       p.retry_syscall = false;
-      do_syscall(p);
+      do_syscall(p, /*retried=*/true);
       if (!current_) continue;  // blocked again or exited
     }
 
@@ -496,6 +497,13 @@ void Kernel::handle_cow(Process& p, u32 addr) {
     }
     pte.set(Pte::kWritable);
     pte.clear(Pte::kCow);
+    // Re-restrict: a mid-single-step COW break would otherwise leave the
+    // PTE user+writable pointing at one frame of the pair, and the
+    // invlpg below forces re-walks that bypass the engine's code/data
+    // routing. Restricting sends the very next access back through the
+    // protection engine; outside a step window the PTE was restricted
+    // anyway, so this is a no-op there.
+    pte.restrict_supervisor();
     pt.set(addr, pte);
     mmu_.invlpg(addr);
     return;
@@ -514,16 +522,52 @@ void Kernel::handle_cow(Process& p, u32 addr) {
   mmu_.invlpg(addr);
 }
 
+image::Digest Kernel::final_memory_digest(Process& p) {
+  // The digest must be a pure function of guest-visible memory: iterate
+  // VMAs in address order (mprotect splits append pieces out of order),
+  // read mapped pages through the DATA view (what loads/stores see — the
+  // code frame of a split pair is an engine artifact), and synthesize
+  // unmapped pages from their backing so demand-paging order and
+  // eager_load cannot change the result.
+  std::vector<const Vma*> ordered;
+  for (const Vma& v : p.as->vmas()) ordered.push_back(&v);
+  std::ranges::sort(ordered, {}, [](const Vma* v) { return v->start; });
+
+  GuestMem gm = mem_of(p);
+  PageTable pt = p.as->pt();
+  std::vector<u8> stream;
+  std::array<u8, kPageSize> page_buf;
+  for (const Vma* vma : ordered) {
+    for (u32 page = vma->start; page < vma->end; page += kPageSize) {
+      if (pt.get(page).present()) {
+        if (!gm.read(page, page_buf, View::kData)) page_buf.fill(0);
+      } else {
+        p.as->initial_page_bytes(*vma, page, page_buf);
+      }
+      const u8 va_bytes[4] = {static_cast<u8>(page), static_cast<u8>(page >> 8),
+                              static_cast<u8>(page >> 16),
+                              static_cast<u8>(page >> 24)};
+      stream.insert(stream.end(), va_bytes, va_bytes + 4);
+      stream.insert(stream.end(), page_buf.begin(), page_buf.end());
+    }
+  }
+  return image::sha256(stream);
+}
+
 // --------------------------------------------------------------------------
 // Syscalls
 // --------------------------------------------------------------------------
 
-void Kernel::do_syscall(Process& p) {
+void Kernel::do_syscall(Process& p, bool retried) {
   arch::Regs& regs = regs_of(p);
   const u32 num = regs.r[0];
   const u32 a1 = regs.r[1];
   const u32 a2 = regs.r[2];
   const u32 a3 = regs.r[3];
+
+  if (cfg_.record_syscall_trace && !retried) {
+    p.syscall_trace.push_back(SyscallRecord{num, a1, a2, a3});
+  }
 
   auto block_on = [&](WaitReason reason) {
     p.waiting = std::move(reason);
@@ -540,6 +584,7 @@ void Kernel::do_syscall(Process& p) {
       p.state = ProcState::kZombie;
       p.exit_kind = ExitKind::kExited;
       p.exit_code = a1;
+      if (cfg_.capture_exit_digest) p.exit_digest = final_memory_digest(p);
       p.as.reset();
       release_all_fds(p);
       std::erase(runqueue_, p.pid);

@@ -61,6 +61,12 @@ struct KernelConfig {
   // program into side-by-side page pairs (SS5.1). Off by default: the
   // demand-paged variant is the optimization the paper proposes there.
   bool eager_load = false;
+
+  // Observability for the differential-fuzz oracle and the attack tests
+  // (tests/support/guest_runner.h turns both on). Off by default so the
+  // bench hot paths pay nothing.
+  bool record_syscall_trace = false;  // fills Process::syscall_trace
+  bool capture_exit_digest = false;   // fills Process::exit_digest
 };
 
 // A code-injection detection recorded by a protection engine.
@@ -147,7 +153,13 @@ class Kernel {
   bool wait_satisfied(const Process& p) const;
 
   // --- syscalls ---------------------------------------------------------------
-  void do_syscall(Process& p);
+  // `retried` marks the re-run of a blocked syscall so the trace records
+  // each syscall once, at first issue.
+  void do_syscall(Process& p, bool retried = false);
+  // SHA-256 over the data view of the whole address space (sorted VMAs;
+  // unmapped pages contribute their backing-defined initial bytes, so the
+  // digest is independent of demand-paging order and engine page-pairing).
+  image::Digest final_memory_digest(Process& p);
   u32 sys_read(Process& p, u32 fd, u32 buf, u32 len, bool& blocked);
   u32 sys_write(Process& p, u32 fd, u32 buf, u32 len, bool& blocked);
   u32 sys_open(Process& p, u32 path_ptr, u32 flags);

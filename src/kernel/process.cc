@@ -1,6 +1,15 @@
 #include "kernel/process.h"
 
+#include <cstdio>
+
 namespace sm::kernel {
+
+std::string to_string(const SyscallRecord& r) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "sys%u(0x%08x, 0x%08x, 0x%08x)", r.num, r.a1,
+                r.a2, r.a3);
+  return buf;
+}
 
 u32 Process::alloc_fd(FdEntry entry) {
   for (u32 i = 0; i < fds.size(); ++i) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arch/cpu.h"
+#include "image/sha256.h"
 #include "kernel/address_space.h"
 #include "kernel/channel.h"
 #include "kernel/filesystem.h"
@@ -57,6 +58,23 @@ using FdEntry =
 // How a process died (for attack-result reporting).
 enum class ExitKind { kRunning, kExited, kKilledSigsegv, kKilledSigill };
 
+// One syscall as the process issued it (number + argument registers at
+// entry). Recorded when KernelConfig::record_syscall_trace is set, so the
+// differential-fuzz oracle and the attack tests can compare the externally
+// visible behaviour of a guest across protection engines instead of
+// looking at exit status alone. Blocked-and-retried syscalls are recorded
+// once, at first issue.
+struct SyscallRecord {
+  u32 num = 0;
+  u32 a1 = 0;
+  u32 a2 = 0;
+  u32 a3 = 0;
+
+  bool operator==(const SyscallRecord&) const = default;
+};
+
+std::string to_string(const SyscallRecord& r);
+
 struct Process {
   Pid pid = 0;
   Pid parent = 0;
@@ -84,6 +102,14 @@ struct Process {
 
   // Console output (fd 1).
   std::string console;
+
+  // Observability for differential testing (both gated by KernelConfig
+  // flags so the bench hot paths pay nothing):
+  // every syscall issued, in order...
+  std::vector<SyscallRecord> syscall_trace;
+  // ...and a SHA-256 over the data view of the whole address space,
+  // captured at exit/kill just before the address space is torn down.
+  std::optional<image::Digest> exit_digest;
 
   u32 alloc_fd(FdEntry entry);
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/isa.h"
+#include "fuzz/generator.h"
 #include "support/guest_runner.h"
 
 namespace sm {
@@ -252,6 +253,27 @@ TEST(IsaCoverage, InstrLengthTableMatchesDecoder) {
     }
   }
   EXPECT_EQ(defined_count, 35);
+}
+
+TEST(IsaCoverage, FuzzGeneratorWeightTableCoversEveryOpcode) {
+  // The differential fuzzer's opcode bias table must name every opcode the
+  // ISA defines with a positive weight — otherwise new instructions get
+  // zero fuzz coverage silently. instr_length() > 0 is the decoder's own
+  // definition of "this opcode exists", so the two cannot drift apart.
+  const auto& weights = sm::fuzz::opcode_weights();
+  std::string missing;
+  for (int op = 0; op < 256; ++op) {
+    if (arch::instr_length(static_cast<arch::u8>(op)) == 0) continue;
+    const auto it = weights.find(static_cast<arch::Op>(op));
+    if (it == weights.end() || it->second == 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, " 0x%02x", op);
+      missing += buf;
+    }
+  }
+  EXPECT_TRUE(missing.empty())
+      << "opcodes missing from fuzz::opcode_weights() (src/fuzz/"
+         "generator.cc):" << missing;
 }
 
 TEST(IsaCoverage, DivByZeroKillsViaModuToo) {

@@ -1,0 +1,152 @@
+// Algorithm 2 edge cases: the single-stepped instruction ITSELF faults
+// before the debug trap can fire. Algorithm 2 as printed assumes the
+// stepped instruction completes; these tests pin down the required
+// behaviour when it doesn't — the open window must still close (PTE
+// re-restricted, TF eventually cleared, no pending page leaked) and the
+// instruction must still execute exactly once with correct semantics.
+#include <gtest/gtest.h>
+
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using arch::u32;
+using core::ProtectionMode;
+using testing::start_guest;
+
+u32 page_of(u32 va) { return va & ~0xFFFu; }
+
+arch::Pte pte_at(testing::GuestRun& r, u32 va) {
+  return r.proc().as->pt().get(va);
+}
+
+// Live registers: while a process occupies the CPU its Process::regs copy
+// is stale, so go through the kernel's context-aware accessor.
+arch::Regs& live_regs(testing::GuestRun& r) {
+  return r.k->regs_of(r.proc());
+}
+
+// A 6-byte movi whose bytes straddle a page boundary, where the straddled
+// page pair is fresh: the fetch of the first half opens page P1's window,
+// and the fetch of the second half faults on restricted P2 *during the
+// step*. retire_stale_pending must close P1's window when P2's opens;
+// the debug trap then closes P2's.
+TEST(Algorithm2Edge, StraddlingFetchClosesBothWindows) {
+  const char* body = R"(
+_start:
+  jmp go
+  .space 8184, 0x90
+go:
+  movi r1, 7        ; 6 bytes at page offset 4093: straddles P1 -> P2
+done:
+  jmp done
+)";
+  const auto program = assembler::assemble(guest::program(body));
+  const u32 go = program.symbol("go");
+  ASSERT_GT((go & 0xFFF) + 6, 4096u) << "layout drifted; not a straddle";
+
+  auto r = start_guest(body, ProtectionMode::kSplitAll);
+  r.k->run(100'000);
+
+  // The straddling instruction executed exactly once, correctly.
+  EXPECT_EQ(live_regs(r).r[1], 7u);
+  // Both pages' windows are closed...
+  const arch::Pte p1 = pte_at(r, go);
+  const arch::Pte p2 = pte_at(r, page_of(go) + arch::kPageSize);
+  ASSERT_TRUE(p1.present());
+  ASSERT_TRUE(p2.present());
+  EXPECT_FALSE(p1.user()) << "first straddled page left unrestricted";
+  EXPECT_FALSE(p2.user()) << "second straddled page left unrestricted";
+  // ...and no bookkeeping leaked out of the double-fault.
+  EXPECT_FALSE(r.proc().pending_split_vaddr.has_value());
+  EXPECT_FALSE(live_regs(r).tf());
+}
+
+// Footnote-1 torture: every kernel-initiated D-TLB fill fails, so the
+// stepped first instruction of a fresh text page data-faults mid-step on a
+// fresh bss page, and the data fault ALSO takes the single-step fallback.
+// Two nested windows; both must close, and the store must still land.
+TEST(Algorithm2Edge, MidStepDataFaultUnderWalkFailure) {
+  const char* body = R"(
+_start:
+  movi r4, buf
+  movi r5, 123
+  jmp far
+  .space 4079, 0x90
+far:
+  store [r4], r5    ; first instruction of its page; data access mid-step
+  load r1, [r4]
+done:
+  jmp done
+.bss
+buf: .space 64
+)";
+  const auto program = assembler::assemble(guest::program(body));
+  const u32 far_va = program.symbol("far");
+  const u32 buf = program.symbol("buf");
+  ASSERT_EQ(far_va & 0xFFF, 0u) << "layout drifted; 'far' must start a page";
+
+  auto r = start_guest(body, ProtectionMode::kSplitAll);
+  r.k->mmu().set_walk_failure_period(1);  // every walk-fill fails
+  r.k->run(100'000);
+
+  // The store completed once and is visible through the data view.
+  EXPECT_EQ(live_regs(r).r[1], 123u);
+  EXPECT_GT(r.k->stats().split_dtlb_fallbacks, 0u);
+  // Both the text page (closed by retire-stale when the data window
+  // opened) and the bss page (closed by the debug trap) are restricted.
+  const arch::Pte text_pte = pte_at(r, far_va);
+  const arch::Pte data_pte = pte_at(r, buf);
+  ASSERT_TRUE(text_pte.present());
+  ASSERT_TRUE(data_pte.present());
+  EXPECT_FALSE(text_pte.user()) << "stepped text page left unrestricted";
+  EXPECT_FALSE(data_pte.user()) << "fallback data page left unrestricted";
+  EXPECT_FALSE(r.proc().pending_split_vaddr.has_value());
+  EXPECT_FALSE(live_regs(r).tf());
+}
+
+// Regression test for the mid-step window channel the differential fuzzer
+// exposed: on a writable (mixed) page, the first stepped instruction of
+// the page stores INTO its own page. Without the engine's D-TLB pre-fill,
+// that store hardware-walks the momentarily unrestricted PTE — which
+// points at the CODE frame during the window — so the write lands in
+// executed code and vanishes from the data view.
+TEST(Algorithm2Edge, MidStepSamePageStoreHitsTheDataFrame) {
+  const char* body = R"(
+_start:
+  movi r4, cell
+  movi r5, 0x5A
+  jmp far
+  .space 4079, 0x90
+far:
+  storeb [r4], r5   ; stepped instruction writes its own (mixed) page
+  loadb r1, [r4]    ; data view must see the store
+done:
+  jmp done
+cell: .byte 0
+)";
+  const auto program = assembler::assemble(guest::program(body));
+  ASSERT_EQ(program.symbol("far") & 0xFFF, 0u);
+  ASSERT_EQ(page_of(program.symbol("cell")), page_of(program.symbol("far")))
+      << "layout drifted; cell must share the stepped page";
+
+  testing::GuestRun r;
+  r.k = std::make_unique<kernel::Kernel>();
+  r.k->set_engine(core::make_engine(ProtectionMode::kSplitAll));
+  r.k->register_image(
+      testing::build_guest_image(body, "guest", /*mixed_text=*/true));
+  r.pid = r.k->spawn("guest");
+  r.k->run(100'000);
+
+  EXPECT_EQ(live_regs(r).r[1], 0x5Au)
+      << "store leaked into the code frame during the single-step window";
+  const arch::Pte pte = pte_at(r, program.symbol("far"));
+  ASSERT_TRUE(pte.present());
+  EXPECT_FALSE(pte.user());
+  EXPECT_FALSE(r.proc().pending_split_vaddr.has_value());
+  EXPECT_FALSE(live_regs(r).tf());
+}
+
+}  // namespace
+}  // namespace sm

@@ -6,6 +6,8 @@
 //    non-control-data) and the self-modifying-code limitation
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "attacks/shellcode.h"
 #include "support/guest_runner.h"
 
@@ -227,6 +229,43 @@ TEST(SoftwareTlb, OverheadIsNoticeablyLowerThanX86) {
   EXPECT_LT(sparc_overhead, 1.02);  // near-zero extra cost on SPARC-style
 }
 
+// --- benign equivalence via the new observability surface -------------------
+
+TEST(Observability, TraceAndDigestMatchAcrossEngines) {
+  // The differential-fuzz contract at unit scale: a benign program's
+  // syscall trace and final-memory digest are engine-invariant. This is
+  // what GuestRun::syscall_trace()/final_digest() exist to assert.
+  const char* body = R"(
+_start:
+  movi r0, SYS_GETPID
+  syscall
+  movi r4, buf
+  store [r4], r0
+  movi r0, SYS_WRITE
+  movi r1, FD_CONSOLE
+  movi r2, msg
+  movi r3, 3
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.data
+msg: .ascii "ok\n"
+.bss
+buf: .space 16
+)";
+  auto base = run_guest(body, ProtectionMode::kNone);
+  auto split = run_guest(body, ProtectionMode::kSplitAll);
+  ASSERT_TRUE(base.k->all_exited());
+  ASSERT_TRUE(split.k->all_exited());
+  ASSERT_GE(base.syscall_trace().size(), 3u);
+  EXPECT_EQ(base.syscall_trace(), split.syscall_trace());
+  ASSERT_TRUE(base.final_digest().has_value());
+  ASSERT_TRUE(split.final_digest().has_value());
+  EXPECT_EQ(*base.final_digest(), *split.final_digest());
+  EXPECT_EQ(base.console(), split.console());
+}
+
 // --- §7: documented limitations (negative results) --------------------------
 
 TEST(Limitations, ReturnToExistingCodeIsNotStopped) {
@@ -281,6 +320,13 @@ staging: .space 640
   // The attack SUCCEEDS: no code was injected, only existing code reused.
   EXPECT_TRUE(r.proc().shell_spawned);
   EXPECT_TRUE(r.k->detections().empty());
+  // The syscall trace is where the hijack IS visible: the victim issued a
+  // SYS_SPAWN_SHELL its source never reaches on the benign path.
+  const auto& trace = r.syscall_trace();
+  EXPECT_TRUE(std::any_of(trace.begin(), trace.end(),
+                          [](const kernel::SyscallRecord& s) {
+                            return s.num == kernel::kSysSpawnShell;
+                          }));
 }
 
 TEST(Limitations, NonControlDataAttackIsNotStopped) {

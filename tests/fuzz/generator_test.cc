@@ -1,0 +1,124 @@
+// The generator's two load-bearing properties — determinism and
+// assemblability — plus the body-structure helpers the shrinker leans on.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "fuzz/generator.h"
+#include "fuzz/rng.h"
+#include "guest/guestlib.h"
+
+namespace sm::fuzz {
+namespace {
+
+TEST(FuzzRng, SplitmixIsDeterministicAndSeedSensitive) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(Rng(42).next(), c.next());
+}
+
+TEST(FuzzRng, RangeStaysInclusive) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const u32 v = r.range(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(FuzzRng, CaseSeedsAreIndexIndependent) {
+  // case_seed must give each index its own stream regardless of order —
+  // this is what makes --jobs replay-stable.
+  EXPECT_EQ(case_seed(1, 5), case_seed(1, 5));
+  EXPECT_NE(case_seed(1, 5), case_seed(1, 6));
+  EXPECT_NE(case_seed(1, 5), case_seed(2, 5));
+}
+
+TEST(FuzzGenerator, PureFunctionOfSeed) {
+  const FuzzCase a = generate(123456);
+  const FuzzCase b = generate(123456);
+  EXPECT_EQ(a.body, b.body);
+  EXPECT_EQ(a.mixed_text, b.mixed_text);
+  EXPECT_NE(generate(123457).body, a.body);
+}
+
+TEST(FuzzGenerator, FirstHundredSeedsAssemble) {
+  for (u64 seed = 1; seed <= 100; ++seed) {
+    const FuzzCase c = generate(seed);
+    EXPECT_NO_THROW(assembler::assemble(guest::program(c.body)))
+        << "seed " << seed;
+  }
+}
+
+TEST(FuzzGenerator, BodiesAreActionStructured) {
+  const FuzzCase c = generate(99);
+  const SplitBody parts = split_actions(c.body);
+  GenOptions defaults;
+  EXPECT_GE(parts.actions.size(), defaults.min_actions);
+  // +1: an optional lethal tail action may follow the main draw.
+  EXPECT_LE(parts.actions.size(), defaults.max_actions + 1);
+  EXPECT_NE(parts.prologue.find("_start"), std::string::npos);
+  EXPECT_NE(parts.epilogue.find("SYS_EXIT"), std::string::npos);
+}
+
+TEST(FuzzGenerator, SplitJoinRoundTrips) {
+  const FuzzCase c = generate(7);
+  EXPECT_EQ(join_actions(split_actions(c.body)), c.body);
+}
+
+TEST(FuzzGenerator, JoinRenumbersMarkersDensely) {
+  SplitBody parts = split_actions(generate(7).body);
+  ASSERT_GE(parts.actions.size(), 3u);
+  parts.actions.erase(parts.actions.begin() + 1);
+  const std::string body = join_actions(parts);
+  // Markers must be ;;A0, ;;A1, ... with no gaps, so a shrunk body is
+  // itself a well-formed input to split_actions.
+  const SplitBody again = split_actions(body);
+  EXPECT_EQ(again.actions.size(), parts.actions.size());
+  EXPECT_NE(body.find(";;A0\n"), std::string::npos);
+  EXPECT_NE(body.find(";;A1\n"), std::string::npos);
+}
+
+TEST(FuzzGenerator, CountInstructionsIgnoresNonInstructions) {
+  EXPECT_EQ(count_instructions("_start:\n"
+                               "  movi r0, 1   ; comment\n"
+                               "  ; pure comment\n"
+                               "  .space 4\n"
+                               "label:\n"
+                               "label2: syscall\n"
+                               "\n"),
+            2u);
+}
+
+TEST(FuzzGenerator, StraddlePadsProduceBoundaryCrossingEntry) {
+  // Some seed in the first batch must use the straddle prologue (40%
+  // chance each); the pad places fz_entry so its 6-byte movi crosses the
+  // first page boundary.
+  bool found = false;
+  for (u64 seed = 1; seed <= 30 && !found; ++seed) {
+    const FuzzCase c = generate(seed);
+    if (c.body.find("fz_entry") == std::string::npos) continue;
+    const auto program = assembler::assemble(guest::program(c.body));
+    const u32 entry = program.symbol("fz_entry");
+    const u32 off = entry & 0xFFF;
+    EXPECT_GT(off + 6, 4096u) << "seed " << seed;
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FuzzGenerator, MixedTextGatesTextStores) {
+  // fz_scratch stores may only appear in mixed-text cases — an NX
+  // baseline must never be asked to tolerate a text write.
+  for (u64 seed = 1; seed <= 60; ++seed) {
+    const FuzzCase c = generate(seed);
+    if (!c.mixed_text) {
+      const SplitBody parts = split_actions(c.body);
+      for (const std::string& a : parts.actions)
+        EXPECT_EQ(a.find("movi r0, fz_scratch"), std::string::npos)
+            << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sm::fuzz

@@ -1,0 +1,110 @@
+// The ddmin shrinker: minimality on a synthetic predicate, and the PR's
+// acceptance bar — an injected billing bug shrunk to a tiny reproducer.
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/shrinker.h"
+#include "guest/guestlib.h"
+
+namespace sm::fuzz {
+namespace {
+
+bool assembles(const FuzzCase& c) {
+  try {
+    assembler::assemble(guest::program(c.body));
+    return true;
+  } catch (const assembler::AsmError&) {
+    return false;
+  }
+}
+
+TEST(FuzzShrinker, ReducesToThePredicateCore) {
+  // Synthetic predicate: "still contains a SYS_WRITE action". The shrinker
+  // should strip every other action while keeping the body assemblable.
+  FuzzCase c;
+  for (u64 seed = 1;; ++seed) {
+    c = generate(seed);
+    if (c.body.find("SYS_WRITE") != std::string::npos &&
+        split_actions(c.body).actions.size() >= 8)
+      break;
+    ASSERT_LT(seed, 50u);
+  }
+  const auto pred = [](const FuzzCase& cand) -> std::string {
+    if (!assembles(cand)) return "";
+    return cand.body.find("SYS_WRITE") != std::string::npos ? "has write"
+                                                            : "";
+  };
+  const ShrinkResult sr = shrink(c, pred);
+  EXPECT_FALSE(sr.divergence.empty());
+  EXPECT_TRUE(assembles(sr.reduced));
+  EXPECT_LT(sr.reduced.body.size(), c.body.size());
+  // Every action that survived must be needed: at most the one write
+  // action remains (line-level phase may even have gutted its neighbours).
+  EXPECT_LE(split_actions(sr.reduced.body).actions.size(), 1u);
+  EXPECT_GT(sr.predicate_calls, 0u);
+}
+
+TEST(FuzzShrinker, NonDivergentInputIsReturnedUnchanged) {
+  const FuzzCase c = generate(3);
+  const ShrinkResult sr =
+      shrink(c, [](const FuzzCase&) -> std::string { return ""; });
+  EXPECT_EQ(sr.reduced.body, c.body);
+  EXPECT_TRUE(sr.divergence.empty());
+  EXPECT_EQ(sr.predicate_calls, 1u);
+}
+
+TEST(FuzzShrinker, ShrinkIsDeterministic) {
+  FuzzCase c = generate(9);
+  const auto pred = [](const FuzzCase& cand) -> std::string {
+    if (!assembles(cand)) return "";
+    return cand.body.find("fz_buf") != std::string::npos ? "uses buf" : "";
+  };
+  const ShrinkResult a = shrink(c, pred);
+  const ShrinkResult b = shrink(c, pred);
+  EXPECT_EQ(a.reduced.body, b.reduced.body);
+  EXPECT_EQ(a.predicate_calls, b.predicate_calls);
+}
+
+TEST(FuzzShrinker, InjectedLruBugShrinksToTinyReproducer) {
+  // The acceptance bar from the issue: plant the memo-LRU billing bug,
+  // find a divergent program, and shrink it to a reproducer of at most 20
+  // static instructions — small enough to eyeball the eviction dance.
+  OracleOptions opts;
+  opts.inject_lru_bug = true;
+  opts.billing_only = true;  // 6 runs per predicate call instead of 15
+
+  FuzzCase bad;
+  std::string first_divergence;
+  for (u64 seed = 1;; ++seed) {
+    const FuzzCase c = generate(seed);
+    const OracleVerdict v = check_case(c, opts);
+    if (!v.ok) {
+      bad = c;
+      first_divergence = v.divergence;
+      break;
+    }
+    ASSERT_LT(seed, 40u) << "no divergent seed found";
+  }
+
+  const ShrinkResult sr =
+      shrink(bad, [&opts](const FuzzCase& cand) -> std::string {
+        if (!assembles(cand)) return "";
+        const OracleVerdict v = check_case(cand, opts);
+        return v.ok ? "" : v.divergence;
+      });
+
+  EXPECT_FALSE(sr.divergence.empty());
+  EXPECT_TRUE(assembles(sr.reduced));
+  EXPECT_LE(count_instructions(sr.reduced.body), 20u)
+      << "reproducer still too big:\n"
+      << sr.reduced.body;
+  // The reproducer must still be about the billing split between memo-on
+  // and memo-off runs.
+  EXPECT_NE(sr.divergence.find("no-memo"), std::string::npos)
+      << sr.divergence;
+}
+
+}  // namespace
+}  // namespace sm::fuzz

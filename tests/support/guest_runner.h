@@ -20,6 +20,18 @@ struct GuestRun {
 
   kernel::Process& proc() { return *k->process(pid); }
   std::string console() { return proc().console; }
+
+  // Externally visible behaviour beyond exit status, for the differential
+  // fuzz oracle and for attack tests that want to assert "the protected
+  // run matches the unprotected one" (or: "the attack changed nothing
+  // observable"). Both are captured by the kernel because start_guest()
+  // enables record_syscall_trace / capture_exit_digest by default.
+  const std::vector<kernel::SyscallRecord>& syscall_trace() {
+    return proc().syscall_trace;
+  }
+  // SHA-256 of the data view of the final address space; nullopt while the
+  // process is still running.
+  std::optional<image::Digest> final_digest() { return proc().exit_digest; }
 };
 
 inline image::Image build_guest_image(const std::string& body,
@@ -33,11 +45,15 @@ inline image::Image build_guest_image(const std::string& body,
 }
 
 // Boots a kernel running `body` under `mode`, with a channel on fd 0.
+// Syscall tracing and exit digests are on: tests are the observability
+// consumer these flags exist for, and the cost is noise at test scale.
 inline GuestRun start_guest(const std::string& body,
                             core::ProtectionMode mode,
                             core::ResponseMode response =
                                 core::ResponseMode::kBreak,
                             kernel::KernelConfig cfg = {}) {
+  cfg.record_syscall_trace = true;
+  cfg.capture_exit_digest = true;
   GuestRun r;
   r.k = std::make_unique<kernel::Kernel>(cfg);
   r.k->set_engine(core::make_engine(mode, response));

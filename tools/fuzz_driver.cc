@@ -1,0 +1,225 @@
+// Differential fuzzing campaign driver.
+//
+// Generates --count seeded guest programs (or replays a --corpus
+// directory), runs each through the cross-engine oracle on the shared
+// ExperimentRunner thread pool, and — for divergent cases — optionally
+// ddmin-shrinks the lowest-index one to a reproducer.
+//
+// Holds the runner's determinism contract: stdout at --jobs=N is
+// byte-identical to --jobs=1 (results are collected by submission index;
+// the shrinker only ever runs on the lowest-index divergence, which is
+// --jobs-independent). Exit code: 0 campaign clean, 1 divergence found,
+// 2 usage error.
+//
+//   fuzz_driver [--seed=S] [--count=N] [--jobs=N] [--budget=C] [--shrink]
+//               [--corpus DIR] [--save DIR] [--emit-corpus]
+//               [--inject-lru-bug] [--no-progress] [--help]
+//
+//   --seed=S          campaign seed (default 1); case i uses case_seed(S, i)
+//   --count=N         generated cases (default 25; ignored with --corpus)
+//   --budget=C        per-run instruction budget (default 20000000)
+//   --shrink          shrink the first divergent case to a reproducer
+//   --corpus DIR      replay *.sm cases from DIR instead of generating
+//   --save DIR        write divergent cases (and the shrunk reproducer) here
+//   --emit-corpus     with --save: write EVERY generated case (seeds a corpus)
+//   --inject-lru-bug  plant the deliberate memo-LRU billing bug (oracle
+//                     self-test: the campaign must catch it)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "fuzz/corpus.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/rng.h"
+#include "fuzz/shrinker.h"
+#include "runner/experiment_runner.h"
+
+namespace {
+
+using namespace sm;
+using arch::u32;
+using arch::u64;
+
+struct Args {
+  u64 seed = 1;
+  u32 count = 25;
+  u32 jobs = 0;
+  u64 budget = 20'000'000;
+  bool shrink = false;
+  bool emit_corpus = false;
+  bool inject_lru_bug = false;
+  bool progress = true;
+  std::string corpus_dir;
+  std::string save_dir;
+};
+
+[[noreturn]] void usage(int rc) {
+  std::fprintf(rc ? stderr : stdout,
+               "usage: fuzz_driver [--seed=S] [--count=N] [--jobs=N] "
+               "[--budget=C]\n"
+               "                   [--shrink] [--corpus DIR] [--save DIR] "
+               "[--emit-corpus]\n"
+               "                   [--inject-lru-bug] [--no-progress]\n");
+  std::exit(rc);
+}
+
+bool eat_value(const char* arg, const char* name, int argc, char** argv,
+               int& i, std::string& out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0) return false;
+  if (arg[n] == '=') {
+    out = arg + n + 1;
+    return true;
+  }
+  if (arg[n] == '\0') {
+    if (i + 1 >= argc) usage(2);
+    out = argv[++i];
+    return true;
+  }
+  return false;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string v;
+    if (std::strcmp(arg, "--help") == 0) usage(0);
+    else if (std::strcmp(arg, "--shrink") == 0) a.shrink = true;
+    else if (std::strcmp(arg, "--emit-corpus") == 0) a.emit_corpus = true;
+    else if (std::strcmp(arg, "--inject-lru-bug") == 0) a.inject_lru_bug = true;
+    else if (std::strcmp(arg, "--no-progress") == 0) a.progress = false;
+    else if (eat_value(arg, "--seed", argc, argv, i, v))
+      a.seed = std::strtoull(v.c_str(), nullptr, 0);
+    else if (eat_value(arg, "--count", argc, argv, i, v))
+      a.count = static_cast<u32>(std::strtoul(v.c_str(), nullptr, 0));
+    else if (eat_value(arg, "--jobs", argc, argv, i, v))
+      a.jobs = static_cast<u32>(std::strtoul(v.c_str(), nullptr, 0));
+    else if (eat_value(arg, "--budget", argc, argv, i, v))
+      a.budget = std::strtoull(v.c_str(), nullptr, 0);
+    else if (eat_value(arg, "--corpus", argc, argv, i, v))
+      a.corpus_dir = v;
+    else if (eat_value(arg, "--save", argc, argv, i, v))
+      a.save_dir = v;
+    else {
+      std::fprintf(stderr, "fuzz_driver: unknown flag '%s'\n", arg);
+      usage(2);
+    }
+  }
+  return a;
+}
+
+// Oracle verdict for a case, absorbing assembler errors (a body that does
+// not assemble is itself a campaign failure, not a crash).
+std::string verdict_line(const fuzz::FuzzCase& c,
+                         const fuzz::OracleOptions& opts) {
+  try {
+    const fuzz::OracleVerdict v = fuzz::check_case(c, opts);
+    return v.ok ? "" : v.divergence;
+  } catch (const assembler::AsmError& e) {
+    return std::string("does not assemble: ") + e.what();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  fuzz::OracleOptions oracle_opts;
+  oracle_opts.budget = args.budget;
+  oracle_opts.inject_lru_bug = args.inject_lru_bug;
+
+  // Assemble the case list: either a corpus replay or a seeded campaign.
+  std::vector<std::string> labels;
+  std::vector<fuzz::FuzzCase> cases;
+  if (!args.corpus_dir.empty()) {
+    for (auto& e : fuzz::load_corpus(args.corpus_dir)) {
+      labels.push_back("corpus " + e.name);
+      cases.push_back(std::move(e.c));
+    }
+    if (cases.empty()) {
+      std::fprintf(stderr, "fuzz_driver: no *.sm cases under %s\n",
+                   args.corpus_dir.c_str());
+      return 2;
+    }
+  } else {
+    for (u32 i = 0; i < args.count; ++i) {
+      const u64 cs = fuzz::case_seed(args.seed, i);
+      cases.push_back(fuzz::generate(cs));
+      labels.push_back(runner::strf("case %04u", i));
+    }
+  }
+
+  std::vector<runner::SweepPoint> points;
+  points.reserve(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const fuzz::FuzzCase& c = cases[i];
+    const std::string& label = labels[i];
+    points.push_back({label, [&c, &label, &oracle_opts] {
+                        runner::PointResult r;
+                        const std::string d = verdict_line(c, oracle_opts);
+                        r.text = runner::strf(
+                            "%-12s seed=0x%016llx mixed=%u %s\n", label.c_str(),
+                            static_cast<unsigned long long>(c.seed),
+                            c.mixed_text ? 1u : 0u,
+                            d.empty() ? "ok" : ("DIVERGED: " + d).c_str());
+                        r.add("diverged", d.empty() ? 0 : 1);
+                        return r;
+                      }});
+  }
+
+  runner::RunnerOptions ropts;
+  ropts.jobs = args.jobs;
+  ropts.progress = args.progress;
+  ropts.bench_name = "fuzz_driver";
+  runner::ExperimentRunner runner(ropts);
+  const runner::ResultTable table = runner.run(points);
+  table.print(stdout);
+
+  std::vector<std::size_t> divergent;
+  for (std::size_t i = 0; i < table.size(); ++i)
+    if (runner::metric(table[i], "diverged") != 0) divergent.push_back(i);
+
+  std::printf("fuzz: %zu cases, %zu divergent\n", cases.size(),
+              divergent.size());
+
+  if (!args.save_dir.empty() && args.emit_corpus) {
+    for (std::size_t i = 0; i < cases.size(); ++i)
+      fuzz::save_case(args.save_dir, runner::strf("case_%04zu", i), cases[i]);
+  } else if (!args.save_dir.empty()) {
+    for (const std::size_t i : divergent)
+      fuzz::save_case(args.save_dir, runner::strf("div_%04zu", i), cases[i]);
+  }
+
+  if (!divergent.empty() && args.shrink) {
+    // Shrink the lowest-index divergence (deterministic across --jobs).
+    const fuzz::FuzzCase& bad = cases[divergent.front()];
+    const fuzz::ShrinkResult sr = fuzz::shrink(
+        bad, [&oracle_opts](const fuzz::FuzzCase& cand) -> std::string {
+          // Unlike the campaign verdict, a candidate that no longer
+          // assembles does NOT count as reproducing — the shrinker must
+          // not trade a genuine divergence for an assembler error.
+          try {
+            const fuzz::OracleVerdict v = fuzz::check_case(cand, oracle_opts);
+            return v.ok ? "" : v.divergence;
+          } catch (const assembler::AsmError&) {
+            return "";
+          }
+        });
+    std::printf("reproducer: %u instructions after %u predicate calls\n",
+                fuzz::count_instructions(sr.reduced.body), sr.predicate_calls);
+    std::printf("divergence: %s\n", sr.divergence.c_str());
+    std::fputs(sr.reduced.body.c_str(), stdout);
+    if (!args.save_dir.empty())
+      fuzz::save_case(args.save_dir,
+                      runner::strf("repro_%04zu", divergent.front()),
+                      sr.reduced);
+  }
+
+  return divergent.empty() ? 0 : 1;
+}
