@@ -151,6 +151,32 @@ int main(int argc, char** argv) {
       "\n(capacity-driven overhead shrinks as the TLB grows; flush-driven\n"
       " overhead from context switches persists at any size — the paper's\n"
       " two overhead sources, SS4.6, separated)\n");
+
+  if (opts.trace_summary) {
+    // Serial traced re-runs at the smallest geometry: the walker's reloads
+    // should classify as capacity evictions, the flushy pair's as
+    // context-switch flushes.
+    const struct {
+      const char* name;
+      const char* program;
+    } tcases[] = {{"walker", kWalker}, {"flushy", kFlushy}};
+    for (const auto& c : tcases) {
+      kernel::KernelConfig tcfg;
+      tcfg.tlb_entries = geometries.front();
+      tcfg.tlb_ways = 4;
+      const auto r = internal::run_program(
+          c.name, c.program, Protection::split_all().with_trace(), tcfg);
+      if (!r.trace_summary) {
+        std::printf(
+            "\n(--trace-summary: tracing compiled out, SM_TRACE=OFF)\n");
+        break;
+      }
+      std::printf("\n--- %s/%u/split: cycle attribution ---\n%s", c.name,
+                  geometries.front(),
+                  trace::format_summary(*r.trace_summary).c_str());
+    }
+  }
+
   pool.report(table);
   return 0;
 }

@@ -67,6 +67,26 @@ int main(int argc, char** argv) {
   for (const auto& rec : table.points()) ok = ok && metric(rec, "ok") != 0;
   std::printf("\npaper shape (both <= ~0.5): %s\n",
               ok ? "REPRODUCED" : "MISMATCH");
+
+  if (opts.trace_summary) {
+    // Serial re-run of the protected stressor with tracing on: the SS4.6
+    // decomposition should show context-switch flushes dominating TLB
+    // capacity faults (this workload barely has a working set).
+    const auto traced =
+        run_unixbench(UnixBench::kPipeContextSwitch, split.with_trace());
+    if (traced.trace_summary) {
+      const trace::ProfileSummary& s = *traced.trace_summary;
+      std::printf("\n--- pipe-ctxsw under split-all: cycle attribution ---\n");
+      std::printf("%s", trace::format_summary(s).c_str());
+      std::printf("SS4.6 dominant source: %s\n",
+                  s.ctx_switch_flush_cycles() >= s.capacity_fault_cycles()
+                      ? "context-switch flushes (paper: dominant here)"
+                      : "tlb capacity faults (unexpected for this stressor)");
+    } else {
+      std::printf("\n(--trace-summary: tracing compiled out, SM_TRACE=OFF)\n");
+    }
+  }
+
   pool.report(table);
   return ok ? 0 : 1;
 }

@@ -29,6 +29,8 @@ Decoded Cpu::fetch_decode() {
       const u32 extra = slot->d.len - 1;
       stats_->itlb_hits += extra;
       stats_->cycles += extra * cost_->tlb_hit;
+      SM_TRACE(trace_,
+               charge(trace::Category::kTlbHit, extra * cost_->tlb_hit, pc));
       return slot->d;
     }
     // Same physical location, stale frame generation: the code frame was
@@ -161,6 +163,9 @@ std::optional<Trap> Cpu::step() {
   const Regs snapshot = regs_;
   const bool tf_at_start = regs_.tf();
   stats_->cycles += cost_->cycles_per_instr;
+  // Deliberately not mirrored to the trace profiler: a per-step mirror
+  // would put a trace branch on the hottest path in the simulator.
+  // TraceSink::summary() reconciles these cycles as the exec residual.
   try {
     const Decoded d = fetch_decode();
     auto trap = execute(d);

@@ -63,6 +63,9 @@ class Cpu {
   void set_decode_cache_enabled(bool on) { dcache_enabled_ = on; }
   bool decode_cache_enabled() const { return dcache_enabled_; }
 
+  // Observability (src/trace): null unless the kernel enabled tracing.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   // Fetches the instruction bytes at pc through the I-TLB path, consulting
   // the decode cache first. Simulated costs are billed identically on hit
@@ -77,6 +80,7 @@ class Cpu {
   Mmu* mmu_;
   metrics::Stats* stats_;
   const metrics::CostModel* cost_;
+  trace::TraceSink* trace_ = nullptr;
   Regs regs_;
   DecodeCache dcache_;
   bool dcache_enabled_ = true;

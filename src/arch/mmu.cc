@@ -21,6 +21,7 @@ void Mmu::flush_tlbs() {
   itlb_.flush();
   dtlb_.flush();
   ++stats_->tlb_flushes;
+  SM_TRACE(trace_, record(trace::EventKind::kTlbFlush, 0, 0, trace::kSideBoth));
 }
 
 void Mmu::invlpg(u32 vaddr) {
@@ -28,6 +29,7 @@ void Mmu::invlpg(u32 vaddr) {
   drop_data_memos();
   itlb_.invalidate(vpn_of(vaddr));
   dtlb_.invalidate(vpn_of(vaddr));
+  SM_TRACE(trace_, record(trace::EventKind::kTlbInvlpg, vaddr));
 }
 
 void Mmu::fault(u32 vaddr, Access acc, bool present, bool soft_miss) {
@@ -125,6 +127,7 @@ u64 Mmu::translate(u32 vaddr, Access acc) {
     fault(vaddr, acc, /*present=*/false, /*soft_miss=*/true);
   }
   stats_->cycles += cost_->tlb_walk;
+  SM_TRACE(trace_, charge(trace::Category::kTlbWalk, cost_->tlb_walk, vaddr));
   PageTable pt(*pm_, cr3_);
   const auto pte = pt.walk(vaddr, stats_);
   if (!pte) fault(vaddr, acc, /*present=*/false);
@@ -144,7 +147,15 @@ u64 Mmu::translate(u32 vaddr, Access acc) {
   entry.user = pte->user();
   entry.writable = pte->writable();
   entry.no_exec = pte->no_exec();
-  tlb.insert(entry);
+  const auto evicted = tlb.insert(entry);
+  [[maybe_unused]] const u8 side =
+      is_fetch ? trace::kSideItlb : trace::kSideDtlb;
+  if (evicted) {
+    SM_TRACE(trace_, record(trace::EventKind::kTlbEvict, evicted->vpn << 12,
+                            evicted->pfn, side));
+  }
+  SM_TRACE(trace_,
+           record(trace::EventKind::kTlbFill, vaddr, pte->pfn(), side));
   return finish(vaddr, pte->pfn());
 }
 
@@ -184,6 +195,8 @@ void Mmu::write32(u32 va, u32 v) {
 
 bool Mmu::fill_dtlb_via_walk(u32 vaddr) {
   stats_->cycles += cost_->kernel_touch;
+  SM_TRACE(trace_,
+           charge(trace::Category::kKernelTouch, cost_->kernel_touch, vaddr));
   if (walk_failure_period_ != 0 &&
       ++walk_fill_count_ % walk_failure_period_ == 0) {
     return false;  // injected footnote-1 quirk
@@ -197,7 +210,13 @@ bool Mmu::fill_dtlb_via_walk(u32 vaddr) {
   entry.user = pte->user();
   entry.writable = pte->writable();
   entry.no_exec = pte->no_exec();
-  dtlb_.insert(entry);
+  const auto evicted = dtlb_.insert(entry);
+  if (evicted) {
+    SM_TRACE(trace_, record(trace::EventKind::kTlbEvict, evicted->vpn << 12,
+                            evicted->pfn, trace::kSideDtlb));
+  }
+  SM_TRACE(trace_, record(trace::EventKind::kTlbFill, vaddr, pte->pfn(),
+                          trace::kSideDtlb));
   return true;
 }
 
@@ -207,6 +226,8 @@ bool Mmu::fill_itlb_via_call(u32 vaddr) {
   // an instruction-cache coherency flush — "this actually decreased the
   // system's efficiency".
   stats_->cycles += cost_->icache_sync;
+  SM_TRACE(trace_,
+           charge(trace::Category::kIcacheSync, cost_->icache_sync, vaddr));
   PageTable pt(*pm_, cr3_);
   const auto pte = pt.walk(vaddr, stats_);
   if (!pte) return false;
@@ -216,7 +237,13 @@ bool Mmu::fill_itlb_via_call(u32 vaddr) {
   entry.user = pte->user();
   entry.writable = pte->writable();
   entry.no_exec = pte->no_exec();
-  itlb_.insert(entry);
+  const auto evicted = itlb_.insert(entry);
+  if (evicted) {
+    SM_TRACE(trace_, record(trace::EventKind::kTlbEvict, evicted->vpn << 12,
+                            evicted->pfn, trace::kSideItlb));
+  }
+  SM_TRACE(trace_, record(trace::EventKind::kTlbFill, vaddr, pte->pfn(),
+                          trace::kSideItlb));
   return true;
 }
 
@@ -230,7 +257,14 @@ void Mmu::insert_tlb_entry(bool instruction, u32 vpn, u32 pfn, bool user,
   entry.user = user;
   entry.writable = writable;
   entry.no_exec = no_exec;
-  (instruction ? itlb_ : dtlb_).insert(entry);
+  const auto evicted = (instruction ? itlb_ : dtlb_).insert(entry);
+  [[maybe_unused]] const u8 side =
+      instruction ? trace::kSideItlb : trace::kSideDtlb;
+  if (evicted) {
+    SM_TRACE(trace_, record(trace::EventKind::kTlbEvict, evicted->vpn << 12,
+                            evicted->pfn, side));
+  }
+  SM_TRACE(trace_, record(trace::EventKind::kTlbFill, vpn << 12, pfn, side));
 }
 
 }  // namespace sm::arch

@@ -36,6 +36,7 @@
 #include "arch/types.h"
 #include "metrics/cost_model.h"
 #include "metrics/stats.h"
+#include "trace/trace.h"
 
 namespace sm::arch {
 
@@ -118,6 +119,10 @@ class Mmu {
   Tlb& itlb() { return itlb_; }
   Tlb& dtlb() { return dtlb_; }
 
+  // Observability (src/trace): null unless the kernel enabled tracing.
+  // The sink only ever observes — billing is bit-identical either way.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
  private:
   [[noreturn]] void fault(u32 vaddr, Access acc, bool present,
                           bool soft_miss = false);
@@ -156,6 +161,7 @@ class Mmu {
   PhysicalMemory* pm_;
   metrics::Stats* stats_;
   const metrics::CostModel* cost_;
+  trace::TraceSink* trace_ = nullptr;
   Tlb itlb_;
   Tlb dtlb_;
   FetchMemo fetch_memo_;

@@ -31,7 +31,7 @@ const TlbEntry* Tlb::lookup(u32 vpn) {
   return nullptr;
 }
 
-void Tlb::insert(const TlbEntry& entry) {
+std::optional<TlbEntry> Tlb::insert(const TlbEntry& entry) {
   const u32 base = set_of(entry.vpn) * ways_;
   // Replace an existing mapping of the same VPN, else an invalid slot,
   // else the least recently used way.
@@ -55,10 +55,15 @@ void Tlb::insert(const TlbEntry& entry) {
       victim = base + w;
     }
   }
+  std::optional<TlbEntry> evicted;
+  if (entries_[victim].valid && entries_[victim].vpn != entry.vpn) {
+    evicted = entries_[victim];
+  }
   entries_[victim] = entry;
   entries_[victim].valid = true;
   entries_[victim].stamp = ++clock_;
   ++version_;
+  return evicted;
 }
 
 void Tlb::invalidate(u32 vpn) {

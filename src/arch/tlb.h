@@ -38,8 +38,11 @@ class Tlb {
   // Looks up a VPN and refreshes its LRU stamp on a hit.
   const TlbEntry* lookup(u32 vpn);
 
-  // Inserts (or replaces) the translation for a VPN.
-  void insert(const TlbEntry& entry);
+  // Inserts (or replaces) the translation for a VPN. Returns the valid
+  // entry for a DIFFERENT page this fill displaced, if any (LRU victim) —
+  // the trace layer records it as an eviction. Same-VPN replacement and
+  // fills into empty ways return nullopt.
+  std::optional<TlbEntry> insert(const TlbEntry& entry);
 
   // invlpg: drops one VPN if cached.
   void invalidate(u32 vpn);

@@ -126,6 +126,8 @@ FaultResolution SplitMemoryEngine::on_protection_fault(
     pte.unrestrict();
     pt.set(pf.addr, pte);
     ++k.stats().split_itlb_loads;
+    SM_TRACE(k.trace_sink(), record(trace::EventKind::kSplitItlbLoad, pf.addr,
+                                    pair->code_frame));
     if (itlb_method_ == ItlbLoadMethod::kRetCall) {
       // The abandoned SS4.2.4 experiment: fill the I-TLB by calling a ret
       // placed on the page — no single-step, but an i-cache coherency
@@ -150,6 +152,8 @@ FaultResolution SplitMemoryEngine::on_protection_fault(
       dpte.set_pfn(pair->data_frame);
       pt.set(pf.addr, dpte);
       ++k.stats().split_dtlb_loads;
+      SM_TRACE(k.trace_sink(), record(trace::EventKind::kSplitDtlbLoad,
+                                      pf.addr, pair->data_frame));
       k.mmu().fill_dtlb_via_walk(pf.addr);  // on a footnote-1 walk failure
                                             // the window simply stays open
       pt.set(pf.addr, pte);  // back to the code frame for the fetch walk
@@ -159,6 +163,8 @@ FaultResolution SplitMemoryEngine::on_protection_fault(
     regs.set_tf(true);
     retire_stale_pending(k, p, page_floor(pf.addr));
     p.pending_split_vaddr = page_floor(pf.addr);
+    SM_TRACE(k.trace_sink(),
+             record(trace::EventKind::kSingleStepOpen, page_floor(pf.addr)));
     return FaultResolution::kRetry;
   }
 
@@ -169,6 +175,8 @@ FaultResolution SplitMemoryEngine::on_protection_fault(
   pte.unrestrict();
   pt.set(pf.addr, pte);
   ++k.stats().split_dtlb_loads;
+  SM_TRACE(k.trace_sink(), record(trace::EventKind::kSplitDtlbLoad, pf.addr,
+                                  pair->data_frame));
   if (!k.mmu().fill_dtlb_via_walk(pf.addr)) {
     // Footnote 1: "occasionally, the pagetable walk does not successfully
     // load the data-TLB. In this case single stepping mode (like the
@@ -176,9 +184,13 @@ FaultResolution SplitMemoryEngine::on_protection_fault(
     // let the restarted instruction's own access fill the D-TLB; the
     // debug interrupt re-restricts.
     ++k.stats().split_dtlb_fallbacks;
+    SM_TRACE(k.trace_sink(),
+             record(trace::EventKind::kSplitDtlbFallback, pf.addr));
     regs.set_tf(true);
     retire_stale_pending(k, p, page_floor(pf.addr));
     p.pending_split_vaddr = page_floor(pf.addr);
+    SM_TRACE(k.trace_sink(),
+             record(trace::EventKind::kSingleStepOpen, page_floor(pf.addr)));
     return FaultResolution::kRetry;
   }
   pte.restrict_supervisor();
@@ -200,11 +212,15 @@ FaultResolution SplitMemoryEngine::on_tlb_miss(Kernel& k, Process& p,
                                /*user=*/true, /*writable=*/false,
                                /*no_exec=*/false);
       ++k.stats().split_itlb_loads;
+      SM_TRACE(k.trace_sink(), record(trace::EventKind::kSplitItlbLoad,
+                                      pf.addr, pair->code_frame));
     } else {
       k.mmu().insert_tlb_entry(/*instruction=*/false, vpn, pair->data_frame,
                                /*user=*/true, pte.writable(),
                                /*no_exec=*/false);
       ++k.stats().split_dtlb_loads;
+      SM_TRACE(k.trace_sink(), record(trace::EventKind::kSplitDtlbLoad,
+                                      pf.addr, pair->data_frame));
     }
     return FaultResolution::kRetry;
   }
@@ -213,8 +229,9 @@ FaultResolution SplitMemoryEngine::on_tlb_miss(Kernel& k, Process& p,
 
 void SplitMemoryEngine::retire_stale_pending(Kernel& k, Process& p,
                                              u32 new_page) {
-  (void)k;
   if (!p.pending_split_vaddr || *p.pending_split_vaddr == new_page) return;
+  SM_TRACE(k.trace_sink(), record(trace::EventKind::kSingleStepClose,
+                                  *p.pending_split_vaddr));
   // The previously-stepped page's TLB entry (if the retry got far enough
   // to fill it) persists past this restriction — the persistence property
   // the whole design rests on — so the restarted instruction still
@@ -240,6 +257,7 @@ void SplitMemoryEngine::on_debug_step(Kernel& k, Process& p) {
     pt.set(va, pte);
   }
   k.regs_of(p).set_tf(false);
+  SM_TRACE(k.trace_sink(), record(trace::EventKind::kSingleStepClose, va));
   p.pending_split_vaddr.reset();
 }
 
@@ -283,6 +301,7 @@ FaultResolution SplitMemoryEngine::on_invalid_opcode(Kernel& k, Process& p) {
         assembler::disassemble(shellcode, pc, /*max_instrs=*/8));
   }
   k.detections().push_back(ev);
+  SM_TRACE(k.trace_sink(), record(trace::EventKind::kDetection, pc, p.pid));
   k.log("[DETECT] pid " + std::to_string(p.pid) + " (" + p.name +
         ") code injection at EIP " + hex(pc) + ", mode " + to_string(mode_));
 
@@ -305,6 +324,8 @@ FaultResolution SplitMemoryEngine::on_invalid_opcode(Kernel& k, Process& p) {
       k.mmu().invlpg(pc);
       regs.set_tf(false);
       p.pending_split_vaddr.reset();
+      SM_TRACE(k.trace_sink(), record(trace::EventKind::kObserveLockdown, pc,
+                                      pair->data_frame));
       k.log("[observe] pid " + std::to_string(p.pid) +
             " attack allowed to continue from the data page");
       return FaultResolution::kRetry;
@@ -365,6 +386,8 @@ FaultResolution SplitMemoryEngine::handle_nx_fault(
   ev.cycles = k.now();
   ev.mode = "nx";
   k.detections().push_back(ev);
+  SM_TRACE(k.trace_sink(),
+           record(trace::EventKind::kDetection, pf.addr, p.pid));
   k.kill_process(p, ExitKind::kKilledSigsegv,
                  "execute-disable violation at " + hex(pf.addr));
   return FaultResolution::kKilled;
@@ -426,6 +449,8 @@ FaultResolution HardwareNxEngine::on_protection_fault(
   ev.cycles = k.now();
   ev.mode = "nx";
   k.detections().push_back(ev);
+  SM_TRACE(k.trace_sink(),
+           record(trace::EventKind::kDetection, pf.addr, p.pid));
   k.kill_process(p, ExitKind::kKilledSigsegv,
                  "DEP: instruction fetch from non-executable page at " +
                      hex(pf.addr));
@@ -496,7 +521,9 @@ FaultResolution PaxPageexecEngine::on_protection_fault(
     ev.cycles = k.now();
     ev.mode = "pageexec";
     k.detections().push_back(ev);
-      k.kill_process(p, kernel::ExitKind::kKilledSigsegv,
+    SM_TRACE(k.trace_sink(),
+             record(trace::EventKind::kDetection, pf.addr, p.pid));
+    k.kill_process(p, kernel::ExitKind::kKilledSigsegv,
                    "PAGEEXEC: execution attempt at " + hex(pf.addr));
     return FaultResolution::kKilled;
   }
@@ -507,6 +534,8 @@ FaultResolution PaxPageexecEngine::on_protection_fault(
   pte.restrict_supervisor();
   pt.set(pf.addr, pte);
   ++k.stats().split_dtlb_loads;
+  SM_TRACE(k.trace_sink(),
+           record(trace::EventKind::kSplitDtlbLoad, pf.addr, pte.pfn()));
   return FaultResolution::kRetry;
 }
 
@@ -520,6 +549,8 @@ FaultResolution PaxPageexecEngine::on_tlb_miss(Kernel& k, Process& p,
                              pte.pfn(), /*user=*/true, pte.writable(),
                              /*no_exec=*/false);
     ++k.stats().split_dtlb_loads;
+    SM_TRACE(k.trace_sink(),
+             record(trace::EventKind::kSplitDtlbLoad, pf.addr, pte.pfn()));
     return FaultResolution::kRetry;
   }
   return ProtectionEngine::on_tlb_miss(k, p, pf);

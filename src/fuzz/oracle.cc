@@ -183,6 +183,7 @@ std::vector<OracleConfig> billing_configs() {
         {.label = base + "/no-memo", .mode = mode, .data_memo = false});
     cfgs.push_back(
         {.label = base + "/no-dcache", .mode = mode, .decode_cache = false});
+    cfgs.push_back({.label = base + "/trace", .mode = mode, .trace = true});
   }
   return cfgs;
 }
@@ -194,6 +195,7 @@ RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
   kc.capture_exit_digest = true;
   kc.software_tlb = cfg.software_tlb;
   kc.eager_load = cfg.eager_load;
+  kc.trace = cfg.trace;
   kernel::Kernel k(kc);
   k.set_engine(core::make_engine(cfg.mode, cfg.response));
   k.register_image(build(c));
@@ -255,10 +257,11 @@ OracleVerdict check_case(const FuzzCase& c, const OracleOptions& opts) {
     }
     // Each engine's toggled runs compare against that engine's baseline
     // (billing identity is a within-engine contract); billing_configs()
-    // interleaves them as [baseline, no-memo, no-dcache] per engine.
-    for (std::size_t base = 0; base + 2 < cfgs.size(); base += 3) {
+    // interleaves them as [baseline, no-memo, no-dcache, trace] per
+    // engine.
+    for (std::size_t base = 0; base + 3 < cfgs.size(); base += 4) {
       const RunObservation ref = run_case(c, cfgs[base], opts.budget);
-      for (std::size_t i = base + 1; i < base + 3; ++i) {
+      for (std::size_t i = base + 1; i < base + 4; ++i) {
         const RunObservation got = run_case(c, cfgs[i], opts.budget);
         const std::string d =
             diff_billing(ref, cfgs[base].label, got, cfgs[i].label);

@@ -23,6 +23,16 @@ std::string hex(u32 v) {
   std::snprintf(buf, sizeof buf, "0x%08x", v);
   return buf;
 }
+
+[[maybe_unused]] u32 pf_bits(const arch::PageFaultInfo& pf) {
+  u32 bits = 0;
+  if (pf.present) bits |= trace::kPfPresent;
+  if (pf.write) bits |= trace::kPfWrite;
+  if (pf.user) bits |= trace::kPfUser;
+  if (pf.fetch) bits |= trace::kPfFetch;
+  if (pf.soft_miss) bits |= trace::kPfSoftMiss;
+  return bits;
+}
 }  // namespace
 
 Kernel::Kernel(KernelConfig cfg)
@@ -33,6 +43,13 @@ Kernel::Kernel(KernelConfig cfg)
       engine_(std::make_unique<NoProtectionEngine>()),
       rng_state_(cfg_.rng_seed == 0 ? 1 : cfg_.rng_seed) {
   mmu_.set_software_tlb(cfg_.software_tlb);
+  if (SM_TRACE_ENABLED && cfg_.trace) {
+    trace_.enable({cfg_.trace_ring_capacity});
+    trace_.set_stats(&stats_);
+    trace_ptr_ = &trace_;
+    mmu_.set_trace(trace_ptr_);
+    cpu_.set_trace(trace_ptr_);
+  }
 }
 
 void Kernel::set_engine(std::unique_ptr<ProtectionEngine> engine) {
@@ -137,6 +154,10 @@ void Kernel::load_into(Process& p, const image::Image& img) {
           engine_->materialize(*this, p, vma, page);
           ++stats_.demand_pages;
           stats_.cycles += cfg_.cost.demand_page;
+          SM_TRACE(trace_ptr_, charge(trace::Category::kDemandPage,
+                                      cfg_.cost.demand_page, page));
+          SM_TRACE(trace_ptr_, record(trace::EventKind::kDemandPage, page,
+                                      p.as->pt().get(page).pfn()));
         }
       }
     }
@@ -207,7 +228,11 @@ bool Kernel::ensure_mapped(Process& p, u32 va, u32 len) {
       if (vma == nullptr) return false;
       ++stats_.demand_pages;
       stats_.cycles += cfg_.cost.demand_page;
+      SM_TRACE(trace_ptr_, charge(trace::Category::kDemandPage,
+                                  cfg_.cost.demand_page, page));
       engine_->materialize(*this, p, *vma, page);
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kDemandPage, page,
+                                  p.as->pt().get(page).pfn()));
     }
     if (page == last) break;
   }
@@ -309,6 +334,11 @@ void Kernel::switch_to(Pid pid) {
   if (!last_running_ || *last_running_ != pid) {
     ++stats_.context_switches;
     stats_.cycles += cfg_.cost.context_switch;
+    SM_TRACE(trace_ptr_, set_current_pid(pid));
+    SM_TRACE(trace_ptr_, record(trace::EventKind::kContextSwitch, 0,
+                                last_running_ ? *last_running_ : 0));
+    SM_TRACE(trace_ptr_, charge(trace::Category::kContextSwitch,
+                                cfg_.cost.context_switch));
     mmu_.set_cr3(p.as->root());  // flushes both TLBs
   }
   cpu_.regs() = p.regs;
@@ -374,8 +404,15 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
 void Kernel::handle_trap(Process& p, const Trap& trap, bool tf_before) {
   switch (trap.kind) {
     case TrapKind::kSyscall: {
+      trace::Scope scope(SM_TRACE_SINK(trace_ptr_), trace::Category::kSyscall,
+                         cpu_.regs().pc);
+      // Record before do_syscall overwrites r0 with the return value.
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kSyscall, cpu_.regs().pc,
+                                  regs_of(p).r[0]));
       ++stats_.syscalls;
       stats_.cycles += cfg_.cost.syscall_cost;
+      SM_TRACE(trace_ptr_, charge(trace::Category::kSyscall,
+                                  cfg_.cost.syscall_cost));
       do_syscall(p);
       // A single-stepped SYSCALL still owes the engine its debug trap
       // (the I-TLB got filled when the instruction was refetched).
@@ -384,11 +421,22 @@ void Kernel::handle_trap(Process& p, const Trap& trap, bool tf_before) {
       }
       break;
     }
-    case TrapKind::kPageFault:
+    case TrapKind::kPageFault: {
+      trace::Scope scope(SM_TRACE_SINK(trace_ptr_),
+                         trap.pf.soft_miss ? trace::Category::kSoftTlbFill
+                                           : trace::Category::kPageFaultTrap,
+                         trap.pf.addr);
+      SM_TRACE(trace_ptr_,
+               record(trace::EventKind::kTrap, trap.pf.addr, pf_bits(trap.pf),
+                      static_cast<trace::u8>(trap.kind)));
       if (trap.pf.soft_miss) {
         // Software-TLB fill: a lightweight trap (paper SS4.7).
         ++stats_.soft_tlb_fills;
         stats_.cycles += cfg_.cost.soft_tlb_fill;
+        SM_TRACE(trace_ptr_, charge(trace::Category::kSoftTlbFill,
+                                    cfg_.cost.soft_tlb_fill, trap.pf.addr));
+        SM_TRACE(trace_ptr_,
+                 record(trace::EventKind::kSoftTlbFill, trap.pf.addr));
         if (engine_->on_tlb_miss(*this, p, trap.pf) ==
             FaultResolution::kRetry) {
           break;
@@ -397,15 +445,31 @@ void Kernel::handle_trap(Process& p, const Trap& trap, bool tf_before) {
       }
       ++stats_.page_faults;
       stats_.cycles += cfg_.cost.trap_cost;
+      SM_TRACE(trace_ptr_, charge(trace::Category::kPageFaultTrap,
+                                  cfg_.cost.trap_cost, trap.pf.addr));
       handle_page_fault(p, trap.pf);
       break;
-    case TrapKind::kDebugStep:
+    }
+    case TrapKind::kDebugStep: {
+      trace::Scope scope(SM_TRACE_SINK(trace_ptr_),
+                         trace::Category::kDebugTrap, cpu_.regs().pc);
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kTrap, cpu_.regs().pc, 0,
+                                  static_cast<trace::u8>(trap.kind)));
       stats_.cycles += cfg_.cost.trap_cost;
+      SM_TRACE(trace_ptr_,
+               charge(trace::Category::kDebugTrap, cfg_.cost.trap_cost));
       engine_->on_debug_step(*this, p);
       break;
+    }
     case TrapKind::kInvalidOpcode: {
+      trace::Scope scope(SM_TRACE_SINK(trace_ptr_),
+                         trace::Category::kInvalidOpcodeTrap, cpu_.regs().pc);
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kTrap, cpu_.regs().pc, 0,
+                                  static_cast<trace::u8>(trap.kind)));
       ++stats_.invalid_opcode_faults;
       stats_.cycles += cfg_.cost.trap_cost;
+      SM_TRACE(trace_ptr_, charge(trace::Category::kInvalidOpcodeTrap,
+                                  cfg_.cost.trap_cost));
       const FaultResolution res = engine_->on_invalid_opcode(*this, p);
       if (res == FaultResolution::kUnhandled) {
         kill_process(p, ExitKind::kKilledSigill,
@@ -443,7 +507,12 @@ void Kernel::handle_page_fault(Process& p, const arch::PageFaultInfo& pf) {
     }
     ++stats_.demand_pages;
     stats_.cycles += cfg_.cost.demand_page;
+    SM_TRACE(trace_ptr_, charge(trace::Category::kDemandPage,
+                                cfg_.cost.demand_page, pf.addr));
     engine_->materialize(*this, p, *vma, pf.addr);
+    SM_TRACE(trace_ptr_,
+             record(trace::EventKind::kDemandPage, page_floor(pf.addr),
+                    p.as->pt().get(pf.addr).pfn()));
     return;  // restart
   }
 
@@ -470,6 +539,10 @@ void Kernel::handle_cow(Process& p, u32 addr) {
   const u32 vpn = vpn_of(addr);
   ++stats_.cow_copies;
   stats_.cycles += cfg_.cost.cow_copy;
+  SM_TRACE(trace_ptr_,
+           charge(trace::Category::kCowCopy, cfg_.cost.cow_copy, addr));
+  SM_TRACE(trace_ptr_,
+           record(trace::EventKind::kCowCopy, page_floor(addr), pte.pfn()));
 
   const Vma* vma = as.find_vma(addr);
   if (vma == nullptr || !vma->writable()) {
@@ -721,6 +794,7 @@ u32 Kernel::sys_read(Process& p, u32 fd, u32 buf, u32 len, bool& blocked) {
     }
     n = c->chan->guest_read(std::span<u8>(tmp.data(), len));
     if (p.shell_spawned && shell_input_logger) {
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kSebekInput, 0, n));
       shell_input_logger(
           p, std::string(reinterpret_cast<char*>(tmp.data()), n));
     }

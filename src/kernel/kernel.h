@@ -26,6 +26,7 @@
 #include "kernel/syscall_defs.h"
 #include "metrics/cost_model.h"
 #include "metrics/stats.h"
+#include "trace/trace.h"
 
 namespace sm::kernel {
 
@@ -67,6 +68,13 @@ struct KernelConfig {
   // bench hot paths pay nothing.
   bool record_syscall_trace = false;  // fills Process::syscall_trace
   bool capture_exit_digest = false;   // fills Process::exit_digest
+
+  // Structured event tracing + cycle-attribution profiler (src/trace).
+  // Pure observation: simulated stats are bit-identical with this on or
+  // off (the billing-identity invariant, fuzz-oracle enforced). Ignored
+  // when the build compiled the trace layer out (-DSM_TRACE=OFF).
+  bool trace = false;
+  u32 trace_ring_capacity = 1 << 16;
 };
 
 // A code-injection detection recorded by a protection engine.
@@ -97,6 +105,9 @@ class Kernel {
   const KernelConfig& config() const { return cfg_; }
   FileSystem& fs() { return fs_; }
   arch::u64 now() const { return stats_.cycles; }
+  // The trace sink, or nullptr when tracing is off (the common case).
+  // Engines emit Algorithm 1/2/3 events through this via SM_TRACE.
+  trace::TraceSink* trace_sink() { return trace_ptr_; }
 
   // --- images (the "filesystem of binaries") ------------------------------
   void register_image(image::Image img);
@@ -179,6 +190,8 @@ class Kernel {
   metrics::Stats stats_;
   arch::Mmu mmu_;
   arch::Cpu cpu_;
+  trace::TraceSink trace_;
+  trace::TraceSink* trace_ptr_ = nullptr;  // &trace_ iff cfg_.trace
   FileSystem fs_;
   std::unique_ptr<ProtectionEngine> engine_;
 

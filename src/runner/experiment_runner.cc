@@ -40,6 +40,11 @@ double seconds_since(Clock::time_point t0) {
                "                       ctest target).\n"
                "  --no-progress        suppress per-point stderr progress "
                "lines.\n"
+               "  --trace-summary      append a cycle-attribution breakdown\n"
+               "                       (paper SS4.6) for key protected "
+               "points;\n"
+               "                       requires tracing compiled in "
+               "(SM_TRACE=ON).\n"
                "  --help               this text.\n",
                bench_name, description);
   std::exit(code);
@@ -71,6 +76,8 @@ RunnerOptions parse_runner_args(int argc, char** argv, const char* bench_name,
       opts.quick = true;
     } else if (arg == "--no-progress") {
       opts.progress = false;
+    } else if (arg == "--trace-summary") {
+      opts.trace_summary = true;
     } else if (arg == "--jobs" || arg.rfind("--jobs=", 0) == 0) {
       const std::string v = value_of("--jobs");
       char* end = nullptr;

@@ -24,6 +24,9 @@
 //   --json <path>   write the ResultTable JSON sidecar for bench_json.py
 //   --quick         reduced point set (bench_smoke ctest target)
 //   --no-progress   suppress stderr progress lines
+//   --trace-summary re-run key points serially with tracing enabled and
+//                   print a §4.6 cycle-attribution breakdown (off by
+//                   default so stdout stays byte-identical without it)
 //   --help          per-binary flag documentation
 #pragma once
 
@@ -45,6 +48,7 @@ struct RunnerOptions {
   arch::u32 jobs = 0;  // 0 = hardware_concurrency (min 1)
   bool progress = true;
   bool quick = false;
+  bool trace_summary = false;  // honoured by benches that support it
   std::string json_path;   // empty = no JSON sidecar
   std::string bench_name;  // filled by parse_runner_args
 };

@@ -1,0 +1,71 @@
+#include "trace/chrome_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sm::trace {
+
+namespace {
+
+const char* kind_cat(EventKind k) {
+  switch (k) {
+    case EventKind::kTrap:
+      return "trap";
+    case EventKind::kTlbFill:
+    case EventKind::kTlbEvict:
+    case EventKind::kTlbFlush:
+    case EventKind::kTlbInvlpg:
+      return "tlb";
+    case EventKind::kSplitItlbLoad:
+    case EventKind::kSplitDtlbLoad:
+    case EventKind::kSplitDtlbFallback:
+    case EventKind::kSingleStepOpen:
+    case EventKind::kSingleStepClose:
+    case EventKind::kObserveLockdown:
+    case EventKind::kDetection:
+      return "split";
+    case EventKind::kContextSwitch:
+      return "sched";
+    case EventKind::kSyscall:
+    case EventKind::kDemandPage:
+    case EventKind::kCowCopy:
+    case EventKind::kSoftTlbFill:
+    case EventKind::kSebekInput:
+      return "kernel";
+    case EventKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const RingBuffer<Event>& events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i) os << ",";
+    const char* ph = "i";
+    const char* name = kind_name(e.kind);
+    if (e.kind == EventKind::kSingleStepOpen) {
+      ph = "B";
+      name = "single-step";
+    } else if (e.kind == EventKind::kSingleStepClose) {
+      ph = "E";
+      name = "single-step";
+    }
+    char vaddr[16];
+    std::snprintf(vaddr, sizeof(vaddr), "0x%08x", e.vaddr);
+    os << "{\"name\":\"" << name << "\",\"cat\":\"" << kind_cat(e.kind)
+       << "\",\"ph\":\"" << ph << "\",\"ts\":" << e.cycles
+       << ",\"pid\":" << e.pid << ",\"tid\":" << e.pid;
+    if (*ph == 'i') os << ",\"s\":\"t\"";
+    os << ",\"args\":{\"vaddr\":\"" << vaddr << "\",\"info\":" << e.info
+       << ",\"arg\":" << static_cast<unsigned>(e.arg) << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
+  return os.str();
+}
+
+}  // namespace sm::trace

@@ -1,0 +1,19 @@
+// Chrome trace_event JSON export (load via about://tracing or Perfetto).
+//
+// Simulated cycles map 1:1 onto the viewer's microsecond timeline. Most
+// events export as instants; a single-step window (Algorithm 2) exports as
+// a begin/end duration pair so the open PTE window is visible as a span.
+#pragma once
+
+#include <string>
+
+#include "trace/event.h"
+#include "trace/ring_buffer.h"
+
+namespace sm::trace {
+
+// Renders the surviving events as {"traceEvents":[...]}. Deterministic:
+// same events, same bytes.
+std::string chrome_trace_json(const RingBuffer<Event>& events);
+
+}  // namespace sm::trace

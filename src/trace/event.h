@@ -1,0 +1,85 @@
+// Structured trace events: the observability schema for the simulator.
+//
+// Every architecturally interesting moment — traps, TLB fills/evictions/
+// flushes, the split-memory Algorithm 1/2/3 decisions, context switches,
+// syscalls — is recorded as one fixed-size Event stamped with the simulated
+// cycle clock, the current pid, and the virtual address involved. The
+// remaining two fields are kind-specific scratch (documented per kind
+// below) so the record stays 24 bytes and the ring buffer stays cheap.
+#pragma once
+
+#include <cstdint>
+
+namespace sm::trace {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+enum class EventKind : u8 {
+  // arg = arch::TrapKind, vaddr = faulting address (page faults),
+  // info = packed PageFaultInfo bits (see kPf* below).
+  kTrap = 0,
+  // arg = side (kSideItlb/kSideDtlb), vaddr = page va, info = pfn.
+  kTlbFill,
+  // arg = side, vaddr = evicted page va, info = evicted pfn.
+  kTlbEvict,
+  // arg = side (kSideBoth for a CR3 reload).
+  kTlbFlush,
+  // vaddr = invalidated page va.
+  kTlbInvlpg,
+  // Algorithm 1, I-side resolution: vaddr = fetch va, info = code pfn.
+  kSplitItlbLoad,
+  // Algorithm 1, D-side resolution: vaddr = data va, info = data pfn.
+  kSplitDtlbLoad,
+  // Footnote-1 walk failure: D-side fell back to single-stepping.
+  kSplitDtlbFallback,
+  // Algorithm 2: TF set, PTE left unrestricted for one instruction.
+  // vaddr = unrestricted page va.
+  kSingleStepOpen,
+  // Algorithm 2: debug trap re-restricted the PTE. vaddr = page va.
+  kSingleStepClose,
+  // Algorithm 3 observe mode: address space quietly unsplit.
+  kObserveLockdown,
+  // Injected code detected. vaddr = eip, info = pid of the victim.
+  kDetection,
+  // Context switch. info = outgoing pid (pid field = incoming).
+  kContextSwitch,
+  // Syscall issued. info = syscall number.
+  kSyscall,
+  // Demand-paged a frame. vaddr = page va, info = new pfn.
+  kDemandPage,
+  // Copy-on-write break. vaddr = page va, info = pfn at fault time.
+  kCowCopy,
+  // Software-TLB fill performed by the OS (paper SS4.7).
+  kSoftTlbFill,
+  // Sebek-style honeypot shell input. info = line length in bytes.
+  kSebekInput,
+  kCount,
+};
+
+// arg values for the TLB event kinds.
+inline constexpr u8 kSideItlb = 0;
+inline constexpr u8 kSideDtlb = 1;
+inline constexpr u8 kSideBoth = 2;
+
+// info bit layout for kTrap page faults.
+inline constexpr u32 kPfPresent = 1u << 0;
+inline constexpr u32 kPfWrite = 1u << 1;
+inline constexpr u32 kPfUser = 1u << 2;
+inline constexpr u32 kPfFetch = 1u << 3;
+inline constexpr u32 kPfSoftMiss = 1u << 4;
+
+struct Event {
+  u64 cycles = 0;  // simulated clock at emission
+  u32 pid = 0;     // scheduled process (0 = kernel/no process)
+  u32 vaddr = 0;   // kind-specific virtual address
+  u32 info = 0;    // kind-specific payload (see EventKind)
+  EventKind kind = EventKind::kTrap;
+  u8 arg = 0;  // kind-specific small payload (see EventKind)
+};
+
+const char* kind_name(EventKind k);
+
+}  // namespace sm::trace

@@ -1,0 +1,391 @@
+#include "trace/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sm::trace {
+
+const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kTrap:
+      return "trap";
+    case EventKind::kTlbFill:
+      return "tlb-fill";
+    case EventKind::kTlbEvict:
+      return "tlb-evict";
+    case EventKind::kTlbFlush:
+      return "tlb-flush";
+    case EventKind::kTlbInvlpg:
+      return "tlb-invlpg";
+    case EventKind::kSplitItlbLoad:
+      return "split-itlb-load";
+    case EventKind::kSplitDtlbLoad:
+      return "split-dtlb-load";
+    case EventKind::kSplitDtlbFallback:
+      return "split-dtlb-fallback";
+    case EventKind::kSingleStepOpen:
+      return "single-step-open";
+    case EventKind::kSingleStepClose:
+      return "single-step-close";
+    case EventKind::kObserveLockdown:
+      return "observe-lockdown";
+    case EventKind::kDetection:
+      return "detection";
+    case EventKind::kContextSwitch:
+      return "context-switch";
+    case EventKind::kSyscall:
+      return "syscall";
+    case EventKind::kDemandPage:
+      return "demand-page";
+    case EventKind::kCowCopy:
+      return "cow-copy";
+    case EventKind::kSoftTlbFill:
+      return "soft-tlb-fill";
+    case EventKind::kSebekInput:
+      return "sebek-input";
+    case EventKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kExec:
+      return "exec";
+    case Category::kTlbHit:
+      return "tlb-hit";
+    case Category::kTlbWalk:
+      return "tlb-walk";
+    case Category::kSplitItlbLoad:
+      return "split-itlb-load";
+    case Category::kSplitDtlbLoad:
+      return "split-dtlb-load";
+    case Category::kPageFaultTrap:
+      return "page-fault-trap";
+    case Category::kDebugTrap:
+      return "debug-trap";
+    case Category::kInvalidOpcodeTrap:
+      return "invalid-opcode-trap";
+    case Category::kSyscall:
+      return "syscall";
+    case Category::kSoftTlbFill:
+      return "soft-tlb-fill";
+    case Category::kDemandPage:
+      return "demand-page";
+    case Category::kCowCopy:
+      return "cow-copy";
+    case Category::kKernelTouch:
+      return "kernel-touch";
+    case Category::kIcacheSync:
+      return "icache-sync";
+    case Category::kContextSwitch:
+      return "context-switch";
+    case Category::kOther:
+      return "other";
+    case Category::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* cause_name(Cause c) {
+  switch (c) {
+    case Cause::kNone:
+      return "none";
+    case Cause::kCold:
+      return "cold";
+    case Cause::kCapacity:
+      return "capacity";
+    case Cause::kCtxSwitchFlush:
+      return "ctxsw-flush";
+    case Cause::kInvalidation:
+      return "invalidation";
+    case Cause::kCount:
+      break;
+  }
+  return "?";
+}
+
+void Profiler::bucket_add(Category c, Cause cause, u32 pid, u32 vpn,
+                          u64 cycles) {
+  if (cycles == 0) return;
+  buckets_[bucket_key(c, cause, pid, vpn)] += cycles;
+  total_cycles_ += cycles;
+}
+
+Cause Profiler::classify_and_record_fill(u32 pid, u32 vpn, u8 side) {
+  const u64 key = fill_key(pid, vpn, side);
+  Cause cause = Cause::kCold;
+  auto it = fills_.find(key);
+  if (it != fills_.end()) {
+    if (it->second.invalidated) {
+      cause = Cause::kInvalidation;
+    } else if (it->second.epoch < flush_epoch_) {
+      cause = Cause::kCtxSwitchFlush;
+    } else {
+      cause = Cause::kCapacity;
+    }
+  }
+  fills_[key] = Fill{flush_epoch_, false};
+  return cause;
+}
+
+void Profiler::refine_scope(Category c, Cause cause) {
+  if (!scope_.active || scope_.refined) return;
+  scope_.refined = true;
+  scope_.refined_cat = c;
+  scope_.refined_cause = cause;
+}
+
+void Profiler::on_event(const Event& e) {
+  ++event_counts_[static_cast<std::size_t>(e.kind)];
+  const u32 vpn = e.vaddr >> 12;
+  switch (e.kind) {
+    case EventKind::kTlbFlush:
+      ++flush_epoch_;
+      break;
+    case EventKind::kTlbInvlpg: {
+      for (u8 side : {kSideItlb, kSideDtlb}) {
+        auto it = fills_.find(fill_key(e.pid, vpn, side));
+        if (it != fills_.end()) it->second.invalidated = true;
+      }
+      break;
+    }
+    case EventKind::kTlbFill:
+      // Hardware fill: record it so a later split reload of the same page
+      // classifies against the *most recent* residency, not the first.
+      if (e.arg == kSideItlb || e.arg == kSideDtlb) {
+        fills_[fill_key(e.pid, vpn, e.arg)] = Fill{flush_epoch_, false};
+      }
+      break;
+    case EventKind::kSplitItlbLoad:
+      refine_scope(Category::kSplitItlbLoad,
+                   classify_and_record_fill(e.pid, vpn, kSideItlb));
+      break;
+    case EventKind::kSplitDtlbLoad: {
+      const Cause cause = classify_and_record_fill(e.pid, vpn, kSideDtlb);
+      // If this D-TLB preload rides inside an I-side resolution, the I
+      // refinement stands — the preload is part of that protocol.
+      refine_scope(Category::kSplitDtlbLoad, cause);
+      break;
+    }
+    case EventKind::kSingleStepOpen:
+      // The debug trap that closes this window belongs to the split load
+      // that opened it.
+      if (scope_.active && scope_.refined) {
+        pending_step_[e.pid] = {scope_.refined_cat, scope_.refined_cause};
+      } else {
+        pending_step_[e.pid] = {Category::kDebugTrap, Cause::kNone};
+      }
+      break;
+    case EventKind::kSingleStepClose:
+      pending_step_.erase(e.pid);
+      break;
+    default:
+      break;
+  }
+}
+
+void Profiler::charge(Category c, u64 cycles, u32 pid, u32 vaddr) {
+  if (scope_.active) {
+    scope_.cycles[static_cast<std::size_t>(c)] += cycles;
+    return;
+  }
+  bucket_add(c, Cause::kNone, pid, vaddr >> 12, cycles);
+}
+
+void Profiler::begin_scope(Category c, u32 pid, u32 vaddr) {
+  scope_ = Scope{};
+  scope_.active = true;
+  scope_.pid = pid;
+  scope_.vpn = vaddr >> 12;
+  if (c == Category::kDebugTrap) {
+    auto it = pending_step_.find(pid);
+    if (it != pending_step_.end() && it->second.first != Category::kDebugTrap) {
+      scope_.refined = true;
+      scope_.refined_cat = it->second.first;
+      scope_.refined_cause = it->second.second;
+    }
+  }
+}
+
+void Profiler::end_scope() {
+  if (!scope_.active) return;
+  if (scope_.refined) {
+    u64 total = 0;
+    for (u64 c : scope_.cycles) total += c;
+    bucket_add(scope_.refined_cat, scope_.refined_cause, scope_.pid,
+               scope_.vpn, total);
+  } else {
+    for (std::size_t i = 0; i < scope_.cycles.size(); ++i) {
+      bucket_add(static_cast<Category>(i), Cause::kNone, scope_.pid,
+                 scope_.vpn, scope_.cycles[i]);
+    }
+  }
+  scope_ = Scope{};
+}
+
+ProfileSummary Profiler::snapshot() const {
+  ProfileSummary s;
+  s.total_cycles = total_cycles_;
+  s.event_counts = event_counts_;
+  s.buckets.reserve(buckets_.size());
+  for (const auto& [key, cycles] : buckets_) {
+    Bucket b;
+    b.cause = static_cast<Cause>(key & 0x7);
+    b.category = static_cast<Category>((key >> 3) & 0x1f);
+    b.vpn = static_cast<u32>((key >> 8) & 0xfffff);
+    b.pid = static_cast<u32>(key >> 28);
+    b.cycles = cycles;
+    s.buckets.push_back(b);
+  }
+  std::sort(s.buckets.begin(), s.buckets.end(),
+            [](const Bucket& a, const Bucket& b) {
+              if (a.category != b.category) return a.category < b.category;
+              if (a.cause != b.cause) return a.cause < b.cause;
+              if (a.pid != b.pid) return a.pid < b.pid;
+              return a.vpn < b.vpn;
+            });
+  return s;
+}
+
+void Profiler::clear() {
+  buckets_.clear();
+  fills_.clear();
+  pending_step_.clear();
+  event_counts_.fill(0);
+  flush_epoch_ = 0;
+  total_cycles_ = 0;
+  scope_ = Scope{};
+}
+
+u64 ProfileSummary::category_cycles(Category c) const {
+  u64 total = 0;
+  for (const Bucket& b : buckets) {
+    if (b.category == c) total += b.cycles;
+  }
+  return total;
+}
+
+u64 ProfileSummary::cause_cycles(Cause c) const {
+  u64 total = 0;
+  for (const Bucket& b : buckets) {
+    if (b.cause != c) continue;
+    if (b.category == Category::kSplitItlbLoad ||
+        b.category == Category::kSplitDtlbLoad ||
+        b.category == Category::kSoftTlbFill) {
+      total += b.cycles;
+    }
+  }
+  return total;
+}
+
+u64 ProfileSummary::ctx_switch_flush_cycles() const {
+  return category_cycles(Category::kContextSwitch) +
+         cause_cycles(Cause::kCtxSwitchFlush);
+}
+
+u64 ProfileSummary::capacity_fault_cycles() const {
+  return cause_cycles(Cause::kCapacity);
+}
+
+namespace {
+
+std::string pct(u64 part, u64 whole) {
+  if (whole == 0) return "0.0%";
+  const u64 permille = part * 1000 / whole;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%llu%%",
+                static_cast<unsigned long long>(permille / 10),
+                static_cast<unsigned long long>(permille % 10));
+  return buf;
+}
+
+std::string pad(const std::string& s, std::size_t width) {
+  return s.size() >= width ? s : s + std::string(width - s.size(), ' ');
+}
+
+std::string lpad(u64 v, std::size_t width) {
+  std::string s = std::to_string(v);
+  return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace
+
+std::string format_summary(const ProfileSummary& s) {
+  std::ostringstream os;
+  os << "=== trace summary ===\n";
+  os << "events: " << s.events_recorded << " recorded, " << s.events_dropped
+     << " dropped (ring capacity " << s.ring_capacity << ")\n";
+  os << "  ";
+  bool first = true;
+  for (std::size_t i = 0; i < s.event_counts.size(); ++i) {
+    if (s.event_counts[i] == 0) continue;
+    if (!first) os << " ";
+    os << kind_name(static_cast<EventKind>(i)) << "=" << s.event_counts[i];
+    first = false;
+  }
+  if (first) os << "(none)";
+  os << "\n";
+
+  os << "cycles by category (total " << s.total_cycles << "):\n";
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Category::kCount);
+       ++i) {
+    const Category c = static_cast<Category>(i);
+    const u64 cyc = s.category_cycles(c);
+    if (cyc == 0) continue;
+    os << "  " << pad(category_name(c), 20) << lpad(cyc, 12) << "  "
+       << pct(cyc, s.total_cycles) << "\n";
+    if (c == Category::kSplitItlbLoad || c == Category::kSplitDtlbLoad ||
+        c == Category::kSoftTlbFill) {
+      os << "      cause:";
+      for (Cause cause : {Cause::kCtxSwitchFlush, Cause::kCapacity,
+                          Cause::kCold, Cause::kInvalidation, Cause::kNone}) {
+        u64 part = 0;
+        for (const Bucket& b : s.buckets) {
+          if (b.category == c && b.cause == cause) part += b.cycles;
+        }
+        if (part) os << " " << cause_name(cause) << "=" << part;
+      }
+      os << "\n";
+    }
+  }
+
+  const u64 flush = s.ctx_switch_flush_cycles();
+  const u64 capacity = s.capacity_fault_cycles();
+  os << "SS4.6 decomposition:\n";
+  os << "  context-switch flushes " << lpad(flush, 12) << " cycles ("
+     << "cr3-reload " << s.category_cycles(Category::kContextSwitch)
+     << " + flush-caused reloads " << s.cause_cycles(Cause::kCtxSwitchFlush)
+     << ")\n";
+  os << "  tlb capacity faults    " << lpad(capacity, 12) << " cycles\n";
+  os << "  compulsory (cold)      " << lpad(s.cause_cycles(Cause::kCold), 12)
+     << " cycles\n";
+  os << "  invlpg invalidations   "
+     << lpad(s.cause_cycles(Cause::kInvalidation), 12) << " cycles\n";
+
+  // Hottest pages, for the forensic "where did the cycles go" view.
+  std::vector<Bucket> hot = s.buckets;
+  std::sort(hot.begin(), hot.end(), [](const Bucket& a, const Bucket& b) {
+    if (a.cycles != b.cycles) return a.cycles > b.cycles;
+    if (a.pid != b.pid) return a.pid < b.pid;
+    if (a.vpn != b.vpn) return a.vpn < b.vpn;
+    if (a.category != b.category) return a.category < b.category;
+    return a.cause < b.cause;
+  });
+  os << "hot buckets:\n";
+  const std::size_t n = hot.size() < 8 ? hot.size() : 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Bucket& b = hot[i];
+    char page[16];
+    std::snprintf(page, sizeof(page), "0x%05x", b.vpn);
+    os << "  pid " << b.pid << " page " << page << " "
+       << pad(category_name(b.category), 20) << pad(cause_name(b.cause), 12)
+       << lpad(b.cycles, 12) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sm::trace

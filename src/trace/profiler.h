@@ -1,0 +1,150 @@
+// Simulated-cycle profiler: attributes every CostModel charge to a
+// (category, cause, process, page) bucket. (The per-instruction exec and
+// TLB-hit charges are the one exception: their sites are the simulator's
+// hottest paths and carry no mirror; TraceSink::summary() reconciles them
+// as the exec residual, so the summary still accounts for every cycle.)
+//
+// The paper's SS4.6 explains split-memory overhead as exactly two effects:
+// TLB capacity faults and context-switch flushes. To reproduce that
+// decomposition we must know, for each split reload, WHY the entry was
+// gone. The profiler keeps a flush-epoch clock (bumped on every full TLB
+// flush) and a per-(pid, page, side) record of the last fill; when a split
+// load fires, the cause falls out:
+//
+//   never filled before                 -> kCold        (compulsory)
+//   invalidated (invlpg) since the fill -> kInvalidation
+//   filled in an older flush epoch      -> kCtxSwitchFlush
+//   filled in THIS epoch, yet missing   -> kCapacity    (LRU eviction)
+//
+// Charges made while a kernel trap is being handled are buffered in a
+// scope and flushed when the handler returns; if the scope was refined to
+// a split-load category by an event, ALL its charges (trap cost, walk,
+// kernel touch, the follow-up debug trap) land in that one bucket — the
+// full protocol cost of the reload, which is what SS4.6 tabulates.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace sm::trace {
+
+enum class Category : u8 {
+  kExec = 0,
+  kTlbHit,
+  kTlbWalk,
+  kSplitItlbLoad,
+  kSplitDtlbLoad,
+  kPageFaultTrap,
+  kDebugTrap,
+  kInvalidOpcodeTrap,
+  kSyscall,
+  kSoftTlbFill,
+  kDemandPage,
+  kCowCopy,
+  kKernelTouch,
+  kIcacheSync,
+  kContextSwitch,
+  kOther,
+  kCount,
+};
+
+enum class Cause : u8 {
+  kNone = 0,
+  kCold,
+  kCapacity,
+  kCtxSwitchFlush,
+  kInvalidation,
+  kCount,
+};
+
+const char* category_name(Category c);
+const char* cause_name(Cause c);
+
+struct Bucket {
+  Category category = Category::kOther;
+  Cause cause = Cause::kNone;
+  u32 pid = 0;
+  u32 vpn = 0;  // page bucket (vaddr >> 12); 0 for unaddressed charges
+  u64 cycles = 0;
+};
+
+struct ProfileSummary {
+  // Sorted by (category, cause, pid, vpn).
+  std::vector<Bucket> buckets;
+  u64 total_cycles = 0;
+  std::array<u64, static_cast<std::size_t>(EventKind::kCount)> event_counts{};
+  u64 events_recorded = 0;
+  u64 events_dropped = 0;
+  std::size_t ring_capacity = 0;
+
+  u64 category_cycles(Category c) const;
+  u64 cause_cycles(Cause c) const;  // summed over the split-load categories
+  // SS4.6 rollups: cycles attributable to each overhead source.
+  u64 ctx_switch_flush_cycles() const;  // ctx-switch charges + flush reloads
+  u64 capacity_fault_cycles() const;
+};
+
+// Deterministic human-readable report (the --trace-summary trailer).
+std::string format_summary(const ProfileSummary& s);
+
+class Profiler {
+ public:
+  // Feed every recorded event through here: maintains the flush epoch,
+  // fill state, cause classification and scope refinement.
+  void on_event(const Event& e);
+
+  // A CostModel charge of `cycles`, made by `pid` at `vaddr` (0 if the
+  // charge has no natural address).
+  void charge(Category c, u64 cycles, u32 pid, u32 vaddr);
+
+  // Trap-handler attribution scope (see file comment). Never nested.
+  void begin_scope(Category c, u32 pid, u32 vaddr);
+  void end_scope();
+  bool in_scope() const { return scope_.active; }
+
+  ProfileSummary snapshot() const;
+  void clear();
+
+ private:
+  struct Fill {
+    u64 epoch = 0;
+    bool invalidated = false;
+  };
+  struct Scope {
+    bool active = false;
+    bool refined = false;
+    Category refined_cat = Category::kOther;
+    Cause refined_cause = Cause::kNone;
+    u32 pid = 0;
+    u32 vpn = 0;
+    std::array<u64, static_cast<std::size_t>(Category::kCount)> cycles{};
+  };
+
+  static u64 fill_key(u32 pid, u32 vpn, u8 side) {
+    return (static_cast<u64>(pid) << 21) | (static_cast<u64>(vpn) << 1) | side;
+  }
+  static u64 bucket_key(Category c, Cause cause, u32 pid, u32 vpn) {
+    return (static_cast<u64>(pid) << 28) | (static_cast<u64>(vpn) << 8) |
+           (static_cast<u64>(c) << 3) | static_cast<u64>(cause);
+  }
+  void bucket_add(Category c, Cause cause, u32 pid, u32 vpn, u64 cycles);
+  Cause classify_and_record_fill(u32 pid, u32 vpn, u8 side);
+  void refine_scope(Category c, Cause cause);
+
+  std::unordered_map<u64, u64> buckets_;
+  std::unordered_map<u64, Fill> fills_;
+  // pid -> attribution for the debug trap that closes its open single-step
+  // window (set at kSingleStepOpen from the active scope's refinement).
+  std::unordered_map<u32, std::pair<Category, Cause>> pending_step_;
+  std::array<u64, static_cast<std::size_t>(EventKind::kCount)> event_counts_{};
+  u64 flush_epoch_ = 0;
+  u64 total_cycles_ = 0;
+  Scope scope_;
+};
+
+}  // namespace sm::trace

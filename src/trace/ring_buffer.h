@@ -1,0 +1,66 @@
+// Fixed-capacity overwrite-oldest ring buffer for trace events.
+//
+// The trace sink must never grow without bound while a long simulation
+// runs, so the event store is a ring: once full, each push overwrites the
+// oldest event and bumps dropped(). Iteration order is always
+// oldest-to-newest over whatever survived, which keeps the exported
+// timeline monotonic even after a wrap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sm::trace {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {}
+
+  void push(const T& v) {
+    if (buf_.empty()) {
+      ++dropped_;
+      return;
+    }
+    if (size_ == buf_.size()) {
+      // Full: overwrite the oldest slot.
+      buf_[head_] = v;
+      head_ = next(head_);
+      ++dropped_;
+      return;
+    }
+    buf_[(head_ + size_) % buf_.size()] = v;
+    ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool empty() const { return size_ == 0; }
+  // Events pushed after the buffer was full (== overwritten or, for a
+  // zero-capacity ring, discarded outright).
+  std::uint64_t dropped() const { return dropped_; }
+
+  // i == 0 is the oldest surviving event.
+  const T& operator[](std::size_t i) const {
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t next(std::size_t i) const {
+    return i + 1 == buf_.size() ? 0 : i + 1;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;  // index of the oldest event
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sm::trace

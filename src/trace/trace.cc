@@ -1,0 +1,38 @@
+#include "trace/trace.h"
+
+namespace sm::trace {
+
+ProfileSummary TraceSink::summary() const {
+  ProfileSummary s = prof_.snapshot();
+  // Straight-line execution (the per-instruction charge and zero-or-tiny
+  // TLB-hit charges) is deliberately NOT mirrored at the charge sites — a
+  // mirror there would put a trace branch on the two hottest paths in the
+  // simulator (Cpu::step and the Mmu fast paths). Reconcile it here
+  // instead: every simulated cycle not explicitly attributed is
+  // straight-line execution. This keeps the full-attribution invariant
+  // (summary total == stats.cycles) without any per-instruction cost.
+  if (stats_ && stats_->cycles > s.total_cycles) {
+    const u64 residual = stats_->cycles - s.total_cycles;
+    // (kExec, kNone, pid 0, vpn 0) sorts before every other bucket.
+    if (!s.buckets.empty() && s.buckets.front().category == Category::kExec &&
+        s.buckets.front().cause == Cause::kNone &&
+        s.buckets.front().pid == 0 && s.buckets.front().vpn == 0) {
+      s.buckets.front().cycles += residual;
+    } else {
+      Bucket b;
+      b.category = Category::kExec;
+      b.cause = Cause::kNone;
+      b.pid = 0;
+      b.vpn = 0;
+      b.cycles = residual;
+      s.buckets.insert(s.buckets.begin(), b);
+    }
+    s.total_cycles = stats_->cycles;
+  }
+  s.events_recorded = ring_.size() + ring_.dropped();
+  s.events_dropped = ring_.dropped();
+  s.ring_capacity = ring_.capacity();
+  return s;
+}
+
+}  // namespace sm::trace

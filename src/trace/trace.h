@@ -1,0 +1,138 @@
+// TraceSink: the event sink + profiler facade the simulator components
+// talk to, and the compile-time gate that makes it all vanish.
+//
+// Gating has two layers:
+//
+//  1. Compile time. Instrumentation sites go through the SM_TRACE macro
+//     (and SM_TRACE_SINK for the RAII scope). With -DSM_TRACE_ENABLED=0
+//     (CMake: -DSM_TRACE=OFF) every site compiles to nothing — the binary
+//     carries zero tracing code on its hot paths.
+//  2. Run time. When compiled in (the default), each component holds a
+//     TraceSink* that is nullptr unless KernelConfig::trace is set; each
+//     rare-event site costs one (unlikely-hinted) branch on that pointer.
+//     The per-instruction paths (Cpu::step, Mmu TLB-hit fast paths) carry
+//     NO trace code at all — their cycles are reconciled at summary time
+//     as the exec residual (see TraceSink::summary).
+//
+// The billing-identity invariant: a TraceSink only ever OBSERVES — it
+// holds `const metrics::Stats*`, never charges the cost model, and never
+// perturbs TLB/memo state. Simulated figures must be bit-identical with
+// tracing on or off (enforced by tests/trace/ and the fuzz oracle).
+#pragma once
+
+#include <cstddef>
+
+#include "metrics/stats.h"
+#include "trace/event.h"
+#include "trace/profiler.h"
+#include "trace/ring_buffer.h"
+
+#ifndef SM_TRACE_ENABLED
+#define SM_TRACE_ENABLED 1
+#endif
+
+#if SM_TRACE_ENABLED
+// SM_TRACE(sink_ptr, record(...)) — null-checked call through a sink.
+// The null (tracing-off) side is the one benchmarked paths take; mark the
+// sink-present side unlikely so the call stays out of the hot code layout.
+#define SM_TRACE(sink, call)              \
+  do {                                    \
+    if (auto* sm_ts_ = (sink)) [[unlikely]] { \
+      sm_ts_->call;                       \
+    }                                     \
+  } while (0)
+// Sink expression for contexts that need a value (e.g. trace::Scope).
+#define SM_TRACE_SINK(sink) (sink)
+#else
+#define SM_TRACE(sink, call) \
+  do {                       \
+  } while (0)
+#define SM_TRACE_SINK(sink) (static_cast<::sm::trace::TraceSink*>(nullptr))
+#endif
+
+namespace sm::trace {
+
+class TraceSink {
+ public:
+  struct Options {
+    std::size_t ring_capacity = 1 << 16;
+  };
+
+  TraceSink() : ring_(0) {}
+
+  void enable() { enable(Options{}); }
+  void enable(Options opts) {
+    ring_ = RingBuffer<Event>(opts.ring_capacity);
+    prof_.clear();
+    enabled_ = true;
+  }
+  bool enabled() const { return enabled_; }
+
+  // The simulated clock events are stamped with. Observed, never written.
+  void set_stats(const metrics::Stats* stats) { stats_ = stats; }
+  // The scheduler announces who is running; events/charges carry this pid.
+  void set_current_pid(u32 pid) { pid_ = pid; }
+  u32 current_pid() const { return pid_; }
+
+  void record(EventKind kind, u32 vaddr = 0, u32 info = 0, u8 arg = 0) {
+    if (!enabled_) return;
+    Event e;
+    e.cycles = stats_ ? stats_->cycles : 0;
+    e.pid = pid_;
+    e.vaddr = vaddr;
+    e.info = info;
+    e.kind = kind;
+    e.arg = arg;
+    ring_.push(e);
+    prof_.on_event(e);
+  }
+
+  // Mirror of a CostModel charge, for attribution only.
+  void charge(Category c, u64 cycles, u32 vaddr = 0) {
+    if (!enabled_ || cycles == 0) return;
+    prof_.charge(c, cycles, pid_, vaddr);
+  }
+
+  void begin_scope(Category c, u32 vaddr) {
+    if (!enabled_) return;
+    prof_.begin_scope(c, pid_, vaddr);
+  }
+  void end_scope() {
+    if (!enabled_) return;
+    prof_.end_scope();
+  }
+
+  const RingBuffer<Event>& events() const { return ring_; }
+  ProfileSummary summary() const;
+  void clear() {
+    ring_.clear();
+    prof_.clear();
+  }
+
+ private:
+  RingBuffer<Event> ring_;
+  Profiler prof_;
+  const metrics::Stats* stats_ = nullptr;
+  u32 pid_ = 0;
+  bool enabled_ = false;
+};
+
+// RAII trap-handler attribution scope. Construct with a (possibly null)
+// sink; wrap the sink expression in SM_TRACE_SINK so the whole object
+// folds away under -DSM_TRACE_ENABLED=0.
+class Scope {
+ public:
+  Scope(TraceSink* sink, Category c, u32 vaddr) : sink_(sink) {
+    if (sink_) sink_->begin_scope(c, vaddr);
+  }
+  ~Scope() {
+    if (sink_) sink_->end_scope();
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  TraceSink* sink_;
+};
+
+}  // namespace sm::trace

@@ -51,6 +51,7 @@ WorkloadResult run_program(const std::string& name, const std::string& body,
   WorkloadResult res;
   res.name = name;
   cfg.software_tlb = cfg.software_tlb || prot.software_tlb;
+  cfg.trace = cfg.trace || prot.trace;
   kernel::Kernel k(cfg);
   k.set_engine(prot.make_engine());
   const auto program = assembler::assemble(guest::program(body));
@@ -64,6 +65,10 @@ WorkloadResult run_program(const std::string& name, const std::string& body,
                   k.process(pid)->exit_kind == kernel::ExitKind::kExited;
   res.cycles = k.stats().cycles;
   res.stats = k.stats();
+  if (auto* sink = k.trace_sink()) {
+    res.trace_summary =
+        std::make_shared<trace::ProfileSummary>(sink->summary());
+  }
   return res;
 }
 

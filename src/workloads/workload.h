@@ -18,6 +18,7 @@
 #include "core/split_engine.h"
 #include "kernel/kernel.h"
 #include "metrics/stats.h"
+#include "trace/profiler.h"
 
 namespace sm::workloads {
 
@@ -35,6 +36,10 @@ struct Protection {
   bool software_tlb = false;
   // I-TLB load method for the split engine (paper SS4.2.4 side note).
   core::ItlbLoadMethod itlb_method = core::ItlbLoadMethod::kSingleStep;
+  // Record a cycle-attribution trace of the run (KernelConfig::trace);
+  // the result then carries WorkloadResult::trace_summary. Observation
+  // only — simulated figures are bit-identical either way.
+  bool trace = false;
 
   static Protection none() { return {}; }
   static Protection split_all() {
@@ -54,6 +59,11 @@ struct Protection {
     p.software_tlb = true;
     return p;
   }
+  Protection with_trace() const {
+    Protection p = *this;
+    p.trace = true;
+    return p;
+  }
 
   std::unique_ptr<kernel::ProtectionEngine> make_engine() const;
   std::string label() const;
@@ -66,6 +76,9 @@ struct WorkloadResult {
   double throughput = 0;   // work units per mega-cycle (workload-specific)
   metrics::Stats stats;
   bool completed = false;
+  // Cycle-attribution profile; populated only when the run was traced
+  // (KernelConfig::trace) and tracing is compiled in.
+  std::shared_ptr<trace::ProfileSummary> trace_summary;
 };
 
 // Normalized performance of `protected_r` relative to `baseline`

@@ -1,0 +1,62 @@
+// Chrome trace_event export: the JSON schema is a contract with external
+// viewers (about://tracing, Perfetto), so it is pinned with a golden
+// string — field order, phases and quoting included.
+#include <gtest/gtest.h>
+
+#include "trace/chrome_export.h"
+
+namespace sm::trace {
+namespace {
+
+Event ev(EventKind kind, u64 cycles, u32 pid, u32 vaddr, u32 info = 0,
+         u8 arg = 0) {
+  Event e;
+  e.cycles = cycles;
+  e.pid = pid;
+  e.vaddr = vaddr;
+  e.info = info;
+  e.kind = kind;
+  e.arg = arg;
+  return e;
+}
+
+TEST(ChromeExport, EmptyRing) {
+  RingBuffer<Event> ring(4);
+  EXPECT_EQ(chrome_trace_json(ring),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}");
+}
+
+TEST(ChromeExport, GoldenTimeline) {
+  RingBuffer<Event> ring(8);
+  ring.push(ev(EventKind::kTlbFill, 100, 1, 0x08048000, 2, kSideItlb));
+  ring.push(ev(EventKind::kSingleStepOpen, 200, 1, 0x08048000));
+  ring.push(ev(EventKind::kSingleStepClose, 250, 1, 0x08048000));
+
+  const char* expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"tlb-fill\",\"cat\":\"tlb\",\"ph\":\"i\",\"ts\":100,"
+      "\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"vaddr\":\"0x08048000\","
+      "\"info\":2,\"arg\":0}},"
+      "{\"name\":\"single-step\",\"cat\":\"split\",\"ph\":\"B\",\"ts\":200,"
+      "\"pid\":1,\"tid\":1,\"args\":{\"vaddr\":\"0x08048000\","
+      "\"info\":0,\"arg\":0}},"
+      "{\"name\":\"single-step\",\"cat\":\"split\",\"ph\":\"E\",\"ts\":250,"
+      "\"pid\":1,\"tid\":1,\"args\":{\"vaddr\":\"0x08048000\","
+      "\"info\":0,\"arg\":0}}"
+      "],\"displayTimeUnit\":\"ns\"}";
+  EXPECT_EQ(chrome_trace_json(ring), expected);
+}
+
+TEST(ChromeExport, EveryKindHasANameAndCategory) {
+  RingBuffer<Event> ring(64);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(EventKind::kCount);
+       ++i) {
+    ring.push(ev(static_cast<EventKind>(i), i, 1, 0x1000));
+  }
+  const std::string json = chrome_trace_json(ring);
+  EXPECT_EQ(json.find("\"name\":\"?\""), std::string::npos);
+  EXPECT_EQ(json.find("\"cat\":\"?\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sm::trace

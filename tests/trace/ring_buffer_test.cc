@@ -1,0 +1,109 @@
+// RingBuffer and TraceSink storage semantics: bounded, overwrite-oldest,
+// oldest-first iteration, and the recorded/dropped accounting the summary
+// reports.
+#include <gtest/gtest.h>
+
+#include "metrics/stats.h"
+#include "trace/trace.h"
+
+namespace sm::trace {
+namespace {
+
+TEST(RingBuffer, FillsThenOverwritesOldest) {
+  RingBuffer<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring[0], 0);
+  EXPECT_EQ(ring[3], 3);
+
+  // Two more: 0 and 1 fall off, order stays oldest-first.
+  ring.push(4);
+  ring.push(5);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  EXPECT_EQ(ring[0], 2);
+  EXPECT_EQ(ring[1], 3);
+  EXPECT_EQ(ring[2], 4);
+  EXPECT_EQ(ring[3], 5);
+}
+
+TEST(RingBuffer, WrapsManyTimes) {
+  RingBuffer<int> ring(3);
+  for (int i = 0; i < 100; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 97u);
+  EXPECT_EQ(ring[0], 97);
+  EXPECT_EQ(ring[2], 99);
+}
+
+TEST(RingBuffer, ZeroCapacityDiscardsEverything) {
+  RingBuffer<int> ring(0);
+  ring.push(1);
+  ring.push(2);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(RingBuffer, ClearResetsDropCount) {
+  RingBuffer<int> ring(2);
+  for (int i = 0; i < 5; ++i) ring.push(i);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.push(7);
+  EXPECT_EQ(ring[0], 7);
+}
+
+TEST(TraceSink, DisabledSinkRecordsNothing) {
+  TraceSink sink;
+  EXPECT_FALSE(sink.enabled());
+  sink.record(EventKind::kTrap, 0x1000);
+  sink.charge(Category::kExec, 100);
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(sink.summary().total_cycles, 0u);
+}
+
+TEST(TraceSink, StampsEventsWithStatsClockAndPid) {
+  metrics::Stats stats;
+  TraceSink sink;
+  sink.enable({16});
+  sink.set_stats(&stats);
+  sink.set_current_pid(3);
+  stats.cycles = 1234;
+  sink.record(EventKind::kSyscall, 0x8048000, 14);
+  stats.cycles = 5678;
+  sink.set_current_pid(4);
+  sink.record(EventKind::kContextSwitch, 0, 3);
+
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].cycles, 1234u);
+  EXPECT_EQ(sink.events()[0].pid, 3u);
+  EXPECT_EQ(sink.events()[0].info, 14u);
+  EXPECT_EQ(sink.events()[1].cycles, 5678u);
+  EXPECT_EQ(sink.events()[1].pid, 4u);
+}
+
+TEST(TraceSink, SummaryCountsOverflowedEvents) {
+  metrics::Stats stats;
+  TraceSink sink;
+  sink.enable({8});
+  sink.set_stats(&stats);
+  for (int i = 0; i < 20; ++i) {
+    stats.cycles = static_cast<u64>(i);
+    sink.record(EventKind::kSyscall);
+  }
+  const ProfileSummary s = sink.summary();
+  EXPECT_EQ(sink.events().size(), 8u);
+  EXPECT_EQ(s.events_dropped, 12u);
+  EXPECT_EQ(s.events_recorded, 20u);  // survivors + dropped
+  EXPECT_EQ(s.ring_capacity, 8u);
+  // The profiler saw all 20, not just the ring survivors.
+  EXPECT_EQ(s.event_counts[static_cast<std::size_t>(EventKind::kSyscall)],
+            20u);
+}
+
+}  // namespace
+}  // namespace sm::trace

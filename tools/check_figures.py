@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Guard BENCH_figures.json against simulated-figure drift.
+
+The figure battery is deterministic: regenerating it (tools/bench_json.py
+--figures) must reproduce the committed simulated metrics exactly, at any
+--jobs and on any host. This script compares a freshly generated document
+— typically produced with --quick, whose point sets are label subsets of
+the full battery — against the committed one on the intersection of point
+labels per bench, comparing only the "metrics" maps. Host-time fields
+(wall_seconds, total_wall_seconds, jobs) legitimately vary and are
+ignored.
+
+Exit 0: every shared point's metrics are identical.
+Exit 1: a metric drifted, a bench disappeared, or nothing overlapped.
+
+Usage:
+  tools/check_figures.py --fresh fresh.json [--committed BENCH_figures.json]
+"""
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def points_by_label(bench_doc):
+    return {p["label"]: p.get("metrics", {}) for p in bench_doc["points"]}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fresh", required=True,
+                    help="freshly generated figures JSON (e.g. --quick run)")
+    ap.add_argument("--committed",
+                    default=os.path.join(REPO_ROOT, "BENCH_figures.json"),
+                    help="committed reference (default: repo root)")
+    args = ap.parse_args()
+
+    fresh = load(args.fresh)["figures"]
+    committed = load(args.committed)["figures"]
+
+    failures = []
+    compared = 0
+    for bench, fresh_doc in sorted(fresh.items()):
+        if bench not in committed:
+            failures.append(f"{bench}: present in fresh run but not in the "
+                            f"committed reference")
+            continue
+        ref_points = points_by_label(committed[bench])
+        fresh_points = points_by_label(fresh_doc)
+        shared = sorted(set(ref_points) & set(fresh_points))
+        if not shared:
+            failures.append(f"{bench}: no overlapping point labels "
+                            f"(fresh: {sorted(fresh_points)[:4]}..., "
+                            f"committed: {sorted(ref_points)[:4]}...)")
+            continue
+        for label in shared:
+            if fresh_points[label] != ref_points[label]:
+                failures.append(
+                    f"{bench} / {label}: metrics drifted\n"
+                    f"    fresh:     {json.dumps(fresh_points[label], sort_keys=True)}\n"
+                    f"    committed: {json.dumps(ref_points[label], sort_keys=True)}")
+            else:
+                compared += 1
+
+    for bench in sorted(set(committed) - set(fresh)):
+        print(f"note: {bench} not in fresh run (not regenerated) — skipped")
+
+    if failures:
+        print(f"FIGURE DRIFT: {len(failures)} problem(s) "
+              f"({compared} points matched)", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"figures OK: {compared} shared points bit-identical "
+          f"across {len(fresh)} benches")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
