@@ -16,6 +16,12 @@ void Mmu::set_cr3(u32 root_pfn) {
 }
 
 void Mmu::flush_tlbs() {
+  if (fault_hooks_ != nullptr && fault_hooks_->drop_tlb_flush())
+      [[unlikely]] {
+    // Injected lost flush: the stale entries (and the memos snapshotting
+    // them) survive, exactly as if the CR3 reload's flush never happened.
+    return;
+  }
   drop_fetch_memo();
   drop_data_memos();
   itlb_.flush();
@@ -25,6 +31,10 @@ void Mmu::flush_tlbs() {
 }
 
 void Mmu::invlpg(u32 vaddr) {
+  if (fault_hooks_ != nullptr && fault_hooks_->drop_invlpg(vaddr))
+      [[unlikely]] {
+    return;  // injected lost invlpg: the stale entry survives
+  }
   drop_fetch_memo();
   drop_data_memos();
   itlb_.invalidate(vpn_of(vaddr));

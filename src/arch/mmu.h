@@ -29,6 +29,7 @@
 // set_data_memo_enabled() for the billing-identity tests.
 #pragma once
 
+#include "arch/fault_hooks.h"
 #include "arch/page_table.h"
 #include "arch/phys_mem.h"
 #include "arch/tlb.h"
@@ -123,6 +124,10 @@ class Mmu {
   // The sink only ever observes — billing is bit-identical either way.
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
 
+  // Fault injection (src/inject): null unless a schedule is armed. Only
+  // consulted on the cold flush/invlpg paths — never inside translate().
+  void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+
  private:
   [[noreturn]] void fault(u32 vaddr, Access acc, bool present,
                           bool soft_miss = false);
@@ -162,6 +167,7 @@ class Mmu {
   metrics::Stats* stats_;
   const metrics::CostModel* cost_;
   trace::TraceSink* trace_ = nullptr;
+  FaultHooks* fault_hooks_ = nullptr;
   Tlb itlb_;
   Tlb dtlb_;
   FetchMemo fetch_memo_;

@@ -82,6 +82,10 @@ std::span<const u8> PhysicalMemory::frame_bytes(u32 pfn) const {
 }
 
 u32 PhysicalMemory::alloc_frame() {
+  if (fault_hooks_ != nullptr && fault_hooks_->fail_frame_alloc())
+      [[unlikely]] {
+    throw OutOfMemoryError{};  // injected transient exhaustion
+  }
   if (free_list_.empty()) throw OutOfMemoryError{};
   const u32 pfn = free_list_.back();
   free_list_.pop_back();

@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "arch/fault_hooks.h"
 #include "arch/types.h"
 
 namespace sm::arch {
@@ -62,6 +63,10 @@ class PhysicalMemory {
   u32 frames_in_use() const { return frames_in_use_; }
   u32 frames_free() const { return num_frames_ - frames_in_use_; }
 
+  // Fault injection (src/inject): when set, alloc_frame() may be forced to
+  // fail as if the pool were exhausted. Cold path only.
+  void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
+
  private:
   void check_pa(u64 pa, u64 len) const;
   void bump_generation(u64 pa, u64 len);
@@ -72,6 +77,7 @@ class PhysicalMemory {
   std::vector<u32> refcounts_;
   std::vector<u32> free_list_;
   u32 frames_in_use_ = 0;
+  FaultHooks* fault_hooks_ = nullptr;
 };
 
 }  // namespace sm::arch

@@ -72,6 +72,27 @@ class Tlb {
   // hit leaves replacement behaviour identical to the slow path.
   void touch(u32 index) { entries_[index].stamp = ++clock_; }
 
+  // --- inspection / fault injection --------------------------------------
+  // Read-only view of a slot by flat index (no LRU touch, no billing); the
+  // invariant watchdog scans with this so observation never perturbs
+  // replacement state.
+  const TlbEntry& entry_at(u32 index) const { return entries_[index]; }
+  // Deterministic single-entry corruption for the fault injector: rewrites
+  // a valid slot in place (a hardware bit flip in the CAM/payload). Bumps
+  // version_ so the Mmu's memo fast paths cannot serve a snapshot of the
+  // pre-corruption entry. Returns false if the slot was invalid.
+  bool corrupt_entry(u32 index, u32 new_pfn, bool user, bool writable,
+                     bool no_exec) {
+    TlbEntry& e = entries_[index % entries_.size()];
+    if (!e.valid) return false;
+    e.pfn = new_pfn;
+    e.user = user;
+    e.writable = writable;
+    e.no_exec = no_exec;
+    ++version_;
+    return true;
+  }
+
  private:
   u32 set_of(u32 vpn) const { return vpn & (num_sets_ - 1); }
 

@@ -78,7 +78,25 @@ void SplitMemoryEngine::materialize(Kernel& k, Process& p, const Vma& vma,
     // decodes to an invalid opcode, which is what arms the response modes.
     SplitPair pair;
     pair.data_frame = k.alloc_initial_frame(p, vma, page);
-    pair.code_frame = pm.alloc_frame();
+    try {
+      pair.code_frame = pm.alloc_frame();
+    } catch (const arch::OutOfMemoryError&) {
+      // Every split page doubles frame pressure; when the second (code)
+      // frame cannot be allocated, degrade gracefully instead of tearing
+      // the kernel down: map the page unsplit onto its lone data frame in
+      // observe-style locked mode and keep the guest running, unprotected
+      // on this one page.
+      ++k.stats().split_oom_degradations;
+      u32 flags = Pte::kPresent | Pte::kUser;
+      if (vma.writable()) flags |= Pte::kWritable;
+      pt.set(page, Pte::make(pair.data_frame, flags));
+      SM_TRACE(k.trace_sink(), record(trace::EventKind::kDegradeUnsplit, page,
+                                      pair.data_frame));
+      k.log("[degrade] pid " + std::to_string(p.pid) +
+            " out of frames splitting " + hex(page) +
+            "; page mapped unsplit (observe-style lock)");
+      return;
+    }
     if (vma.executable()) {
       // The mutable frame_bytes() view bumps the code frame's generation,
       // invalidating any decode-cache entries keyed to it (the frame is
@@ -414,6 +432,37 @@ void SplitMemoryEngine::on_mprotect(Kernel& k, Process& p, Vma& vma,
     pt.set(va, pte);
     k.mmu().invlpg(va);
   }
+}
+
+bool SplitMemoryEngine::degrade_lock_unsplit(Kernel& k, Process& p,
+                                             u32 vaddr) {
+  // The watchdog's last resort: the same lock path ResponseMode::kObserve
+  // uses, minus the detection bookkeeping — give up splitting this page,
+  // lock it onto its data frame (the frame whose bytes the guest's own
+  // stores shaped), and keep the process running.
+  const u32 page = page_floor(vaddr);
+  const u32 vpn = vpn_of(page);
+  const SplitPair* pair = p.as->split_pair(vpn);
+  if (pair == nullptr) return false;
+  PageTable pt = p.as->pt();
+  Pte pte = pt.get(page);
+  if (!pte.present()) return false;
+  const u32 kept = pair->data_frame;
+  pte.set_pfn(kept);
+  pte.unrestrict();
+  pte.clear(Pte::kSplit);
+  pt.set(page, pte);
+  p.as->unsplit(vpn, kept);
+  k.mmu().invlpg(page);
+  if (p.pending_split_vaddr && *p.pending_split_vaddr == page) {
+    k.regs_of(p).set_tf(false);
+    p.pending_split_vaddr.reset();
+  }
+  SM_TRACE(k.trace_sink(),
+           record(trace::EventKind::kDegradeUnsplit, page, kept));
+  k.log("[degrade] pid " + std::to_string(p.pid) + " page " + hex(page) +
+        " locked unsplit after repeated invariant repairs");
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -87,6 +87,7 @@ class SplitMemoryEngine : public kernel::ProtectionEngine {
   FaultResolution on_invalid_opcode(Kernel& k, Process& p) override;
   void on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
                    u32 end) override;
+  bool degrade_lock_unsplit(Kernel& k, Process& p, u32 vaddr) override;
 
   void set_itlb_load_method(ItlbLoadMethod m) { itlb_method_ = m; }
   ItlbLoadMethod itlb_load_method() const { return itlb_method_; }

@@ -16,6 +16,14 @@ std::string to_corpus_file(const FuzzCase& c) {
                 static_cast<unsigned long long>(c.seed));
   std::string out = head;
   if (c.mixed_text) out += ";!mixed_text\n";
+  if (!c.faults.empty()) {
+    if (c.faults.seed != 0) {
+      std::snprintf(head, sizeof head, ";!fault-seed 0x%016llx\n",
+                    static_cast<unsigned long long>(c.faults.seed));
+      out += head;
+    }
+    out += c.faults.to_lines();
+  }
   out += c.body;
   if (!out.empty() && out.back() != '\n') out += '\n';
   return out;
@@ -33,6 +41,18 @@ FuzzCase from_corpus_file(const std::string& text) {
     }
     if (line.rfind(";!mixed_text", 0) == 0) {
       c.mixed_text = true;
+      continue;
+    }
+    // ";!fault-seed" must be tested before the ";!fault " entry lines —
+    // both share the ";!fault" prefix.
+    if (line.rfind(";!fault-seed", 0) == 0) {
+      c.faults.seed = std::strtoull(line.c_str() + 12, nullptr, 0);
+      continue;
+    }
+    if (line.rfind(";!fault ", 0) == 0) {
+      if (const auto f = inject::FaultSchedule::parse_line(line)) {
+        c.faults.faults.push_back(*f);
+      }
       continue;
     }
     body += line;

@@ -5,6 +5,8 @@
 //
 //   ;!seed 0x1234abcd          ; provenance (informational on replay)
 //   ;!mixed_text               ; build the image with a writable text VMA
+//   ;!fault-seed 0xabcd        ; fault-schedule provenance (informational)
+//   ;!fault 120 dropped-flush 7  ; one scheduled fault (robustness clause)
 //   _start:
 //     ...
 //

@@ -585,6 +585,14 @@ FuzzCase generate(u64 seed, const GenOptions& opts) {
   c.mixed_text = rng.chance(30);
   Emitter em(rng, c.mixed_text, opts);
   c.body = em.build();
+  if (opts.fault_count > 0) {
+    // Salted so the fault stream is independent of the body stream: the
+    // same program can be replayed under a different schedule and vice
+    // versa without perturbing either.
+    c.faults = inject::FaultSchedule::generate(seed ^ 0xFA171D5Cull,
+                                               opts.fault_count,
+                                               opts.fault_horizon);
+  }
   return c;
 }
 

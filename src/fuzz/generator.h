@@ -37,6 +37,7 @@
 
 #include "arch/isa.h"
 #include "arch/types.h"
+#include "inject/fault_schedule.h"
 
 namespace sm::fuzz {
 
@@ -47,6 +48,10 @@ struct FuzzCase {
   u64 seed = 0;
   bool mixed_text = false;  // text VMA writable+executable (paper Fig. 1b)
   std::string body;         // assembly; harness wraps with prelude + libc
+  // Fault schedule for the oracle's robustness clause (src/inject). Empty
+  // (the default) means the clause is skipped; the behavioural/billing
+  // clauses always run the program on a fault-free machine.
+  inject::FaultSchedule faults;
 };
 
 struct GenOptions {
@@ -57,6 +62,12 @@ struct GenOptions {
   // benign in the oracle's sense — every engine must kill the process at
   // the same instruction with the same signal.
   bool allow_lethal = true;
+  // Fault-schedule axis (default off, so behavioural fuzzing is
+  // unchanged): > 0 attaches that many scheduled faults, derived
+  // deterministically from the case seed, over the first fault_horizon
+  // instructions.
+  u32 fault_count = 0;
+  u64 fault_horizon = 200'000;
 };
 
 FuzzCase generate(u64 seed, const GenOptions& opts = {});

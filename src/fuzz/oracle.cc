@@ -5,6 +5,8 @@
 #include "asm/assembler.h"
 #include "guest/guestlib.h"
 #include "image/image.h"
+#include "inject/fault_injector.h"
+#include "invariant/watchdog.h"
 
 namespace sm::fuzz {
 
@@ -222,8 +224,58 @@ RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
   return obs;
 }
 
+OracleVerdict check_robustness(const FuzzCase& c, const OracleOptions& opts) {
+  OracleVerdict v;
+  if (c.faults.empty()) return v;
+
+  kernel::KernelConfig kc;
+  kernel::Kernel k(kc);
+  k.set_engine(core::make_engine(core::ProtectionMode::kSplitAll,
+                                 core::ResponseMode::kBreak));
+  k.register_image(build(c));
+  inject::FaultInjector injector(c.faults);
+  invariant::InvariantWatchdog watchdog;
+  injector.attach(k);
+  watchdog.attach(k, &injector);
+  k.spawn("fuzz");
+
+  const auto result = k.run(opts.budget);
+  watchdog.finalize(k);
+
+  const auto fail = [&v](std::string why) {
+    v.ok = false;
+    v.divergence = "robustness: " + std::move(why);
+    return v;
+  };
+  if (result == kernel::Kernel::RunResult::kBudgetExhausted) {
+    return fail("run did not complete within budget (faults wedged the "
+                "kernel instead of degrading)");
+  }
+  if (watchdog.breaches() > 0) {
+    return fail(std::to_string(watchdog.breaches()) +
+                " security breach(es): instruction fetched from a split "
+                "page's data frame");
+  }
+  for (std::size_t i = 0; i < injector.records().size(); ++i) {
+    const auto& r = injector.records()[i];
+    if (!r.fired) continue;  // event never occurred: reported, not silent
+    if (!r.outcome.has_value()) {
+      return fail("fault #" + std::to_string(i) + " (" +
+                  inject::to_string(r.fault.kind) +
+                  ") fired but was never classified");
+    }
+    if (*r.outcome == inject::Outcome::kBreach) {
+      return fail("fault #" + std::to_string(i) + " (" +
+                  inject::to_string(r.fault.kind) + ") classified as breach");
+    }
+  }
+  return v;
+}
+
 OracleVerdict check_case(const FuzzCase& c, const OracleOptions& opts) {
   OracleVerdict v;
+
+  if (opts.robustness_only) return check_robustness(c, opts);
 
   // --- behavioural clause: every engine matches the unprotected run ------
   if (!opts.billing_only) {
@@ -273,6 +325,9 @@ OracleVerdict check_case(const FuzzCase& c, const OracleOptions& opts) {
       }
     }
   }
+
+  // --- robustness clause: the fault schedule degrades, never breaches ----
+  if (!c.faults.empty()) return check_robustness(c, opts);
   return v;
 }
 

@@ -82,6 +82,8 @@ struct OracleOptions {
   // predicate evaluations cheap).
   bool behavioral_only = false;
   bool billing_only = false;
+  // Only the robustness clause (fault-schedule shrinking predicate).
+  bool robustness_only = false;
 };
 
 struct OracleVerdict {
@@ -96,8 +98,18 @@ RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
                         u64 budget = 20'000'000);
 
 // The full differential sweep. Throws asm::AsmError if the body does not
-// assemble (generator bug / hand-written corpus typo).
+// assemble (generator bug / hand-written corpus typo). Cases carrying a
+// fault schedule additionally run the robustness clause below.
 OracleVerdict check_case(const FuzzCase& c, const OracleOptions& opts = {});
+
+// ROBUSTNESS clause (ISSUE 5): replay the case's fault schedule against
+// split-break with the invariant watchdog attached and demand graceful
+// degradation — the run completes within budget, ZERO security breaches
+// (no instruction ever fetched from a split page's data frame), and every
+// fault that fired is classified recovered or degraded, never silent.
+// Trivially passes when c.faults is empty.
+OracleVerdict check_robustness(const FuzzCase& c,
+                               const OracleOptions& opts = {});
 
 // The two sweeps, exposed for tests.
 std::vector<OracleConfig> behavioral_configs();

@@ -90,6 +90,40 @@ ShrinkResult shrink(const FuzzCase& c, const DivergesFn& diverges) {
     res.reduced.body = join_actions(parts);
   }
 
+  // --- phase 1b: ddmin the fault schedule (jointly with the program) -----
+  // A robustness divergence usually needs only one or two of the scheduled
+  // faults; the rest are noise in the reproducer. Same chunked-removal
+  // discipline as the action phase, applied to the ;!fault list.
+  if (!res.reduced.faults.empty()) {
+    std::vector<inject::ScheduledFault> faults = res.reduced.faults.faults;
+    std::size_t chunk = faults.size() / 2;
+    if (chunk == 0) chunk = 1;
+    while (!faults.empty()) {
+      bool removed = false;
+      for (std::size_t at = 0; at < faults.size();) {
+        FuzzCase candidate = res.reduced;
+        candidate.faults.faults = faults;
+        const std::size_t n = std::min(chunk, faults.size() - at);
+        candidate.faults.faults.erase(candidate.faults.faults.begin() + at,
+                                      candidate.faults.faults.begin() + at +
+                                          n);
+        const std::string d = t.test(candidate);
+        if (!d.empty()) {
+          faults = std::move(candidate.faults.faults);
+          res.divergence = d;
+          removed = true;  // keep `at`: the next chunk slid into place
+        } else {
+          at += n;
+        }
+      }
+      if (!removed) {
+        if (chunk == 1) break;
+        chunk = (chunk + 1) / 2;
+      }
+    }
+    res.reduced.faults.faults = std::move(faults);
+  }
+
   // --- phase 2: drop individual lines inside surviving actions -----------
   {
     SplitBody parts = split_actions(res.reduced.body);

@@ -1,0 +1,103 @@
+// FaultInjector: replays a FaultSchedule against a running kernel.
+//
+// One injector drives one Kernel instance. It implements both hook
+// interfaces — arch::FaultHooks for the cold MMU/allocator seams and
+// kernel::FaultSource for the run-loop protocol points — and keeps a
+// per-fault Record so a campaign can prove that every fault that actually
+// fired was classified (recovered / degraded / breach, never silent).
+//
+// Two firing disciplines:
+//  - count-scheduled kinds apply themselves the moment the simulated
+//    instruction counter passes `after_instruction` (TLB/PTE corruption,
+//    spurious flush, trap-flag flips);
+//  - event-gated kinds arm at that point and fire at the NEXT matching
+//    protocol event (dropped flush/invlpg, lost/duplicated debug trap,
+//    frame exhaustion, mid-window preemption). An armed fault whose event
+//    never occurs simply never fires, and is reported as unfired.
+//
+// Everything is a pure function of (schedule, simulated event stream), so
+// replays are byte-identical across --jobs parallelism.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arch/fault_hooks.h"
+#include "inject/fault_schedule.h"
+#include "kernel/hooks.h"
+
+namespace sm::kernel {
+class Kernel;
+struct Process;
+}  // namespace sm::kernel
+
+namespace sm::inject {
+
+// How a fired fault ended up, as judged by the invariant watchdog (or
+// eagerly by the injector for faults whose outcome is absorbed by design).
+enum class Outcome : arch::u8 {
+  kRecovered,  // detected and resynced, or harmlessly absorbed
+  kDegraded,   // page locked unsplit / process killed, guest kept running
+  kBreach,     // injected bytes reached fetch — campaign failure
+};
+
+const char* to_string(Outcome o);
+
+class FaultInjector final : public arch::FaultHooks,
+                            public kernel::FaultSource {
+ public:
+  struct Record {
+    ScheduledFault fault;
+    bool fired = false;
+    u64 fired_at = 0;  // instruction count at fire time
+    std::optional<Outcome> outcome;
+  };
+
+  explicit FaultInjector(FaultSchedule schedule);
+
+  // Wires every hook point of `k` to this injector. Call once, before
+  // Kernel::run; the injector must outlive the kernel's run.
+  void attach(kernel::Kernel& k);
+
+  // --- kernel::FaultSource ------------------------------------------------
+  void pre_step(kernel::Kernel& k, kernel::Process& p) override;
+  bool drop_debug_trap(kernel::Kernel& k, kernel::Process& p) override;
+  bool duplicate_debug_trap(kernel::Kernel& k, kernel::Process& p) override;
+  bool force_preempt(kernel::Kernel& k, kernel::Process& p) override;
+
+  // --- arch::FaultHooks ---------------------------------------------------
+  bool drop_tlb_flush() override;
+  bool drop_invlpg(u32 vaddr) override;
+  bool fail_frame_alloc() override;
+
+  // --- accounting ---------------------------------------------------------
+  const std::vector<Record>& records() const { return records_; }
+  u32 fired_count() const;
+  // Fired faults not yet assigned an outcome.
+  u32 outstanding() const;
+  // The watchdog calls this after a full clean audit (state verified and
+  // repaired): every fired-but-unresolved fault is assigned `o`.
+  void resolve_outstanding(Outcome o);
+
+ private:
+  void apply_due(kernel::Kernel& k, kernel::Process& p);
+  // Marks record `i` fired now; returns its index for trace payloads.
+  void fire(u32 i, u32 site_vaddr);
+  void fire_resolved(u32 i, u32 site_vaddr, Outcome o);
+
+  FaultSchedule schedule_;
+  std::vector<Record> records_;
+  kernel::Kernel* kernel_ = nullptr;
+  u32 next_ = 0;  // first schedule entry not yet applied/armed
+
+  // Armed event-gated faults: record indices, consumed FIFO.
+  std::vector<u32> armed_drop_flush_;
+  std::vector<u32> armed_drop_invlpg_;
+  std::vector<u32> armed_alloc_fail_;
+  std::vector<u32> armed_lost_trap_;
+  std::vector<u32> armed_dup_trap_;
+  std::vector<u32> armed_preempt_;
+  std::vector<u32> armed_tf_clear_;  // waits for TF to be set
+};
+
+}  // namespace sm::inject

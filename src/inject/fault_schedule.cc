@@ -1,0 +1,102 @@
+#include "inject/fault_schedule.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sm::inject {
+
+u64 splitmix64_next(u64& state) {
+  u64 z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSpuriousTlbFlush:
+      return "spurious-flush";
+    case FaultKind::kDroppedTlbFlush:
+      return "dropped-flush";
+    case FaultKind::kDroppedInvlpg:
+      return "dropped-invlpg";
+    case FaultKind::kItlbBitFlip:
+      return "itlb-flip";
+    case FaultKind::kDtlbBitFlip:
+      return "dtlb-flip";
+    case FaultKind::kPteCorruption:
+      return "pte-corrupt";
+    case FaultKind::kLostDebugTrap:
+      return "lost-trap";
+    case FaultKind::kDuplicateDebugTrap:
+      return "dup-trap";
+    case FaultKind::kTrapFlagClear:
+      return "tf-clear";
+    case FaultKind::kTrapFlagSet:
+      return "tf-set";
+    case FaultKind::kFrameExhaustion:
+      return "frame-exhaust";
+    case FaultKind::kMidWindowPreempt:
+      return "preempt";
+    case FaultKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::optional<FaultKind> fault_kind_from_string(const std::string& name) {
+  for (u32 i = 0; i < static_cast<u32>(FaultKind::kCount); ++i) {
+    const auto k = static_cast<FaultKind>(i);
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+FaultSchedule FaultSchedule::generate(u64 seed, u32 count, u64 horizon) {
+  FaultSchedule s;
+  s.seed = seed;
+  u64 state = seed;
+  if (horizon == 0) horizon = 1;
+  s.faults.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    ScheduledFault f;
+    f.after_instruction = splitmix64_next(state) % horizon;
+    f.kind = static_cast<FaultKind>(splitmix64_next(state) %
+                                    static_cast<u64>(FaultKind::kCount));
+    f.arg = static_cast<u32>(splitmix64_next(state));
+    s.faults.push_back(f);
+  }
+  std::ranges::stable_sort(s.faults, [](const auto& a, const auto& b) {
+    return a.after_instruction < b.after_instruction;
+  });
+  return s;
+}
+
+std::string FaultSchedule::to_lines() const {
+  std::ostringstream os;
+  for (const ScheduledFault& f : faults) {
+    os << ";!fault " << f.after_instruction << " " << to_string(f.kind) << " "
+       << f.arg << "\n";
+  }
+  return os.str();
+}
+
+std::optional<ScheduledFault> FaultSchedule::parse_line(
+    const std::string& line) {
+  std::istringstream is(line);
+  std::string tag, kind_name;
+  u64 after = 0;
+  u64 arg = 0;
+  is >> tag >> after >> kind_name >> arg;
+  if (is.fail() || tag != ";!fault") return std::nullopt;
+  const auto kind = fault_kind_from_string(kind_name);
+  if (!kind) return std::nullopt;
+  ScheduledFault f;
+  f.after_instruction = after;
+  f.kind = *kind;
+  f.arg = static_cast<u32>(arg);
+  return f;
+}
+
+}  // namespace sm::inject

@@ -1,0 +1,75 @@
+// Deterministic fault schedules: WHAT goes wrong and WHEN.
+//
+// A schedule is a list of (after_instruction, kind, arg) triples sorted by
+// instruction count. Schedules are generated from a splitmix64 seed — the
+// same generator discipline as fuzz::Rng, duplicated here so inject/ stays
+// below fuzz/ in the dependency order — and round-trip through the corpus
+// text form (`;!fault <after> <kind> <arg>` lines) so a failing schedule
+// can be committed as a reproducer next to the guest program it broke.
+//
+// Replay is byte-identical by construction: every firing decision is a
+// pure function of the schedule and the simulated instruction counter, so
+// ExperimentRunner's --jobs determinism contract holds.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace sm::inject {
+
+using arch::u32;
+using arch::u64;
+
+// The named protocol points the injector can break (ISSUE 5 fault model).
+enum class FaultKind : arch::u8 {
+  kSpuriousTlbFlush = 0,  // extra full flush out of nowhere
+  kDroppedTlbFlush,       // next CR3-reload flush is lost (stale TLBs)
+  kDroppedInvlpg,         // next invlpg is lost (one stale entry)
+  kItlbBitFlip,           // flip the pfn low bit of a live I-TLB entry
+  kDtlbBitFlip,           // flip the pfn low bit of a live D-TLB entry
+  kPteCorruption,         // corrupt a split page's PTE (see arg encoding)
+  kLostDebugTrap,         // next debug trap is consumed but never handled
+  kDuplicateDebugTrap,    // next debug trap is delivered twice
+  kTrapFlagClear,         // clear TF while a single-step window is open
+  kTrapFlagSet,           // set TF spuriously outside any window
+  kFrameExhaustion,       // next frame allocation fails
+  kMidWindowPreempt,      // force a context switch inside a step window
+  kCount,
+};
+
+const char* to_string(FaultKind k);
+std::optional<FaultKind> fault_kind_from_string(const std::string& name);
+
+struct ScheduledFault {
+  u64 after_instruction = 0;  // fires at the first step boundary >= this
+  FaultKind kind = FaultKind::kSpuriousTlbFlush;
+  // Kind-specific selector. Bit flips: picks the victim entry. PTE
+  // corruption: low 2 bits pick the sub-kind (0 = unrestrict, 1 = clear
+  // kSplit, 2 = repoint at the data frame), the rest picks the split page.
+  u32 arg = 0;
+};
+
+struct FaultSchedule {
+  u64 seed = 0;
+  std::vector<ScheduledFault> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  // `count` faults over [0, horizon) instructions, kinds drawn uniformly.
+  // Deterministic in (seed, count, horizon); sorted by after_instruction.
+  static FaultSchedule generate(u64 seed, u32 count, u64 horizon);
+
+  // One `;!fault <after> <kind> <arg>` line per fault (corpus embedding).
+  std::string to_lines() const;
+  // Parses one `;!fault ...` line; returns nullopt if malformed.
+  static std::optional<ScheduledFault> parse_line(const std::string& line);
+};
+
+// splitmix64 (same algorithm as fuzz::Rng; duplicated to keep inject/
+// independent of fuzz/).
+u64 splitmix64_next(u64& state);
+
+}  // namespace sm::inject

@@ -1,0 +1,264 @@
+#include "invariant/watchdog.h"
+
+#include "arch/mmu.h"
+#include "arch/page_table.h"
+#include "arch/pte.h"
+#include "arch/tlb.h"
+#include "kernel/kernel.h"
+
+namespace sm::invariant {
+
+using arch::PageTable;
+using arch::Pte;
+using arch::Tlb;
+using arch::TlbEntry;
+using kernel::Kernel;
+using kernel::Process;
+using kernel::SplitPair;
+
+namespace {
+// Full audit at least this often, even with no version/pid movement (covers
+// dropped flush/invlpg, which by definition leave no version trail).
+constexpr u32 kAuditPeriod = 16;
+
+constexpr u32 vpn_of(u32 va) { return va >> arch::kPageShift; }
+}  // namespace
+
+void InvariantWatchdog::attach(Kernel& k, inject::FaultInjector* injector) {
+  injector_ = injector;
+  k.set_step_observer(this);
+}
+
+// The most recently fired, still-unclassified fault — the best attribution
+// guess for a violation found right now (~0u when none / no injector).
+static u32 blamed_index(const inject::FaultInjector* injector) {
+  u32 blame = ~0u;
+  if (injector == nullptr) return blame;
+  const auto& recs = injector->records();
+  for (u32 i = 0; i < recs.size(); ++i) {
+    if (recs[i].fired && !recs[i].outcome.has_value()) blame = i;
+  }
+  return blame;
+}
+
+void InvariantWatchdog::on_violation(Kernel& k, Process& p, u32 vaddr,
+                                     arch::u8 invariant) {
+  ++violations_;
+  ++k.stats().invariant_violations;
+  SM_TRACE(k.trace_sink(),
+           record(trace::EventKind::kInvariantViolation, vaddr,
+                  blamed_index(injector_), invariant));
+  const u64 key = (static_cast<u64>(p.pid) << 32) | vpn_of(vaddr);
+  const u32 repairs = ++repairs_[key];
+  if (repairs > kRetryLimit && k.engine().degrade_lock_unsplit(k, p, vaddr)) {
+    ++degradations_;
+    ++k.stats().invariant_degradations;
+    degraded_since_resolve_ = true;
+    repairs_.erase(key);
+    k.log("[invariant] I" + std::to_string(invariant) + " pid " +
+          std::to_string(p.pid) + " page " + std::to_string(vaddr) +
+          ": repair limit hit, degraded to unsplit-locked");
+    return;
+  }
+  ++recoveries_;
+  ++k.stats().invariant_recoveries;
+}
+
+void InvariantWatchdog::check_split_pte(Kernel& k, Process& p, u32 vpn) {
+  const SplitPair* pair = p.as->split_pair(vpn);
+  if (pair == nullptr) return;
+  // Inside the page's own fill window every I1 state is legal by design
+  // (unrestricted, either frame) — Algorithm 1 holds the PTE mid-protocol.
+  if (p.pending_split_vaddr && vpn_of(*p.pending_split_vaddr) == vpn) return;
+  const u32 va = vpn << arch::kPageShift;
+  PageTable pt = p.as->pt();
+  const Pte pte = pt.get(va);
+  if (!pte.present()) return;
+  Pte fixed = pte;
+  if (fixed.user()) fixed.restrict_supervisor();
+  if (!fixed.split()) fixed.set(Pte::kSplit);
+  if (fixed.pfn() != pair->code_frame && fixed.pfn() != pair->data_frame) {
+    fixed.set_pfn(pair->code_frame);
+  }
+  if (fixed == pte) return;
+  pt.set(va, fixed);
+  // Conservatively drop both cached translations so nothing keeps serving
+  // state derived from the corrupt PTE. Direct TLB calls, not mmu.invlpg:
+  // repairs must not be swallowed by an armed dropped-invlpg fault.
+  k.mmu().itlb().invalidate(vpn);
+  k.mmu().dtlb().invalidate(vpn);
+  on_violation(k, p, va, kI1);
+}
+
+void InvariantWatchdog::scan_split_ptes(Kernel& k, Process& p) {
+  // Snapshot the vpns first: a repair that escalates to degradation erases
+  // the page from split_pages() mid-scan, invalidating live iterators.
+  scan_vpns_.clear();
+  for (const auto& [vpn, pair] : p.as->split_pages()) {
+    scan_vpns_.push_back(vpn);
+  }
+  for (const u32 vpn : scan_vpns_) {
+    check_split_pte(k, p, vpn);
+  }
+}
+
+void InvariantWatchdog::check_fetch_page(Kernel& k, Process& p, u32 pc) {
+  const auto check_one = [&](u32 vpn) {
+    const SplitPair* pair = p.as->split_pair(vpn);
+    if (pair == nullptr) return;
+    Tlb& itlb = k.mmu().itlb();
+    const auto e = itlb.peek(vpn);
+    if (e && e->pfn == pair->data_frame) {
+      itlb.invalidate(vpn);
+      on_violation(k, p, vpn << arch::kPageShift, kI2);
+    }
+  };
+  check_one(vpn_of(pc));
+  // A fetch may straddle onto the next page (max instruction length < 8).
+  const u32 next = vpn_of(pc + 7);
+  if (next != vpn_of(pc)) check_one(next);
+}
+
+void InvariantWatchdog::sweep_tlb(Kernel& k, Process& p, bool is_itlb) {
+  Tlb& tlb = is_itlb ? k.mmu().itlb() : k.mmu().dtlb();
+  PageTable pt = p.as->pt();
+  for (u32 i = 0; i < tlb.capacity(); ++i) {
+    const TlbEntry e = tlb.entry_at(i);  // copy: we may invalidate the slot
+    if (!e.valid) continue;
+    const u32 va = e.vpn << arch::kPageShift;
+    const SplitPair* pair = p.as->split_pair(e.vpn);
+    arch::u8 inv = 0;
+    if (pair != nullptr) {
+      // Split pages cache user=1 deliberately; the pair, not the PTE, is
+      // the ground truth for which frames an entry may legally serve.
+      if (is_itlb && e.pfn == pair->data_frame) {
+        inv = kI2;
+      } else if (!is_itlb && e.pfn == pair->code_frame && e.writable) {
+        inv = kI3;
+      } else if (e.pfn != pair->code_frame && e.pfn != pair->data_frame) {
+        inv = kI5;
+      }
+    } else {
+      const Pte pte = pt.get(va);
+      if (!pte.present() || e.pfn != pte.pfn()) {
+        inv = kI5;  // stale translation (dropped flush/invlpg, bit flip)
+      } else if (e.user && !pte.user() && !pte.no_exec()) {
+        // User elevation. PAGEEXEC-restricted pages (!user && no_exec)
+        // cache user=1 by design and are exempt.
+        inv = kI5;
+      } else if (e.writable && !pte.writable()) {
+        inv = kI5;  // writable elevation (stale after mprotect/fork-COW)
+      }
+    }
+    if (inv != 0) {
+      tlb.invalidate(e.vpn);
+      on_violation(k, p, va, inv);
+    }
+  }
+}
+
+void InvariantWatchdog::resolve_after_audit() {
+  if (injector_ == nullptr) return;
+  if (injector_->outstanding() > 0) {
+    injector_->resolve_outstanding(degraded_since_resolve_
+                                       ? inject::Outcome::kDegraded
+                                       : inject::Outcome::kRecovered);
+  }
+  degraded_since_resolve_ = false;
+}
+
+void InvariantWatchdog::full_audit(Kernel& k, Process& p) {
+  steps_since_audit_ = 0;
+  sweep_tlb(k, p, /*is_itlb=*/true);
+  sweep_tlb(k, p, /*is_itlb=*/false);
+  scan_split_ptes(k, p);
+  // Record AFTER the sweeps: our own repairs bump versions and must not
+  // re-trigger an audit next step.
+  last_itlb_version_ = k.mmu().itlb().version();
+  last_dtlb_version_ = k.mmu().dtlb().version();
+  // State verified and repaired: everything fired so far is classified.
+  resolve_after_audit();
+}
+
+void InvariantWatchdog::pre_step(Kernel& k, Process& p) {
+  if (!p.alive() || !p.as) return;
+  arch::Mmu& mmu = k.mmu();
+  const bool audit = ++steps_since_audit_ >= kAuditPeriod ||
+                     p.pid != last_pid_ ||
+                     mmu.itlb().version() != last_itlb_version_ ||
+                     mmu.dtlb().version() != last_dtlb_version_;
+  last_pid_ = p.pid;
+  if (audit) {
+    // Runs before the upcoming instruction consumes anything: a TLB entry
+    // corrupted by this step's injector pre_step bumped a version counter,
+    // so it is swept here — before a fetch or load can ever see it.
+    full_audit(k, p);
+  } else {
+    // Incremental form: every split PTE (closes the corrupt-PTE-to-walk
+    // window; split page counts are small) plus the fetch page's I-TLB.
+    scan_split_ptes(k, p);
+  }
+  check_fetch_page(k, p, k.regs_of(p).pc);
+}
+
+void InvariantWatchdog::check_window(Kernel& k, Process& p) {
+  arch::Regs& regs = k.regs_of(p);
+  if (p.pending_split_vaddr && !regs.tf()) {
+    // I4a: the single-step window is open but the trap that closes it was
+    // lost. Re-run the engine's own close path (Algorithm 2 is idempotent).
+    on_violation(k, p, *p.pending_split_vaddr, kI4);
+    k.engine().on_debug_step(k, p);
+  } else if (!p.pending_split_vaddr && regs.tf()) {
+    // I4b: TF set with no window pending — a spurious single-step storm.
+    // (The engine's handler deliberately leaves TF alone in this state.)
+    on_violation(k, p, regs.pc, kI4);
+    regs.set_tf(false);
+  }
+}
+
+void InvariantWatchdog::post_step(Kernel& k, Process& p, u32 executed_pc) {
+  if (!p.alive() || !p.as) return;
+  // Breach backstop: the instruction that just retired was fetched through
+  // the I-TLB entry for its page. If that entry maps the DATA frame of a
+  // split page, data bytes reached execution — the one outcome the whole
+  // architecture exists to prevent.
+  const u32 vpn = vpn_of(executed_pc);
+  const SplitPair* pair = p.as->split_pair(vpn);
+  if (pair != nullptr) {
+    const auto e = k.mmu().itlb().peek(vpn);
+    if (e && e->pfn == pair->data_frame) {
+      ++breaches_;
+      ++violations_;
+      ++k.stats().invariant_violations;
+      SM_TRACE(k.trace_sink(),
+               record(trace::EventKind::kInvariantViolation, executed_pc,
+                      blamed_index(injector_), kI2));
+      k.mmu().itlb().invalidate(vpn);
+      if (injector_ != nullptr) {
+        injector_->resolve_outstanding(inject::Outcome::kBreach);
+      }
+      k.log("[invariant] BREACH pid " + std::to_string(p.pid) + " pc " +
+            std::to_string(executed_pc) +
+            ": instruction fetched from the data frame of a split page");
+    }
+  }
+  check_window(k, p);
+}
+
+void InvariantWatchdog::finalize(Kernel& k) {
+  // The TLBs hold the context of the last process that ran; sweeping them
+  // against any other address space would be meaningless.
+  Process* cur = k.process(last_pid_);
+  if (cur != nullptr && cur->alive() && cur->as) {
+    full_audit(k, *cur);
+  }
+  for (const auto& [pid, up] : k.processes()) {
+    Process& p = *up;
+    if (!p.alive() || !p.as || &p == cur) continue;
+    scan_split_ptes(k, p);
+  }
+  // Nothing left can consume machine state: classify whatever remains.
+  resolve_after_audit();
+}
+
+}  // namespace sm::invariant

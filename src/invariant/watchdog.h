@@ -1,0 +1,118 @@
+// InvariantWatchdog: the always-on checker of the split-protocol
+// invariants, and the recovery path when they are violated.
+//
+// The paper's security argument rests on a handful of properties that are
+// nowhere enforced at runtime — they hold because the protocol code is
+// correct and the hardware behaves. This watchdog re-checks them around
+// every retired instruction (cheap incremental form) and actively repairs
+// what it finds, so a misbehaving machine (the fault injector, src/inject)
+// degrades the system instead of breaking it:
+//
+//   I1  Outside a fill window, a split page's PTE is supervisor-restricted,
+//       carries kSplit, and points at one of the pair's frames.
+//   I2  The I-TLB never maps a split page to its DATA frame (the breach-
+//       adjacent state: one fetch away from executing injected bytes).
+//   I3  The D-TLB never maps a writable split page to its CODE frame
+//       (read-only pages are exempt — both frames hold identical bytes).
+//   I4  Window discipline: a pending single-step window implies TF is set;
+//       TF set implies a window is pending. (pending && !TF = the debug
+//       trap was lost; TF && !pending = a spurious single-step storm.)
+//   I5  TLB/page-table coherence for unsplit pages: no stale frame, no
+//       user/writable elevation over the current PTE. Split pages and
+//       PAGEEXEC-restricted pages (!user && no_exec) cache user=1 by
+//       design and are exempt from the user-bit clause.
+//
+// Checking discipline (why this is cheap): every step pays O(1) — the
+// fetch page's PTE + I-TLB slot and the window flags. The full audit
+// (both TLB sweeps + every split PTE) runs only when a TLB's version
+// counter moved, the scheduled pid changed, or a 16-instruction period
+// elapsed. The watchdog only observes and repairs through architectural
+// operations (pt.set, invlpg, the engine's own close/degrade paths) and
+// never charges simulated cycles; a clean run's billing is untouched
+// because a clean run never trips a repair.
+//
+// Violation outcomes: each repair counts as detected-and-recovered; a page
+// needing more than kRetryLimit repairs is locked unsplit via the engine's
+// degrade path (gracefully degraded); an instruction retired from a split
+// page while the I-TLB mapped its data frame is a security breach (the
+// campaign fails). After each full audit the attached injector's fired-
+// but-unresolved faults are classified, so no injected fault stays silent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "inject/fault_injector.h"
+#include "kernel/hooks.h"
+
+namespace sm::kernel {
+class Kernel;
+struct Process;
+}  // namespace sm::kernel
+
+namespace sm::invariant {
+
+using arch::u32;
+using arch::u64;
+
+class InvariantWatchdog final : public kernel::StepObserver {
+ public:
+  // Invariant ids used in trace events and per-check reporting.
+  enum : arch::u8 { kI1 = 1, kI2 = 2, kI3 = 3, kI4 = 4, kI5 = 5 };
+
+  // Repairs on the same page beyond this count trigger degradation.
+  static constexpr u32 kRetryLimit = 8;
+
+  InvariantWatchdog() = default;
+
+  // Wires the watchdog into `k`. If `injector` is non-null, fired faults
+  // are classified against the audit results.
+  void attach(kernel::Kernel& k, inject::FaultInjector* injector = nullptr);
+
+  void pre_step(kernel::Kernel& k, kernel::Process& p) override;
+  void post_step(kernel::Kernel& k, kernel::Process& p,
+                 u32 executed_pc) override;
+
+  // End-of-run closure: audits every live process, then classifies any
+  // remaining fired faults. Call after Kernel::run returns.
+  void finalize(kernel::Kernel& k);
+
+  u32 breaches() const { return breaches_; }
+  u32 violations() const { return violations_; }
+  u32 recoveries() const { return recoveries_; }
+  u32 degradations() const { return degradations_; }
+
+ private:
+  void full_audit(kernel::Kernel& k, kernel::Process& p);
+  void sweep_tlb(kernel::Kernel& k, kernel::Process& p, bool is_itlb);
+  void scan_split_ptes(kernel::Kernel& k, kernel::Process& p);
+  // Checks/repairs one split page's PTE (I1). No-op for unsplit vpns.
+  void check_split_pte(kernel::Kernel& k, kernel::Process& p, u32 vpn);
+  // Pre-fetch guard: the I-TLB slot for the page `pc` will fetch from (I2).
+  void check_fetch_page(kernel::Kernel& k, kernel::Process& p, u32 pc);
+  void check_window(kernel::Kernel& k, kernel::Process& p);
+  void on_violation(kernel::Kernel& k, kernel::Process& p, u32 vaddr,
+                    arch::u8 invariant);
+  void resolve_after_audit();
+
+  inject::FaultInjector* injector_ = nullptr;
+  u64 last_itlb_version_ = ~0ull;
+  u64 last_dtlb_version_ = ~0ull;
+  u32 last_pid_ = 0;
+  u32 steps_since_audit_ = 0;
+  bool degraded_since_resolve_ = false;
+  // Repair count per (pid, vpn), for the bounded-retry degradation.
+  std::map<u64, u32> repairs_;
+  // Scratch for scan_split_ptes: the vpn snapshot iterated while repairs
+  // may erase pages from the live split map (reused to avoid per-step
+  // allocation).
+  std::vector<u32> scan_vpns_;
+
+  u32 violations_ = 0;
+  u32 recoveries_ = 0;
+  u32 degradations_ = 0;
+  u32 breaches_ = 0;
+};
+
+}  // namespace sm::invariant

@@ -1,0 +1,95 @@
+// Run-loop hook interfaces for the robustness subsystem, plus the
+// SM_INVARIANT compile-time gate (two-layer gating mirroring SM_TRACE):
+//
+//  1. Compile time. The kernel's per-instruction hook sites are wrapped in
+//     `#if SM_INVARIANT_ENABLED`; with -DSM_INVARIANT_ENABLED=0 (CMake:
+//     -DSM_INVARIANT=OFF) the run loop carries zero robustness code.
+//  2. Run time. When compiled in (the default), the kernel holds non-owning
+//     FaultSource/StepObserver pointers that are nullptr unless a harness
+//     attached them; each site costs one unlikely-hinted null check per
+//     retired instruction. Cpu::step() itself carries nothing — the
+//     BM_CpuStepCached hot loop never sees these branches.
+//
+// The concrete implementations live outside the kernel: the deterministic
+// fault injector (src/inject/) is a FaultSource, and the split-protocol
+// invariant watchdog (src/invariant/) is a StepObserver. The kernel only
+// knows these interfaces, so the dependency arrows stay inject/invariant ->
+// kernel, never the reverse.
+#pragma once
+
+#include "arch/types.h"
+
+#ifndef SM_INVARIANT_ENABLED
+#define SM_INVARIANT_ENABLED 1
+#endif
+
+namespace sm::kernel {
+
+class Kernel;
+struct Process;
+
+// A source of injected hardware/OS misbehaviour, consulted by the run loop
+// at named protocol points. All methods default to "no fault".
+class FaultSource {
+ public:
+  virtual ~FaultSource() = default;
+
+  // Called once before every cpu.step() with the process about to run.
+  // Count-scheduled faults (TLB/PTE corruption, trap-flag flips, spurious
+  // flushes) apply themselves here.
+  virtual void pre_step(Kernel& k, Process& p) {
+    (void)k;
+    (void)p;
+  }
+
+  // A debug (single-step) trap was raised and is about to be delivered to
+  // the protection engine. Return true to lose it: the handler never runs
+  // and the single-step window is left open.
+  virtual bool drop_debug_trap(Kernel& k, Process& p) {
+    (void)k;
+    (void)p;
+    return false;
+  }
+
+  // A debug trap was just handled. Return true to deliver a spurious
+  // duplicate to the engine (the handler must be idempotent).
+  virtual bool duplicate_debug_trap(Kernel& k, Process& p) {
+    (void)k;
+    (void)p;
+    return false;
+  }
+
+  // Consulted where the timer would preempt. Return true to force a
+  // context switch now even though the timeslice has not expired (the
+  // mid-single-step-window preemption fault).
+  virtual bool force_preempt(Kernel& k, Process& p) {
+    (void)k;
+    (void)p;
+    return false;
+  }
+};
+
+// A passive-until-violated observer of the split-protocol invariants,
+// called around every retired instruction. The invariant watchdog checks
+// and *repairs* protocol state here; it never charges simulated cycles.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+
+  // Before cpu.step(): runs after FaultSource::pre_step so freshly injected
+  // corruption is visible (and repairable) before the guest consumes it.
+  virtual void pre_step(Kernel& k, Process& p) {
+    (void)k;
+    (void)p;
+  }
+
+  // After cpu.step() and trap handling. `executed_pc` is the program
+  // counter the retired (or faulted) instruction was fetched from.
+  virtual void post_step(Kernel& k, Process& p, arch::u32 executed_pc) {
+    (void)k;
+    (void)p;
+    (void)executed_pc;
+  }
+};
+
+}  // namespace sm::kernel

@@ -369,17 +369,61 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
 
     if (p.retry_syscall) {
       p.retry_syscall = false;
-      do_syscall(p, /*retried=*/true);
+      try {
+        do_syscall(p, /*retried=*/true);
+      } catch (const arch::OutOfMemoryError&) {
+        // Injected frame exhaustion degrades to killing the requester;
+        // genuine global exhaustion keeps its documented contract (the
+        // error propagates to the embedder).
+        if (fault_source_ == nullptr) throw;
+        if (p.alive()) {
+          kill_process(p, ExitKind::kKilledSigsegv,
+                       "out of memory (no frame available)");
+        }
+      }
       if (!current_) continue;  // blocked again or exited
     }
 
+#if SM_INVARIANT_ENABLED
+    if (fault_source_ != nullptr) [[unlikely]] {
+      fault_source_->pre_step(*this, p);
+    }
+    if (step_observer_ != nullptr) [[unlikely]] {
+      step_observer_->pre_step(*this, p);
+    }
+#endif
     const bool tf_before = cpu_.regs().tf();
+    [[maybe_unused]] const u32 pc_before = cpu_.regs().pc;
     const auto trap = cpu_.step();
     ++executed;
     ++slice_used_;
     if (trap) {
-      handle_trap(p, *trap, tf_before);
+      try {
+        handle_trap(p, *trap, tf_before);
+      } catch (const arch::OutOfMemoryError&) {
+        // INJECTED frame exhaustion surfacing through a path with no
+        // dedicated recovery (fork, COW, a data-frame allocation): degrade
+        // by killing the process, never by tearing down the kernel.
+        // Genuine exhaustion (no injector attached) keeps its documented
+        // contract and propagates to the embedder.
+        if (fault_source_ == nullptr) throw;
+        if (p.alive()) {
+          kill_process(p, ExitKind::kKilledSigsegv,
+                       "out of memory (no frame available)");
+        }
+      }
     }
+#if SM_INVARIANT_ENABLED
+    if (step_observer_ != nullptr) [[unlikely]] {
+      step_observer_->post_step(*this, p, pc_before);
+    }
+    if (fault_source_ != nullptr && current_) [[unlikely]] {
+      // Injected mid-window preemption: force the timer to fire early.
+      if (fault_source_->force_preempt(*this, p)) {
+        slice_used_ = cfg_.cost.timeslice_instructions;
+      }
+    }
+#endif
 
     // Timer preemption: round-robin if someone else is waiting for the CPU.
     if (current_ && slice_used_ >= cfg_.cost.timeslice_instructions) {
@@ -458,7 +502,26 @@ void Kernel::handle_trap(Process& p, const Trap& trap, bool tf_before) {
       stats_.cycles += cfg_.cost.trap_cost;
       SM_TRACE(trace_ptr_,
                charge(trace::Category::kDebugTrap, cfg_.cost.trap_cost));
+#if SM_INVARIANT_ENABLED
+      if (fault_source_ != nullptr &&
+          fault_source_->drop_debug_trap(*this, p)) [[unlikely]] {
+        // Injected lost debug interrupt: the CPU consumed the trap but the
+        // handler never ran. Clear TF as the (never-run) handler's iret
+        // would have; the single-step window is left open for the
+        // invariant watchdog to find.
+        regs_of(p).set_tf(false);
+        break;
+      }
+#endif
       engine_->on_debug_step(*this, p);
+#if SM_INVARIANT_ENABLED
+      if (fault_source_ != nullptr &&
+          fault_source_->duplicate_debug_trap(*this, p)) [[unlikely]] {
+        // Injected spurious duplicate delivery; the handler is idempotent
+        // (no pending window left), so this must absorb harmlessly.
+        engine_->on_debug_step(*this, p);
+      }
+#endif
       break;
     }
     case TrapKind::kInvalidOpcode: {

@@ -21,6 +21,7 @@
 #include "kernel/channel.h"
 #include "kernel/filesystem.h"
 #include "kernel/guest_mem.h"
+#include "kernel/hooks.h"
 #include "kernel/process.h"
 #include "kernel/protection.h"
 #include "kernel/syscall_defs.h"
@@ -144,6 +145,14 @@ class Kernel {
 
   std::vector<DetectionEvent>& detections() { return detections_; }
 
+  // --- robustness hooks (src/inject, src/invariant) ------------------------
+  // Non-owning; nullptr (the default) means no fault injection / no
+  // watchdog. Compiled out entirely under -DSM_INVARIANT=OFF.
+  void set_fault_source(FaultSource* src) { fault_source_ = src; }
+  void set_step_observer(StepObserver* obs) { step_observer_ = obs; }
+  FaultSource* fault_source() { return fault_source_; }
+  StepObserver* step_observer() { return step_observer_; }
+
   // Sebek-style honeypot logging hook (paper Fig. 5d): called with each
   // line the attacker "types" into a spawned shell.
   std::function<void(Process&, const std::string&)> shell_input_logger;
@@ -194,6 +203,8 @@ class Kernel {
   trace::TraceSink* trace_ptr_ = nullptr;  // &trace_ iff cfg_.trace
   FileSystem fs_;
   std::unique_ptr<ProtectionEngine> engine_;
+  FaultSource* fault_source_ = nullptr;
+  StepObserver* step_observer_ = nullptr;
 
   std::map<std::string, image::Image> images_;
   std::map<Pid, std::unique_ptr<Process>> procs_;

@@ -64,6 +64,18 @@ class ProtectionEngine {
   // VMA). Default: rewrite the writable bit and invlpg.
   virtual void on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
                            u32 end);
+
+  // Graceful degradation request from the invariant watchdog: give up on
+  // protecting the page covering `vaddr` and lock it into a plain unsplit
+  // mapping (the ResponseMode::kObserve lock path) so the guest keeps
+  // running. Returns true if the page was degraded; engines without split
+  // state have nothing to degrade and return false.
+  virtual bool degrade_lock_unsplit(Kernel& k, Process& p, u32 vaddr) {
+    (void)k;
+    (void)p;
+    (void)vaddr;
+    return false;
+  }
 };
 
 // The baseline: a conventional von Neumann system with no protection.

@@ -18,6 +18,13 @@ std::ostream& operator<<(std::ostream& os, const Stats& s) {
      << s.decode_cache_misses << "/" << s.decode_cache_invalidations
      << " fetch_fast=" << s.fetch_fastpath_hits
      << " data_fast=" << s.data_fastpath_hits;
+  if (s.faults_injected || s.invariant_violations || s.invariant_recoveries ||
+      s.invariant_degradations || s.split_oom_degradations) {
+    os << " faults=" << s.faults_injected
+       << " inv(viol/rec/deg)=" << s.invariant_violations << "/"
+       << s.invariant_recoveries << "/" << s.invariant_degradations
+       << " oom_deg=" << s.split_oom_degradations;
+  }
   return os;
 }
 

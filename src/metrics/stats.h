@@ -51,6 +51,15 @@ struct Stats {
   // Security events.
   std::uint64_t injections_detected = 0;
 
+  // Robustness: fault injection and the invariant watchdog. These count
+  // simulated *hardware/OS misbehaviour* and the kernel's response to it;
+  // they are zero in any run without an armed fault schedule.
+  std::uint64_t faults_injected = 0;
+  std::uint64_t invariant_violations = 0;    // watchdog detections
+  std::uint64_t invariant_recoveries = 0;    // resynced, split kept
+  std::uint64_t invariant_degradations = 0;  // page locked unsplit
+  std::uint64_t split_oom_degradations = 0;  // code frame alloc failed
+
   void reset() { *this = Stats{}; }
 };
 

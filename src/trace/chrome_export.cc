@@ -32,6 +32,10 @@ const char* kind_cat(EventKind k) {
     case EventKind::kSoftTlbFill:
     case EventKind::kSebekInput:
       return "kernel";
+    case EventKind::kFaultInjected:
+    case EventKind::kInvariantViolation:
+    case EventKind::kDegradeUnsplit:
+      return "robustness";
     case EventKind::kCount:
       break;
   }

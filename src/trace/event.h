@@ -56,6 +56,15 @@ enum class EventKind : u8 {
   kSoftTlbFill,
   // Sebek-style honeypot shell input. info = line length in bytes.
   kSebekInput,
+  // Fault injector fired. vaddr = fault site (page va or 0), info = schedule
+  // index, arg = inject::FaultKind.
+  kFaultInjected,
+  // Invariant watchdog flagged a protocol violation. vaddr = page va,
+  // info = schedule index of the blamed fault (or ~0u), arg = invariant id.
+  kInvariantViolation,
+  // Graceful degradation: page locked unsplit (OOM at split time or retry
+  // budget exhausted). vaddr = page va, info = kept pfn.
+  kDegradeUnsplit,
   kCount,
 };
 

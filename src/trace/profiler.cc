@@ -44,6 +44,12 @@ const char* kind_name(EventKind k) {
       return "soft-tlb-fill";
     case EventKind::kSebekInput:
       return "sebek-input";
+    case EventKind::kFaultInjected:
+      return "fault-injected";
+    case EventKind::kInvariantViolation:
+      return "invariant-violation";
+    case EventKind::kDegradeUnsplit:
+      return "degrade-unsplit";
     case EventKind::kCount:
       break;
   }

@@ -12,18 +12,25 @@
 // 2 usage error.
 //
 //   fuzz_driver [--seed=S] [--count=N] [--jobs=N] [--budget=C] [--shrink]
-//               [--corpus DIR] [--save DIR] [--emit-corpus]
+//               [--faults[=N]] [--corpus DIR] [--save DIR] [--emit-corpus]
 //               [--inject-lru-bug] [--no-progress] [--help]
 //
 //   --seed=S          campaign seed (default 1); case i uses case_seed(S, i)
 //   --count=N         generated cases (default 25; ignored with --corpus)
 //   --budget=C        per-run instruction budget (default 20000000)
 //   --shrink          shrink the first divergent case to a reproducer
+//                     (programs and fault schedules are minimized jointly)
+//   --faults[=N]      attach N scheduled faults per generated case (default
+//                     12 when bare), arming the oracle's robustness clause:
+//                     a breach or an unclassified fault is a divergence
 //   --corpus DIR      replay *.sm cases from DIR instead of generating
 //   --save DIR        write divergent cases (and the shrunk reproducer) here
 //   --emit-corpus     with --save: write EVERY generated case (seeds a corpus)
 //   --inject-lru-bug  plant the deliberate memo-LRU billing bug (oracle
 //                     self-test: the campaign must catch it)
+//
+// A saved reproducer's path is echoed on stderr; the exit code is nonzero
+// for ANY divergence, security breaches included.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +57,7 @@ struct Args {
   u32 jobs = 0;
   u64 budget = 20'000'000;
   bool shrink = false;
+  u32 faults = 0;
   bool emit_corpus = false;
   bool inject_lru_bug = false;
   bool progress = true;
@@ -90,6 +98,9 @@ Args parse(int argc, char** argv) {
     std::string v;
     if (std::strcmp(arg, "--help") == 0) usage(0);
     else if (std::strcmp(arg, "--shrink") == 0) a.shrink = true;
+    else if (std::strcmp(arg, "--faults") == 0) a.faults = 12;
+    else if (eat_value(arg, "--faults", argc, argv, i, v))
+      a.faults = static_cast<u32>(std::strtoul(v.c_str(), nullptr, 0));
     else if (std::strcmp(arg, "--emit-corpus") == 0) a.emit_corpus = true;
     else if (std::strcmp(arg, "--inject-lru-bug") == 0) a.inject_lru_bug = true;
     else if (std::strcmp(arg, "--no-progress") == 0) a.progress = false;
@@ -148,9 +159,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   } else {
+    fuzz::GenOptions gopts;
+    gopts.fault_count = args.faults;
     for (u32 i = 0; i < args.count; ++i) {
       const u64 cs = fuzz::case_seed(args.seed, i);
-      cases.push_back(fuzz::generate(cs));
+      cases.push_back(fuzz::generate(cs, gopts));
       labels.push_back(runner::strf("case %04u", i));
     }
   }
@@ -211,14 +224,23 @@ int main(int argc, char** argv) {
             return "";
           }
         });
-    std::printf("reproducer: %u instructions after %u predicate calls\n",
-                fuzz::count_instructions(sr.reduced.body), sr.predicate_calls);
+    std::printf("reproducer: %u instructions, %zu faults after %u predicate "
+                "calls\n",
+                fuzz::count_instructions(sr.reduced.body),
+                sr.reduced.faults.faults.size(), sr.predicate_calls);
     std::printf("divergence: %s\n", sr.divergence.c_str());
-    std::fputs(sr.reduced.body.c_str(), stdout);
-    if (!args.save_dir.empty())
-      fuzz::save_case(args.save_dir,
-                      runner::strf("repro_%04zu", divergent.front()),
-                      sr.reduced);
+    std::fputs(fuzz::to_corpus_file(sr.reduced).c_str(), stdout);
+    if (!args.save_dir.empty()) {
+      const std::string path =
+          fuzz::save_case(args.save_dir,
+                          runner::strf("repro_%04zu", divergent.front()),
+                          sr.reduced);
+      if (path.empty()) {
+        std::fprintf(stderr, "fuzz_driver: FAILED to save reproducer\n");
+        return 3;
+      }
+      std::fprintf(stderr, "reproducer: %s\n", path.c_str());
+    }
   }
 
   return divergent.empty() ? 0 : 1;
