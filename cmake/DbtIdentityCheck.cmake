@@ -1,0 +1,49 @@
+# Billing-identity regression for the basic-block (DBT) engine.
+#
+# Runs BENCH twice — once normally (block engine on, the build default)
+# and once with SM_DBT=0 in the environment (runtime kill switch, same
+# binary) — and fails unless both exit codes and every byte of stdout
+# match: the block engine is a host-side fast path and must never change
+# a simulated number (DESIGN.md §13 identity contract).
+#
+# Usage:
+#   cmake -DBENCH=<path> -DWORK_DIR=<dir>
+#         [-DEXTRA_ARGS=<arg;arg;...>] -P DbtIdentityCheck.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "DbtIdentityCheck: BENCH and WORK_DIR required")
+endif()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(out_dbt "${WORK_DIR}/dbt_on.stdout")
+set(out_interp "${WORK_DIR}/dbt_off.stdout")
+
+execute_process(
+  COMMAND "${BENCH}" ${EXTRA_ARGS} --no-progress
+  OUTPUT_FILE "${out_dbt}"
+  RESULT_VARIABLE rc_dbt)
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SM_DBT=0
+          "${BENCH}" ${EXTRA_ARGS} --no-progress
+  OUTPUT_FILE "${out_interp}"
+  RESULT_VARIABLE rc_interp)
+
+if(NOT rc_dbt STREQUAL rc_interp)
+  message(FATAL_ERROR
+    "${BENCH}: exit code differs between block engine (${rc_dbt}) and "
+    "SM_DBT=0 interpreter (${rc_interp})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${out_dbt}" "${out_interp}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "${BENCH}: stdout differs between the block engine and the SM_DBT=0 "
+    "interpreter (compare ${out_dbt} vs ${out_interp})")
+endif()
+
+message(STATUS
+  "${BENCH}: SM_DBT=0 output byte-identical to block engine (rc=${rc_dbt})")

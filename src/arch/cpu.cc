@@ -2,6 +2,72 @@
 
 namespace sm::arch {
 
+namespace {
+
+// Block recording stops at (and includes) the first control-flow
+// instruction: its successor is not statically known, so it must be the
+// block's last member. kSyscall counts — it completes with a trap the
+// kernel services before execution may continue.
+bool is_terminator(Op op) {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kJz:
+    case Op::kJnz:
+    case Op::kJlt:
+    case Op::kJge:
+    case Op::kJb:
+    case Op::kJae:
+    case Op::kJmpr:
+    case Op::kCall:
+    case Op::kCallr:
+    case Op::kRet:
+    case Op::kSyscall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Instructions that can store to guest memory and therefore, on an
+// unsplit page, rewrite code the current block decoded from. (kCall and
+// kCallr also push, but they are terminators: nothing of the block runs
+// after them, so their stores need no mid-block generation re-check.)
+bool writes_memory(Op op) {
+  switch (op) {
+    case Op::kStore:
+    case Op::kStoreb:
+    case Op::kPush:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Instructions whose execute() can throw (memory access -> page fault,
+// divide -> #DE). Register-only instructions cannot fault once decoded
+// (operands were validated at decode time), so the block runner skips
+// their rollback snapshot.
+bool may_fault(Op op) {
+  switch (op) {
+    case Op::kLoad:
+    case Op::kStore:
+    case Op::kLoadb:
+    case Op::kStoreb:
+    case Op::kPush:
+    case Op::kPop:
+    case Op::kCall:
+    case Op::kCallr:
+    case Op::kRet:
+    case Op::kDiv:
+    case Op::kModu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 void Cpu::check_reg(u8 r) const {
   if (r >= kNumRegs) {
     throw TrapException(Trap::simple(TrapKind::kGeneralProtection));
@@ -9,11 +75,14 @@ void Cpu::check_reg(u8 r) const {
 }
 
 Decoded Cpu::fetch_decode() {
-  const u32 pc = regs_.pc;
   // One real translation for the first byte: bills the I-TLB hit/miss (and
   // any walk or fault) exactly as the byte-at-a-time path's first fetch
   // would, and yields the physical key for the decode cache.
-  const u64 pa = mmu_->translate(pc, Access::kFetch);
+  return fetch_decode_at(mmu_->translate(regs_.pc, Access::kFetch));
+}
+
+Decoded Cpu::fetch_decode_at(u64 pa) {
+  const u32 pc = regs_.pc;
   PhysicalMemory& pm = mmu_->phys();
   const u64 gen = pm.generation(static_cast<u32>(pa >> kPageShift));
 
@@ -180,6 +249,209 @@ std::optional<Trap> Cpu::step() {
     regs_ = snapshot;  // faults restore architectural state for restart
     return e.trap();
   }
+}
+
+Cpu::BlockStep Cpu::step_block(u64 max_attempts) {
+  // Chained dispatch: blocks run back to back until the budget is spent
+  // or a trap ends the chain. Chaining is observationally identical to
+  // the caller invoking step_block once per block — between two chained
+  // blocks no trap was raised, so nothing (TF, pending syscall retry,
+  // injected faults — all excluded by the caller before choosing the
+  // block path) could have diverted control — and it amortizes the
+  // per-dispatch overhead the same way the kernel's slice-sized budgets
+  // expect.
+  BlockStep out;
+  while (out.attempts < max_attempts) {
+    // The entry instruction's issue cycle and byte-0 translation, billed
+    // exactly as step() -> fetch_decode() would bill them. The
+    // translation also yields the physical key for the block-cache probe.
+    stats_->cycles += cost_->cycles_per_instr;
+    u64 pa;
+    try {
+      pa = mmu_->translate(regs_.pc, Access::kFetch);
+    } catch (const TrapException& e) {
+      // translate() mutates no architectural state, so there is nothing
+      // to roll back: report the fetch fault as one attempted
+      // instruction.
+      ++out.attempts;
+      out.trap = e.trap();
+      return out;
+    }
+    const u64 gen =
+        mmu_->phys().generation(static_cast<u32>(pa >> kPageShift));
+    BlockCache::Block& b = bcache_.slot(pa);
+    BlockStep bs;
+    if (b.pa == pa && b.gen == gen) {
+      ++stats_->block_cache_hits;
+      bs = run_block(b, max_attempts - out.attempts);
+    } else {
+      if (b.pa == pa) {
+        // The entry frame was rewritten since the block was recorded
+        // (SMC, exec, frame reuse): every decode in it is suspect.
+        ++stats_->block_cache_invalidations;
+      }
+      ++stats_->block_cache_misses;
+      bs = record_block(b, pa, gen, max_attempts - out.attempts);
+    }
+    out.attempts += bs.attempts;
+    if (bs.trap) {
+      out.trap = bs.trap;
+      return out;
+    }
+  }
+  return out;
+}
+
+// flatten: inline the whole execute() switch (and the billing helpers)
+// into the block runner's loop — this is the simulator's hottest path and
+// the out-of-line dispatch call is measurable against the ~8 ns/instr
+// budget the 3x target implies.
+[[gnu::flatten]] Cpu::BlockStep Cpu::run_block(BlockCache::Block& b,
+                                               u64 budget) {
+  // Billing, wholesale but bit-identical to the per-instruction engine.
+  // Entry instruction: issue cycle and byte 0 already billed by
+  // step_block; add bytes 1..len-1 as the guaranteed I-TLB hits they are
+  // (the decode-cache hit path's argument: byte 0's entry serves them).
+  // Later instructions: byte 0 is a guaranteed hit too — the entry fetch
+  // loaded the code page's I-TLB entry and nothing inside a block can
+  // evict it — so bill the issue cycle plus len hits. Byte 0's tlb_hit
+  // cycles stay unmirrored to the trace profiler exactly like step()'s
+  // translate (reconciled as exec residual); the extras are charged to
+  // kTlbHit as the decode-cache hit path charges them. Deferred counters
+  // (instructions, itlb_hits) are flushed at every exit; cycles are billed
+  // before each execute() so any trace event it emits sees the same clock
+  // the per-instruction engine would have stamped.
+  BlockStep out;
+  PhysicalMemory& pm = mmu_->phys();
+  Regs snapshot;
+  u64 retired = 0;  // deferred stats_->instructions / block_instructions
+  u64 hits = 0;     // deferred stats_->itlb_hits
+  const auto flush = [&] {
+    stats_->instructions += retired;
+    stats_->block_instructions += retired;
+    stats_->itlb_hits += hits;
+  };
+  // The try sits OUTSIDE the loop so the hot path carries no per-iteration
+  // exception-handling boundary; a throw aborts the block at the faulting
+  // instruction, whose snapshot (taken just before its execute) is the one
+  // restored — identical to a per-instruction try.
+  try {
+    for (u32 i = 0; i < b.count && out.attempts < budget; ++i) {
+      ++out.attempts;
+      const u32 pc = regs_.pc;
+      const Decoded& d = b.instr[i];
+      if (i == 0) {
+        hits += d.len - 1;
+        stats_->cycles += (d.len - 1) * cost_->tlb_hit;
+      } else {
+        hits += d.len;
+        stats_->cycles += cost_->cycles_per_instr + d.len * cost_->tlb_hit;
+      }
+      SM_TRACE(trace_, charge(trace::Category::kTlbHit,
+                              (d.len - 1) * cost_->tlb_hit, pc));
+      if (may_fault(d.op)) snapshot = regs_;  // only faultable ops roll back
+      auto trap = execute(d);
+      ++retired;
+      if (trap) {  // kSyscall: pc already advanced, kernel services it
+        out.trap = trap;
+        flush();
+        return out;
+      }
+      // Same-page SMC guard: a store that reached this block's own code
+      // frame makes the remaining decodes stale. Kill the block and exit;
+      // the next entry probe re-records from the current bytes — which is
+      // exactly where the per-instruction engine's decode-cache generation
+      // check would have picked up.
+      if (i + 1 < b.count && writes_memory(d.op) &&
+          pm.generation(b.pfn) != b.gen) {
+        ++stats_->block_cache_invalidations;
+        SM_TRACE(trace_,
+                 record(trace::EventKind::kBlockInvalidate, regs_.pc, b.pfn));
+        b.pa = BlockCache::kInvalidPa;
+        break;
+      }
+    }
+  } catch (const TrapException& e) {
+    regs_ = snapshot;  // per-instruction restart semantics, unchanged
+    out.trap = e.trap();
+    flush();
+    return out;
+  }
+  flush();
+  return out;
+}
+
+Cpu::BlockStep Cpu::record_block(BlockCache::Block& b, u64 entry_pa,
+                                 u64 entry_gen, u64 budget) {
+  // Record while executing: every instruction below runs through the
+  // normal per-instruction machinery (exact billing, decode-cache
+  // population, rollback-on-fault), so a recording pass is observationally
+  // identical to the interpreter — the block is a pure byproduct.
+  BlockStep out;
+  PhysicalMemory& pm = mmu_->phys();
+  const u32 entry_pfn = static_cast<u32>(entry_pa >> kPageShift);
+  const u32 entry_vpn = vpn_of(regs_.pc);
+  const u32 entry_pc = regs_.pc;
+  Decoded recorded[BlockCache::kMaxInstructions];
+  u32 count = 0;
+  bool complete = false;
+
+  while (out.attempts < budget) {
+    ++out.attempts;
+    const Regs snapshot = regs_;
+    const u32 pc = regs_.pc;
+    Decoded d;
+    std::optional<Trap> trap;
+    try {
+      if (out.attempts == 1) {
+        // step_block already billed the issue cycle and translated pc.
+        d = fetch_decode_at(entry_pa);
+      } else {
+        stats_->cycles += cost_->cycles_per_instr;
+        d = fetch_decode();
+      }
+      trap = execute(d);
+      ++stats_->instructions;
+    } catch (const TrapException& e) {
+      regs_ = snapshot;
+      out.trap = e.trap();
+      // A faulting tail is not recorded: the kernel fixes the cause and
+      // the retry re-records from whatever pc resumes at.
+      return out;
+    }
+    // A straddling instruction's tail bytes live in a frame the entry
+    // generation cannot cover — never record it; end the block before it.
+    const bool straddles = page_offset(pc) + d.len > kPageSize;
+    if (!straddles) recorded[count++] = d;
+    if (trap) out.trap = trap;  // kSyscall completed; kernel services it
+    if (trap || is_terminator(d.op) || straddles) {
+      complete = true;
+      break;
+    }
+    // A store that rewrote the entry frame: everything recorded so far is
+    // keyed to a dead generation — abandon the recording.
+    if (writes_memory(d.op) && pm.generation(entry_pfn) != entry_gen) break;
+    if (count == BlockCache::kMaxInstructions) {
+      complete = true;
+      break;
+    }
+    if (vpn_of(regs_.pc) != entry_vpn) {  // fell through the page edge
+      complete = true;
+      break;
+    }
+  }
+
+  // Only complete blocks are worth caching; a budget-truncated prefix
+  // would re-record longer on the next full-budget visit anyway.
+  if (complete && count > 0) {
+    b.pa = entry_pa;
+    b.gen = entry_gen;
+    b.pfn = entry_pfn;
+    b.count = count;
+    for (u32 i = 0; i < count; ++i) b.instr[i] = recorded[i];
+    SM_TRACE(trace_, record(trace::EventKind::kBlockBuild, entry_pc, count));
+  }
+  return out;
 }
 
 std::optional<Trap> Cpu::execute(const Decoded& d) {

@@ -15,6 +15,7 @@
 
 #include <optional>
 
+#include "arch/block_cache.h"
 #include "arch/decode_cache.h"
 #include "arch/isa.h"
 #include "arch/mmu.h"
@@ -53,8 +54,30 @@ class Cpu {
   // Executes one instruction. See the file comment for the contract.
   std::optional<Trap> step();
 
+  // Result of a basic-block execution attempt: how many instruction
+  // attempts it consumed (successes plus at most one trailing fault — the
+  // count the kernel's step budget and timeslice advance by, exactly as if
+  // step() had been called that many times) and the trap that ended it, if
+  // any. attempts >= 1 always.
+  struct BlockStep {
+    u64 attempts = 0;
+    std::optional<Trap> trap;
+  };
+
+  // Executes up to max_attempts (>= 1) instructions through the basic-
+  // block engine: probe the block cache at the current PC's physical
+  // address, run the cached block if its guards pass, otherwise record a
+  // new block by executing per-instruction. Each executed instruction
+  // keeps step()'s exact contract (billing, rollback-on-fault, restart
+  // semantics); the caller must NOT use this while the trap flag is set —
+  // TF windows are per-instruction by definition and take the step() path.
+  BlockStep step_block(u64 max_attempts);
+
   // The physically-keyed decoded-instruction cache (test/bench access).
   DecodeCache& decode_cache() { return dcache_; }
+
+  // The basic-block cache layered above it (test/bench access).
+  BlockCache& block_cache() { return bcache_; }
 
   // Host-side shortcut toggle, mirroring Mmu::set_data_memo_enabled: off
   // forces every fetch down the byte-at-a-time decode path, which the
@@ -62,6 +85,12 @@ class Cpu {
   // The differential-fuzz oracle flips this to prove it on random programs.
   void set_decode_cache_enabled(bool on) { dcache_enabled_ = on; }
   bool decode_cache_enabled() const { return dcache_enabled_; }
+
+  // Host-side block-engine toggle, same contract one level up: off forces
+  // the kernel loop down the per-instruction step() path and must change
+  // no simulated stat. The fuzz oracle's /no-dbt leg flips this.
+  void set_block_engine_enabled(bool on) { block_enabled_ = on; }
+  bool block_engine_enabled() const { return block_enabled_; }
 
   // Observability (src/trace): null unless the kernel enabled tracing.
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
@@ -71,7 +100,14 @@ class Cpu {
   // the decode cache first. Simulated costs are billed identically on hit
   // and miss. Throws TrapException on fetch faults or #UD.
   Decoded fetch_decode();
+  // The tail of fetch_decode() once the entry byte's translation is known:
+  // decode-cache probe, byte-at-a-time decode, validation, memoization.
+  Decoded fetch_decode_at(u64 pa);
   std::optional<Trap> execute(const Decoded& d);
+
+  BlockStep run_block(BlockCache::Block& b, u64 budget);
+  BlockStep record_block(BlockCache::Block& b, u64 entry_pa, u64 entry_gen,
+                         u64 budget);
 
   u32 pop();
   void push(u32 v);
@@ -83,7 +119,9 @@ class Cpu {
   trace::TraceSink* trace_ = nullptr;
   Regs regs_;
   DecodeCache dcache_;
+  BlockCache bcache_;
   bool dcache_enabled_ = true;
+  bool block_enabled_ = true;
 };
 
 }  // namespace sm::arch

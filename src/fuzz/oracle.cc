@@ -64,6 +64,11 @@ constexpr CounterRef kCounters[] = {
     {"decode_cache_misses", &metrics::Stats::decode_cache_misses, true},
     {"decode_cache_invalidations", &metrics::Stats::decode_cache_invalidations,
      true},
+    {"block_cache_hits", &metrics::Stats::block_cache_hits, true},
+    {"block_cache_misses", &metrics::Stats::block_cache_misses, true},
+    {"block_cache_invalidations", &metrics::Stats::block_cache_invalidations,
+     true},
+    {"block_instructions", &metrics::Stats::block_instructions, true},
     {"page_faults", &metrics::Stats::page_faults, false},
     {"split_dtlb_loads", &metrics::Stats::split_dtlb_loads, false},
     {"split_itlb_loads", &metrics::Stats::split_itlb_loads, false},
@@ -185,6 +190,7 @@ std::vector<OracleConfig> billing_configs() {
         {.label = base + "/no-memo", .mode = mode, .data_memo = false});
     cfgs.push_back(
         {.label = base + "/no-dcache", .mode = mode, .decode_cache = false});
+    cfgs.push_back({.label = base + "/no-dbt", .mode = mode, .dbt = false});
     cfgs.push_back({.label = base + "/trace", .mode = mode, .trace = true});
   }
   return cfgs;
@@ -204,6 +210,8 @@ RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
   k.spawn("fuzz");
   k.mmu().set_data_memo_enabled(cfg.data_memo);
   k.cpu().set_decode_cache_enabled(cfg.decode_cache);
+  k.cpu().set_block_engine_enabled(cfg.dbt &&
+                                   k.cpu().block_engine_enabled());
   if (cfg.inject_lru_bug) k.mmu().set_inject_memo_lru_bug(true);
 
   RunObservation obs;
@@ -309,11 +317,11 @@ OracleVerdict check_case(const FuzzCase& c, const OracleOptions& opts) {
     }
     // Each engine's toggled runs compare against that engine's baseline
     // (billing identity is a within-engine contract); billing_configs()
-    // interleaves them as [baseline, no-memo, no-dcache, trace] per
-    // engine.
-    for (std::size_t base = 0; base + 3 < cfgs.size(); base += 4) {
+    // interleaves them as [baseline, no-memo, no-dcache, no-dbt, trace]
+    // per engine.
+    for (std::size_t base = 0; base + 4 < cfgs.size(); base += 5) {
       const RunObservation ref = run_case(c, cfgs[base], opts.budget);
-      for (std::size_t i = base + 1; i < base + 4; ++i) {
+      for (std::size_t i = base + 1; i < base + 5; ++i) {
         const RunObservation got = run_case(c, cfgs[i], opts.budget);
         const std::string d =
             diff_billing(ref, cfgs[base].label, got, cfgs[i].label);

@@ -15,12 +15,13 @@
 //   here.
 //
 //   BILLING IDENTITY — within one engine, toggling the simulator-only fast
-//   paths (Mmu data memos, decode cache) and the trace layer (pure
-//   observation) must leave every simulated stat identical, including
-//   cycles: the fast paths are host-side optimizations and bill exactly
-//   what the slow path they short-circuit would have, and a TraceSink
-//   never charges or perturbs state. Only the host-side counters
-//   themselves (fetch/data_fastpath_hits, decode_cache_*) may differ.
+//   paths (Mmu data memos, decode cache, basic-block engine) and the trace
+//   layer (pure observation) must leave every simulated stat identical,
+//   including cycles: the fast paths are host-side optimizations and bill
+//   exactly what the slow path they short-circuit would have, and a
+//   TraceSink never charges or perturbs state. Only the host-side counters
+//   themselves (fetch/data_fastpath_hits, decode_cache_*, block_*) may
+//   differ.
 //
 // check_case() returns the first violated clause as a human-readable
 // divergence string — which doubles as the shrinker's predicate.
@@ -48,6 +49,7 @@ struct OracleConfig {
   // Simulator fast paths (billing-identity axis).
   bool data_memo = true;
   bool decode_cache = true;
+  bool dbt = true;  // basic-block engine (Cpu::step_block)
   // Trace layer on (billing-identity axis: observation must not bill).
   bool trace = false;
   // Oracle self-test: plant the deliberate memo-LRU billing bug

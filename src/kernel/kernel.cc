@@ -1,6 +1,7 @@
 #include "kernel/kernel.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 namespace sm::kernel {
@@ -33,6 +34,17 @@ std::string hex(u32 v) {
   if (pf.soft_miss) bits |= trace::kPfSoftMiss;
   return bits;
 }
+
+// Runtime kill switch for the block engine, read once: SM_DBT=0 turns it
+// off so one binary can produce the dbt-on/off identity diff
+// (cmake/DbtIdentityCheck.cmake) without a rebuild.
+bool dbt_env_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("SM_DBT");
+    return v == nullptr || std::strcmp(v, "0") != 0;
+  }();
+  return enabled;
+}
 }  // namespace
 
 Kernel::Kernel(KernelConfig cfg)
@@ -43,6 +55,8 @@ Kernel::Kernel(KernelConfig cfg)
       engine_(std::make_unique<NoProtectionEngine>()),
       rng_state_(cfg_.rng_seed == 0 ? 1 : cfg_.rng_seed) {
   mmu_.set_software_tlb(cfg_.software_tlb);
+  cpu_.set_block_engine_enabled(SM_DBT_ENABLED && cfg_.dbt &&
+                                dbt_env_enabled());
   if (SM_TRACE_ENABLED && cfg_.trace) {
     trace_.enable({cfg_.trace_ring_capacity});
     trace_.set_stats(&stats_);
@@ -394,9 +408,33 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
 #endif
     const bool tf_before = cpu_.regs().tf();
     [[maybe_unused]] const u32 pc_before = cpu_.regs().pc;
-    const auto trap = cpu_.step();
-    ++executed;
-    ++slice_used_;
+    // Block-engine dispatch (mini-DBT): whole basic blocks per dispatch
+    // when nothing needs to observe individual instructions. TF windows
+    // are per-instruction by definition (Algorithm 2), and an attached
+    // fault injector or invariant watchdog wants its pre/post hooks
+    // between every step — those take the step() path, whose semantics
+    // and billing the block engine reproduces exactly.
+    const bool use_blocks = SM_DBT_ENABLED && cpu_.block_engine_enabled() &&
+                            !tf_before && fault_source_ == nullptr &&
+                            step_observer_ == nullptr;
+    std::optional<Trap> trap;
+    if (use_blocks) {
+      // A block may not run past the instruction budget or the timeslice
+      // boundary: preemption timing is architectural state the figures
+      // depend on, so the budget clips blocks exactly where the
+      // per-instruction loop would have stopped stepping.
+      const u64 slice = cfg_.cost.timeslice_instructions;
+      const u64 slice_room = slice > slice_used_ ? slice - slice_used_ : 1;
+      const arch::Cpu::BlockStep bs =
+          cpu_.step_block(std::min(max_instructions - executed, slice_room));
+      trap = bs.trap;
+      executed += bs.attempts;
+      slice_used_ += bs.attempts;
+    } else {
+      trap = cpu_.step();
+      ++executed;
+      ++slice_used_;
+    }
     if (trap) {
       try {
         handle_trap(p, *trap, tf_before);

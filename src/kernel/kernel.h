@@ -76,6 +76,14 @@ struct KernelConfig {
   // when the build compiled the trace layer out (-DSM_TRACE=OFF).
   bool trace = false;
   u32 trace_ring_capacity = 1 << 16;
+
+  // Basic-block translation engine (mini-DBT, DESIGN.md §13). Host-side
+  // only: simulated stats, figures, and trace attribution are bit-
+  // identical with this on or off — only host wall-clock and the
+  // block_cache_* counters change. Also gated by the SM_DBT environment
+  // variable ("0" disables, for same-binary identity diffs) and compiled
+  // out of the run loop entirely under -DSM_DBT=OFF.
+  bool dbt = true;
 };
 
 // A code-injection detection recorded by a protection engine.

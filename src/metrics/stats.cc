@@ -16,6 +16,9 @@ std::ostream& operator<<(std::ostream& os, const Stats& s) {
      << " detections=" << s.injections_detected
      << " decode$(h/m/inv)=" << s.decode_cache_hits << "/"
      << s.decode_cache_misses << "/" << s.decode_cache_invalidations
+     << " block$(h/m/inv)=" << s.block_cache_hits << "/"
+     << s.block_cache_misses << "/" << s.block_cache_invalidations
+     << " block_instr=" << s.block_instructions
      << " fetch_fast=" << s.fetch_fastpath_hits
      << " data_fast=" << s.data_fastpath_hits;
   if (s.faults_injected || s.invariant_violations || s.invariant_recoveries ||

@@ -32,6 +32,10 @@ struct Stats {
   std::uint64_t decode_cache_hits = 0;
   std::uint64_t decode_cache_misses = 0;
   std::uint64_t decode_cache_invalidations = 0;  // stale frame generation
+  std::uint64_t block_cache_hits = 0;    // basic-block cache (mini-DBT)
+  std::uint64_t block_cache_misses = 0;  // entry probes that recorded
+  std::uint64_t block_cache_invalidations = 0;  // stale gen / mid-block SMC
+  std::uint64_t block_instructions = 0;  // instructions run from a block
 
   // Faults and kernel crossings.
   std::uint64_t page_faults = 0;

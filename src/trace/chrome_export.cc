@@ -36,6 +36,9 @@ const char* kind_cat(EventKind k) {
     case EventKind::kInvariantViolation:
     case EventKind::kDegradeUnsplit:
       return "robustness";
+    case EventKind::kBlockBuild:
+    case EventKind::kBlockInvalidate:
+      return "dbt";
     case EventKind::kCount:
       break;
   }

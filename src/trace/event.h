@@ -65,6 +65,12 @@ enum class EventKind : u8 {
   // Graceful degradation: page locked unsplit (OOM at split time or retry
   // budget exhausted). vaddr = page va, info = kept pfn.
   kDegradeUnsplit,
+  // Basic-block cache (mini-DBT) recorded a block. vaddr = entry pc,
+  // info = instruction count.
+  kBlockBuild,
+  // A store inside a running block hit the block's own code frame; the
+  // block was killed mid-flight. vaddr = pc after the store, info = pfn.
+  kBlockInvalidate,
   kCount,
 };
 

@@ -50,6 +50,10 @@ const char* kind_name(EventKind k) {
       return "invariant-violation";
     case EventKind::kDegradeUnsplit:
       return "degrade-unsplit";
+    case EventKind::kBlockBuild:
+      return "block-build";
+    case EventKind::kBlockInvalidate:
+      return "block-invalidate";
     case EventKind::kCount:
       break;
   }

@@ -13,8 +13,14 @@ ignored.
 Exit 0: every shared point's metrics are identical.
 Exit 1: a metric drifted, a bench disappeared, or nothing overlapped.
 
+With --microbench, additionally (or instead) checks that the committed
+BENCH_microbench.json carries every expected benchmark label — the
+perf-trajectory record must not silently lose a benchmark when the suite
+is regenerated on a machine with an older binary.
+
 Usage:
   tools/check_figures.py --fresh fresh.json [--committed BENCH_figures.json]
+  tools/check_figures.py --microbench [BENCH_microbench.json]
 """
 import argparse
 import json
@@ -23,10 +29,41 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+# Every benchmark the committed BENCH_microbench.json must carry. Grows
+# with the simulator's fast-path inventory; shrinking it is a red flag.
+MICROBENCH_LABELS = [
+    "BM_TlbLookupHit",
+    "BM_TlbInsertEvict",
+    "BM_PageTableWalk",
+    "BM_CpuStepArithmetic",
+    "BM_CpuStepCached",
+    "BM_BlockExec",
+    "BM_BlockChainInvalidate",
+    "BM_FetchFastPath",
+    "BM_DataMemo",
+    "BM_DecodeCacheInvalidate",
+    "BM_SplitFaultProtocol",
+    "BM_Sha256_4K",
+    "BM_AssembleGuestLibc",
+]
+
 
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def check_microbench(path) -> int:
+    doc = load(path)
+    names = {b["name"].split("/")[0] for b in doc.get("benchmarks", [])}
+    missing = [l for l in MICROBENCH_LABELS if l not in names]
+    if missing:
+        print(f"MICROBENCH LABELS MISSING from {path}: {missing}",
+              file=sys.stderr)
+        return 1
+    print(f"microbench OK: all {len(MICROBENCH_LABELS)} expected labels "
+          f"present in {path}")
+    return 0
 
 
 def points_by_label(bench_doc):
@@ -35,12 +72,24 @@ def points_by_label(bench_doc):
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--fresh", required=True,
+    ap.add_argument("--fresh",
                     help="freshly generated figures JSON (e.g. --quick run)")
     ap.add_argument("--committed",
                     default=os.path.join(REPO_ROOT, "BENCH_figures.json"),
                     help="committed reference (default: repo root)")
+    ap.add_argument("--microbench", nargs="?",
+                    const=os.path.join(REPO_ROOT, "BENCH_microbench.json"),
+                    help="check BENCH_microbench.json for the expected "
+                         "benchmark labels (optional path argument)")
     args = ap.parse_args()
+
+    rc = 0
+    if args.microbench:
+        rc = check_microbench(args.microbench)
+    if not args.fresh:
+        if not args.microbench:
+            ap.error("--fresh or --microbench required")
+        return rc
 
     fresh = load(args.fresh)["figures"]
     committed = load(args.committed)["figures"]
@@ -80,7 +129,7 @@ def main() -> int:
         return 1
     print(f"figures OK: {compared} shared points bit-identical "
           f"across {len(fresh)} benches")
-    return 0
+    return rc
 
 
 if __name__ == "__main__":
