@@ -216,9 +216,9 @@ RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
 
   RunObservation obs;
   obs.result = k.run(budget);
-  for (const auto& [pid, proc] : k.processes()) {
+  for (const auto& proc : k.processes()) {
     ProcObservation po;
-    po.pid = pid;
+    po.pid = proc->pid;
     po.exit_kind = proc->exit_kind;
     po.exit_code = proc->exit_code;
     po.console = proc->console;

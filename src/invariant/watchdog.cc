@@ -252,7 +252,7 @@ void InvariantWatchdog::finalize(Kernel& k) {
   if (cur != nullptr && cur->alive() && cur->as) {
     full_audit(k, *cur);
   }
-  for (const auto& [pid, up] : k.processes()) {
+  for (const auto& up : k.processes()) {
     Process& p = *up;
     if (!p.alive() || !p.as || &p == cur) continue;
     scan_split_ptes(k, p);

@@ -86,6 +86,44 @@ u32 Kernel::rng_next() {
 void Kernel::log(const std::string& line) { klog_.push_back(line); }
 
 // --------------------------------------------------------------------------
+// Intrusive runqueue
+// --------------------------------------------------------------------------
+
+void Kernel::RunQueue::push_back(Process& p) {
+  p.on_runqueue = true;
+  p.rq_next = nullptr;
+  p.rq_prev = tail;
+  if (tail != nullptr) {
+    tail->rq_next = &p;
+  } else {
+    head = &p;
+  }
+  tail = &p;
+}
+
+Process* Kernel::RunQueue::pop_front() {
+  Process* p = head;
+  if (p != nullptr) remove(*p);
+  return p;
+}
+
+void Kernel::RunQueue::remove(Process& p) {
+  if (p.rq_prev != nullptr) {
+    p.rq_prev->rq_next = p.rq_next;
+  } else {
+    head = p.rq_next;
+  }
+  if (p.rq_next != nullptr) {
+    p.rq_next->rq_prev = p.rq_prev;
+  } else {
+    tail = p.rq_prev;
+  }
+  p.rq_next = nullptr;
+  p.rq_prev = nullptr;
+  p.on_runqueue = false;
+}
+
+// --------------------------------------------------------------------------
 // Images & loading
 // --------------------------------------------------------------------------
 
@@ -192,8 +230,9 @@ Pid Kernel::spawn(const std::string& image_name) {
   proc->fds[kFdConsole] = FdConsole{};
   load_into(*proc, *img);
   const Pid pid = proc->pid;
-  procs_[pid] = std::move(proc);
-  runqueue_.push_back(pid);
+  procs_.push_back(std::move(proc));
+  ++live_procs_;
+  runqueue_.push_back(*procs_.back());
   log("[spawn] pid " + std::to_string(pid) + " <- " + image_name);
   return pid;
 }
@@ -207,13 +246,15 @@ std::shared_ptr<Channel> Kernel::attach_channel(Pid pid) {
 }
 
 Process* Kernel::process(Pid pid) {
-  const auto it = procs_.find(pid);
-  return it == procs_.end() ? nullptr : it->second.get();
+  if (pid == 0 || pid > procs_.size()) return nullptr;
+  Process* p = procs_[pid - 1].get();
+  return p->pid == pid ? p : nullptr;  // slot-generation check
 }
 
-bool Kernel::all_exited() const {
-  return std::ranges::all_of(
-      procs_, [](const auto& kv) { return !kv.second->alive(); });
+const Process* Kernel::process(Pid pid) const {
+  if (pid == 0 || pid > procs_.size()) return nullptr;
+  const Process* p = procs_[pid - 1].get();
+  return p->pid == pid ? p : nullptr;
 }
 
 // --------------------------------------------------------------------------
@@ -273,6 +314,7 @@ void release_all_fds(Process& p) {
 
 void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) {
   log("[kill] pid " + std::to_string(p.pid) + " (" + p.name + "): " + reason);
+  if (p.alive()) --live_procs_;
   p.state = ProcState::kZombie;
   p.exit_kind = kind;
   p.exit_code = 0xFF;
@@ -280,7 +322,7 @@ void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) 
   p.as.reset();
   release_all_fds(p);
   if (current_ && *current_ == p.pid) current_ = std::nullopt;
-  std::erase(runqueue_, p.pid);
+  if (p.on_runqueue) runqueue_.remove(p);
 }
 
 // --------------------------------------------------------------------------
@@ -309,14 +351,14 @@ bool Kernel::wait_satisfied(const Process& p) const {
     return true;
   }
   if (const auto* wc = std::get_if<WaitChild>(&p.waiting)) {
-    const auto it = procs_.find(wc->pid);
-    return it == procs_.end() || !it->second->alive();
+    const Process* target = process(wc->pid);
+    return target == nullptr || !target->alive();
   }
   return true;
 }
 
 void Kernel::wake_sweep() {
-  for (auto& [pid, proc] : procs_) {
+  for (const auto& proc : procs_) {
     if (proc->state == ProcState::kBlocked && wait_satisfied(*proc)) {
       make_runnable(*proc);
     }
@@ -326,25 +368,19 @@ void Kernel::wake_sweep() {
 void Kernel::make_runnable(Process& p) {
   p.state = ProcState::kRunnable;
   p.waiting = WaitNone{};
-  if (std::ranges::find(runqueue_, p.pid) == runqueue_.end()) {
-    runqueue_.push_back(p.pid);
-  }
+  if (!p.on_runqueue) runqueue_.push_back(p);
 }
 
 std::optional<Pid> Kernel::pick_next() {
   while (!runqueue_.empty()) {
-    const Pid pid = runqueue_.front();
-    runqueue_.pop_front();
-    const auto it = procs_.find(pid);
-    if (it != procs_.end() && it->second->state == ProcState::kRunnable) {
-      return pid;
-    }
+    const Process* p = runqueue_.pop_front();
+    if (p->state == ProcState::kRunnable) return p->pid;
   }
   return std::nullopt;
 }
 
 void Kernel::switch_to(Pid pid) {
-  Process& p = *procs_.at(pid);
+  Process& p = *process(pid);
   if (!last_running_ || *last_running_ != pid) {
     ++stats_.context_switches;
     stats_.cycles += cfg_.cost.context_switch;
@@ -379,7 +415,7 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
       }
       switch_to(*next);
     }
-    Process& p = *procs_.at(*current_);
+    Process& p = *process(*current_);
 
     if (p.retry_syscall) {
       p.retry_syscall = false;
@@ -466,15 +502,13 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
     // Timer preemption: round-robin if someone else is waiting for the CPU.
     if (current_ && slice_used_ >= cfg_.cost.timeslice_instructions) {
       wake_sweep();
-      const bool others = std::ranges::any_of(runqueue_, [&](Pid q) {
-        const auto it = procs_.find(q);
-        return it != procs_.end() &&
-               it->second->state == ProcState::kRunnable;
-      });
-      if (others) {
-        Process& cur = *procs_.at(*current_);
+      // The queue holds only runnable processes: blocking happens while
+      // current (never queued) and exit/kill remove the entry — so any
+      // entry at all means someone else wants the CPU.
+      if (!runqueue_.empty()) {
+        Process& cur = *process(*current_);
         deschedule(cur);
-        runqueue_.push_back(cur.pid);
+        runqueue_.push_back(cur);
       } else {
         slice_used_ = 0;
       }
@@ -755,13 +789,14 @@ void Kernel::do_syscall(Process& p, bool retried) {
       log("[exit] pid " + std::to_string(p.pid) + " code " +
           std::to_string(a1));
       deschedule(p);
+      if (p.alive()) --live_procs_;
       p.state = ProcState::kZombie;
       p.exit_kind = ExitKind::kExited;
       p.exit_code = a1;
       if (cfg_.capture_exit_digest) p.exit_digest = final_memory_digest(p);
       p.as.reset();
       release_all_fds(p);
-      std::erase(runqueue_, p.pid);
+      if (p.on_runqueue) runqueue_.remove(p);
       return;
     }
     case kSysRead: {
@@ -806,16 +841,16 @@ void Kernel::do_syscall(Process& p, bool retried) {
       regs.r[0] = sys_exec(p, a1);
       return;
     case kSysWaitpid: {
-      const auto it = procs_.find(a1);
-      if (it == procs_.end()) {
+      Process* target = process(a1);
+      if (target == nullptr) {
         regs.r[0] = kErrResult;
         return;
       }
-      if (it->second->alive()) {
+      if (target->alive()) {
         block_on(WaitChild{a1});
         return;
       }
-      regs.r[0] = it->second->exit_code;
+      regs.r[0] = target->exit_code;
       return;
     }
     case kSysGetpid:
@@ -853,7 +888,7 @@ void Kernel::do_syscall(Process& p, bool retried) {
     }
     case kSysYield: {
       deschedule(p);
-      runqueue_.push_back(p.pid);
+      runqueue_.push_back(p);
       return;
     }
     case kSysTime:
@@ -1112,9 +1147,10 @@ u32 Kernel::sys_fork(Process& parent) {
   child.regs.r[0] = 0;  // fork() returns 0 in the child
   child.state = ProcState::kRunnable;
   const Pid cpid = child.pid;
-  procs_[cpid] = std::move(childp);
-  runqueue_.push_back(cpid);
-  engine_->on_fork(*this, parent, *procs_[cpid]);
+  procs_.push_back(std::move(childp));
+  ++live_procs_;
+  runqueue_.push_back(child);
+  engine_->on_fork(*this, parent, child);
   return cpid;
 }
 

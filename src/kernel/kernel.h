@@ -5,7 +5,6 @@
 // paper's split-memory system and the baselines are pluggable.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -128,10 +127,16 @@ class Kernel {
   // host end. Call before running the guest.
   std::shared_ptr<Channel> attach_channel(Pid pid);
   Process* process(Pid pid);
-  const std::map<Pid, std::unique_ptr<Process>>& processes() const {
+  const Process* process(Pid pid) const;
+  // The process table: a slab indexed by pid (pid N lives at slot N-1).
+  // Pids are never reused, so slots are append-only and a stale pid can
+  // never alias a different process; lookups still verify slot->pid == pid
+  // (the generation check, degenerate under monotonic pids) so a recycled
+  // slot scheme can be introduced without changing any caller.
+  const std::vector<std::unique_ptr<Process>>& processes() const {
     return procs_;
   }
-  bool all_exited() const;
+  bool all_exited() const { return live_procs_ == 0; }
 
   // --- run loop -------------------------------------------------------------
   enum class RunResult { kAllExited, kAllBlocked, kBudgetExhausted };
@@ -169,6 +174,18 @@ class Kernel {
   u32 rng_next();
 
  private:
+  // Intrusive FIFO runqueue threaded through Process::rq_next/rq_prev.
+  // push/pop/remove are O(1); iteration order is exactly the push order,
+  // preserving the historical round-robin schedule of the pid deque.
+  struct RunQueue {
+    Process* head = nullptr;
+    Process* tail = nullptr;
+    bool empty() const { return head == nullptr; }
+    void push_back(Process& p);
+    Process* pop_front();
+    void remove(Process& p);
+  };
+
   // --- run-loop internals ---------------------------------------------------
   void wake_sweep();
   std::optional<Pid> pick_next();
@@ -215,8 +232,9 @@ class Kernel {
   StepObserver* step_observer_ = nullptr;
 
   std::map<std::string, image::Image> images_;
-  std::map<Pid, std::unique_ptr<Process>> procs_;
-  std::deque<Pid> runqueue_;
+  std::vector<std::unique_ptr<Process>> procs_;  // slot N-1 holds pid N
+  u32 live_procs_ = 0;  // processes not yet zombie (all_exited in O(1))
+  RunQueue runqueue_;
   std::optional<Pid> current_;
   std::optional<Pid> last_running_;  // CR3 owner; skip reload if unchanged
   Pid next_pid_ = 1;

@@ -83,6 +83,18 @@ struct Process {
   ExitKind exit_kind = ExitKind::kRunning;
   u32 exit_code = 0;
 
+  // Intrusive runqueue links (kernel-owned). The scheduler keeps runnable
+  // processes on a doubly-linked FIFO threaded through these fields, so
+  // enqueue, dequeue and mid-queue removal are all O(1) — a std::deque of
+  // pids needed an O(n) membership scan in make_runnable and an O(n)
+  // std::erase on exit, quadratic under thousands of processes. The
+  // on_runqueue flag makes membership a field read; the FIFO order is
+  // identical to the deque's (push_back / pop_front), so the round-robin
+  // schedule — and with it every simulated figure — is unchanged.
+  Process* rq_next = nullptr;
+  Process* rq_prev = nullptr;
+  bool on_runqueue = false;
+
   arch::Regs regs;
   std::unique_ptr<AddressSpace> as;
   std::vector<FdEntry> fds;

@@ -204,7 +204,7 @@ block: .space 1000
 )";
   auto r = run_guest(body, ProtectionMode::kNone);
   ASSERT_TRUE(r.k->all_exited());
-  for (const auto& [pid, proc] : r.k->processes()) {
+  for (const auto& proc : r.k->processes()) {
     EXPECT_EQ(proc->exit_kind, kernel::ExitKind::kExited);
     if (proc->pid != r.pid) {
       EXPECT_EQ(proc->exit_code, 70u);
