@@ -80,6 +80,7 @@ constexpr CounterRef kCounters[] = {
     {"syscalls", &metrics::Stats::syscalls, false},
     {"invalid_opcode_faults", &metrics::Stats::invalid_opcode_faults, false},
     {"context_switches", &metrics::Stats::context_switches, false},
+    {"sched_wake_checks", &metrics::Stats::sched_wake_checks, true},
     {"injections_detected", &metrics::Stats::injections_detected, false},
 };
 

@@ -68,6 +68,13 @@ class Pipe {
   }
   bool read_closed() const { return readers_ == 0; }
 
+  // Wait queues, owned and drained by the kernel: pids blocked reading an
+  // empty pipe / writing a full one, in block (FIFO) order. Entries may go
+  // stale (the process was woken through another queue or died); the
+  // kernel re-validates at wake time and skips them.
+  std::deque<u32> read_waiters;
+  std::deque<u32> write_waiters;
+
  private:
   std::deque<u8> buf_;
   int readers_ = 0;

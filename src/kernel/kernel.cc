@@ -295,22 +295,40 @@ bool Kernel::ensure_mapped(Process& p, u32 va, u32 len) {
 }
 
 namespace {
-void release_fd(FdEntry& e) {
-  if (auto* pw = std::get_if<FdPipeWrite>(&e)) pw->pipe->remove_writer();
-  if (auto* pr = std::get_if<FdPipeRead>(&e)) pr->pipe->remove_reader();
-  e = std::monostate{};
-}
 void retain_fds(std::vector<FdEntry>& fds) {
   for (FdEntry& e : fds) {
     if (auto* pw = std::get_if<FdPipeWrite>(&e)) pw->pipe->add_writer();
     if (auto* pr = std::get_if<FdPipeRead>(&e)) pr->pipe->add_reader();
   }
 }
-void release_all_fds(Process& p) {
+}  // namespace
+
+void Kernel::release_fd(FdEntry& e) {
+  if (auto* pw = std::get_if<FdPipeWrite>(&e)) {
+    const std::shared_ptr<Pipe> pipe = pw->pipe;  // outlive the fd slot
+    pipe->remove_writer();
+    // Last writer gone and nothing buffered: every sleeping reader is at
+    // EOF right now, and no future event will arrive to wake it.
+    if (pipe->eof()) wake_all(pipe->read_waiters);
+  } else if (auto* pr = std::get_if<FdPipeRead>(&e)) {
+    const std::shared_ptr<Pipe> pipe = pr->pipe;
+    pipe->remove_reader();
+    if (pipe->read_closed()) {
+      // EPIPE: sleeping writers can never make progress again.
+      wake_all(pipe->write_waiters);
+    } else if (pipe->readable() > 0) {
+      // A reader died holding the handoff baton (woken for data it never
+      // consumed): pass the buffered bytes to the next sleeper.
+      wake_one(pipe->read_waiters);
+    }
+  }
+  e = std::monostate{};
+}
+
+void Kernel::release_all_fds(Process& p) {
   for (FdEntry& e : p.fds) release_fd(e);
   p.fds.clear();
 }
-}  // namespace
 
 void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) {
   log("[kill] pid " + std::to_string(p.pid) + " (" + p.name + "): " + reason);
@@ -321,6 +339,7 @@ void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) 
   if (cfg_.capture_exit_digest && p.as) p.exit_digest = final_memory_digest(p);
   p.as.reset();
   release_all_fds(p);
+  wake_exit_waiters(p);
   if (current_ && *current_ == p.pid) current_ = std::nullopt;
   if (p.on_runqueue) runqueue_.remove(p);
 }
@@ -329,18 +348,22 @@ void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) 
 // Scheduler & run loop
 // --------------------------------------------------------------------------
 
+bool Kernel::fd_readable(const Process& p, u32 fd) const {
+  if (fd >= p.fds.size()) return true;
+  const FdEntry& e = p.fds[fd];
+  if (const auto* c = std::get_if<FdChannel>(&e)) {
+    return c->chan->guest_readable() > 0 || c->chan->guest_eof();
+  }
+  if (const auto* pr = std::get_if<FdPipeRead>(&e)) {
+    return pr->pipe->readable() > 0 || pr->pipe->eof();
+  }
+  return true;  // console/file/closed fds never block a read
+}
+
 bool Kernel::wait_satisfied(const Process& p) const {
   if (std::holds_alternative<WaitNone>(p.waiting)) return true;
   if (const auto* wr = std::get_if<WaitReadFd>(&p.waiting)) {
-    if (wr->fd >= p.fds.size()) return true;
-    const FdEntry& e = p.fds[wr->fd];
-    if (const auto* c = std::get_if<FdChannel>(&e)) {
-      return c->chan->guest_readable() > 0 || c->chan->guest_eof();
-    }
-    if (const auto* pr = std::get_if<FdPipeRead>(&e)) {
-      return pr->pipe->readable() > 0 || pr->pipe->eof();
-    }
-    return true;
+    return fd_readable(p, wr->fd);
   }
   if (const auto* ww = std::get_if<WaitWriteFd>(&p.waiting)) {
     if (ww->fd >= p.fds.size()) return true;
@@ -350,6 +373,9 @@ bool Kernel::wait_satisfied(const Process& p) const {
     }
     return true;
   }
+  if (const auto* ws = std::get_if<WaitSelect2>(&p.waiting)) {
+    return fd_readable(p, ws->fd_a) || fd_readable(p, ws->fd_b);
+  }
   if (const auto* wc = std::get_if<WaitChild>(&p.waiting)) {
     const Process* target = process(wc->pid);
     return target == nullptr || !target->alive();
@@ -357,11 +383,94 @@ bool Kernel::wait_satisfied(const Process& p) const {
   return true;
 }
 
-void Kernel::wake_sweep() {
-  for (const auto& proc : procs_) {
-    if (proc->state == ProcState::kBlocked && wait_satisfied(*proc)) {
-      make_runnable(*proc);
+void Kernel::register_waiter(Process& p) {
+  const auto register_read_fd = [&](u32 fd) {
+    if (fd >= p.fds.size()) return;
+    FdEntry& e = p.fds[fd];
+    if (std::holds_alternative<FdChannel>(e)) {
+      channel_waiters_.insert(p.pid);
+    } else if (auto* pr = std::get_if<FdPipeRead>(&e)) {
+      pr->pipe->read_waiters.push_back(p.pid);
     }
+  };
+  if (const auto* wr = std::get_if<WaitReadFd>(&p.waiting)) {
+    register_read_fd(wr->fd);
+  } else if (const auto* ww = std::get_if<WaitWriteFd>(&p.waiting)) {
+    if (ww->fd < p.fds.size()) {
+      if (auto* pw = std::get_if<FdPipeWrite>(&p.fds[ww->fd])) {
+        pw->pipe->write_waiters.push_back(p.pid);
+      }
+    }
+  } else if (const auto* ws = std::get_if<WaitSelect2>(&p.waiting)) {
+    register_read_fd(ws->fd_a);
+    register_read_fd(ws->fd_b);
+  } else if (const auto* wc = std::get_if<WaitChild>(&p.waiting)) {
+    if (Process* target = process(wc->pid)) {
+      target->exit_waiters.push_back(p.pid);
+    }
+  }
+}
+
+bool Kernel::wake_one(std::deque<u32>& waiters) {
+  while (!waiters.empty()) {
+    const Pid pid = waiters.front();
+    waiters.pop_front();
+    ++stats_.sched_wake_checks;
+    Process* w = process(pid);
+    if (w != nullptr && w->state == ProcState::kBlocked &&
+        wait_satisfied(*w)) {
+      make_runnable(*w);
+      return true;
+    }
+    // Stale entry (woken through another queue, or dead): drop and retry.
+  }
+  return false;
+}
+
+void Kernel::wake_all(std::deque<u32>& waiters) {
+  while (!waiters.empty()) {
+    const Pid pid = waiters.front();
+    waiters.pop_front();
+    ++stats_.sched_wake_checks;
+    Process* w = process(pid);
+    if (w != nullptr && w->state == ProcState::kBlocked &&
+        wait_satisfied(*w)) {
+      make_runnable(*w);
+    }
+  }
+}
+
+void Kernel::wake_exit_waiters(Process& p) {
+  for (const Pid pid : p.exit_waiters) {
+    ++stats_.sched_wake_checks;
+    Process* w = process(pid);
+    if (w != nullptr && w->state == ProcState::kBlocked &&
+        wait_satisfied(*w)) {
+      make_runnable(*w);
+    }
+  }
+  p.exit_waiters.clear();
+}
+
+void Kernel::wake_channel_waiters() {
+  // Channel readability is driven by the host between run() calls, so this
+  // runs at the points the retired global sweep did (scheduling decisions),
+  // over only the channel-blocked pids, in pid order — the sweep's order.
+  // Entries persist until satisfied; stale ones (woken through a pipe
+  // queue, or dead) are dropped as they are found.
+  for (auto it = channel_waiters_.begin(); it != channel_waiters_.end();) {
+    ++stats_.sched_wake_checks;
+    Process* w = process(*it);
+    if (w == nullptr || w->state != ProcState::kBlocked) {
+      it = channel_waiters_.erase(it);
+      continue;
+    }
+    if (wait_satisfied(*w)) {
+      make_runnable(*w);
+      it = channel_waiters_.erase(it);
+      continue;
+    }
+    ++it;
   }
 }
 
@@ -408,7 +517,7 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
   u64 executed = 0;
   while (executed < max_instructions) {
     if (!current_) {
-      wake_sweep();
+      wake_channel_waiters();
       const auto next = pick_next();
       if (!next) {
         return all_exited() ? RunResult::kAllExited : RunResult::kAllBlocked;
@@ -501,7 +610,7 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
 
     // Timer preemption: round-robin if someone else is waiting for the CPU.
     if (current_ && slice_used_ >= cfg_.cost.timeslice_instructions) {
-      wake_sweep();
+      wake_channel_waiters();
       // The queue holds only runnable processes: blocking happens while
       // current (never queued) and exit/kill remove the entry — so any
       // entry at all means someone else wants the CPU.
@@ -781,6 +890,7 @@ void Kernel::do_syscall(Process& p, bool retried) {
     p.waiting = std::move(reason);
     p.retry_syscall = true;
     p.state = ProcState::kBlocked;
+    register_waiter(p);
     deschedule(p);
   };
 
@@ -796,6 +906,7 @@ void Kernel::do_syscall(Process& p, bool retried) {
       if (cfg_.capture_exit_digest) p.exit_digest = final_memory_digest(p);
       p.as.reset();
       release_all_fds(p);
+      wake_exit_waiters(p);
       if (p.on_runqueue) runqueue_.remove(p);
       return;
     }
@@ -907,6 +1018,21 @@ void Kernel::do_syscall(Process& p, bool retried) {
     case kSysRand:
       regs.r[0] = rng_next();
       return;
+    case kSysSelect2: {
+      // select2(fd_a, fd_b) -> which of the two is readable (0 or 1),
+      // blocking until one is. fd_a has priority when both are ready, so a
+      // server can drain its command stream before accepting new work.
+      if (fd_readable(p, a1)) {
+        regs.r[0] = 0;
+        return;
+      }
+      if (fd_readable(p, a2)) {
+        regs.r[0] = 1;
+        return;
+      }
+      block_on(WaitSelect2{a1, a2});
+      return;
+    }
     default:
       log("[syscall] pid " + std::to_string(p.pid) + " bad syscall " +
           std::to_string(num));
@@ -941,6 +1067,10 @@ u32 Kernel::sys_read(Process& p, u32 fd, u32 buf, u32 len, bool& blocked) {
       return 0;
     }
     n = pr->pipe->read(std::span<u8>(tmp.data(), len));
+    // Handoff: bytes left behind belong to the next sleeping reader, and
+    // the space just freed lets one sleeping writer make progress.
+    if (pr->pipe->readable() > 0) wake_one(pr->pipe->read_waiters);
+    wake_one(pr->pipe->write_waiters);
   } else if (auto* f = std::get_if<FdFile>(&p.fds[fd])) {
     const auto& bytes = f->node->bytes;
     if (f->offset >= bytes.size()) return 0;
@@ -977,6 +1107,11 @@ u32 Kernel::sys_write(Process& p, u32 fd, u32 buf, u32 len, bool& blocked) {
       blocked = true;
       return 0;
     }
+    // Wake exactly one sleeping reader — it hands off to the next if it
+    // leaves bytes behind, so a fan-in pipe never thunders the herd. Any
+    // space still left can also admit one more sleeping writer.
+    wake_one(pw->pipe->read_waiters);
+    if (pw->pipe->writable() > 0) wake_one(pw->pipe->write_waiters);
     return n;
   }
   if (std::holds_alternative<FdConsole>(p.fds[fd])) {

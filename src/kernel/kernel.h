@@ -5,10 +5,12 @@
 // paper's split-memory system and the baselines are pluggable.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -187,7 +189,6 @@ class Kernel {
   };
 
   // --- run-loop internals ---------------------------------------------------
-  void wake_sweep();
   std::optional<Pid> pick_next();
   void switch_to(Pid pid);
   void deschedule(Process& p);
@@ -196,6 +197,27 @@ class Kernel {
   void handle_page_fault(Process& p, const arch::PageFaultInfo& pf);
   void handle_cow(Process& p, u32 addr);
   bool wait_satisfied(const Process& p) const;
+  bool fd_readable(const Process& p, u32 fd) const;
+
+  // --- event-driven wakeups -------------------------------------------------
+  // Blocking enqueues the process on the wait queue(s) of what it sleeps
+  // on; the satisfying event wakes exactly those sleepers. Entries are
+  // re-validated (still blocked, wait now satisfied) before waking, so a
+  // stale entry — a select2 sleeper already woken through its other fd, or
+  // a process that died while queued — is skipped and discarded.
+  void register_waiter(Process& p);
+  // Wakes the first valid sleeper on the queue (FIFO); false if none.
+  bool wake_one(std::deque<u32>& waiters);
+  void wake_all(std::deque<u32>& waiters);
+  void wake_exit_waiters(Process& p);
+  // Channels are mutated by the host only between run() calls, so their
+  // sleepers are woken once per run() entry, in pid order — exactly the
+  // order the retired global sweep produced.
+  void wake_channel_waiters();
+  // Closing a pipe end may fire EOF/EPIPE for every peer of that pipe;
+  // these route through the wake queues, so fd release is kernel business.
+  void release_fd(FdEntry& e);
+  void release_all_fds(Process& p);
 
   // --- syscalls ---------------------------------------------------------------
   // `retried` marks the re-run of a blocked syscall so the trace records
@@ -235,6 +257,10 @@ class Kernel {
   std::vector<std::unique_ptr<Process>> procs_;  // slot N-1 holds pid N
   u32 live_procs_ = 0;  // processes not yet zombie (all_exited in O(1))
   RunQueue runqueue_;
+  // Pids blocked on a channel fd (directly or via select2), swept at run()
+  // entry. An ordered set: wake order must be pid order, and re-blocking
+  // must not duplicate the entry.
+  std::set<Pid> channel_waiters_;
   std::optional<Pid> current_;
   std::optional<Pid> last_running_;  // CR3 owner; skip reload if unchanged
   Pid next_pid_ = 1;

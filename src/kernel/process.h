@@ -22,7 +22,11 @@ using Pid = u32;
 
 enum class ProcState { kRunnable, kBlocked, kZombie };
 
-// What a blocked process is waiting for; re-checked by the scheduler sweep.
+// What a blocked process is waiting for. Blocking registers the process on
+// the wait queue of the object it sleeps on (pipe end, channel, child), and
+// the event that satisfies the wait — a peer's write/read/close/exit —
+// wakes it directly; there is no global sweep. The reason is re-validated
+// at wake time, so a stale queue entry is skipped, never mis-woken.
 struct WaitNone {};
 struct WaitReadFd {
   u32 fd;
@@ -33,7 +37,13 @@ struct WaitWriteFd {
 struct WaitChild {
   Pid pid;
 };
-using WaitReason = std::variant<WaitNone, WaitReadFd, WaitWriteFd, WaitChild>;
+// select2(fd_a, fd_b): wait until either fd is readable (or at EOF).
+struct WaitSelect2 {
+  u32 fd_a;
+  u32 fd_b;
+};
+using WaitReason =
+    std::variant<WaitNone, WaitReadFd, WaitWriteFd, WaitChild, WaitSelect2>;
 
 // File descriptor table entry.
 struct FdChannel {
@@ -102,6 +112,10 @@ struct Process {
   WaitReason waiting = WaitNone{};
   // Blocked syscall to re-run on wake (regs still hold its arguments).
   bool retry_syscall = false;
+
+  // Pids blocked in waitpid() on THIS process; its exit wakes exactly these
+  // (the per-parent child-exit wait list — no table scan).
+  std::vector<Pid> exit_waiters;
 
   // Split-memory bookkeeping (paper §5.2/§5.3): the page whose PTE was
   // unrestricted for a single-stepped I-TLB load, to be re-restricted by

@@ -29,6 +29,7 @@ std::string guest_syscall_equs() {
   equ("SYS_DLOPEN", kSysDlopen);
   equ("SYS_REGISTER_RECOVERY", kSysRegisterRecovery);
   equ("SYS_RAND", kSysRand);
+  equ("SYS_SELECT2", kSysSelect2);
   equ("O_READ", kOpenRead);
   equ("O_WRITE", kOpenWrite);
   equ("PROT_R", kProtR);

@@ -34,6 +34,10 @@ enum Syscall : u32 {
   kSysDlopen = 17,  // dlopen(path) -> image base (signature-verified)
   kSysRegisterRecovery = 18,  // recovery response mode (paper §4.5 extension)
   kSysRand = 19,   // deterministic PRNG
+  kSysSelect2 = 20,  // select2(fd_a, fd_b) -> 0 or 1: which fd is readable
+                     // (or at EOF); blocks until one is. The event-driven
+                     // server master multiplexes its listening channel and
+                     // the workers' response pipe with this.
 };
 
 // open() flags.

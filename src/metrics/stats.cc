@@ -20,7 +20,8 @@ std::ostream& operator<<(std::ostream& os, const Stats& s) {
      << s.block_cache_misses << "/" << s.block_cache_invalidations
      << " block_instr=" << s.block_instructions
      << " fetch_fast=" << s.fetch_fastpath_hits
-     << " data_fast=" << s.data_fastpath_hits;
+     << " data_fast=" << s.data_fastpath_hits
+     << " wake_checks=" << s.sched_wake_checks;
   if (s.faults_injected || s.invariant_violations || s.invariant_recoveries ||
       s.invariant_degradations || s.split_oom_degradations) {
     os << " faults=" << s.faults_injected

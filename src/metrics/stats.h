@@ -51,6 +51,12 @@ struct Stats {
 
   // Scheduling.
   std::uint64_t context_switches = 0;
+  // Host-side (bills NO cycles): wake-queue entries examined when an event
+  // (pipe write/read/close, child exit, host channel traffic) tries to wake
+  // sleepers. With event-driven wait queues this scales with the number of
+  // processes actually waiting on the object, not with the process count —
+  // the O(1)-scheduling regression test pins it.
+  std::uint64_t sched_wake_checks = 0;
 
   // Security events.
   std::uint64_t injections_detected = 0;
