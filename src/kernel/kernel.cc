@@ -228,6 +228,8 @@ Pid Kernel::spawn(const std::string& image_name) {
   proc->fds.resize(2);
   proc->fds[kFdNet] = std::monostate{};
   proc->fds[kFdConsole] = FdConsole{};
+  // Slot 0 is free until a channel is attached; alloc_fd may claim it.
+  proc->free_fd(kFdNet);
   load_into(*proc, *img);
   const Pid pid = proc->pid;
   procs_.push_back(std::move(proc));
@@ -328,6 +330,7 @@ void Kernel::release_fd(FdEntry& e) {
 void Kernel::release_all_fds(Process& p) {
   for (FdEntry& e : p.fds) release_fd(e);
   p.fds.clear();
+  p.free_fds = {};
 }
 
 void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) {
@@ -936,6 +939,7 @@ void Kernel::do_syscall(Process& p, bool retried) {
     case kSysClose: {
       if (a1 < p.fds.size()) {
         release_fd(p.fds[a1]);
+        p.free_fd(a1);
         regs.r[0] = 0;
       } else {
         regs.r[0] = kErrResult;
@@ -1247,6 +1251,7 @@ u32 Kernel::sys_fork(Process& parent) {
   child.parent = parent.pid;
   child.name = parent.name;
   child.fds = parent.fds;  // shared channel/pipe/file objects
+  child.free_fds = parent.free_fds;  // same holes, same reuse order
   retain_fds(child.fds);
   child.as = std::make_unique<AddressSpace>(pm_);
   child.as->brk_end = parent.as->brk_end;

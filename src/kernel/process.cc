@@ -12,11 +12,18 @@ std::string to_string(const SyscallRecord& r) {
 }
 
 u32 Process::alloc_fd(FdEntry entry) {
-  for (u32 i = 0; i < fds.size(); ++i) {
-    if (std::holds_alternative<std::monostate>(fds[i])) {
+  // Invariant: every monostate slot has an entry in the heap (kSysClose
+  // and spawn push; release_all_fds clears both sides), so popping the
+  // minimum IS the old front-to-back scan's answer.
+  while (!free_fds.empty()) {
+    const u32 i = free_fds.top();
+    free_fds.pop();
+    ++fd_alloc_probes;
+    if (i < fds.size() && std::holds_alternative<std::monostate>(fds[i])) {
       fds[i] = std::move(entry);
       return i;
     }
+    // Stale: occupied out-of-band or a duplicate from a double close.
   }
   fds.push_back(std::move(entry));
   return static_cast<u32>(fds.size() - 1);

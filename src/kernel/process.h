@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <optional>
+#include <queue>
 #include <string>
 #include <variant>
 #include <vector>
@@ -137,7 +138,21 @@ struct Process {
   // captured at exit/kill just before the address space is torn down.
   std::optional<image::Digest> exit_digest;
 
+  // Allocates the lowest free fd slot — the POSIX contract the guests and
+  // figures depend on. Backed by a lazy min-heap of freed indices instead
+  // of a front-to-back scan (O(log n) vs O(n) per allocation; a server
+  // churning thousands of fds made the scan quadratic). Lazy: entries can
+  // go stale when a slot is occupied out-of-band (attach_channel) or
+  // double-closed; alloc_fd discards those as it finds them.
   u32 alloc_fd(FdEntry entry);
+  // Declares slot i reusable. Call after the entry is released.
+  void free_fd(u32 i) { free_fds.push(i); }
+
+  std::priority_queue<u32, std::vector<u32>, std::greater<u32>> free_fds;
+  // Host-side (bills no cycles): heap entries examined by alloc_fd, for
+  // the O(1)-allocation regression test. Stale discards count; the final
+  // append does not.
+  arch::u64 fd_alloc_probes = 0;
 
   bool alive() const { return state != ProcState::kZombie; }
 };
