@@ -1,0 +1,60 @@
+#include "metrics/latency_histogram.h"
+
+#include <bit>
+
+namespace sm::metrics {
+
+namespace {
+
+// Octaves [2^6, 2^7) .. [2^63, 2^64) after the linear region.
+constexpr std::uint32_t kFirstOctave = 6;  // log2(kLinear)
+constexpr std::uint32_t kOctaves = 64 - kFirstOctave;
+constexpr std::uint32_t kBuckets =
+    LatencyHistogram::kLinear + kOctaves * LatencyHistogram::kSubBuckets;
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : counts_(kBuckets, 0) {}
+
+std::uint32_t LatencyHistogram::bucket_of(std::uint64_t value) {
+  if (value < kLinear) return static_cast<std::uint32_t>(value);
+  const std::uint32_t k = static_cast<std::uint32_t>(std::bit_width(value)) - 1;
+  const std::uint32_t sub = static_cast<std::uint32_t>(
+      (value - (std::uint64_t{1} << k)) >> (k - 5));
+  return kLinear + (k - kFirstOctave) * kSubBuckets + sub;
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::uint32_t index) {
+  if (index < kLinear) return index;
+  const std::uint32_t g = index - kLinear;
+  const std::uint32_t k = kFirstOctave + g / kSubBuckets;
+  const std::uint64_t sub = g % kSubBuckets;
+  // For the top bucket this wraps to exactly 2^64-1, which is the intent.
+  return (std::uint64_t{1} << k) + ((sub + 1) << (k - 5)) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  ++counts_[bucket_of(value)];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target sample, 1-based; ceil without FP edge cases.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return bucket_upper(i);
+  }
+  return max_;
+}
+
+}  // namespace sm::metrics

@@ -1,0 +1,56 @@
+// Log-bucketed latency histogram for the server-load benchmark.
+//
+// Tail-latency quantiles (p99, p999) over 10^5-10^6 requests must not
+// store every sample, and must be deterministic: two runs that record the
+// same multiset of values report bit-identical quantiles regardless of
+// arrival order, host, or --jobs. So the histogram is pure integer
+// arithmetic — HDR-style log-linear buckets: values below 64 are exact
+// (one bucket each), and every power-of-two range above that is divided
+// into 32 equal sub-buckets, bounding the relative quantile error at
+// 1/32 (~3%) while keeping the whole table under 2k buckets for the full
+// 64-bit range.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sm::metrics {
+
+class LatencyHistogram {
+ public:
+  // Values 0..kLinear-1 get exact buckets; each [2^k, 2^(k+1)) above is
+  // split into kSubBuckets equal slices.
+  static constexpr std::uint32_t kLinear = 64;
+  static constexpr std::uint32_t kSubBuckets = 32;
+
+  LatencyHistogram();
+
+  void record(std::uint64_t value);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0 : static_cast<double>(sum_) / count_;
+  }
+
+  // Smallest recorded-bucket upper bound v such that at least q*count of
+  // the samples are <= v. q in [0,1]; returns 0 on an empty histogram.
+  // Deterministic: a pure function of the recorded multiset.
+  std::uint64_t quantile(double q) const;
+  std::uint64_t percentile(double p) const { return quantile(p / 100.0); }
+
+  // Bucket mapping (exposed for the unit tests).
+  static std::uint32_t bucket_of(std::uint64_t value);
+  static std::uint64_t bucket_upper(std::uint32_t index);
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace sm::metrics

@@ -1,0 +1,292 @@
+// High-traffic server workload: an event-driven master in front of a
+// forked worker pool, driven by a seeded request stream from the host.
+//
+// Topology (all fd numbers are as the guest sees them):
+//
+//   host --channel(fd 0)--> master --request pipe (wr fd 3)--> workers (rd fd 2)
+//   host <--channel(fd 0)-- master <--response pipe (rd fd 4)-- workers (wr fd 5)
+//
+// The master multiplexes {response pipe, channel} with select2 (responses
+// first, so the window drains before it grows), stamps each request with
+// SYS_TIME on the way in, and reports `now - stamp` per response back to
+// the host as a 4-byte latency record. Workers loop read(8) -> service
+// -> write(12); service length varies with the request id's low bits so
+// the latency distribution has a real tail.
+//
+// Framing: the request stream is 4-byte records on the channel, 8-byte
+// records in the request pipe, 12-byte records in the response pipe. The
+// closed-loop window keeps at most `window` requests in flight, so no
+// pipe ever holds more than window*12 bytes and every guest write below
+// the 64 KiB pipe capacity completes whole — reads therefore always
+// return whole records and no read-exact loops are needed.
+#include "workloads/internal.h"
+#include "workloads/workload.h"
+
+namespace sm::workloads {
+
+namespace {
+
+// .equ WORKERS/WINDOW/WORKBASE are prepended per config.
+const char* kServerBody = R"(
+_start:
+  movi r0, SYS_PIPE        ; request pipe: rd=2, wr=3
+  movi r1, reqfds
+  syscall
+  movi r0, SYS_PIPE        ; response pipe: rd=4, wr=5
+  movi r1, respfds
+  syscall
+  movi r5, WORKERS
+m_spawn:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz worker
+  addi r5, -1
+  cmpi r5, 0
+  jnz m_spawn
+  movi r5, 0               ; r5 = requests in flight
+m_loop:
+  cmpi r5, WINDOW          ; window full: only a response can make progress
+  jae m_resp
+  movi r0, SYS_SELECT2     ; select2(response pipe, channel) — responses
+  movi r1, 4               ; have priority so the window drains first
+  movi r2, 0
+  syscall
+  cmpi r0, 0
+  jz m_resp
+  movi r0, SYS_READ        ; channel readable (or EOF): next request id
+  movi r1, 0
+  movi r2, chbuf
+  movi r3, 4
+  syscall
+  cmpi r0, 0
+  jz m_drain               ; EOF: the stream is done, drain the window
+  movi r4, chbuf           ; forward {id, SYS_TIME} into the request pipe
+  load r1, [r4]
+  movi r4, reqrec
+  store [r4], r1
+  movi r0, SYS_TIME
+  syscall
+  movi r4, reqrec
+  store [r4+4], r0
+  movi r0, SYS_WRITE
+  movi r1, 3
+  movi r2, reqrec
+  movi r3, 8
+  syscall
+  addi r5, 1
+  jmp m_loop
+m_resp:
+  call handle_resp
+  jmp m_loop
+m_drain:
+  cmpi r5, 0
+  jz m_shutdown
+  call handle_resp
+  jmp m_drain
+m_shutdown:
+  movi r0, SYS_CLOSE       ; drop the last request-pipe write end: EOF
+  movi r1, 3               ; fans out to every blocked worker
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+
+; reads one 12-byte response, reports the 4-byte latency to the host.
+; Clobbers r0-r4; decrements r5 (in flight).
+handle_resp:
+  movi r0, SYS_READ
+  movi r1, 4
+  movi r2, respbuf
+  movi r3, 12
+  syscall
+  movi r0, SYS_TIME
+  syscall
+  movi r4, respbuf
+  load r1, [r4+4]          ; the stamp the master wrote at admission
+  sub r0, r1               ; u32 wraparound subtraction
+  movi r4, latbuf
+  store [r4], r0
+  movi r0, SYS_WRITE
+  movi r1, 0
+  movi r2, latbuf
+  movi r3, 4
+  syscall
+  addi r5, -1
+  ret
+
+worker:
+  movi r0, SYS_CLOSE       ; drop the master-side ends so EOF/EPIPE track
+  movi r1, 3               ; the master alone
+  syscall
+  movi r0, SYS_CLOSE
+  movi r1, 4
+  syscall
+w_loop:
+  movi r0, SYS_READ        ; one whole 8-byte request (0 = EOF, retire)
+  movi r1, 2
+  movi r2, wreq
+  movi r3, 8
+  syscall
+  cmpi r0, 0
+  jz w_exit
+  movi r4, wreq            ; service time = WORKBASE + (id & 63) * 8
+  load r2, [r4]            ; r2 = working value seeded from the id
+  mov r3, r2
+  movi r1, 63
+  and r3, r1
+  movi r1, 8
+  mul r3, r1
+  addi r3, WORKBASE
+  movi r1, 0               ; r1 = checksum
+w_work:
+  movi r0, 1103515245      ; LCG step + a data-page touch per iteration
+  mul r2, r0
+  addi r2, 12345
+  mov r0, r2
+  movi r4, 0x1FFF
+  and r0, r4
+  addi r0, wbuf
+  loadb r4, [r0]
+  add r1, r4
+  storeb [r0], r1
+  addi r3, -1
+  cmpi r3, 0
+  jnz w_work
+  movi r4, wreq            ; response = {id, stamp, checksum}
+  load r0, [r4]
+  movi r4, wresp
+  store [r4], r0
+  movi r4, wreq
+  load r0, [r4+4]
+  movi r4, wresp
+  store [r4+4], r0
+  store [r4+8], r1
+  movi r0, SYS_WRITE
+  movi r1, 5
+  movi r2, wresp
+  movi r3, 12
+  syscall
+  jmp w_loop
+w_exit:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+reqfds:  .space 8
+respfds: .space 8
+chbuf:   .space 4
+reqrec:  .space 8
+respbuf: .space 12
+latbuf:  .space 4
+wreq:    .space 8
+wresp:   .space 12
+wbuf:    .space 8192
+)";
+
+arch::u64 splitmix64(arch::u64& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  arch::u64 z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ServerLoadResult run_server_load(const Protection& prot,
+                                 const ServerLoadConfig& cfg) {
+  ServerLoadResult out;
+  out.base.name = "server-" + std::to_string(cfg.workers) + "w";
+
+  kernel::KernelConfig kcfg;
+  kcfg.phys_frames = cfg.phys_frames;
+  kcfg.cost = cfg.cost;
+  kcfg.software_tlb = prot.software_tlb;
+  kcfg.trace = prot.trace;
+  kernel::Kernel k(kcfg);
+  k.set_engine(prot.make_engine());
+
+  const std::string equs = ".equ WORKERS, " + std::to_string(cfg.workers) +
+                           "\n.equ WINDOW, " + std::to_string(cfg.window) +
+                           "\n.equ WORKBASE, " + std::to_string(cfg.work_base) +
+                           "\n";
+  const auto program = assembler::assemble(guest::program(equs + kServerBody));
+  image::BuildOptions opts;
+  opts.name = "server";
+  k.register_image(image::build_image(program, opts));
+
+  const kernel::Pid master = k.spawn("server");
+  const auto chan = k.attach_channel(master);
+
+  constexpr arch::u64 kBudget = 4'000'000'000;
+  arch::u64 prng = cfg.seed;
+  u32 issued = 0;
+  u32 stuck_rounds = 0;
+  bool ok = true;
+  const auto drain_latencies = [&] {
+    const std::vector<arch::u8> bytes = chan->host_read_all();
+    for (std::size_t i = 0; i + 4 <= bytes.size(); i += 4) {
+      const u32 lat = static_cast<u32>(bytes[i]) |
+                      static_cast<u32>(bytes[i + 1]) << 8 |
+                      static_cast<u32>(bytes[i + 2]) << 16 |
+                      static_cast<u32>(bytes[i + 3]) << 24;
+      out.latency.record(lat);
+      ++out.requests_completed;
+    }
+    return bytes.size() / 4;
+  };
+
+  while (ok && out.requests_completed < cfg.requests) {
+    // Refill the closed-loop window with the next seeded request ids.
+    const u32 in_flight = issued - static_cast<u32>(out.requests_completed);
+    const u32 credit =
+        std::min(cfg.window - in_flight, cfg.requests - issued);
+    if (credit > 0) {
+      std::vector<arch::u8> batch;
+      batch.reserve(credit * 4u);
+      for (u32 i = 0; i < credit; ++i) {
+        const u32 id = static_cast<u32>(splitmix64(prng));
+        batch.push_back(static_cast<arch::u8>(id));
+        batch.push_back(static_cast<arch::u8>(id >> 8));
+        batch.push_back(static_cast<arch::u8>(id >> 16));
+        batch.push_back(static_cast<arch::u8>(id >> 24));
+      }
+      chan->host_write(batch);
+      issued += credit;
+    }
+    const auto rr = k.run(kBudget);
+    const std::size_t got = drain_latencies();
+    if (rr == kernel::Kernel::RunResult::kAllExited) break;
+    // A blocked kernel with no completions and nothing left to issue is a
+    // wedge (it cannot happen if the wakeup protocol is right).
+    if (got == 0 && credit == 0) {
+      if (++stuck_rounds >= 3) ok = false;
+    } else {
+      stuck_rounds = 0;
+    }
+  }
+
+  // End of stream: EOF ripples master -> request pipe -> workers.
+  chan->host_close();
+  k.run(kBudget);
+  drain_latencies();
+
+  out.base.cycles = k.stats().cycles;
+  out.base.sim_time = out.base.cycles;
+  out.base.stats = k.stats();
+  if (auto* sink = k.trace_sink()) {
+    out.base.trace_summary =
+        std::make_shared<trace::ProfileSummary>(sink->summary());
+  }
+  out.base.completed =
+      ok && out.requests_completed == cfg.requests && k.all_exited();
+  if (out.base.cycles != 0) {
+    out.requests_per_mcycle = static_cast<double>(out.requests_completed) *
+                              1e6 / static_cast<double>(out.base.cycles);
+    out.base.throughput = out.requests_per_mcycle;
+  }
+  return out;
+}
+
+}  // namespace sm::workloads

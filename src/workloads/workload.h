@@ -17,6 +17,7 @@
 
 #include "core/split_engine.h"
 #include "kernel/kernel.h"
+#include "metrics/latency_histogram.h"
 #include "metrics/stats.h"
 #include "trace/profiler.h"
 
@@ -142,5 +143,38 @@ struct WebserverResult {
 
 WebserverResult run_webserver(const Protection& prot,
                               const WebserverConfig& cfg = {});
+
+// --- high-traffic server (event-driven master + worker pool) --------------
+//
+// The production-shaped scaling scenario: one master process multiplexes a
+// listening channel and a shared response pipe with select2, forwards each
+// request (stamped with SYS_TIME) down a shared request pipe to a pool of
+// hundreds-to-thousands of forked workers, and reports the per-request
+// round-trip latency back to the host, which accumulates it into a
+// log-bucketed histogram. Everything measured is simulated cycles, so a
+// run is a pure function of its config — deterministic across hosts and
+// --jobs.
+struct ServerLoadConfig {
+  u32 workers = 64;       // forked worker processes
+  u32 requests = 2000;    // total requests in the seeded stream
+  u32 window = 256;       // max requests in flight (closed loop). Bounded
+                          // by pipe framing: window*12 must leave room for
+                          // one whole record in a 64 KiB pipe (<= 5460).
+  u32 work_base = 64;     // base service-loop iterations per request
+  arch::u64 seed = 0x5eedf00d;  // request-stream PRNG seed
+  u32 phys_frames = 32768;      // 128 MiB: ~1000 workers of COW pages, x2
+                                // under a splitting engine
+  metrics::CostModel cost{};
+};
+
+struct ServerLoadResult {
+  WorkloadResult base;
+  metrics::LatencyHistogram latency;  // per-request round trip, in cycles
+  u64 requests_completed = 0;
+  double requests_per_mcycle = 0;
+};
+
+ServerLoadResult run_server_load(const Protection& prot,
+                                 const ServerLoadConfig& cfg = {});
 
 }  // namespace sm::workloads

@@ -1,0 +1,82 @@
+// Log-bucketed latency histogram: bucket mapping, quantile bounds, and
+// order-independence (the determinism the server bench relies on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "metrics/latency_histogram.h"
+
+namespace sm::metrics {
+namespace {
+
+TEST(LatencyHistogram, LinearRegionIsExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < LatencyHistogram::kLinear; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper(LatencyHistogram::bucket_of(v)),
+              v);
+  }
+}
+
+TEST(LatencyHistogram, BucketUpperBoundsValueWithin4Percent) {
+  // Every value must land in a bucket whose upper bound is >= the value
+  // and within one sub-bucket width above it (relative error <= 1/32).
+  for (std::uint64_t v : std::vector<std::uint64_t>{
+           64, 65, 100, 127, 128, 1000, 4096, 65535, 1u << 20, 123456789,
+           (1ull << 32) - 1, 1ull << 32, 0x123456789abcdefull,
+           ~std::uint64_t{0}}) {
+    const std::uint64_t upper =
+        LatencyHistogram::bucket_upper(LatencyHistogram::bucket_of(v));
+    EXPECT_GE(upper, v) << v;
+    EXPECT_LE(upper - v, v / 32 + 1) << v;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesOfKnownDistribution) {
+  LatencyHistogram h;
+  // 1000 samples at 100 cycles, 10 at 10000, 1 at 1000000.
+  for (int i = 0; i < 1000; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(10000);
+  h.record(1000000);
+  EXPECT_EQ(h.count(), 1011u);
+  const std::uint64_t p50 = h.percentile(50);
+  const std::uint64_t p99 = h.percentile(99);
+  const std::uint64_t p999 = h.percentile(99.9);
+  EXPECT_GE(p50, 100u);
+  EXPECT_LE(p50, 104u);  // one sub-bucket of slack
+  // rank ceil(0.99 * 1011) = 1001: the first of the 10000-cycle samples.
+  EXPECT_GE(p99, 10000u);
+  EXPECT_LE(p99, 10400u);
+  EXPECT_EQ(p999, p99);  // rank 1010 is still a 10000-cycle sample
+  EXPECT_GE(h.quantile(1.0), 1000000u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 1000000u);
+}
+
+TEST(LatencyHistogram, OrderIndependent) {
+  std::vector<std::uint64_t> samples;
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng() % 1000000);
+  LatencyHistogram a;
+  for (std::uint64_t v : samples) a.record(v);
+  std::shuffle(samples.begin(), samples.end(), rng);
+  LatencyHistogram b;
+  for (std::uint64_t v : samples) b.record(v);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << q;
+  }
+  EXPECT_EQ(a.sum(), b.sum());
+}
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.99), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0u);
+}
+
+}  // namespace
+}  // namespace sm::metrics
