@@ -101,13 +101,9 @@ int main(int argc, char** argv) {
         run_server_load(split.with_trace(), cfg);
     if (traced.base.trace_summary) {
       std::printf("\n--- split-all server: cycle attribution ---\n");
-      std::printf("%s",
-                  trace::format_summary(*traced.base.trace_summary).c_str());
-      std::printf("cycles/request: %.1f\n",
-                  traced.requests_completed
-                      ? static_cast<double>(traced.base.cycles) /
-                            static_cast<double>(traced.requests_completed)
-                      : 0);
+      std::printf("%s", trace::format_summary(*traced.base.trace_summary,
+                                              traced.requests_completed)
+                            .c_str());
     } else {
       std::printf("\n(--trace-summary: tracing compiled out, SM_TRACE=OFF)\n");
     }

@@ -324,7 +324,15 @@ std::string lpad(u64 v, std::size_t width) {
 
 }  // namespace
 
-std::string format_summary(const ProfileSummary& s) {
+std::string format_summary(const ProfileSummary& s, u64 requests) {
+  // Cycles-per-request column, one decimal (only with a request count).
+  const auto per_req = [requests](u64 cycles) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%12.1f/req",
+                  static_cast<double>(cycles) /
+                      static_cast<double>(requests ? requests : 1));
+    return std::string(buf);
+  };
   std::ostringstream os;
   os << "=== trace summary ===\n";
   os << "events: " << s.events_recorded << " recorded, " << s.events_dropped
@@ -340,14 +348,18 @@ std::string format_summary(const ProfileSummary& s) {
   if (first) os << "(none)";
   os << "\n";
 
-  os << "cycles by category (total " << s.total_cycles << "):\n";
+  os << "cycles by category (total " << s.total_cycles;
+  if (requests) os << ", " << requests << " requests";
+  os << "):\n";
   for (std::size_t i = 0; i < static_cast<std::size_t>(Category::kCount);
        ++i) {
     const Category c = static_cast<Category>(i);
     const u64 cyc = s.category_cycles(c);
     if (cyc == 0) continue;
     os << "  " << pad(category_name(c), 20) << lpad(cyc, 12) << "  "
-       << pct(cyc, s.total_cycles) << "\n";
+       << pct(cyc, s.total_cycles);
+    if (requests) os << per_req(cyc);
+    os << "\n";
     if (c == Category::kSplitItlbLoad || c == Category::kSplitDtlbLoad ||
         c == Category::kSoftTlbFill) {
       os << "      cause:";
@@ -357,7 +369,16 @@ std::string format_summary(const ProfileSummary& s) {
         for (const Bucket& b : s.buckets) {
           if (b.category == c && b.cause == cause) part += b.cycles;
         }
-        if (part) os << " " << cause_name(cause) << "=" << part;
+        if (part) {
+          os << " " << cause_name(cause) << "=" << part;
+          if (requests) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), " (%.1f/req)",
+                          static_cast<double>(part) /
+                              static_cast<double>(requests));
+            os << buf;
+          }
+        }
       }
       os << "\n";
     }
@@ -369,12 +390,20 @@ std::string format_summary(const ProfileSummary& s) {
   os << "  context-switch flushes " << lpad(flush, 12) << " cycles ("
      << "cr3-reload " << s.category_cycles(Category::kContextSwitch)
      << " + flush-caused reloads " << s.cause_cycles(Cause::kCtxSwitchFlush)
-     << ")\n";
-  os << "  tlb capacity faults    " << lpad(capacity, 12) << " cycles\n";
+     << ")";
+  if (requests) os << per_req(flush);
+  os << "\n";
+  os << "  tlb capacity faults    " << lpad(capacity, 12) << " cycles";
+  if (requests) os << per_req(capacity);
+  os << "\n";
   os << "  compulsory (cold)      " << lpad(s.cause_cycles(Cause::kCold), 12)
-     << " cycles\n";
+     << " cycles";
+  if (requests) os << per_req(s.cause_cycles(Cause::kCold));
+  os << "\n";
   os << "  invlpg invalidations   "
-     << lpad(s.cause_cycles(Cause::kInvalidation), 12) << " cycles\n";
+     << lpad(s.cause_cycles(Cause::kInvalidation), 12) << " cycles";
+  if (requests) os << per_req(s.cause_cycles(Cause::kInvalidation));
+  os << "\n";
 
   // Hottest pages, for the forensic "where did the cycles go" view.
   std::vector<Bucket> hot = s.buckets;

@@ -90,7 +90,11 @@ struct ProfileSummary {
 };
 
 // Deterministic human-readable report (the --trace-summary trailer).
-std::string format_summary(const ProfileSummary& s);
+// When `requests` is non-zero the per-category lines and the SS4.6
+// decomposition gain a cycles/request column, tying the attribution to
+// request-level cost under the server-load workload (output without the
+// flag is byte-identical to the one-argument form).
+std::string format_summary(const ProfileSummary& s, u64 requests = 0);
 
 class Profiler {
  public:

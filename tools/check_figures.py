@@ -18,9 +18,20 @@ BENCH_microbench.json carries every expected benchmark label — the
 perf-trajectory record must not silently lose a benchmark when the suite
 is regenerated on a machine with an older binary.
 
+With --server, checks the committed BENCH_server.json (the server-load
+throughput + tail-latency record, schema: a "quick" and a "full" section,
+each a runner --json document): both sections must carry the expected
+point labels with the full metric set and completed runs. Passing
+--fresh-server with a freshly generated `server_load --quick --json`
+sidecar additionally diffs its simulated metrics against the committed
+"quick" section exactly — the same drift guard the figure battery gets
+(the "full" 10^5-request sweep is too slow for CI and is label-checked
+only).
+
 Usage:
   tools/check_figures.py --fresh fresh.json [--committed BENCH_figures.json]
   tools/check_figures.py --microbench [BENCH_microbench.json]
+  tools/check_figures.py --server [BENCH_server.json] [--fresh-server q.json]
 """
 import argparse
 import json
@@ -48,6 +59,12 @@ MICROBENCH_LABELS = [
 ]
 
 
+# Point labels and metrics every BENCH_server.json section must carry.
+SERVER_POINT_LABELS = ["no-split", "split-all"]
+SERVER_METRICS = ["throughput_rpmc", "p50", "p99", "p999", "latency_mean",
+                  "cycles", "ctxsw", "completed"]
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -70,6 +87,45 @@ def points_by_label(bench_doc):
     return {p["label"]: p.get("metrics", {}) for p in bench_doc["points"]}
 
 
+def check_server(committed_path, fresh_path=None) -> int:
+    doc = load(committed_path)
+    failures = []
+    for section in ("quick", "full"):
+        if section not in doc:
+            failures.append(f"section '{section}' missing")
+            continue
+        pts = points_by_label(doc[section])
+        for label in SERVER_POINT_LABELS:
+            if label not in pts:
+                failures.append(f"{section}: point '{label}' missing")
+                continue
+            metrics = pts[label]
+            absent = [k for k in SERVER_METRICS if k not in metrics]
+            if absent:
+                failures.append(f"{section}/{label}: metrics missing {absent}")
+            elif metrics["completed"] != 1:
+                failures.append(f"{section}/{label}: run did not complete")
+    if fresh_path and "quick" in doc:
+        ref = points_by_label(doc["quick"])
+        fresh = points_by_label(load(fresh_path))
+        for label in SERVER_POINT_LABELS:
+            if label not in fresh:
+                failures.append(f"fresh quick run: point '{label}' missing")
+            elif label in ref and fresh[label] != ref[label]:
+                failures.append(
+                    f"quick/{label}: metrics drifted\n"
+                    f"    fresh:     {json.dumps(fresh[label], sort_keys=True)}\n"
+                    f"    committed: {json.dumps(ref[label], sort_keys=True)}")
+    if failures:
+        print(f"SERVER BENCH PROBLEMS in {committed_path}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    checked = "labels + quick-metrics drift" if fresh_path else "labels"
+    print(f"server OK: {checked} checked against {committed_path}")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--fresh",
@@ -81,14 +137,24 @@ def main() -> int:
                     const=os.path.join(REPO_ROOT, "BENCH_microbench.json"),
                     help="check BENCH_microbench.json for the expected "
                          "benchmark labels (optional path argument)")
+    ap.add_argument("--server", nargs="?",
+                    const=os.path.join(REPO_ROOT, "BENCH_server.json"),
+                    help="check BENCH_server.json labels/completion "
+                         "(optional path argument)")
+    ap.add_argument("--fresh-server",
+                    help="freshly generated `server_load --quick --json` "
+                         "sidecar to diff against the committed quick "
+                         "section (requires --server)")
     args = ap.parse_args()
 
     rc = 0
     if args.microbench:
         rc = check_microbench(args.microbench)
+    if args.server:
+        rc = check_server(args.server, args.fresh_server) or rc
     if not args.fresh:
-        if not args.microbench:
-            ap.error("--fresh or --microbench required")
+        if not args.microbench and not args.server:
+            ap.error("--fresh, --microbench or --server required")
         return rc
 
     fresh = load(args.fresh)["figures"]

@@ -15,6 +15,9 @@
 //   --last N              keep only the last N events (after filtering)
 //   --summary             print the cycle-attribution summary (paper SS4.6)
 //                         instead of the event dump
+//   --requests N          with --summary: add a per-cause cycles/request
+//                         column (N = requests the traced run served), tying
+//                         the SS4.6 decomposition to request-level cost
 //   --chrome PATH|-       write Chrome trace_event JSON (load in
 //                         about://tracing or Perfetto) to PATH or stdout
 //   --no-libc             do not link the guest libc/prelude
@@ -46,8 +49,8 @@ int usage() {
                "[--fraction N] [--soft-tlb]\n"
                "               [--budget N] [--ring N] [--kind NAME] "
                "[--pid N] [--last N]\n"
-               "               [--summary] [--chrome PATH|-] [--no-libc] "
-               "program.s\n");
+               "               [--summary [--requests N]] [--chrome PATH|-] "
+               "[--no-libc] program.s\n");
   return 64;
 }
 
@@ -78,6 +81,7 @@ int main(int argc, char** argv) {
   bool soft_tlb = false;
   bool summary = false;
   bool with_libc = true;
+  arch::u64 requests = 0;
   arch::u64 budget = 100'000'000;
   arch::u32 ring = 1u << 16;
 
@@ -108,6 +112,8 @@ int main(int argc, char** argv) {
       last = std::atol(next());
     } else if (a == "--summary") {
       summary = true;
+    } else if (a == "--requests") {
+      requests = std::strtoull(next(), nullptr, 10);
     } else if (a == "--chrome") {
       chrome_path = next();
     } else if (a == "--no-libc") {
@@ -192,7 +198,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (summary) {
-    std::fputs(trace::format_summary(sink.summary()).c_str(), stdout);
+    std::fputs(trace::format_summary(sink.summary(), requests).c_str(),
+               stdout);
     return 0;
   }
 
