@@ -98,6 +98,7 @@ Decoded Cpu::fetch_decode_at(u64 pa) {
       const u32 extra = slot->d.len - 1;
       stats_->itlb_hits += extra;
       stats_->cycles += extra * cost_->tlb_hit;
+      mmu_->itlb().touch_last(extra);
       SM_TRACE(trace_,
                charge(trace::Category::kTlbHit, extra * cost_->tlb_hit, pc));
       return slot->d;
@@ -330,6 +331,10 @@ Cpu::BlockStep Cpu::step_block(u64 max_attempts) {
     stats_->instructions += retired;
     stats_->block_instructions += retired;
     stats_->itlb_hits += hits;
+    // Match the slow path's LRU clock tick-per-hit; all hits are on the
+    // block's own code-page entry, and nothing inside the block touches
+    // the I-TLB, so one wholesale advance at exit is exact.
+    mmu_->itlb().touch_last(hits);
   };
   // The try sits OUTSIDE the loop so the hot path carries no per-iteration
   // exception-handling boundary; a throw aborts the block at the faulting

@@ -39,6 +39,10 @@
 #include "metrics/stats.h"
 #include "trace/trace.h"
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::arch {
 
 enum class Access { kFetch, kRead, kWrite };
@@ -129,6 +133,8 @@ class Mmu {
   void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
 
  private:
+  friend struct sm::snapshot::Access;
+
   [[noreturn]] void fault(u32 vaddr, Access acc, bool present,
                           bool soft_miss = false);
   u64 finish(u32 vaddr, u32 pfn) const {

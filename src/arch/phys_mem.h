@@ -22,6 +22,10 @@
 #include "arch/fault_hooks.h"
 #include "arch/types.h"
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::arch {
 
 class OutOfMemoryError : public std::runtime_error {
@@ -68,6 +72,8 @@ class PhysicalMemory {
   void set_fault_hooks(FaultHooks* hooks) { fault_hooks_ = hooks; }
 
  private:
+  friend struct sm::snapshot::Access;
+
   void check_pa(u64 pa, u64 len) const;
   void bump_generation(u64 pa, u64 len);
 

@@ -25,6 +25,7 @@ const TlbEntry* Tlb::lookup(u32 vpn) {
     TlbEntry& e = entries_[base + w];
     if (e.valid && e.vpn == vpn) {
       e.stamp = ++clock_;
+      last_touched_ = base + w;
       return &e;
     }
   }
@@ -62,6 +63,7 @@ std::optional<TlbEntry> Tlb::insert(const TlbEntry& entry) {
   entries_[victim] = entry;
   entries_[victim].valid = true;
   entries_[victim].stamp = ++clock_;
+  last_touched_ = victim;
   ++version_;
   return evicted;
 }

@@ -18,6 +18,10 @@
 
 #include "arch/types.h"
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::arch {
 
 struct TlbEntry {
@@ -70,7 +74,21 @@ class Tlb {
   }
   // Refreshes one entry's LRU stamp exactly as lookup() would, so a memo
   // hit leaves replacement behaviour identical to the slow path.
-  void touch(u32 index) { entries_[index].stamp = ++clock_; }
+  void touch(u32 index) {
+    entries_[index].stamp = ++clock_;
+    last_touched_ = index;
+  }
+  // Advances the clock n more ticks onto the most recently touched entry —
+  // the wholesale equivalent of the n consecutive touch()es the per-byte
+  // slow path would have made on it. The decode-cache and block-engine
+  // fast paths bill bytes 1..len-1 as guaranteed hits on the entry byte 0
+  // just used; without the matching clock ticks the machine's serialized
+  // LRU state depends on host-cache warmth (the snapshot battery's
+  // straight-vs-restored byte comparison caught exactly that drift).
+  void touch_last(u64 n) {
+    clock_ += n;
+    entries_[last_touched_].stamp = clock_;
+  }
 
   // --- inspection / fault injection --------------------------------------
   // Read-only view of a slot by flat index (no LRU touch, no billing); the
@@ -94,12 +112,17 @@ class Tlb {
   }
 
  private:
+  friend struct sm::snapshot::Access;
+
   u32 set_of(u32 vpn) const { return vpn & (num_sets_ - 1); }
 
   u32 ways_;
   u32 num_sets_;
   u64 clock_ = 0;
   u64 version_ = 0;
+  // Not serialized: every touch_last() is preceded, within the same
+  // instruction, by a lookup/insert/touch that sets it.
+  u32 last_touched_ = 0;
   std::vector<TlbEntry> entries_;  // num_sets_ * ways_, set-major
 };
 

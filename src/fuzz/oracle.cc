@@ -84,6 +84,8 @@ constexpr CounterRef kCounters[] = {
     {"injections_detected", &metrics::Stats::injections_detected, false},
 };
 
+}  // namespace
+
 // Compares one non-reference run against the reference on the behavioural
 // clause. Empty string == equal.
 std::string diff_behavior(const RunObservation& ref, const std::string& ref_l,
@@ -152,8 +154,6 @@ std::string diff_billing(const RunObservation& ref, const std::string& ref_l,
   return "";
 }
 
-}  // namespace
-
 std::vector<OracleConfig> behavioral_configs() {
   using core::ProtectionMode;
   using core::ResponseMode;
@@ -197,26 +197,30 @@ std::vector<OracleConfig> billing_configs() {
   return cfgs;
 }
 
-RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
-                        u64 budget) {
+std::unique_ptr<kernel::Kernel> make_case_kernel(const FuzzCase& c,
+                                                 const OracleConfig& cfg) {
   kernel::KernelConfig kc;
   kc.record_syscall_trace = true;
   kc.capture_exit_digest = true;
   kc.software_tlb = cfg.software_tlb;
   kc.eager_load = cfg.eager_load;
   kc.trace = cfg.trace;
-  kernel::Kernel k(kc);
-  k.set_engine(core::make_engine(cfg.mode, cfg.response));
-  k.register_image(build(c));
-  k.spawn("fuzz");
-  k.mmu().set_data_memo_enabled(cfg.data_memo);
-  k.cpu().set_decode_cache_enabled(cfg.decode_cache);
-  k.cpu().set_block_engine_enabled(cfg.dbt &&
-                                   k.cpu().block_engine_enabled());
-  if (cfg.inject_lru_bug) k.mmu().set_inject_memo_lru_bug(true);
+  if (cfg.phys_frames != 0) kc.phys_frames = cfg.phys_frames;
+  auto k = std::make_unique<kernel::Kernel>(kc);
+  k->set_engine(core::make_engine(cfg.mode, cfg.response));
+  k->register_image(build(c));
+  k->spawn("fuzz");
+  k->mmu().set_data_memo_enabled(cfg.data_memo);
+  k->cpu().set_decode_cache_enabled(cfg.decode_cache);
+  k->cpu().set_block_engine_enabled(cfg.dbt &&
+                                    k->cpu().block_engine_enabled());
+  if (cfg.inject_lru_bug) k->mmu().set_inject_memo_lru_bug(true);
+  return k;
+}
 
+RunObservation observe(kernel::Kernel& k, kernel::Kernel::RunResult result) {
   RunObservation obs;
-  obs.result = k.run(budget);
+  obs.result = result;
   for (const auto& proc : k.processes()) {
     ProcObservation po;
     po.pid = proc->pid;
@@ -231,6 +235,12 @@ RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
   obs.detections = k.detections().size();
   obs.stats = k.stats();
   return obs;
+}
+
+RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
+                        u64 budget) {
+  const std::unique_ptr<kernel::Kernel> k = make_case_kernel(c, cfg);
+  return observe(*k, k->run(budget));
 }
 
 OracleVerdict check_robustness(const FuzzCase& c, const OracleOptions& opts) {

@@ -27,6 +27,7 @@
 // divergence string — which doubles as the shrinker's predicate.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,6 +57,10 @@ struct OracleConfig {
   // (Mmu::set_inject_memo_lru_bug) so the campaign can prove it would
   // catch one.
   bool inject_lru_bug = false;
+  // Simulated RAM override (0 = KernelConfig default). The snapshot
+  // battery runs hundreds of kernels; a smaller machine keeps it quick
+  // without changing any guest-visible behaviour.
+  u32 phys_frames = 0;
 };
 
 // Everything observable from one run.
@@ -98,6 +103,27 @@ struct OracleVerdict {
 // Builds the case's image, runs it under `cfg`, returns the observation.
 RunObservation run_case(const FuzzCase& c, const OracleConfig& cfg,
                         u64 budget = 20'000'000);
+
+// The pieces run_case() is made of, exposed for the snapshot-replay
+// battery (which needs to stop a kernel mid-run, checkpoint it, and
+// observe restored copies against a straight-through reference).
+//
+// make_case_kernel: a kernel with the case's image registered, the
+// engine installed, pid 1 spawned and the cfg's fast-path toggles
+// applied — ready for run(). (Kernel is not movable; heap-allocated.)
+std::unique_ptr<kernel::Kernel> make_case_kernel(const FuzzCase& c,
+                                                 const OracleConfig& cfg);
+// observe: extracts the full observation from a kernel that finished
+// running with `result`.
+RunObservation observe(kernel::Kernel& k, kernel::Kernel::RunResult result);
+// The two equivalence comparators (empty string == equal). diff_behavior
+// checks the engine-invisible clause (exit/console/syscalls/digest,
+// cycles exempt); diff_billing checks every simulated counter including
+// cycles, exempting only the host-side fast-path counters.
+std::string diff_behavior(const RunObservation& ref, const std::string& ref_l,
+                          const RunObservation& got, const std::string& got_l);
+std::string diff_billing(const RunObservation& ref, const std::string& ref_l,
+                         const RunObservation& got, const std::string& got_l);
 
 // The full differential sweep. Throws asm::AsmError if the body does not
 // assemble (generator bug / hand-written corpus typo). Cases carrying a

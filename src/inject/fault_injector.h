@@ -31,6 +31,10 @@ class Kernel;
 struct Process;
 }  // namespace sm::kernel
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::inject {
 
 // How a fired fault ended up, as judged by the invariant watchdog (or
@@ -80,6 +84,8 @@ class FaultInjector final : public arch::FaultHooks,
   void resolve_outstanding(Outcome o);
 
  private:
+  friend struct sm::snapshot::Access;
+
   void apply_due(kernel::Kernel& k, kernel::Process& p);
   // Marks record `i` fired now; returns its index for trace payloads.
   void fire(u32 i, u32 site_vaddr);

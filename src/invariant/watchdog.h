@@ -51,6 +51,10 @@ class Kernel;
 struct Process;
 }  // namespace sm::kernel
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::invariant {
 
 using arch::u32;
@@ -84,6 +88,8 @@ class InvariantWatchdog final : public kernel::StepObserver {
   u32 degradations() const { return degradations_; }
 
  private:
+  friend struct sm::snapshot::Access;
+
   void full_audit(kernel::Kernel& k, kernel::Process& p);
   void sweep_tlb(kernel::Kernel& k, kernel::Process& p, bool is_itlb);
   void scan_split_ptes(kernel::Kernel& k, kernel::Process& p);

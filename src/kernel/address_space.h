@@ -18,6 +18,10 @@
 #include "arch/phys_mem.h"
 #include "arch/types.h"
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::kernel {
 
 using arch::PageTable;
@@ -104,6 +108,15 @@ class AddressSpace {
   void destroy();
 
  private:
+  friend struct sm::snapshot::Access;
+
+  // Snapshot-restore path: adopt an already-populated page-table root
+  // (the tables live in restored physical memory) instead of allocating a
+  // fresh one. Only snapshot::Access calls this.
+  struct AdoptRoot {};
+  AddressSpace(PhysicalMemory& pm, u32 root, AdoptRoot)
+      : pm_(&pm), root_(root) {}
+
   PhysicalMemory* pm_;
   u32 root_;
   bool destroyed_ = false;

@@ -12,6 +12,10 @@
 
 #include "arch/types.h"
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::kernel {
 
 using arch::u32;
@@ -38,6 +42,8 @@ class Channel {
   arch::u64 bytes_to_host() const { return bytes_to_host_; }
 
  private:
+  friend struct sm::snapshot::Access;
+
   std::deque<u8> to_guest_;
   std::deque<u8> to_host_;
   bool host_closed_ = false;
@@ -76,6 +82,8 @@ class Pipe {
   std::deque<u32> write_waiters;
 
  private:
+  friend struct sm::snapshot::Access;
+
   std::deque<u8> buf_;
   int readers_ = 0;
   int writers_ = 0;

@@ -12,6 +12,10 @@
 
 #include "arch/types.h"
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::kernel {
 
 using arch::u32;
@@ -32,6 +36,8 @@ class FileSystem {
   bool remove(const std::string& path) { return nodes_.erase(path) > 0; }
 
  private:
+  friend struct sm::snapshot::Access;
+
   std::map<std::string, std::shared_ptr<FileNode>> nodes_;
 };
 

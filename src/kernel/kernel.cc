@@ -247,6 +247,13 @@ std::shared_ptr<Channel> Kernel::attach_channel(Pid pid) {
   return chan;
 }
 
+std::shared_ptr<Channel> Kernel::channel_of(Pid pid, u32 fd) {
+  Process* p = process(pid);
+  if (p == nullptr || fd >= p->fds.size()) return nullptr;
+  if (auto* c = std::get_if<FdChannel>(&p->fds[fd])) return c->chan;
+  return nullptr;
+}
+
 Process* Kernel::process(Pid pid) {
   if (pid == 0 || pid > procs_.size()) return nullptr;
   Process* p = procs_[pid - 1].get();
@@ -855,7 +862,7 @@ image::Digest Kernel::final_memory_digest(Process& p) {
 
   GuestMem gm = mem_of(p);
   PageTable pt = p.as->pt();
-  std::vector<u8> stream;
+  image::Sha256 hasher;
   std::array<u8, kPageSize> page_buf;
   for (const Vma* vma : ordered) {
     for (u32 page = vma->start; page < vma->end; page += kPageSize) {
@@ -867,11 +874,11 @@ image::Digest Kernel::final_memory_digest(Process& p) {
       const u8 va_bytes[4] = {static_cast<u8>(page), static_cast<u8>(page >> 8),
                               static_cast<u8>(page >> 16),
                               static_cast<u8>(page >> 24)};
-      stream.insert(stream.end(), va_bytes, va_bytes + 4);
-      stream.insert(stream.end(), page_buf.begin(), page_buf.end());
+      hasher.update(va_bytes);
+      hasher.update(page_buf);
     }
   }
-  return image::sha256(stream);
+  return hasher.final();
 }
 
 // --------------------------------------------------------------------------

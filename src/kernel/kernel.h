@@ -7,6 +7,7 @@
 
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <optional>
@@ -29,6 +30,10 @@
 #include "metrics/cost_model.h"
 #include "metrics/stats.h"
 #include "trace/trace.h"
+
+namespace sm::snapshot {
+struct Access;
+}
 
 namespace sm::kernel {
 
@@ -144,6 +149,21 @@ class Kernel {
   enum class RunResult { kAllExited, kAllBlocked, kBudgetExhausted };
   RunResult run(arch::u64 max_instructions = UINT64_MAX);
 
+  // --- checkpoint/restore (src/snapshot, DESIGN.md §15) ---------------------
+  // Serializes the complete simulated machine. Attached fault-injector /
+  // watchdog hooks are discovered and included; host-side caches are
+  // dropped cold on restore (billing-identical by contract). restore() is
+  // an in-place reset: this kernel must have the same KernelConfig and
+  // engine as the saved one (validated; snapshot::SnapshotError on any
+  // mismatch or corrupt stream) but may itself have run arbitrarily far.
+  // Save points are run() exit boundaries — always whole instructions.
+  void save(std::ostream& os);
+  void restore(std::istream& is);
+
+  // The channel behind (pid, fd), or nullptr — lets an embedder re-bind
+  // its host end after restore() rebuilt the object graph.
+  std::shared_ptr<Channel> channel_of(Pid pid, u32 fd);
+
   // --- services for engines & syscalls (public: engines live in sm::core) --
   GuestMem mem_of(Process& p) { return GuestMem(*p.as); }
   // Registers (live on the CPU for the currently-running process).
@@ -176,6 +196,8 @@ class Kernel {
   u32 rng_next();
 
  private:
+  friend struct sm::snapshot::Access;
+
   // Intrusive FIFO runqueue threaded through Process::rq_next/rq_prev.
   // push/pop/remove are O(1); iteration order is exactly the push order,
   // preserving the historical round-robin schedule of the pid deque.

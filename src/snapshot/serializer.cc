@@ -1,0 +1,271 @@
+#include "snapshot/serializer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "image/sha256.h"
+
+namespace sm::snapshot {
+
+namespace {
+
+const char* kind_name(FieldKind k) {
+  switch (k) {
+    case FieldKind::kU8: return "u8";
+    case FieldKind::kU32: return "u32";
+    case FieldKind::kU64: return "u64";
+    case FieldKind::kBool: return "bool";
+    case FieldKind::kStr: return "str";
+    case FieldKind::kBytes: return "bytes";
+    case FieldKind::kGroupBegin: return "group";
+    case FieldKind::kGroupEnd: return "end";
+  }
+  return "?";
+}
+
+std::string hex64(u64 v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+void Writer::tag(FieldKind k, const char* name) {
+  const std::size_t n = std::strlen(name);
+  os_->put(static_cast<char>(k));
+  os_->put(static_cast<char>(n));  // field names are short by construction
+  os_->write(name, static_cast<std::streamsize>(n));
+}
+
+Reader::Reader(std::istream& is) : is_(&is) {
+  char magic[8];
+  read_exact(magic, sizeof magic, "magic");
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    fail("bad magic (not a snapshot file)");
+  }
+  const u32 version = raw32();
+  if (version != kFormatVersion) {
+    fail("unsupported format version " + std::to_string(version) +
+         " (expected " + std::to_string(kFormatVersion) + ")");
+  }
+}
+
+void Reader::fail(const std::string& why) {
+  std::string ctx = why;
+  if (!last_field_.empty()) ctx += " (after field '" + last_field_ + "')";
+  throw SnapshotError(ctx);
+}
+
+void Reader::read_exact(void* out, std::size_t n, const char* what) {
+  is_->read(static_cast<char*>(out), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is_->gcount()) != n) {
+    fail(std::string("truncated stream reading ") + what);
+  }
+}
+
+u8 Reader::get8() {
+  u8 v;
+  read_exact(&v, 1, "value");
+  return v;
+}
+
+u32 Reader::raw32() {
+  u8 b[4];
+  read_exact(b, 4, "value");
+  return static_cast<u32>(b[0]) | (static_cast<u32>(b[1]) << 8) |
+         (static_cast<u32>(b[2]) << 16) | (static_cast<u32>(b[3]) << 24);
+}
+
+void Reader::expect(FieldKind k, const char* name) {
+  u8 got_kind;
+  read_exact(&got_kind, 1, "field kind");
+  u8 name_len;
+  read_exact(&name_len, 1, "field name length");
+  char buf[256];
+  read_exact(buf, name_len, "field name");
+  const std::string got_name(buf, name_len);
+  if (got_kind != static_cast<u8>(k) || got_name != name) {
+    fail("expected " + std::string(kind_name(k)) + " '" + name + "', found " +
+         kind_name(static_cast<FieldKind>(got_kind)) + " '" + got_name + "'");
+  }
+  last_field_ = got_name;
+}
+
+void Reader::value(const char* name, std::string& v) {
+  expect(FieldKind::kStr, name);
+  const u32 n = raw32();
+  if (n > kMaxStrLen) fail("string length " + std::to_string(n) + " over cap");
+  v.resize(n);
+  if (n) read_exact(v.data(), n, "string payload");
+}
+
+void Reader::value(const char* name, std::vector<u8>& v) {
+  expect(FieldKind::kBytes, name);
+  const u32 n = raw32();
+  if (n > kMaxBytesLen) fail("bytes length " + std::to_string(n) + " over cap");
+  v.resize(n);
+  if (n) read_exact(v.data(), n, "bytes payload");
+}
+
+void Reader::bytes_into(const char* name, std::span<u8> out) {
+  expect(FieldKind::kBytes, name);
+  const u32 n = raw32();
+  if (n != out.size()) {
+    fail("bytes field '" + std::string(name) + "' length " +
+         std::to_string(n) + " != expected " + std::to_string(out.size()));
+  }
+  if (n) read_exact(out.data(), n, "bytes payload");
+}
+
+std::vector<DumpLine> dump(std::istream& is) {
+  // Re-implements the wire walk without a schema: every field carries its
+  // own kind and name, so the only shared knowledge is the TLV layout.
+  Reader header_check(is);  // validates magic + version, then is unused
+  std::vector<DumpLine> lines;
+  std::vector<std::string> path{"snapshot_root"};
+  // Use raw stream reads mirroring Reader's primitives.
+  auto read_exact = [&is](void* out, std::size_t n) {
+    is.read(static_cast<char*>(out), static_cast<std::streamsize>(n));
+    return static_cast<std::size_t>(is.gcount()) == n;
+  };
+  auto r32 = [&](u32& v) {
+    u8 b[4];
+    if (!read_exact(b, 4)) return false;
+    v = static_cast<u32>(b[0]) | (static_cast<u32>(b[1]) << 8) |
+        (static_cast<u32>(b[2]) << 16) | (static_cast<u32>(b[3]) << 24);
+    return true;
+  };
+  // Sibling-name disambiguation: repeated names within one parent group
+  // get a [i] suffix so dump keys are unique and diff can align on them.
+  std::vector<std::map<std::string, u32>> seen(1);
+
+  for (;;) {
+    u8 kind_b;
+    if (!read_exact(&kind_b, 1)) {
+      if (path.size() == 1) break;  // clean EOF at top level
+      throw SnapshotError("truncated stream: " +
+                          std::to_string(path.size() - 1) +
+                          " unclosed group(s)");
+    }
+    u8 name_len;
+    if (!read_exact(&name_len, 1)) throw SnapshotError("truncated field name");
+    char nbuf[256];
+    if (!read_exact(nbuf, name_len)) throw SnapshotError("truncated field name");
+    std::string name(nbuf, name_len);
+    const auto kind = static_cast<FieldKind>(kind_b);
+
+    if (kind == FieldKind::kGroupEnd) {
+      if (path.size() == 1) throw SnapshotError("unbalanced group end");
+      path.pop_back();
+      seen.pop_back();
+      continue;
+    }
+
+    const u32 idx = seen.back()[name]++;
+    if (idx > 0) name += "[" + std::to_string(idx) + "]";
+    std::string key;
+    for (std::size_t i = 1; i < path.size(); ++i) key += path[i] + ".";
+    key += name;
+
+    switch (kind) {
+      case FieldKind::kGroupBegin:
+        path.push_back(name);
+        seen.emplace_back();
+        break;
+      case FieldKind::kU8: {
+        u8 v;
+        if (!read_exact(&v, 1)) throw SnapshotError("truncated u8 " + key);
+        lines.push_back({key, std::to_string(v)});
+        break;
+      }
+      case FieldKind::kU32: {
+        u32 v;
+        if (!r32(v)) throw SnapshotError("truncated u32 " + key);
+        lines.push_back({key, std::to_string(v)});
+        break;
+      }
+      case FieldKind::kU64: {
+        u32 lo, hi;
+        if (!r32(lo) || !r32(hi)) throw SnapshotError("truncated u64 " + key);
+        lines.push_back(
+            {key, hex64((static_cast<u64>(hi) << 32) | lo)});
+        break;
+      }
+      case FieldKind::kBool: {
+        u8 v;
+        if (!read_exact(&v, 1)) throw SnapshotError("truncated bool " + key);
+        lines.push_back({key, v ? "true" : "false"});
+        break;
+      }
+      case FieldKind::kStr: {
+        u32 n;
+        if (!r32(n)) throw SnapshotError("truncated str " + key);
+        if (n > kMaxStrLen) throw SnapshotError("str over cap at " + key);
+        std::string s(n, '\0');
+        if (n && !read_exact(s.data(), n))
+          throw SnapshotError("truncated str " + key);
+        lines.push_back({key, "\"" + s + "\""});
+        break;
+      }
+      case FieldKind::kBytes: {
+        u32 n;
+        if (!r32(n)) throw SnapshotError("truncated bytes " + key);
+        if (n > kMaxBytesLen) throw SnapshotError("bytes over cap at " + key);
+        std::vector<u8> v(n);
+        if (n && !read_exact(v.data(), n))
+          throw SnapshotError("truncated bytes " + key);
+        std::string rendered;
+        if (n <= 32) {
+          // Short payloads inline as hex so diffs show the actual bytes.
+          char b[3];
+          rendered = "hex:";
+          for (const u8 c : v) {
+            std::snprintf(b, sizeof b, "%02x", c);
+            rendered += b;
+          }
+        } else {
+          rendered = "bytes[" + std::to_string(n) + "] sha256=" +
+                     image::hex_digest(image::sha256(v)).substr(0, 16);
+        }
+        lines.push_back({key, rendered});
+        break;
+      }
+      default:
+        throw SnapshotError("unknown field kind " +
+                            std::to_string(kind_b) + " at " + key);
+    }
+  }
+  return lines;
+}
+
+std::vector<std::string> diff(std::istream& a, std::istream& b) {
+  const std::vector<DumpLine> la = dump(a);
+  const std::vector<DumpLine> lb = dump(b);
+  std::map<std::string, std::string> ma, mb;
+  std::vector<std::string> order;  // first-appearance order across both
+  for (const DumpLine& l : la) {
+    if (ma.emplace(l.key, l.value).second) order.push_back(l.key);
+  }
+  for (const DumpLine& l : lb) {
+    if (mb.emplace(l.key, l.value).second && !ma.contains(l.key)) {
+      order.push_back(l.key);
+    }
+  }
+  std::vector<std::string> out;
+  for (const std::string& key : order) {
+    const auto ia = ma.find(key);
+    const auto ib = mb.find(key);
+    if (ia == ma.end()) {
+      out.push_back("only in B: " + key + " = " + ib->second);
+    } else if (ib == mb.end()) {
+      out.push_back("only in A: " + key + " = " + ia->second);
+    } else if (ia->second != ib->second) {
+      out.push_back(key + ": " + ia->second + " != " + ib->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace sm::snapshot

@@ -1,0 +1,199 @@
+// Versioned, self-describing binary archive for machine snapshots.
+//
+// The stream is a flat sequence of tagged fields — [kind][name][payload] —
+// wrapped in named groups, preceded by an 8-byte magic and a format
+// version. Self-description buys three things at once:
+//
+//   1. save/restore share ONE schema function per component (Writer and
+//      Reader expose the same `value(name, T&)` signature, so the schema
+//      is a template over the archive type and cannot drift between the
+//      two directions);
+//   2. `smsnap dump`/`smsnap diff` walk a snapshot generically, field by
+//      field, with no schema at all — every field carries its own name;
+//   3. corruption is detected structurally: a flipped kind byte, a
+//      mismatched field name, a length running past the end of the stream
+//      or over its cap all throw SnapshotError with the offending field's
+//      path — never undefined behaviour (the round-trip tests run this
+//      under ASan/UBSan).
+//
+// Integers are little-endian fixed width. Deliberately NO floating-point
+// field kind: doubles are stored as their IEEE-754 bit pattern (u64) so
+// snapshots are bit-exact and text dumps never round.
+#pragma once
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/types.h"
+
+namespace sm::snapshot {
+
+using arch::u32;
+using arch::u64;
+using arch::u8;
+
+// Any structural problem with a snapshot stream: bad magic, wrong version,
+// field kind/name mismatch, truncation, or a length over its cap.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error("snapshot: " + what) {}
+};
+
+inline constexpr char kMagic[8] = {'S', 'M', 'S', 'N', 'A', 'P', '\x1a', 0};
+inline constexpr u32 kFormatVersion = 1;
+
+// Field kinds on the wire.
+enum class FieldKind : u8 {
+  kU8 = 1,
+  kU32 = 2,
+  kU64 = 3,
+  kBool = 4,
+  kStr = 5,    // u32 length + bytes
+  kBytes = 6,  // u32 length + raw bytes
+  kGroupBegin = 7,
+  kGroupEnd = 8,
+};
+
+// Hard caps a well-formed snapshot never exceeds; a corrupt length field
+// fails fast instead of asking the allocator for garbage.
+inline constexpr u32 kMaxStrLen = 1u << 20;
+inline constexpr u32 kMaxBytesLen = 1u << 28;  // 256 MiB
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(&os) {
+    os_->write(kMagic, sizeof kMagic);
+    raw32(kFormatVersion);
+  }
+
+  static constexpr bool reading = false;
+
+  void begin(const char* name) { tag(FieldKind::kGroupBegin, name); }
+  void end() { tag(FieldKind::kGroupEnd, ""); }
+
+  void value(const char* name, u8& v) {
+    tag(FieldKind::kU8, name);
+    os_->put(static_cast<char>(v));
+  }
+  void value(const char* name, u32& v) {
+    tag(FieldKind::kU32, name);
+    raw32(v);
+  }
+  void value(const char* name, u64& v) {
+    tag(FieldKind::kU64, name);
+    raw64(v);
+  }
+  void value(const char* name, bool& v) {
+    tag(FieldKind::kBool, name);
+    os_->put(v ? 1 : 0);
+  }
+  void value(const char* name, std::string& v) {
+    tag(FieldKind::kStr, name);
+    raw32(static_cast<u32>(v.size()));
+    os_->write(v.data(), static_cast<std::streamsize>(v.size()));
+  }
+  void value(const char* name, std::vector<u8>& v) {
+    bytes(name, v);
+  }
+  // Bulk payload (frame contents, packed event arrays).
+  void bytes(const char* name, std::span<const u8> v) {
+    tag(FieldKind::kBytes, name);
+    raw32(static_cast<u32>(v.size()));
+    os_->write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size()));
+  }
+
+  // Writer-side check is a no-op: the live state is trusted.
+  void check(bool, const char*) {}
+
+ private:
+  void tag(FieldKind k, const char* name);
+  void raw32(u32 v) {
+    char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+    os_->write(b, 4);
+  }
+  void raw64(u64 v) {
+    raw32(static_cast<u32>(v));
+    raw32(static_cast<u32>(v >> 32));
+  }
+
+  std::ostream* os_;
+};
+
+class Reader {
+ public:
+  // Validates magic + version up front.
+  explicit Reader(std::istream& is);
+
+  static constexpr bool reading = true;
+
+  void begin(const char* name) { expect(FieldKind::kGroupBegin, name); }
+  void end() { expect(FieldKind::kGroupEnd, ""); }
+
+  void value(const char* name, u8& v) {
+    expect(FieldKind::kU8, name);
+    v = get8();
+  }
+  void value(const char* name, u32& v) {
+    expect(FieldKind::kU32, name);
+    v = raw32();
+  }
+  void value(const char* name, u64& v) {
+    expect(FieldKind::kU64, name);
+    v = raw64();
+  }
+  void value(const char* name, bool& v) {
+    expect(FieldKind::kBool, name);
+    v = get8() != 0;
+  }
+  void value(const char* name, std::string& v);
+  void value(const char* name, std::vector<u8>& v);
+  // Reads a bytes field that must be exactly out.size() long (fixed-size
+  // payloads like a physical frame).
+  void bytes_into(const char* name, std::span<u8> out);
+
+  // Validation helper for schema-level constraints (counts, ranges).
+  void check(bool ok, const char* what) {
+    if (!ok) fail(std::string("validation failed: ") + what);
+  }
+
+  [[noreturn]] void fail(const std::string& why);
+
+ private:
+  void expect(FieldKind k, const char* name);
+  u8 get8();
+  u32 raw32();
+  u64 raw64() {
+    const u64 lo = raw32();
+    const u64 hi = raw32();
+    return lo | (hi << 32);
+  }
+  void read_exact(void* out, std::size_t n, const char* what);
+
+  std::istream* is_;
+  std::string last_field_;  // for error context
+};
+
+// One dumped field: the dotted group path + name, and a printable value.
+struct DumpLine {
+  std::string key;    // e.g. "snapshot.procs.proc[2].regs.pc"
+  std::string value;  // e.g. "0x00401038" or "bytes[4096] sha256=ab12..."
+};
+
+// Generic schema-free walk of a whole snapshot stream (smsnap dump).
+// Throws SnapshotError on any structural problem.
+std::vector<DumpLine> dump(std::istream& is);
+
+// Field-by-field comparison of two snapshot streams (smsnap diff):
+// returns human-readable difference lines, empty when byte-equivalent at
+// the field level. Fields present in only one snapshot are reported too.
+std::vector<std::string> diff(std::istream& a, std::istream& b);
+
+}  // namespace sm::snapshot

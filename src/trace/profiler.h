@@ -31,6 +31,10 @@
 
 #include "trace/event.h"
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::trace {
 
 enum class Category : u8 {
@@ -115,6 +119,8 @@ class Profiler {
   void clear();
 
  private:
+  friend struct sm::snapshot::Access;
+
   struct Fill {
     u64 epoch = 0;
     bool invalidated = false;

@@ -11,6 +11,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::trace {
 
 template <typename T>
@@ -53,6 +57,8 @@ class RingBuffer {
   }
 
  private:
+  friend struct sm::snapshot::Access;
+
   std::size_t next(std::size_t i) const {
     return i + 1 == buf_.size() ? 0 : i + 1;
   }

@@ -50,6 +50,10 @@
 #define SM_TRACE_SINK(sink) (static_cast<::sm::trace::TraceSink*>(nullptr))
 #endif
 
+namespace sm::snapshot {
+struct Access;
+}
+
 namespace sm::trace {
 
 class TraceSink {
@@ -110,6 +114,8 @@ class TraceSink {
   }
 
  private:
+  friend struct sm::snapshot::Access;
+
   RingBuffer<Event> ring_;
   Profiler prof_;
   const metrics::Stats* stats_ = nullptr;

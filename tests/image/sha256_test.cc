@@ -29,6 +29,23 @@ TEST(Sha256, LongInputCrossesBlockBoundaries) {
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
 }
 
+TEST(Sha256, StreamingMatchesOneShotAtEveryChunkAlignment) {
+  // The exit-digest path streams page-sized pieces through the
+  // incremental hasher; irregular chunk sizes must hit every
+  // partial-block carry case (mid-block, exact block, multi-block with
+  // remainder) and still match the one-shot digest.
+  const std::vector<arch::u8> a(1'000'000, 'a');
+  const std::string want = hex_digest(sha256(a));
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{63},
+                                  std::size_t{64}, std::size_t{65},
+                                  std::size_t{4096}, std::size_t{9973}}) {
+    Sha256 h;
+    for (std::size_t off = 0; off < a.size(); off += chunk)
+      h.update(std::span(a).subspan(off, std::min(chunk, a.size() - off)));
+    EXPECT_EQ(hex_digest(h.final()), want) << "chunk=" << chunk;
+  }
+}
+
 TEST(HmacSha256, Rfc4231Vector1) {
   const std::vector<arch::u8> key(20, 0x0b);
   EXPECT_EQ(hex_digest(hmac_sha256(key, bytes("Hi There"))),

@@ -1,0 +1,231 @@
+// Regression battery for kernel state that is easy to forget in a
+// checkpoint because it is "only" bookkeeping — yet drives observable
+// behaviour after restore (ISSUE satellite). Each test aims a guest
+// program at one such subsystem and replays snapshots across a dense
+// prefix sweep; final-snapshot byte identity then proves the bookkeeping
+// survived: fd free-slot heap holes, pipe/channel wait queues, the
+// scheduler's runqueue order and slice accounting, and the kernel RNG
+// cursor behind SYS_RAND.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "snapshot/replay_support.h"
+
+namespace sm {
+namespace {
+
+using arch::u64;
+using core::ProtectionMode;
+using core::ResponseMode;
+using kernel::Kernel;
+using testing::body_replay_at;
+using testing::body_length;
+using testing::restore_bytes;
+using testing::save_bytes;
+using testing::snapshot_test_cfg;
+using testing::start_guest;
+
+constexpr u64 kBudget = 500'000;
+
+// Dense sweep: snapshot at ~kSteps evenly spread prefixes of the run
+// (always including 0 and T-1) and demand byte-identical finals.
+void sweep_body(const std::string& body, int steps = 16) {
+  const kernel::KernelConfig cfg = snapshot_test_cfg();
+  const u64 total = body_length(body, ProtectionMode::kSplitAll, cfg, kBudget);
+  ASSERT_GT(total, 2u);
+  ASSERT_LT(total, kBudget) << "body did not finish; sweep would be vacuous";
+  for (int i = 0; i <= steps; ++i) {
+    const u64 p = std::min<u64>(i * total / steps, total - 1);
+    EXPECT_TRUE(body_replay_at(body, ProtectionMode::kSplitAll, p, cfg,
+                               kBudget));
+  }
+}
+
+// The fd allocator's free-slot min-heap: open 4 pipes, punch holes at
+// fds 3/6/7, reopen. A snapshot taken mid-churn must carry the heap's
+// holes, or the post-restore pipe lands on the wrong fds — which the
+// guest makes observable by writing the returned fd numbers to the
+// console.
+TEST(LatentState, FdFreeSlotHeapHolesSurvive) {
+  sweep_body(R"(
+_start:
+  movi r6, 4
+mk:
+  movi r0, SYS_PIPE
+  movi r1, fds
+  syscall
+  addi r6, -1
+  cmpi r6, 0
+  jnz mk              ; pipes occupy fds 2..9 (fd 0 channel, fd 1 console)
+  movi r0, SYS_CLOSE
+  movi r1, 3
+  syscall
+  movi r0, SYS_CLOSE
+  movi r1, 6
+  syscall
+  movi r0, SYS_CLOSE
+  movi r1, 7
+  syscall             ; holes at 3, 6, 7
+  movi r0, SYS_PIPE
+  movi r1, fds
+  syscall             ; must land in the two lowest holes: 3 and 6
+  movi r0, SYS_WRITE
+  movi r1, 1
+  movi r2, fds
+  movi r3, 8
+  syscall             ; console bytes encode the fds the heap handed out
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+fds: .space 8
+)");
+}
+
+// Scheduler bookkeeping: fork, a child that yields (runqueue rotation),
+// a parent blocked reading an empty pipe (wait queue), cross-process
+// pipe traffic, then waitpid. Snapshots land mid-slice, with the
+// runqueue in every rotation and the parent parked on the pipe's wait
+// queue; restore must preserve runqueue ORDER, slice usage and the
+// blocked syscall's resume state or the interleaving (and thus console,
+// context-switch and cycle counts) shifts.
+TEST(LatentState, RunqueueOrderSliceAndPipeWaitersSurvive) {
+  sweep_body(R"(
+_start:
+  movi r0, SYS_PIPE
+  movi r1, fds
+  syscall
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r7, r0          ; child pid
+  movi r4, fds
+  load r1, [r4]
+  movi r0, SYS_READ
+  movi r2, buf
+  movi r3, 4
+  syscall             ; blocks until the child writes
+  movi r0, SYS_WRITE
+  movi r1, 1
+  movi r2, buf
+  movi r3, 4
+  syscall
+  mov r1, r7
+  movi r0, SYS_WAITPID
+  syscall
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall             ; exit code = child's exit code
+child:
+  movi r0, SYS_YIELD
+  syscall
+  movi r0, SYS_YIELD
+  syscall
+  movi r5, 0x656b6177
+  movi r4, buf
+  store [r4], r5      ; "wake"
+  movi r4, fds
+  load r1, [r4+4]
+  movi r0, SYS_WRITE
+  movi r2, buf
+  movi r3, 4
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 7
+  syscall
+.bss
+fds: .space 8
+buf: .space 4
+)",
+             24);
+}
+
+// The kernel PRNG behind SYS_RAND is one u64 cursor; a snapshot that
+// re-seeded instead of saving it would replay a DIFFERENT random
+// sequence after restore. The guest streams six SYS_RAND values to the
+// console, so the console bytes pin the exact post-restore sequence.
+TEST(LatentState, RngCursorContinues) {
+  sweep_body(R"(
+_start:
+  movi r6, 6
+loop:
+  movi r0, SYS_RAND
+  syscall
+  movi r4, buf
+  store [r4], r0
+  movi r0, SYS_WRITE
+  movi r1, 1
+  movi r2, buf
+  movi r3, 4
+  syscall
+  addi r6, -1
+  cmpi r6, 0
+  jnz loop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 4
+)");
+}
+
+// channel_waiters_: a process blocked reading the host channel (fd 0) is
+// parked on a wait queue keyed by the channel, with no pipe or timer to
+// rediscover it. Snapshot the machine WHILE it is blocked, restore, then
+// feed the restored channel from the host side: the process must wake,
+// echo the payload, and leave a machine byte-identical to one that was
+// never snapshotted.
+TEST(LatentState, ChannelWaiterSurvivesRestore) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_READ
+  movi r1, 0
+  movi r2, buf
+  movi r3, 8
+  syscall
+  mov r3, r0          ; bytes received
+  movi r0, SYS_WRITE
+  movi r1, 1
+  movi r2, buf
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 8
+)";
+  const kernel::KernelConfig cfg = snapshot_test_cfg();
+
+  // Reference: run to the block, feed the channel, run to completion.
+  auto straight = start_guest(body, ProtectionMode::kSplitAll,
+                              ResponseMode::kBreak, cfg);
+  ASSERT_EQ(straight.k->run(kBudget), Kernel::RunResult::kAllBlocked);
+  straight.k->channel_of(straight.pid, 0)->host_write("ping");
+  straight.k->run(kBudget);
+  ASSERT_EQ(straight.proc().exit_kind, kernel::ExitKind::kExited);
+  ASSERT_EQ(straight.console(), "ping");
+  const std::string want = save_bytes(*straight.k);
+
+  // Snapshot the blocked machine...
+  auto saver = start_guest(body, ProtectionMode::kSplitAll,
+                           ResponseMode::kBreak, cfg);
+  ASSERT_EQ(saver.k->run(kBudget), Kernel::RunResult::kAllBlocked);
+  const std::string blob = save_bytes(*saver.k);
+
+  // ...restore it, and wake the waiter through the RESTORED channel.
+  auto resumed = start_guest(body, ProtectionMode::kSplitAll,
+                             ResponseMode::kBreak, cfg);
+  restore_bytes(*resumed.k, blob);
+  ASSERT_EQ(resumed.k->run(kBudget), Kernel::RunResult::kAllBlocked)
+      << "restored process forgot it was blocked on the channel";
+  resumed.k->channel_of(resumed.pid, 0)->host_write("ping");
+  resumed.k->run(kBudget);
+  EXPECT_EQ(resumed.proc().exit_kind, kernel::ExitKind::kExited);
+  EXPECT_EQ(resumed.console(), "ping");
+  EXPECT_TRUE(testing::machines_equal(want, save_bytes(*resumed.k)));
+}
+
+}  // namespace
+}  // namespace sm

@@ -1,0 +1,221 @@
+// The replay-equivalence battery (ISSUE: checkpoint/restore tentpole).
+//
+// Property: for any benign fuzz program and any split point N,
+//
+//     run(budget)  ==  run(N); save; restore-into-fresh-kernel; run(rest)
+//
+// on BOTH oracle clauses — behaviour (exit kind/code, console, syscall
+// trace, final-memory digest, retired instructions, detections) and
+// billing (every simulated counter, cycles included; only host-side
+// fast-path counters are exempt, since restore drops those caches cold).
+//
+// The battery snapshots at every syscall boundary of each case (the
+// natural checkpoints a fork-server fuzzer would use) plus a spread of
+// pseudorandom instruction counts (which land inside split-protocol
+// windows, mid-DBT-block, mid-fault-handling — anywhere), across every
+// oracle configuration: all protection engines, paging strategies and
+// fast-path/trace toggles.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+#include "fuzz/rng.h"
+#include "fuzz/snapshot_replay.h"
+#include "guest/guestlib.h"
+#include "image/image.h"
+#include "inject/fault_injector.h"
+#include "invariant/watchdog.h"
+#include "kernel/kernel.h"
+
+namespace sm {
+namespace {
+
+using arch::u64;
+
+constexpr u64 kBudget = 2'000'000;
+constexpr u64 kCampaignSeed = 42;
+
+// Small simulated machine: the battery boots hundreds of kernels, and
+// guest behaviour is independent of RAM size.
+fuzz::OracleConfig small(fuzz::OracleConfig c) {
+  c.phys_frames = 2048;
+  return c;
+}
+
+// Deterministic split-point spread over [0, total): splitmix64 stream, no
+// host entropy (the battery must be reproducible from the test name).
+std::vector<u64> random_points(u64 seed, u64 total, int count) {
+  std::vector<u64> pts;
+  u64 x = seed ^ 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < count; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    if (total > 0) pts.push_back(z % total);
+  }
+  return pts;
+}
+
+void expect_replays(const fuzz::FuzzCase& c, const fuzz::OracleConfig& cfg,
+                    const std::vector<u64>& points) {
+  for (u64 p : points) {
+    auto v = fuzz::check_replay_at(c, cfg, kBudget, p);
+    EXPECT_TRUE(v.ok) << "[" << cfg.label << "] seed=" << c.seed
+                      << " snapshot@" << p << ": " << v.divergence;
+    if (!v.ok) return;  // one divergence per config is enough signal
+  }
+}
+
+// The headline battery: K seeded programs under the primary engine
+// (split-break), snapshotted at every syscall boundary plus 16 random
+// instruction counts each.
+TEST(ReplayEquivalence, SyscallBoundariesAndRandomPoints) {
+  const fuzz::OracleConfig cfg =
+      small({.label = "split-break", .mode = core::ProtectionMode::kSplitAll});
+  for (u64 i = 1; i <= 4; ++i) {
+    const fuzz::FuzzCase c =
+        fuzz::generate(fuzz::case_seed(kCampaignSeed, i));
+    auto rk = fuzz::make_case_kernel(c, cfg);
+    const auto ref = fuzz::observe(*rk, rk->run(kBudget));
+    ASSERT_GT(ref.instructions, 0u);
+
+    std::vector<u64> points = fuzz::syscall_boundaries(c, cfg, kBudget);
+    // Cap the boundary list so a syscall-heavy case cannot blow up test
+    // time; an even stride keeps early/mid/late boundaries represented.
+    if (points.size() > 24) {
+      std::vector<u64> sampled;
+      for (std::size_t j = 0; j < points.size(); j += points.size() / 24)
+        sampled.push_back(points[j]);
+      points.swap(sampled);
+    }
+    EXPECT_FALSE(points.empty())
+        << "generator stopped emitting syscalls; battery lost its "
+           "natural checkpoints";
+    for (u64 p : random_points(c.seed, ref.instructions, 16))
+      points.push_back(p);
+    points.push_back(0);                     // before the first instruction
+    points.push_back(ref.instructions - 1);  // just before the last
+    expect_replays(c, cfg, points);
+  }
+}
+
+// Every oracle configuration — engines (none/split/NX/PaX/mixed),
+// response modes, paging strategies, fast-path and trace toggles — must
+// replay. This is what makes restore's cold-cache policy load-bearing:
+// decode/block caches and MMU memos differ across these configs, and
+// restore must be billing-identical under all of them.
+TEST(ReplayEquivalence, AllOracleConfigs) {
+  const fuzz::FuzzCase c = fuzz::generate(fuzz::case_seed(kCampaignSeed, 2));
+  std::vector<fuzz::OracleConfig> cfgs;
+  for (const auto& b : fuzz::behavioral_configs()) cfgs.push_back(small(b));
+  for (const auto& b : fuzz::billing_configs()) cfgs.push_back(small(b));
+  for (const auto& cfg : cfgs) {
+    auto rk = fuzz::make_case_kernel(c, cfg);
+    const auto ref = fuzz::observe(*rk, rk->run(kBudget));
+    ASSERT_GT(ref.instructions, 1u);
+    expect_replays(c, cfg,
+                   {0, 1, ref.instructions / 3, ref.instructions / 2,
+                    ref.instructions - 1});
+  }
+}
+
+// Mid-fault-schedule snapshots: a case with scheduled faults, the
+// injector and invariant watchdog attached. Snapshot/restore must
+// preserve the injector's schedule cursor and fired-record state and the
+// watchdog's tallies — the restored run replays the remaining faults at
+// the same instruction counts with the same outcomes.
+TEST(ReplayEquivalence, MidFaultScheduleWithWatchdog) {
+  fuzz::GenOptions gopts;
+  gopts.fault_count = 12;
+  const fuzz::FuzzCase c =
+      fuzz::generate(fuzz::case_seed(99, 2), gopts);
+  ASSERT_FALSE(c.faults.empty());
+
+  struct Rig {
+    std::unique_ptr<kernel::Kernel> k;
+    std::unique_ptr<inject::FaultInjector> inj;
+    std::unique_ptr<invariant::InvariantWatchdog> wd;
+  };
+  auto mk = [&]() {
+    Rig r;
+    kernel::KernelConfig kc;
+    kc.record_syscall_trace = true;
+    kc.capture_exit_digest = true;
+    kc.phys_frames = 2048;
+    r.k = std::make_unique<kernel::Kernel>(kc);
+    r.k->set_engine(core::make_engine(core::ProtectionMode::kSplitAll,
+                                      core::ResponseMode::kBreak));
+    const auto program = assembler::assemble(guest::program(c.body));
+    image::BuildOptions opts;
+    opts.name = "fuzz";
+    opts.mixed_text = c.mixed_text;
+    r.k->register_image(image::build_image(program, opts));
+    r.inj = std::make_unique<inject::FaultInjector>(c.faults);
+    r.wd = std::make_unique<invariant::InvariantWatchdog>();
+    r.inj->attach(*r.k);
+    r.wd->attach(*r.k, r.inj.get());
+    r.k->spawn("fuzz");
+    return r;
+  };
+
+  Rig ref = mk();
+  const auto ref_res = ref.k->run(kBudget);
+  ref.wd->finalize(*ref.k);
+  const auto ref_obs = fuzz::observe(*ref.k, ref_res);
+  const u64 total = ref_obs.instructions;
+  ASSERT_GT(total, 4u);
+
+  for (u64 p : {total / 4, total / 2, (total * 3) / 4}) {
+    Rig saver = mk();
+    saver.k->run(p);
+    std::ostringstream os;
+    saver.k->save(os);
+
+    Rig resumed = mk();
+    std::istringstream is(os.str());
+    ASSERT_NO_THROW(resumed.k->restore(is)) << "snapshot@" << p;
+    const auto res = resumed.k->run(kBudget - p);
+    resumed.wd->finalize(*resumed.k);
+    const auto got = fuzz::observe(*resumed.k, res);
+
+    std::string d = fuzz::diff_behavior(ref_obs, "straight", got, "restored");
+    if (d.empty()) d = fuzz::diff_billing(ref_obs, "straight", got, "restored");
+    EXPECT_EQ(d, "") << "snapshot@" << p;
+
+    // The injector's record of which scheduled faults fired (and how they
+    // were classified) must match the uninterrupted run exactly.
+    const auto& ra = ref.inj->records();
+    const auto& rb = resumed.inj->records();
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].fired, rb[i].fired)
+          << "snapshot@" << p << " fault record #" << i;
+      EXPECT_EQ(ra[i].outcome.has_value(), rb[i].outcome.has_value())
+          << "snapshot@" << p << " fault record #" << i;
+    }
+    EXPECT_EQ(ref.wd->breaches(), resumed.wd->breaches()) << "snapshot@" << p;
+  }
+}
+
+// The fork-server engine itself (tools/fuzz_driver --snapshot-prefix):
+// repeated in-place resets from an in-memory snapshot must observe
+// exactly what fresh full re-runs observe.
+TEST(ReplayEquivalence, ForkServerResetsMatchFullReruns) {
+  const fuzz::FuzzCase c = fuzz::generate(fuzz::case_seed(kCampaignSeed, 1));
+  const fuzz::OracleConfig cfg =
+      small({.label = "split-break", .mode = core::ProtectionMode::kSplitAll});
+  const auto r = fuzz::run_fork_server_case(c, cfg, {.budget = kBudget});
+  EXPECT_TRUE(r.ok) << r.divergence;
+  EXPECT_GT(r.prefix_instructions, 0u);
+  EXPECT_LT(r.prefix_instructions, r.total_instructions);
+  EXPECT_GT(r.snapshot_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace sm

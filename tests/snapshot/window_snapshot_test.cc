@@ -1,0 +1,169 @@
+// Snapshots taken INSIDE the Algorithm-2 single-step window (ISSUE
+// satellite): TF armed, the I-TLB load recorded in pending_split_vaddr,
+// the PTE temporarily unrestricted, the closing debug trap not yet
+// delivered. This is the hardest split point in the machine — the window
+// is pure architectural state spread across flags, the process object and
+// simulated physical memory — and restore must resume it so faithfully
+// that the closing trap fires at the same boundary and bills its cycles
+// to the split load that armed it.
+//
+// Method: single-step a program whose control flow hops across fresh text
+// pages (each hop opens a window), snapshot at EVERY in-window point
+// found, restore each into a fresh kernel, run to completion, and demand
+// the final machine state is byte-identical to an uninterrupted run —
+// cycles, stats, trace-profiler buckets and all.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "snapshot/replay_support.h"
+
+namespace sm {
+namespace {
+
+using arch::u64;
+using core::ProtectionMode;
+using core::ResponseMode;
+using testing::restore_bytes;
+using testing::save_bytes;
+using testing::snapshot_test_cfg;
+using testing::start_guest;
+
+constexpr u64 kBudget = 200'000;
+
+arch::Regs& live_regs(testing::GuestRun& r) {
+  return r.k->regs_of(r.proc());
+}
+
+// Control flow hops across three fresh text pages; under split
+// protection each hop takes the I-TLB load protocol, and any hop whose
+// PTE the engine must temporarily unrestrict opens a TF window.
+const char* kHopperBody = R"(
+_start:
+  movi r5, 0
+  jmp p1
+  .space 4000, 0x90
+p1:
+  addi r5, 1
+  jmp p2
+  .space 4000, 0x90
+p2:
+  addi r5, 2
+  jmp p3
+  .space 4000, 0x90
+p3:
+  addi r5, 3
+  movi r0, SYS_WRITE
+  movi r1, 1
+  movi r2, msg
+  movi r3, 4
+  syscall
+  movi r0, SYS_EXIT
+  mov r1, r5
+  syscall
+msg: .ascii "done"
+)";
+
+struct WindowPoint {
+  u64 instructions;  // retired count at save time
+  arch::u32 pending; // the split vaddr whose window is open
+  std::string blob;
+};
+
+// Single-steps the program and saves the machine at every point where the
+// single-step window is armed (TF set + pending split load recorded).
+std::vector<WindowPoint> collect_window_snapshots(
+    const kernel::KernelConfig& cfg) {
+  std::vector<WindowPoint> points;
+  auto r = start_guest(kHopperBody, ProtectionMode::kSplitAll,
+                       ResponseMode::kBreak, cfg);
+  while (r.k->run(1) == kernel::Kernel::RunResult::kBudgetExhausted) {
+    if (live_regs(r).tf() && r.proc().pending_split_vaddr.has_value()) {
+      points.push_back({r.k->stats().instructions,
+                        *r.proc().pending_split_vaddr, save_bytes(*r.k)});
+    }
+    if (r.k->stats().instructions > kBudget) break;  // runaway guard
+  }
+  return points;
+}
+
+void run_window_battery(const kernel::KernelConfig& cfg) {
+  auto straight = start_guest(kHopperBody, ProtectionMode::kSplitAll,
+                              ResponseMode::kBreak, cfg);
+  straight.k->run(kBudget);
+  ASSERT_EQ(straight.proc().exit_kind, kernel::ExitKind::kExited);
+  ASSERT_EQ(straight.console(), "done");
+  const std::string want = save_bytes(*straight.k);
+
+  const auto points = collect_window_snapshots(cfg);
+  // One window per fresh text page hop, at minimum. (Single-stepping may
+  // observe the same window at several boundaries; all must replay.)
+  ASSERT_GE(points.size(), 3u)
+      << "program no longer opens single-step windows; the battery's "
+         "hardest split point went untested";
+
+  for (const auto& wp : points) {
+    auto resumed = start_guest(kHopperBody, ProtectionMode::kSplitAll,
+                               ResponseMode::kBreak, cfg);
+    restore_bytes(*resumed.k, wp.blob);
+
+    // The armed window itself must survive the round trip: trap flag up,
+    // the in-flight split load remembered.
+    ASSERT_TRUE(live_regs(resumed).tf())
+        << "snapshot@" << wp.instructions << " lost the trap flag";
+    ASSERT_TRUE(resumed.proc().pending_split_vaddr.has_value());
+    EXPECT_EQ(*resumed.proc().pending_split_vaddr, wp.pending);
+
+    resumed.k->run(kBudget - wp.instructions);
+    EXPECT_EQ(resumed.proc().exit_kind, kernel::ExitKind::kExited);
+    // Field identity of the final snapshots covers every counter the
+    // closing trap touches — cycles included, so the trap's cost landed
+    // on the same (restored) split load either way.
+    EXPECT_TRUE(testing::machines_equal(want, save_bytes(*resumed.k)))
+        << "snapshot@" << wp.instructions << " (window for vaddr 0x"
+        << std::hex << wp.pending << std::dec << ")";
+    EXPECT_EQ(resumed.k->stats().cycles, straight.k->stats().cycles);
+    // With tracing on, the architectural event streams (split protocol
+    // opens/closes, trap and syscall events with their cycle stamps) must
+    // align exactly — host-engine block-cache events excepted.
+    EXPECT_TRUE(testing::events_match(*straight.k, *resumed.k))
+        << "snapshot@" << wp.instructions;
+  }
+}
+
+TEST(WindowSnapshot, EveryInWindowPointReplays) {
+  run_window_battery(snapshot_test_cfg());
+}
+
+// Same battery with the trace layer on: the profiler's attribution
+// buckets and the event ring are part of the snapshot, so byte identity
+// additionally proves the closing trap's cycles are attributed to the
+// split load that armed it — across the save/restore boundary.
+TEST(WindowSnapshot, TraceAttributionSurvivesMidWindowRestore) {
+  run_window_battery(snapshot_test_cfg(/*trace=*/true));
+}
+
+// Software-TLB paging fills the I-TLB from the kernel directly (paper
+// §4.7), so the split protocol needs no TF window at all there — assert
+// that stays true (a window appearing under soft-TLB would mean the
+// engine regressed to the hardware-walk dance), and that dense-prefix
+// snapshots of the same program still replay exactly.
+TEST(WindowSnapshot, SoftwareTlbOpensNoWindowsAndReplays) {
+  kernel::KernelConfig cfg = snapshot_test_cfg();
+  cfg.software_tlb = true;
+  EXPECT_TRUE(collect_window_snapshots(cfg).empty());
+
+  const arch::u64 total = testing::body_length(
+      kHopperBody, ProtectionMode::kSplitAll, cfg, kBudget);
+  ASSERT_GT(total, 2u);
+  for (int i = 0; i <= 12; ++i) {
+    const arch::u64 p = std::min<arch::u64>(i * total / 12, total - 1);
+    EXPECT_TRUE(testing::body_replay_at(kHopperBody,
+                                        ProtectionMode::kSplitAll, p, cfg,
+                                        kBudget));
+  }
+}
+
+}  // namespace
+}  // namespace sm

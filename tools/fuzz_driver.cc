@@ -28,6 +28,15 @@
 //   --emit-corpus     with --save: write EVERY generated case (seeds a corpus)
 //   --inject-lru-bug  plant the deliberate memo-LRU billing bug (oracle
 //                     self-test: the campaign must catch it)
+//   --snapshot-prefix[=P]
+//                     fork-server mode: instead of the cross-engine sweep,
+//                     run each case once under split-break, checkpoint the
+//                     machine at P% of the run (default 90), then reset it
+//                     in place from the in-memory snapshot for each
+//                     iteration — verifying every reset observes exactly
+//                     what a fresh full re-run observes. Per-case verdict
+//                     lines stay deterministic on stdout; host timing
+//                     (cases/sec both ways, speedup) goes to stderr.
 //
 // A saved reproducer's path is echoed on stderr; the exit code is nonzero
 // for ANY divergence, security breaches included.
@@ -43,6 +52,7 @@
 #include "fuzz/oracle.h"
 #include "fuzz/rng.h"
 #include "fuzz/shrinker.h"
+#include "fuzz/snapshot_replay.h"
 #include "runner/experiment_runner.h"
 
 namespace {
@@ -60,6 +70,8 @@ struct Args {
   u32 faults = 0;
   bool emit_corpus = false;
   bool inject_lru_bug = false;
+  bool snapshot_prefix = false;
+  u32 prefix_percent = 90;
   bool progress = true;
   std::string corpus_dir;
   std::string save_dir;
@@ -71,7 +83,8 @@ struct Args {
                "[--budget=C]\n"
                "                   [--shrink] [--corpus DIR] [--save DIR] "
                "[--emit-corpus]\n"
-               "                   [--inject-lru-bug] [--no-progress]\n");
+               "                   [--inject-lru-bug] [--snapshot-prefix[=P]] "
+               "[--no-progress]\n");
   std::exit(rc);
 }
 
@@ -101,6 +114,13 @@ Args parse(int argc, char** argv) {
     else if (std::strcmp(arg, "--faults") == 0) a.faults = 12;
     else if (eat_value(arg, "--faults", argc, argv, i, v))
       a.faults = static_cast<u32>(std::strtoul(v.c_str(), nullptr, 0));
+    else if (std::strcmp(arg, "--snapshot-prefix") == 0)
+      a.snapshot_prefix = true;
+    else if (eat_value(arg, "--snapshot-prefix", argc, argv, i, v)) {
+      a.snapshot_prefix = true;
+      a.prefix_percent = static_cast<u32>(std::strtoul(v.c_str(), nullptr, 0));
+      if (a.prefix_percent == 0 || a.prefix_percent >= 100) usage(2);
+    }
     else if (std::strcmp(arg, "--emit-corpus") == 0) a.emit_corpus = true;
     else if (std::strcmp(arg, "--inject-lru-bug") == 0) a.inject_lru_bug = true;
     else if (std::strcmp(arg, "--no-progress") == 0) a.progress = false;
@@ -168,8 +188,52 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fork-server mode: per-case checkpoint/reset instead of the
+  // cross-engine sweep. Verdict lines on stdout are pure functions of the
+  // case (the determinism contract); host timing goes to stderr only.
+  const fuzz::ForkServerOptions fs_opts{.budget = args.budget,
+                                        .prefix_percent = args.prefix_percent};
+  const fuzz::OracleConfig fs_cfg{.label = "split-break",
+                                  .mode = core::ProtectionMode::kSplitAll};
+
   std::vector<runner::SweepPoint> points;
   points.reserve(cases.size());
+  if (args.snapshot_prefix) {
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      const fuzz::FuzzCase& c = cases[i];
+      const std::string& label = labels[i];
+      points.push_back({label, [&c, &label, &fs_opts, &fs_cfg] {
+                          runner::PointResult r;
+                          fuzz::ForkServerResult fr;
+                          std::string asm_err;
+                          try {
+                            fr = fuzz::run_fork_server_case(c, fs_cfg, fs_opts);
+                          } catch (const assembler::AsmError& e) {
+                            asm_err = std::string("does not assemble: ") +
+                                      e.what();
+                          }
+                          const std::string d =
+                              !asm_err.empty() ? asm_err
+                              : fr.ok          ? ""
+                                               : fr.divergence;
+                          r.text = runner::strf(
+                              "%-12s seed=0x%016llx T=%llu P=%llu snap=%zuB "
+                              "%s\n",
+                              label.c_str(),
+                              static_cast<unsigned long long>(c.seed),
+                              static_cast<unsigned long long>(
+                                  fr.total_instructions),
+                              static_cast<unsigned long long>(
+                                  fr.prefix_instructions),
+                              fr.snapshot_bytes,
+                              d.empty() ? "ok" : ("DIVERGED: " + d).c_str());
+                          r.add("diverged", d.empty() ? 0 : 1);
+                          r.add("rerun_s", fr.rerun_seconds);
+                          r.add("reset_s", fr.reset_seconds);
+                          return r;
+                        }});
+    }
+  } else {
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const fuzz::FuzzCase& c = cases[i];
     const std::string& label = labels[i];
@@ -184,6 +248,7 @@ int main(int argc, char** argv) {
                         r.add("diverged", d.empty() ? 0 : 1);
                         return r;
                       }});
+  }
   }
 
   runner::RunnerOptions ropts;
@@ -200,6 +265,28 @@ int main(int argc, char** argv) {
 
   std::printf("fuzz: %zu cases, %zu divergent\n", cases.size(),
               divergent.size());
+
+  if (args.snapshot_prefix) {
+    // Host-side timing summary (stderr: wall-clock is not part of the
+    // deterministic stdout contract). "rerun" is what a fuzzer without a
+    // fork server pays per iteration; "reset" is the snapshot restore +
+    // suffix run.
+    double rerun = 0, reset = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      rerun += runner::metric(table[i], "rerun_s");
+      reset += runner::metric(table[i], "reset_s");
+    }
+    const double iters =
+        static_cast<double>(cases.size()) * fs_opts.resets;
+    std::fprintf(stderr,
+                 "forkserver: %zu cases x %u iterations at prefix %u%%\n"
+                 "forkserver: rerun %.3fs (%.1f cases/sec)  reset %.3fs "
+                 "(%.1f cases/sec)  speedup %.2fx\n",
+                 cases.size(), fs_opts.resets, args.prefix_percent, rerun,
+                 rerun > 0 ? iters / rerun : 0.0, reset,
+                 reset > 0 ? iters / reset : 0.0,
+                 reset > 0 ? rerun / reset : 0.0);
+  }
 
   if (!args.save_dir.empty() && args.emit_corpus) {
     for (std::size_t i = 0; i < cases.size(); ++i)
