@@ -67,7 +67,8 @@ int main(int argc, char** argv) {
       "latency, split memory on/off");
   runner::ExperimentRunner pool(opts);
 
-  const ServerLoadConfig cfg = config_for(opts.quick);
+  ServerLoadConfig cfg = config_for(opts.quick);
+  if (opts.cores != 0) cfg.cores = opts.cores;
   const Protection none = Protection::none();
   const Protection split = Protection::split_all();
 
@@ -76,6 +77,15 @@ int main(int argc, char** argv) {
       {"no-split", [&] { return run_point("no-split", none, cfg); }});
   points.push_back(
       {"split-all", [&] { return run_point("split-all", split, cfg); }});
+  // SMP leg (quick set only): the same protected serve on 4 cores with
+  // per-core split TLBs and IPI shootdown. Pinned to 4 regardless of
+  // --cores so the quick output is one fixed, drift-guarded point set.
+  ServerLoadConfig smp = cfg;
+  smp.cores = 4;
+  if (opts.quick) {
+    points.push_back(
+        {"split-smp4", [&] { return run_point("split-smp4", split, smp); }});
+  }
 
   const runner::ResultTable table = pool.run(points);
   std::printf("Server load: %u workers, %u requests, window %u "

@@ -1,0 +1,50 @@
+# SMP opt-in regression for the bench binaries.
+#
+# Runs BENCH twice — once without the flag and once with `--cores=1` —
+# and fails unless both exit codes and every byte of stdout match. The
+# contract (DESIGN.md §16): SMP is opt-in, and single-core output is the
+# historical pre-SMP output, bit for bit. Figure benches are single-core
+# by definition (their workloads pin one core); server_load additionally
+# wires --cores through, so this leg proves the flag's 1-core path and
+# the default path share every simulated number.
+#
+# Usage:
+#   cmake -DBENCH=<path> -DWORK_DIR=<dir>
+#         [-DEXTRA_ARGS=<arg;arg;...>] -P CoresIdentityCheck.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "CoresIdentityCheck: BENCH and WORK_DIR required")
+endif()
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(out_default "${WORK_DIR}/default.stdout")
+set(out_cores1 "${WORK_DIR}/cores1.stdout")
+
+execute_process(
+  COMMAND "${BENCH}" ${EXTRA_ARGS} --no-progress
+  OUTPUT_FILE "${out_default}"
+  RESULT_VARIABLE rc_default)
+execute_process(
+  COMMAND "${BENCH}" ${EXTRA_ARGS} --cores=1 --no-progress
+  OUTPUT_FILE "${out_cores1}"
+  RESULT_VARIABLE rc_cores1)
+
+if(NOT rc_default STREQUAL rc_cores1)
+  message(FATAL_ERROR
+    "${BENCH}: exit code differs between default (${rc_default}) and "
+    "--cores=1 (${rc_cores1})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files "${out_default}" "${out_cores1}"
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "${BENCH}: stdout differs between default and --cores=1 "
+    "(compare ${out_default} vs ${out_cores1})")
+endif()
+
+message(STATUS
+  "${BENCH}: --cores=1 output byte-identical to default (rc=${rc_default})")

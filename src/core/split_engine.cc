@@ -139,6 +139,14 @@ FaultResolution SplitMemoryEngine::on_protection_fault(
   arch::Regs& regs = k.regs_of(p);
   const bool instruction_miss = pf.addr == regs.pc || pf.fetch;
 
+  // SMP: the PTE is about to be unrestricted and re-pointed for a TLB-load
+  // window. Every remote core that may still cache the old translation
+  // must drop it — and ack — BEFORE the window opens (invariant I7): a
+  // stale remote entry would let another core see the window's transient
+  // mapping. The active core's TLBs are deliberately untouched; the window
+  // exists to fill them. No-op at cores=1.
+  k.tlb_shootdown(p, pf.addr);
+
   if (instruction_miss) {
     pte.set_pfn(pair->code_frame);
     pte.unrestrict();
@@ -339,7 +347,7 @@ FaultResolution SplitMemoryEngine::on_invalid_opcode(Kernel& k, Process& p) {
       pte.clear(Pte::kSplit);
       pt.set(pc, pte);
       p.as->unsplit(vpn, pair->data_frame);
-      k.mmu().invlpg(pc);
+      k.invalidate_page(p, pc);
       regs.set_tf(false);
       p.pending_split_vaddr.reset();
       SM_TRACE(k.trace_sink(), record(trace::EventKind::kObserveLockdown, pc,
@@ -430,7 +438,7 @@ void SplitMemoryEngine::on_mprotect(Kernel& k, Process& p, Vma& vma,
       }
     }
     pt.set(va, pte);
-    k.mmu().invlpg(va);
+    k.invalidate_page(p, va);
   }
 }
 
@@ -453,7 +461,7 @@ bool SplitMemoryEngine::degrade_lock_unsplit(Kernel& k, Process& p,
   pte.clear(Pte::kSplit);
   pt.set(page, pte);
   p.as->unsplit(vpn, kept);
-  k.mmu().invlpg(page);
+  k.invalidate_page(p, page);
   if (p.pending_split_vaddr && *p.pending_split_vaddr == page) {
     k.regs_of(p).set_tf(false);
     p.pending_split_vaddr.reset();
@@ -524,7 +532,7 @@ void HardwareNxEngine::on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
       if (!vma.mixed()) pte.clear(Pte::kWritable);
     }
     pt.set(va, pte);
-    k.mmu().invlpg(va);
+    k.invalidate_page(p, va);
   }
 }
 
@@ -625,7 +633,7 @@ void PaxPageexecEngine::on_mprotect(Kernel& k, Process& p, Vma& vma,
       pte.set(Pte::kNoExec);
     }
     pt.set(va, pte);
-    k.mmu().invlpg(va);
+    k.invalidate_page(p, va);
   }
 }
 

@@ -34,7 +34,11 @@ FaultInjector::FaultInjector(FaultSchedule schedule)
 void FaultInjector::attach(Kernel& k) {
   kernel_ = &k;
   k.set_fault_source(this);
-  k.mmu().set_fault_hooks(this);
+  // Every core's MMU gets the hooks: a dropped invlpg/flush can strike any
+  // core, and shootdown invalidations land on remote MMUs.
+  for (arch::u32 c = 0; c < k.num_cores(); ++c) {
+    k.core_mmu(c).set_fault_hooks(this);
+  }
   k.phys().set_fault_hooks(this);
 }
 
@@ -194,6 +198,12 @@ void FaultInjector::apply_due(Kernel& k, Process& p) {
       case FaultKind::kMidWindowPreempt:
         armed_preempt_.push_back(i);
         break;
+      case FaultKind::kDropIpi:
+        armed_drop_ipi_.push_back(i);
+        break;
+      case FaultKind::kAckNoFlush:
+        armed_ack_no_flush_.push_back(i);
+        break;
       case FaultKind::kCount:
         break;
     }
@@ -246,6 +256,35 @@ bool FaultInjector::force_preempt(Kernel& k, Process& p) {
   // Absorbed by design: the kernel's mid-window switch handling (stale
   // pending retirement + CR3 reflush) makes preemption safe.
   fire_resolved(i, *p.pending_split_vaddr, Outcome::kRecovered);
+  return true;
+}
+
+bool FaultInjector::drop_ipi(Kernel& k, Process& p, u32 target_core,
+                             u32 vaddr) {
+  (void)k;
+  (void)p;
+  (void)target_core;
+  if (armed_drop_ipi_.empty()) return false;
+  const u32 i = armed_drop_ipi_.front();
+  armed_drop_ipi_.erase(armed_drop_ipi_.begin());
+  // The send is swallowed; the kernel retries, each retry consuming one
+  // armed entry. An exhausted retry budget parks a PendingShootdown (I7
+  // if a window opens over it); the watchdog classifies on repair.
+  fire(i, vaddr);
+  return true;
+}
+
+bool FaultInjector::ack_without_flush(Kernel& k, Process& p, u32 target_core,
+                                      u32 vaddr) {
+  (void)k;
+  (void)p;
+  (void)target_core;
+  if (armed_ack_no_flush_.empty()) return false;
+  const u32 i = armed_ack_no_flush_.front();
+  armed_ack_no_flush_.erase(armed_ack_no_flush_.begin());
+  // The target acks but keeps the stale entry — the I6 state. The remote
+  // sweep finds and repairs it; the watchdog classifies.
+  fire(i, vaddr);
   return true;
 }
 

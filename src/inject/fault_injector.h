@@ -68,6 +68,10 @@ class FaultInjector final : public arch::FaultHooks,
   bool drop_debug_trap(kernel::Kernel& k, kernel::Process& p) override;
   bool duplicate_debug_trap(kernel::Kernel& k, kernel::Process& p) override;
   bool force_preempt(kernel::Kernel& k, kernel::Process& p) override;
+  bool drop_ipi(kernel::Kernel& k, kernel::Process& p, u32 target_core,
+                u32 vaddr) override;
+  bool ack_without_flush(kernel::Kernel& k, kernel::Process& p,
+                         u32 target_core, u32 vaddr) override;
 
   // --- arch::FaultHooks ---------------------------------------------------
   bool drop_tlb_flush() override;
@@ -104,6 +108,8 @@ class FaultInjector final : public arch::FaultHooks,
   std::vector<u32> armed_dup_trap_;
   std::vector<u32> armed_preempt_;
   std::vector<u32> armed_tf_clear_;  // waits for TF to be set
+  std::vector<u32> armed_drop_ipi_;  // shootdown IPI sends to swallow
+  std::vector<u32> armed_ack_no_flush_;  // IPIs to ack without flushing
 };
 
 }  // namespace sm::inject

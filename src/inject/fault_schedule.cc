@@ -39,6 +39,10 @@ const char* to_string(FaultKind k) {
       return "frame-exhaust";
     case FaultKind::kMidWindowPreempt:
       return "preempt";
+    case FaultKind::kDropIpi:
+      return "drop-ipi";
+    case FaultKind::kAckNoFlush:
+      return "ack-no-flush";
     case FaultKind::kCount:
       break;
   }

@@ -37,6 +37,8 @@ enum class FaultKind : arch::u8 {
   kTrapFlagSet,           // set TF spuriously outside any window
   kFrameExhaustion,       // next frame allocation fails
   kMidWindowPreempt,      // force a context switch inside a step window
+  kDropIpi,               // next shootdown IPI send is lost (sender retries)
+  kAckNoFlush,            // next IPI is acked without flushing (stale entry)
   kCount,
 };
 

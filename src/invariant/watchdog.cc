@@ -119,8 +119,8 @@ void InvariantWatchdog::check_fetch_page(Kernel& k, Process& p, u32 pc) {
   if (next != vpn_of(pc)) check_one(next);
 }
 
-void InvariantWatchdog::sweep_tlb(Kernel& k, Process& p, bool is_itlb) {
-  Tlb& tlb = is_itlb ? k.mmu().itlb() : k.mmu().dtlb();
+void InvariantWatchdog::sweep_tlb(Kernel& k, Process& p, Tlb& tlb,
+                                  bool is_itlb, arch::u8 remote_inv) {
   PageTable pt = p.as->pt();
   for (u32 i = 0; i < tlb.capacity(); ++i) {
     const TlbEntry e = tlb.entry_at(i);  // copy: we may invalidate the slot
@@ -152,7 +152,61 @@ void InvariantWatchdog::sweep_tlb(Kernel& k, Process& p, bool is_itlb) {
     }
     if (inv != 0) {
       tlb.invalidate(e.vpn);
-      on_violation(k, p, va, inv);
+      on_violation(k, p, va, remote_inv != 0 ? remote_inv : inv);
+    }
+  }
+}
+
+void InvariantWatchdog::sweep_remote_cores(Kernel& k) {
+  for (u32 c = 0; c < k.num_cores(); ++c) {
+    if (c == k.active_core()) continue;
+    arch::Mmu& mmu = k.core_mmu(c);
+    if (mmu.itlb().valid_count() == 0 && mmu.dtlb().valid_count() == 0) {
+      continue;
+    }
+    // Attribute the core's cached translations by CR3: set_cr3 flushes
+    // both TLBs, so valid entries can only belong to the current root. A
+    // root with no live owner (process died since) has nothing to check
+    // against; its entries are unreachable until a set_cr3 flushes them.
+    Process* owner = nullptr;
+    for (const auto& up : k.processes()) {
+      if (up->alive() && up->as && up->as->root() == mmu.cr3()) {
+        owner = up.get();
+        break;
+      }
+    }
+    if (owner == nullptr) continue;
+    sweep_tlb(k, *owner, mmu.itlb(), /*is_itlb=*/true, kI6);
+    sweep_tlb(k, *owner, mmu.dtlb(), /*is_itlb=*/false, kI6);
+  }
+}
+
+void InvariantWatchdog::check_smp_window(Kernel& k, Process& p) {
+  if (k.num_cores() == 1 || !p.pending_split_vaddr || !p.as) return;
+  const u32 va = *p.pending_split_vaddr;
+  const u32 vpn = vpn_of(va);
+  const u32 root = p.as->root();
+  // I7: every shootdown of the window page must have been acked before
+  // the window opened. A matching pending entry means IPI retries were
+  // exhausted mid-protocol; repair completes the invalidations directly.
+  for (const auto& ps : k.pending_shootdowns()) {
+    if (ps.root == root && ps.vpn == vpn) {
+      on_violation(k, p, va, kI7);
+      k.complete_pending_shootdowns();
+      break;
+    }
+  }
+  // I6 (window half): mid-window no remote core may cache the window page
+  // at all — its PTE is transiently unrestricted and re-pointed, so a
+  // remote hit would serve a frame this core holds mid-protocol.
+  for (u32 c = 0; c < k.num_cores(); ++c) {
+    if (c == k.active_core()) continue;
+    arch::Mmu& mmu = k.core_mmu(c);
+    if (mmu.cr3() != root) continue;
+    if (mmu.itlb().contains(vpn) || mmu.dtlb().contains(vpn)) {
+      mmu.itlb().invalidate(vpn);
+      mmu.dtlb().invalidate(vpn);
+      on_violation(k, p, va, kI6);
     }
   }
 }
@@ -169,24 +223,42 @@ void InvariantWatchdog::resolve_after_audit() {
 
 void InvariantWatchdog::full_audit(Kernel& k, Process& p) {
   steps_since_audit_ = 0;
-  sweep_tlb(k, p, /*is_itlb=*/true);
-  sweep_tlb(k, p, /*is_itlb=*/false);
+  if (core_itlb_versions_.size() < k.num_cores()) {
+    core_itlb_versions_.resize(k.num_cores(), ~u64{0});
+    core_dtlb_versions_.resize(k.num_cores(), ~u64{0});
+  }
+  sweep_tlb(k, p, k.mmu().itlb(), /*is_itlb=*/true);
+  sweep_tlb(k, p, k.mmu().dtlb(), /*is_itlb=*/false);
+  sweep_remote_cores(k);
   scan_split_ptes(k, p);
+  // A pending shootdown with no window open over it is benign (the stale
+  // entries belong to pages whose PTEs already mutated, and I6's sweep
+  // above repaired any disagreement) — complete it silently so it cannot
+  // ripen into an I7 later. The direct Tlb::invalidate path cannot be
+  // swallowed by an armed drop fault.
+  if (!k.pending_shootdowns().empty()) k.complete_pending_shootdowns();
   // Record AFTER the sweeps: our own repairs bump versions and must not
   // re-trigger an audit next step.
-  last_itlb_version_ = k.mmu().itlb().version();
-  last_dtlb_version_ = k.mmu().dtlb().version();
+  const u32 core = k.active_core();
+  core_itlb_versions_[core] = k.mmu().itlb().version();
+  core_dtlb_versions_[core] = k.mmu().dtlb().version();
   // State verified and repaired: everything fired so far is classified.
   resolve_after_audit();
 }
 
 void InvariantWatchdog::pre_step(Kernel& k, Process& p) {
   if (!p.alive() || !p.as) return;
+  if (core_itlb_versions_.size() < k.num_cores()) {
+    core_itlb_versions_.resize(k.num_cores(), ~u64{0});
+    core_dtlb_versions_.resize(k.num_cores(), ~u64{0});
+  }
+  check_smp_window(k, p);
   arch::Mmu& mmu = k.mmu();
+  const u32 core = k.active_core();
   const bool audit = ++steps_since_audit_ >= kAuditPeriod ||
                      p.pid != last_pid_ ||
-                     mmu.itlb().version() != last_itlb_version_ ||
-                     mmu.dtlb().version() != last_dtlb_version_;
+                     mmu.itlb().version() != core_itlb_versions_[core] ||
+                     mmu.dtlb().version() != core_dtlb_versions_[core];
   last_pid_ = p.pid;
   if (audit) {
     // Runs before the upcoming instruction consumes anything: a TLB entry
@@ -257,6 +329,9 @@ void InvariantWatchdog::finalize(Kernel& k) {
     if (!p.alive() || !p.as || &p == cur) continue;
     scan_split_ptes(k, p);
   }
+  // Leftover pending shootdowns (e.g. the last process exited before an
+  // audit ran) are repaired directly so no stale entry outlives the run.
+  if (!k.pending_shootdowns().empty()) k.complete_pending_shootdowns();
   // Nothing left can consume machine state: classify whatever remains.
   resolve_after_audit();
 }

@@ -21,6 +21,16 @@
 //       user/writable elevation over the current PTE. Split pages and
 //       PAGEEXEC-restricted pages (!user && no_exec) cache user=1 by
 //       design and are exempt from the user-bit clause.
+//   I6  Cross-core coherence (cores > 1): no REMOTE core's TLBs cache a
+//       translation that disagrees with the owning process's PTE/pair
+//       state — and mid-window, no remote core caches the window page at
+//       all (its PTE is transiently unrestricted; a remote hit would serve
+//       a frame the active core holds mid-protocol). Reachable only via
+//       injected ack-no-flush / dropped-IPI faults: the shootdown protocol
+//       invalidates remote entries before any PTE mutation takes effect.
+//   I7  Shootdown acks precede window entry: a single-step window must not
+//       open over a page whose shootdown is still pending (IPI retries
+//       exhausted). Repair completes the pending invalidations directly.
 //
 // Checking discipline (why this is cheap): every step pays O(1) — the
 // fetch page's PTE + I-TLB slot and the window flags. The full audit
@@ -46,6 +56,10 @@
 #include "inject/fault_injector.h"
 #include "kernel/hooks.h"
 
+namespace sm::arch {
+class Tlb;
+}  // namespace sm::arch
+
 namespace sm::kernel {
 class Kernel;
 struct Process;
@@ -63,7 +77,8 @@ using arch::u64;
 class InvariantWatchdog final : public kernel::StepObserver {
  public:
   // Invariant ids used in trace events and per-check reporting.
-  enum : arch::u8 { kI1 = 1, kI2 = 2, kI3 = 3, kI4 = 4, kI5 = 5 };
+  enum : arch::u8 { kI1 = 1, kI2 = 2, kI3 = 3, kI4 = 4, kI5 = 5, kI6 = 6,
+                    kI7 = 7 };
 
   // Repairs on the same page beyond this count trigger degradation.
   static constexpr u32 kRetryLimit = 8;
@@ -91,7 +106,16 @@ class InvariantWatchdog final : public kernel::StepObserver {
   friend struct sm::snapshot::Access;
 
   void full_audit(kernel::Kernel& k, kernel::Process& p);
-  void sweep_tlb(kernel::Kernel& k, kernel::Process& p, bool is_itlb);
+  // Sweeps one TLB against p's page tables. remote_inv = 0 sweeps the
+  // active core (violations keep their own ids); a nonzero remote_inv
+  // (kI6) sweeps another core's TLB and reports every hit under that id.
+  void sweep_tlb(kernel::Kernel& k, kernel::Process& p, arch::Tlb& tlb,
+                 bool is_itlb, arch::u8 remote_inv = 0);
+  // Audits every REMOTE core's TLBs, attributing each core's entries by
+  // CR3 (set_cr3 flushes, so cached entries belong to the current root).
+  void sweep_remote_cores(kernel::Kernel& k);
+  // I6/I7 window guards, checked at window entry. No-op at cores=1.
+  void check_smp_window(kernel::Kernel& k, kernel::Process& p);
   void scan_split_ptes(kernel::Kernel& k, kernel::Process& p);
   // Checks/repairs one split page's PTE (I1). No-op for unsplit vpns.
   void check_split_pte(kernel::Kernel& k, kernel::Process& p, u32 vpn);
@@ -103,8 +127,11 @@ class InvariantWatchdog final : public kernel::StepObserver {
   void resolve_after_audit();
 
   inject::FaultInjector* injector_ = nullptr;
-  u64 last_itlb_version_ = ~0ull;
-  u64 last_dtlb_version_ = ~0ull;
+  // Per-core TLB version counters at the last audit (index = core id;
+  // lazily sized on first pre_step). A moved counter on the ACTIVE core
+  // triggers a full audit, exactly as the single-core scalars did.
+  std::vector<u64> core_itlb_versions_;
+  std::vector<u64> core_dtlb_versions_;
   u32 last_pid_ = 0;
   u32 steps_since_audit_ = 0;
   bool degraded_since_resolve_ = false;

@@ -67,6 +67,30 @@ class FaultSource {
     (void)p;
     return false;
   }
+
+  // A TLB-shootdown IPI is about to be delivered to `target_core` for the
+  // page at `vaddr`. Return true to drop it in flight (the sender retries;
+  // exhausted retries leave the shootdown pending — invariant I7).
+  virtual bool drop_ipi(Kernel& k, Process& p, arch::u32 target_core,
+                        arch::u32 vaddr) {
+    (void)k;
+    (void)p;
+    (void)target_core;
+    (void)vaddr;
+    return false;
+  }
+
+  // `target_core` received the shootdown IPI and is about to flush. Return
+  // true to ack WITHOUT flushing (a buggy remote handler): the stale entry
+  // survives on that core — invariant I6.
+  virtual bool ack_without_flush(Kernel& k, Process& p,
+                                 arch::u32 target_core, arch::u32 vaddr) {
+    (void)k;
+    (void)p;
+    (void)target_core;
+    (void)vaddr;
+    return false;
+  }
 };
 
 // A passive-until-violated observer of the split-protocol invariants,

@@ -45,24 +45,57 @@ bool dbt_env_enabled() {
   }();
   return enabled;
 }
+
+// KernelConfig::cores = 0 means "SM_CORES env, default 1". Deliberately NOT
+// statically cached: one process (tests, benches) builds kernels with
+// different core counts. Capped at 32 so a core set fits a u32 bitmask.
+u32 resolve_cores(u32 cfg_cores) {
+  u32 n = cfg_cores;
+  if (n == 0) {
+    const char* v = std::getenv("SM_CORES");
+    const long parsed = v != nullptr ? std::strtol(v, nullptr, 10) : 1;
+    n = parsed >= 1 ? static_cast<u32>(parsed) : 1;
+  }
+  return std::min<u32>(n, 32);
+}
+
+// Dispatch quantum for the deterministic core interleave: attempted
+// instructions one core runs before the machine rotates to the next.
+// Counted identically by the per-instruction and block-engine paths, so
+// DBT on/off cannot shift the schedule (the dbt_identity contract extends
+// to --cores N). A single core runs unbounded — see Kernel::run.
+constexpr u64 kSmpDispatchQuantum = 32;
+
+// IPI delivery attempts per shootdown target before the sender gives up
+// and parks the shootdown as pending (only injected drop-ipi faults can
+// exhaust this).
+constexpr u32 kIpiRetryLimit = 3;
 }  // namespace
 
 Kernel::Kernel(KernelConfig cfg)
     : cfg_(std::move(cfg)),
       pm_(cfg_.phys_frames),
-      mmu_(pm_, stats_, cfg_.cost, cfg_.tlb_entries, cfg_.tlb_ways),
-      cpu_(mmu_, stats_, cfg_.cost),
       engine_(std::make_unique<NoProtectionEngine>()),
       rng_state_(cfg_.rng_seed == 0 ? 1 : cfg_.rng_seed) {
-  mmu_.set_software_tlb(cfg_.software_tlb);
-  cpu_.set_block_engine_enabled(SM_DBT_ENABLED && cfg_.dbt &&
-                                dbt_env_enabled());
+  cfg_.cores = resolve_cores(cfg_.cores);
+  cores_.reserve(cfg_.cores);
+  for (u32 i = 0; i < cfg_.cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(i, pm_, stats_, cfg_.cost,
+                                            cfg_.tlb_entries, cfg_.tlb_ways));
+  }
   if (SM_TRACE_ENABLED && cfg_.trace) {
     trace_.enable({cfg_.trace_ring_capacity});
     trace_.set_stats(&stats_);
     trace_ptr_ = &trace_;
-    mmu_.set_trace(trace_ptr_);
-    cpu_.set_trace(trace_ptr_);
+  }
+  for (const auto& c : cores_) {
+    c->mmu.set_software_tlb(cfg_.software_tlb);
+    c->cpu.set_block_engine_enabled(SM_DBT_ENABLED && cfg_.dbt &&
+                                    dbt_env_enabled());
+    if (trace_ptr_ != nullptr) {
+      c->mmu.set_trace(trace_ptr_);
+      c->cpu.set_trace(trace_ptr_);
+    }
   }
 }
 
@@ -91,6 +124,7 @@ void Kernel::log(const std::string& line) { klog_.push_back(line); }
 
 void Kernel::RunQueue::push_back(Process& p) {
   p.on_runqueue = true;
+  p.rq_core = core_id;
   p.rq_next = nullptr;
   p.rq_prev = tail;
   if (tail != nullptr) {
@@ -234,7 +268,7 @@ Pid Kernel::spawn(const std::string& image_name) {
   const Pid pid = proc->pid;
   procs_.push_back(std::move(proc));
   ++live_procs_;
-  runqueue_.push_back(*procs_.back());
+  home_core(*procs_.back()).runqueue.push_back(*procs_.back());
   log("[spawn] pid " + std::to_string(pid) + " <- " + image_name);
   return pid;
 }
@@ -271,7 +305,9 @@ const Process* Kernel::process(Pid pid) const {
 // --------------------------------------------------------------------------
 
 arch::Regs& Kernel::regs_of(Process& p) {
-  if (current_ && *current_ == p.pid) return cpu_.regs();
+  for (const auto& c : cores_) {
+    if (c->current && *c->current == p.pid) return c->cpu.regs();
+  }
   return p.regs;
 }
 
@@ -350,8 +386,10 @@ void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) 
   p.as.reset();
   release_all_fds(p);
   wake_exit_waiters(p);
-  if (current_ && *current_ == p.pid) current_ = std::nullopt;
-  if (p.on_runqueue) runqueue_.remove(p);
+  for (const auto& c : cores_) {
+    if (c->current && *c->current == p.pid) c->current = std::nullopt;
+  }
+  if (p.on_runqueue) cores_[p.rq_core]->runqueue.remove(p);
 }
 
 // --------------------------------------------------------------------------
@@ -487,150 +525,216 @@ void Kernel::wake_channel_waiters() {
 void Kernel::make_runnable(Process& p) {
   p.state = ProcState::kRunnable;
   p.waiting = WaitNone{};
-  if (!p.on_runqueue) runqueue_.push_back(p);
+  if (!p.on_runqueue) home_core(p).runqueue.push_back(p);
 }
 
-std::optional<Pid> Kernel::pick_next() {
-  while (!runqueue_.empty()) {
-    const Process* p = runqueue_.pop_front();
+std::optional<Pid> Kernel::pick_next(Core& c) {
+  while (!c.runqueue.empty()) {
+    const Process* p = c.runqueue.pop_front();
     if (p->state == ProcState::kRunnable) return p->pid;
+  }
+  // Work stealing: scan the other queues in core-id order starting just
+  // past this core, head-first (the victim's own dispatch order). A
+  // process mid single-step window is pinned — Algorithm 1's state lives
+  // in the TLBs of the core that opened the window, so migrating it would
+  // re-fault on cold TLBs and double-charge the protocol.
+  for (u32 off = 1; off < cores_.size(); ++off) {
+    Core& victim = *cores_[(c.id + off) % cores_.size()];
+    for (Process* q = victim.runqueue.head; q != nullptr; q = q->rq_next) {
+      if (q->state != ProcState::kRunnable) continue;
+      if (q->pending_split_vaddr.has_value() || q->regs.tf()) continue;
+      victim.runqueue.remove(*q);
+      ++stats_.work_steals;
+      return q->pid;
+    }
   }
   return std::nullopt;
 }
 
-void Kernel::switch_to(Pid pid) {
+void Kernel::switch_to(Core& c, Pid pid) {
   Process& p = *process(pid);
-  if (!last_running_ || *last_running_ != pid) {
+  if (!c.last_running || *c.last_running != pid) {
     ++stats_.context_switches;
     stats_.cycles += cfg_.cost.context_switch;
     SM_TRACE(trace_ptr_, set_current_pid(pid));
     SM_TRACE(trace_ptr_, record(trace::EventKind::kContextSwitch, 0,
-                                last_running_ ? *last_running_ : 0));
+                                c.last_running ? *c.last_running : 0));
     SM_TRACE(trace_ptr_, charge(trace::Category::kContextSwitch,
                                 cfg_.cost.context_switch));
-    mmu_.set_cr3(p.as->root());  // flushes both TLBs
+    c.mmu.set_cr3(p.as->root());  // flushes both TLBs
   }
-  cpu_.regs() = p.regs;
-  current_ = pid;
-  last_running_ = pid;
-  slice_used_ = 0;
+  c.cpu.regs() = p.regs;
+  c.current = pid;
+  c.last_running = pid;
+  c.slice_used = 0;
 }
 
 void Kernel::deschedule(Process& p) {
-  if (current_ && *current_ == p.pid) {
-    p.regs = cpu_.regs();
-    current_ = std::nullopt;
+  for (const auto& c : cores_) {
+    if (c->current && *c->current == p.pid) {
+      p.regs = c->cpu.regs();
+      c->current = std::nullopt;
+    }
   }
 }
 
 Kernel::RunResult Kernel::run(u64 max_instructions) {
   u64 executed = 0;
+  // Deterministic SMP interleave: cores take fixed-size turns in core-id
+  // order. A single core gets an unbounded quantum, making the inner loop
+  // the historical single-core run loop, iteration for iteration.
+  const u64 quantum = cores_.size() == 1 ? UINT64_MAX : kSmpDispatchQuantum;
   while (executed < max_instructions) {
-    if (!current_) {
-      wake_channel_waiters();
-      const auto next = pick_next();
-      if (!next) {
+    Core& core = *cores_[active_core_];
+    if (cores_.size() > 1) {
+      // Re-stamp the trace context for the incoming core. No event is
+      // emitted: rotation is a simulator construct, not machine work.
+      SM_TRACE(trace_ptr_,
+               set_current_core(static_cast<trace::u8>(core.id)));
+      if (core.current) {
+        SM_TRACE(trace_ptr_, set_current_pid(*core.current));
+      }
+    }
+    bool idle = false;
+    while (executed < max_instructions && quantum_used_ < quantum) {
+      if (!core.current) {
+        wake_channel_waiters();
+        const auto next = pick_next(core);
+        if (!next) {
+          idle = true;
+          break;
+        }
+        switch_to(core, *next);
+      }
+      Process& p = *process(*core.current);
+
+      if (p.retry_syscall) {
+        p.retry_syscall = false;
+        try {
+          do_syscall(p, /*retried=*/true);
+        } catch (const arch::OutOfMemoryError&) {
+          // Injected frame exhaustion degrades to killing the requester;
+          // genuine global exhaustion keeps its documented contract (the
+          // error propagates to the embedder).
+          if (fault_source_ == nullptr) throw;
+          if (p.alive()) {
+            kill_process(p, ExitKind::kKilledSigsegv,
+                         "out of memory (no frame available)");
+          }
+        }
+        if (!core.current) continue;  // blocked again or exited
+      }
+
+#if SM_INVARIANT_ENABLED
+      if (fault_source_ != nullptr) [[unlikely]] {
+        fault_source_->pre_step(*this, p);
+      }
+      if (step_observer_ != nullptr) [[unlikely]] {
+        step_observer_->pre_step(*this, p);
+      }
+#endif
+      const bool tf_before = core.cpu.regs().tf();
+      [[maybe_unused]] const u32 pc_before = core.cpu.regs().pc;
+      // Block-engine dispatch (mini-DBT): whole basic blocks per dispatch
+      // when nothing needs to observe individual instructions. TF windows
+      // are per-instruction by definition (Algorithm 2), and an attached
+      // fault injector or invariant watchdog wants its pre/post hooks
+      // between every step — those take the step() path, whose semantics
+      // and billing the block engine reproduces exactly.
+      const bool use_blocks = SM_DBT_ENABLED &&
+                              core.cpu.block_engine_enabled() && !tf_before &&
+                              fault_source_ == nullptr &&
+                              step_observer_ == nullptr;
+      std::optional<Trap> trap;
+      if (use_blocks) {
+        // A block may not run past the instruction budget, the timeslice
+        // boundary or the core's dispatch quantum: preemption timing is
+        // architectural state the figures depend on, so the budget clips
+        // blocks exactly where the per-instruction loop would have
+        // stopped stepping.
+        const u64 slice = cfg_.cost.timeslice_instructions;
+        const u64 slice_room =
+            slice > core.slice_used ? slice - core.slice_used : 1;
+        const arch::Cpu::BlockStep bs = core.cpu.step_block(
+            std::min({max_instructions - executed, slice_room,
+                      quantum - quantum_used_}));
+        trap = bs.trap;
+        executed += bs.attempts;
+        quantum_used_ += bs.attempts;
+        core.slice_used += bs.attempts;
+      } else {
+        trap = core.cpu.step();
+        ++executed;
+        ++quantum_used_;
+        ++core.slice_used;
+      }
+      if (trap) {
+        try {
+          handle_trap(p, *trap, tf_before);
+        } catch (const arch::OutOfMemoryError&) {
+          // INJECTED frame exhaustion surfacing through a path with no
+          // dedicated recovery (fork, COW, a data-frame allocation):
+          // degrade by killing the process, never by tearing down the
+          // kernel. Genuine exhaustion (no injector attached) keeps its
+          // documented contract and propagates to the embedder.
+          if (fault_source_ == nullptr) throw;
+          if (p.alive()) {
+            kill_process(p, ExitKind::kKilledSigsegv,
+                         "out of memory (no frame available)");
+          }
+        }
+      }
+#if SM_INVARIANT_ENABLED
+      if (step_observer_ != nullptr) [[unlikely]] {
+        step_observer_->post_step(*this, p, pc_before);
+      }
+      if (fault_source_ != nullptr && core.current) [[unlikely]] {
+        // Injected mid-window preemption: force the timer to fire early.
+        if (fault_source_->force_preempt(*this, p)) {
+          core.slice_used = cfg_.cost.timeslice_instructions;
+        }
+      }
+#endif
+
+      // Timer preemption: round-robin if someone else is waiting for the
+      // CPU.
+      if (core.current && core.slice_used >= cfg_.cost.timeslice_instructions) {
+        wake_channel_waiters();
+        // The queue holds only runnable processes: blocking happens while
+        // current (never queued) and exit/kill remove the entry — so any
+        // entry at all means someone else wants the CPU.
+        if (!core.runqueue.empty()) {
+          Process& cur = *process(*core.current);
+          deschedule(cur);
+          core.runqueue.push_back(cur);
+        } else {
+          core.slice_used = 0;
+        }
+      }
+    }
+    if (idle) {
+      // Nothing runnable here. If the whole machine is out of work,
+      // report why; otherwise the other cores still have turns coming.
+      bool any_work = false;
+      for (const auto& c : cores_) {
+        if (c->current || !c->runqueue.empty()) {
+          any_work = true;
+          break;
+        }
+      }
+      if (!any_work) {
         return all_exited() ? RunResult::kAllExited : RunResult::kAllBlocked;
       }
-      switch_to(*next);
     }
-    Process& p = *process(*current_);
-
-    if (p.retry_syscall) {
-      p.retry_syscall = false;
-      try {
-        do_syscall(p, /*retried=*/true);
-      } catch (const arch::OutOfMemoryError&) {
-        // Injected frame exhaustion degrades to killing the requester;
-        // genuine global exhaustion keeps its documented contract (the
-        // error propagates to the embedder).
-        if (fault_source_ == nullptr) throw;
-        if (p.alive()) {
-          kill_process(p, ExitKind::kKilledSigsegv,
-                       "out of memory (no frame available)");
-        }
-      }
-      if (!current_) continue;  // blocked again or exited
+    if (executed >= max_instructions && quantum_used_ < quantum && !idle) {
+      // Budget exhausted mid-turn: keep the quantum phase so a resumed run
+      // (or a snapshot/restore) continues the interleave exactly where a
+      // single uninterrupted run would be.
+      break;
     }
-
-#if SM_INVARIANT_ENABLED
-    if (fault_source_ != nullptr) [[unlikely]] {
-      fault_source_->pre_step(*this, p);
-    }
-    if (step_observer_ != nullptr) [[unlikely]] {
-      step_observer_->pre_step(*this, p);
-    }
-#endif
-    const bool tf_before = cpu_.regs().tf();
-    [[maybe_unused]] const u32 pc_before = cpu_.regs().pc;
-    // Block-engine dispatch (mini-DBT): whole basic blocks per dispatch
-    // when nothing needs to observe individual instructions. TF windows
-    // are per-instruction by definition (Algorithm 2), and an attached
-    // fault injector or invariant watchdog wants its pre/post hooks
-    // between every step — those take the step() path, whose semantics
-    // and billing the block engine reproduces exactly.
-    const bool use_blocks = SM_DBT_ENABLED && cpu_.block_engine_enabled() &&
-                            !tf_before && fault_source_ == nullptr &&
-                            step_observer_ == nullptr;
-    std::optional<Trap> trap;
-    if (use_blocks) {
-      // A block may not run past the instruction budget or the timeslice
-      // boundary: preemption timing is architectural state the figures
-      // depend on, so the budget clips blocks exactly where the
-      // per-instruction loop would have stopped stepping.
-      const u64 slice = cfg_.cost.timeslice_instructions;
-      const u64 slice_room = slice > slice_used_ ? slice - slice_used_ : 1;
-      const arch::Cpu::BlockStep bs =
-          cpu_.step_block(std::min(max_instructions - executed, slice_room));
-      trap = bs.trap;
-      executed += bs.attempts;
-      slice_used_ += bs.attempts;
-    } else {
-      trap = cpu_.step();
-      ++executed;
-      ++slice_used_;
-    }
-    if (trap) {
-      try {
-        handle_trap(p, *trap, tf_before);
-      } catch (const arch::OutOfMemoryError&) {
-        // INJECTED frame exhaustion surfacing through a path with no
-        // dedicated recovery (fork, COW, a data-frame allocation): degrade
-        // by killing the process, never by tearing down the kernel.
-        // Genuine exhaustion (no injector attached) keeps its documented
-        // contract and propagates to the embedder.
-        if (fault_source_ == nullptr) throw;
-        if (p.alive()) {
-          kill_process(p, ExitKind::kKilledSigsegv,
-                       "out of memory (no frame available)");
-        }
-      }
-    }
-#if SM_INVARIANT_ENABLED
-    if (step_observer_ != nullptr) [[unlikely]] {
-      step_observer_->post_step(*this, p, pc_before);
-    }
-    if (fault_source_ != nullptr && current_) [[unlikely]] {
-      // Injected mid-window preemption: force the timer to fire early.
-      if (fault_source_->force_preempt(*this, p)) {
-        slice_used_ = cfg_.cost.timeslice_instructions;
-      }
-    }
-#endif
-
-    // Timer preemption: round-robin if someone else is waiting for the CPU.
-    if (current_ && slice_used_ >= cfg_.cost.timeslice_instructions) {
-      wake_channel_waiters();
-      // The queue holds only runnable processes: blocking happens while
-      // current (never queued) and exit/kill remove the entry — so any
-      // entry at all means someone else wants the CPU.
-      if (!runqueue_.empty()) {
-        Process& cur = *process(*current_);
-        deschedule(cur);
-        runqueue_.push_back(cur);
-      } else {
-        slice_used_ = 0;
-      }
+    quantum_used_ = 0;
+    if (cores_.size() > 1) {
+      active_core_ = (active_core_ + 1) % static_cast<u32>(cores_.size());
     }
   }
   return RunResult::kBudgetExhausted;
@@ -640,9 +744,9 @@ void Kernel::handle_trap(Process& p, const Trap& trap, bool tf_before) {
   switch (trap.kind) {
     case TrapKind::kSyscall: {
       trace::Scope scope(SM_TRACE_SINK(trace_ptr_), trace::Category::kSyscall,
-                         cpu_.regs().pc);
+                         cpu().regs().pc);
       // Record before do_syscall overwrites r0 with the return value.
-      SM_TRACE(trace_ptr_, record(trace::EventKind::kSyscall, cpu_.regs().pc,
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kSyscall, cpu().regs().pc,
                                   regs_of(p).r[0]));
       ++stats_.syscalls;
       stats_.cycles += cfg_.cost.syscall_cost;
@@ -687,8 +791,8 @@ void Kernel::handle_trap(Process& p, const Trap& trap, bool tf_before) {
     }
     case TrapKind::kDebugStep: {
       trace::Scope scope(SM_TRACE_SINK(trace_ptr_),
-                         trace::Category::kDebugTrap, cpu_.regs().pc);
-      SM_TRACE(trace_ptr_, record(trace::EventKind::kTrap, cpu_.regs().pc, 0,
+                         trace::Category::kDebugTrap, cpu().regs().pc);
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kTrap, cpu().regs().pc, 0,
                                   static_cast<trace::u8>(trap.kind)));
       stats_.cycles += cfg_.cost.trap_cost;
       SM_TRACE(trace_ptr_,
@@ -717,8 +821,8 @@ void Kernel::handle_trap(Process& p, const Trap& trap, bool tf_before) {
     }
     case TrapKind::kInvalidOpcode: {
       trace::Scope scope(SM_TRACE_SINK(trace_ptr_),
-                         trace::Category::kInvalidOpcodeTrap, cpu_.regs().pc);
-      SM_TRACE(trace_ptr_, record(trace::EventKind::kTrap, cpu_.regs().pc, 0,
+                         trace::Category::kInvalidOpcodeTrap, cpu().regs().pc);
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kTrap, cpu().regs().pc, 0,
                                   static_cast<trace::u8>(trap.kind)));
       ++stats_.invalid_opcode_faults;
       stats_.cycles += cfg_.cost.trap_cost;
@@ -727,18 +831,18 @@ void Kernel::handle_trap(Process& p, const Trap& trap, bool tf_before) {
       const FaultResolution res = engine_->on_invalid_opcode(*this, p);
       if (res == FaultResolution::kUnhandled) {
         kill_process(p, ExitKind::kKilledSigill,
-                     "SIGILL: invalid opcode at " + hex(cpu_.regs().pc));
+                     "SIGILL: invalid opcode at " + hex(cpu().regs().pc));
       }
       break;
     }
     case TrapKind::kDivideByZero:
       kill_process(p, ExitKind::kKilledSigill,
-                   "SIGFPE: divide by zero at " + hex(cpu_.regs().pc));
+                   "SIGFPE: divide by zero at " + hex(cpu().regs().pc));
       break;
     case TrapKind::kGeneralProtection:
       kill_process(p, ExitKind::kKilledSigill,
                    "SIGILL: general protection fault at " +
-                       hex(cpu_.regs().pc));
+                       hex(cpu().regs().pc));
       break;
   }
 }
@@ -832,7 +936,7 @@ void Kernel::handle_cow(Process& p, u32 addr) {
     // anyway, so this is a no-op there.
     pte.restrict_supervisor();
     pt.set(addr, pte);
-    mmu_.invlpg(addr);
+    invalidate_page(p, addr);
     return;
   }
 
@@ -846,7 +950,88 @@ void Kernel::handle_cow(Process& p, u32 addr) {
   pte.set(Pte::kWritable);
   pte.clear(Pte::kCow);
   pt.set(addr, pte);
-  mmu_.invlpg(addr);
+  invalidate_page(p, addr);
+}
+
+// --------------------------------------------------------------------------
+// SMP: TLB shootdown (DESIGN.md §16)
+// --------------------------------------------------------------------------
+
+void Kernel::invalidate_page(Process& p, u32 vaddr) {
+  mmu().invlpg(vaddr);
+  tlb_shootdown(p, vaddr);
+}
+
+void Kernel::tlb_shootdown(Process& p, u32 vaddr) {
+  if (cores_.size() == 1 || !p.as) return;
+  const u32 page = page_floor(vaddr);
+  const u32 root = p.as->root();
+  // A remote core can only cache this translation if its TLBs were filled
+  // under p's page tables, and set_cr3 flushes both TLBs — so CR3 still
+  // pointing at p's root is exactly the "may cache it" condition. (An idle
+  // core keeps the CR3 of whatever it last ran: the warm-TLB migration
+  // hazard this protocol exists for.)
+  u32 mask = 0;
+  for (u32 t = 0; t < cores_.size(); ++t) {
+    if (t == active_core_) continue;
+    if (cores_[t]->mmu.cr3() == root) mask |= u32{1} << t;
+  }
+  if (mask == 0) return;
+  ++stats_.tlb_shootdowns;
+  SM_TRACE(trace_ptr_, record(trace::EventKind::kTlbShootdown, page, mask));
+  u32 pending_mask = 0;
+  for (u32 t = 0; t < cores_.size(); ++t) {
+    if ((mask & (u32{1} << t)) == 0) continue;
+    bool delivered = false;
+    for (u32 attempt = 0; attempt < kIpiRetryLimit && !delivered; ++attempt) {
+      ++stats_.ipi_sends;
+      stats_.cycles += cfg_.cost.ipi;
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kIpiSend, page, t));
+#if SM_INVARIANT_ENABLED
+      if (fault_source_ != nullptr &&
+          fault_source_->drop_ipi(*this, p, t, page)) [[unlikely]] {
+        continue;  // lost in flight; retry
+      }
+#endif
+      delivered = true;
+    }
+    if (!delivered) {
+      // Retries exhausted: the stale entry is still live on core t. Park
+      // the shootdown — opening a single-step window over it violates I7,
+      // which the watchdog detects and repairs.
+      pending_mask |= u32{1} << t;
+      continue;
+    }
+#if SM_INVARIANT_ENABLED
+    if (fault_source_ != nullptr &&
+        fault_source_->ack_without_flush(*this, p, t, page)) [[unlikely]] {
+      // The target acked but its handler never flushed: a stale entry
+      // survives on core t for the watchdog's remote sweep to find (I6).
+      ++stats_.ipi_acks;
+      SM_TRACE(trace_ptr_, record(trace::EventKind::kIpiAck, page, t));
+      continue;
+    }
+#endif
+    cores_[t]->mmu.invlpg(page);
+    ++stats_.ipi_acks;
+    SM_TRACE(trace_ptr_, record(trace::EventKind::kIpiAck, page, t));
+  }
+  if (pending_mask != 0) {
+    pending_shootdowns_.push_back({vpn_of(page), root, pending_mask});
+  }
+}
+
+void Kernel::complete_pending_shootdowns() {
+  for (const PendingShootdown& ps : pending_shootdowns_) {
+    for (u32 t = 0; t < cores_.size(); ++t) {
+      if ((ps.core_mask & (u32{1} << t)) == 0) continue;
+      // Direct TLB invalidation: the repair path must not be droppable by
+      // the same IPI faults that parked the shootdown.
+      cores_[t]->mmu.itlb().invalidate(ps.vpn);
+      cores_[t]->mmu.dtlb().invalidate(ps.vpn);
+    }
+  }
+  pending_shootdowns_.clear();
 }
 
 image::Digest Kernel::final_memory_digest(Process& p) {
@@ -917,7 +1102,7 @@ void Kernel::do_syscall(Process& p, bool retried) {
       p.as.reset();
       release_all_fds(p);
       wake_exit_waiters(p);
-      if (p.on_runqueue) runqueue_.remove(p);
+      if (p.on_runqueue) cores_[p.rq_core]->runqueue.remove(p);
       return;
     }
     case kSysRead: {
@@ -988,7 +1173,7 @@ void Kernel::do_syscall(Process& p, bool retried) {
       const u32 start = page_floor(a1);
       const u32 end = page_ceil(a1 + a2);
       p.as->remove_range(start, end);
-      for (u32 va = start; va < end; va += kPageSize) mmu_.invlpg(va);
+      for (u32 va = start; va < end; va += kPageSize) invalidate_page(p, va);
       regs.r[0] = 0;
       return;
     }
@@ -1010,7 +1195,7 @@ void Kernel::do_syscall(Process& p, bool retried) {
     }
     case kSysYield: {
       deschedule(p);
-      runqueue_.push_back(p);
+      cores_[active_core_]->runqueue.push_back(p);
       return;
     }
     case kSysTime:
@@ -1287,7 +1472,9 @@ u32 Kernel::sys_fork(Process& parent) {
     }
     ppt.set(vaddr, shared);
     cpt.set(vaddr, shared);
-    mmu_.invlpg(vaddr);  // drop parent's cached writable entries
+    // Drop cached writable entries for the parent — on every core that may
+    // hold them, not just the one running the fork.
+    invalidate_page(parent, vaddr);
   }
 
   child.regs = regs_of(parent);
@@ -1296,7 +1483,7 @@ u32 Kernel::sys_fork(Process& parent) {
   const Pid cpid = child.pid;
   procs_.push_back(std::move(childp));
   ++live_procs_;
-  runqueue_.push_back(child);
+  home_core(child).runqueue.push_back(child);
   engine_->on_fork(*this, parent, child);
   return cpid;
 }
@@ -1316,7 +1503,7 @@ u32 Kernel::sys_exec(Process& p, u32 path_ptr) {
   load_into(p, *img);
   // The syscall path runs with p current: activate the fresh address space.
   regs_of(p) = p.regs;
-  mmu_.set_cr3(p.as->root());
+  mmu().set_cr3(p.as->root());
   return 0;  // "returns" into the new program at its entry point
 }
 
@@ -1399,7 +1586,7 @@ void ProtectionEngine::on_mprotect(Kernel& k, Process& p, Vma& vma, u32 start,
       pte.clear(Pte::kWritable);
     }
     pt.set(va, pte);
-    k.mmu().invlpg(va);
+    k.invalidate_page(p, va);
   }
 }
 

@@ -90,6 +90,15 @@ struct KernelConfig {
   // variable ("0" disables, for same-binary identity diffs) and compiled
   // out of the run loop entirely under -DSM_DBT=OFF.
   bool dbt = true;
+
+  // Simulated cores (DESIGN.md §16). Each core owns a private split
+  // I/D-TLB pair, its own CPU (registers + block caches) and a runqueue;
+  // physical memory, page tables and the cycle clock are shared. 0 means
+  // auto: the SM_CORES environment variable if set, else 1. Resolved to
+  // the concrete count at Kernel construction (never cached statically, so
+  // one process can build kernels with different core counts). At cores=1
+  // the machine is bit-identical to the historical single-core simulator.
+  u32 cores = 0;
 };
 
 // A code-injection detection recorded by a protection engine.
@@ -113,8 +122,11 @@ class Kernel {
 
   // --- components ---------------------------------------------------------
   arch::PhysicalMemory& phys() { return pm_; }
-  arch::Mmu& mmu() { return mmu_; }
-  arch::Cpu& cpu() { return cpu_; }
+  // The ACTIVE core's MMU/CPU: the pair every trap handler, engine and
+  // syscall implicitly runs on. At cores=1 these are the machine's only
+  // MMU/CPU, exactly as before SMP.
+  arch::Mmu& mmu() { return cores_[active_core_]->mmu; }
+  arch::Cpu& cpu() { return cores_[active_core_]->cpu; }
   metrics::Stats& stats() { return stats_; }
   const metrics::CostModel& cost() const { return cfg_.cost; }
   const KernelConfig& config() const { return cfg_; }
@@ -123,6 +135,40 @@ class Kernel {
   // The trace sink, or nullptr when tracing is off (the common case).
   // Engines emit Algorithm 1/2/3 events through this via SM_TRACE.
   trace::TraceSink* trace_sink() { return trace_ptr_; }
+
+  // --- SMP (DESIGN.md §16) -------------------------------------------------
+  u32 num_cores() const { return static_cast<u32>(cores_.size()); }
+  u32 active_core() const { return active_core_; }
+  arch::Mmu& core_mmu(u32 core) { return cores_[core]->mmu; }
+  arch::Cpu& core_cpu(u32 core) { return cores_[core]->cpu; }
+  std::optional<Pid> core_current(u32 core) const {
+    return cores_[core]->current;
+  }
+  // Drops the translation for vaddr machine-wide: invlpg on the active
+  // core plus an IPI shootdown of every remote core that may cache it.
+  // Every PTE-mutation site (COW break, munmap, mprotect, fork's
+  // write-protect loop, unsplit) goes through this instead of a bare
+  // local invlpg.
+  void invalidate_page(Process& p, u32 vaddr);
+  // Remote-only half of invalidate_page: IPIs every other core whose CR3
+  // points at p's page tables and waits for each ack (invariant I7). The
+  // split engine calls this before opening a single-step window WITHOUT
+  // touching the local TLBs — the window exists to fill them.
+  void tlb_shootdown(Process& p, u32 vaddr);
+  // A shootdown whose IPI retries were exhausted (injected drop-ipi
+  // faults) parks here; opening a window over it violates I7. The
+  // watchdog audits and repairs via complete_pending_shootdowns().
+  struct PendingShootdown {
+    u32 vpn = 0;        // targeted page
+    u32 root = 0;       // page-table root the stale entry belongs to
+    u32 core_mask = 0;  // cores whose ack never arrived
+  };
+  const std::vector<PendingShootdown>& pending_shootdowns() const {
+    return pending_shootdowns_;
+  }
+  // Repair path: invalidates the parked translations directly on each
+  // un-acked core (bypassing droppable IPI delivery) and clears the list.
+  void complete_pending_shootdowns();
 
   // --- images (the "filesystem of binaries") ------------------------------
   void register_image(image::Image img);
@@ -204,17 +250,43 @@ class Kernel {
   struct RunQueue {
     Process* head = nullptr;
     Process* tail = nullptr;
+    u32 core_id = 0;  // stamped into Process::rq_core by push_back
     bool empty() const { return head == nullptr; }
     void push_back(Process& p);
     Process* pop_front();
     void remove(Process& p);
   };
 
+  // One simulated core: private split I/D-TLBs (inside the Mmu), private
+  // CPU (registers, decode/block caches), and a private runqueue. The
+  // machine interleaves cores on one host thread with a fixed dispatch
+  // quantum, so every multi-core schedule is deterministic.
+  struct Core {
+    Core(u32 id_, arch::PhysicalMemory& pm, metrics::Stats& stats,
+         const metrics::CostModel& cost, u32 tlb_entries, u32 tlb_ways)
+        : id(id_), mmu(pm, stats, cost, tlb_entries, tlb_ways),
+          cpu(mmu, stats, cost) {
+      runqueue.core_id = id_;
+    }
+    u32 id = 0;
+    arch::Mmu mmu;
+    arch::Cpu cpu;
+    RunQueue runqueue;
+    std::optional<Pid> current;
+    std::optional<Pid> last_running;  // CR3 owner; skip reload if unchanged
+    arch::u64 slice_used = 0;
+  };
+
   // --- run-loop internals ---------------------------------------------------
-  std::optional<Pid> pick_next();
-  void switch_to(Pid pid);
+  std::optional<Pid> pick_next(Core& c);
+  void switch_to(Core& c, Pid pid);
   void deschedule(Process& p);
   void make_runnable(Process& p);
+  // The core a freshly runnable process is queued on: pid-sharded, so
+  // placement is a pure function of the pid and the core count.
+  Core& home_core(const Process& p) {
+    return *cores_[(p.pid - 1) % cores_.size()];
+  }
   void handle_trap(Process& p, const arch::Trap& trap, bool tf_before);
   void handle_page_fault(Process& p, const arch::PageFaultInfo& pf);
   void handle_cow(Process& p, u32 addr);
@@ -266,8 +338,16 @@ class Kernel {
   KernelConfig cfg_;
   arch::PhysicalMemory pm_;
   metrics::Stats stats_;
-  arch::Mmu mmu_;
-  arch::Cpu cpu_;
+  // The cores. Fixed at construction (cfg_.cores resolved against
+  // SM_CORES); unique_ptr keeps Core addresses stable for the intrusive
+  // runqueues. Index 0 is the boot core.
+  std::vector<std::unique_ptr<Core>> cores_;
+  u32 active_core_ = 0;
+  // Attempted instructions consumed from the active core's current dispatch
+  // quantum. Machine state (not a run() local): a resumed or restored run
+  // must continue the core interleave mid-turn, not restart it.
+  arch::u64 quantum_used_ = 0;
+  std::vector<PendingShootdown> pending_shootdowns_;
   trace::TraceSink trace_;
   trace::TraceSink* trace_ptr_ = nullptr;  // &trace_ iff cfg_.trace
   FileSystem fs_;
@@ -278,15 +358,11 @@ class Kernel {
   std::map<std::string, image::Image> images_;
   std::vector<std::unique_ptr<Process>> procs_;  // slot N-1 holds pid N
   u32 live_procs_ = 0;  // processes not yet zombie (all_exited in O(1))
-  RunQueue runqueue_;
   // Pids blocked on a channel fd (directly or via select2), swept at run()
   // entry. An ordered set: wake order must be pid order, and re-blocking
   // must not duplicate the entry.
   std::set<Pid> channel_waiters_;
-  std::optional<Pid> current_;
-  std::optional<Pid> last_running_;  // CR3 owner; skip reload if unchanged
   Pid next_pid_ = 1;
-  arch::u64 slice_used_ = 0;
   u32 rng_state_;
   std::vector<std::string> klog_;
   std::vector<DetectionEvent> detections_;

@@ -105,6 +105,10 @@ struct Process {
   Process* rq_next = nullptr;
   Process* rq_prev = nullptr;
   bool on_runqueue = false;
+  // The core whose runqueue currently holds this process (valid only while
+  // on_runqueue). Maintained by the queue push itself, so it needs no
+  // separate serialization — restore re-pushes through the normal path.
+  u32 rq_core = 0;
 
   arch::Regs regs;
   std::unique_ptr<AddressSpace> as;

@@ -47,6 +47,11 @@ struct CostModel {
   std::uint64_t context_switch = 4000;  // scheduler + CR3 reload (TLB flush)
   std::uint64_t timeslice_instructions = 50000;
 
+  // SMP. An inter-processor interrupt (TLB shootdown) costs a kernel
+  // crossing on the sender plus the target's interrupt entry/ack; zero
+  // cost at cores=1, where no IPIs are ever sent.
+  std::uint64_t ipi = 500;
+
   // Network/IO model used by the webserver harness (Fig. 8): a response is
   // not complete before its bytes drain through the link, so large responses
   // hide CPU overhead exactly as the paper's saturated 100 MBit NIC does.

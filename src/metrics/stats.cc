@@ -29,6 +29,10 @@ std::ostream& operator<<(std::ostream& os, const Stats& s) {
        << s.invariant_recoveries << "/" << s.invariant_degradations
        << " oom_deg=" << s.split_oom_degradations;
   }
+  if (s.ipi_sends || s.ipi_acks || s.tlb_shootdowns || s.work_steals) {
+    os << " ipi(send/ack)=" << s.ipi_sends << "/" << s.ipi_acks
+       << " shootdowns=" << s.tlb_shootdowns << " steals=" << s.work_steals;
+  }
   return os;
 }
 

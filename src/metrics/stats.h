@@ -70,6 +70,13 @@ struct Stats {
   std::uint64_t invariant_degradations = 0;  // page locked unsplit
   std::uint64_t split_oom_degradations = 0;  // code frame alloc failed
 
+  // SMP: IPI-based TLB shootdown traffic and cross-core scheduling. All
+  // zero at cores=1 (no remote cores to interrupt or steal from).
+  std::uint64_t ipi_sends = 0;       // shootdown IPIs delivered to targets
+  std::uint64_t ipi_acks = 0;        // targets that flushed and acked
+  std::uint64_t tlb_shootdowns = 0;  // shootdown rounds with >= 1 target
+  std::uint64_t work_steals = 0;     // processes stolen from another core
+
   void reset() { *this = Stats{}; }
 };
 

@@ -45,6 +45,11 @@ double seconds_since(Clock::time_point t0) {
                "points;\n"
                "                       requires tracing compiled in "
                "(SM_TRACE=ON).\n"
+               "  --cores=N, --cores N simulated cores for benches that "
+               "support\n"
+               "                       SMP (0/absent: the bench's default,\n"
+               "                       single-core). --cores=1 output is\n"
+               "                       byte-identical to omitting the flag.\n"
                "  --help               this text.\n",
                bench_name, description);
   std::exit(code);
@@ -88,6 +93,16 @@ RunnerOptions parse_runner_args(int argc, char** argv, const char* bench_name,
         usage_and_exit(bench_name, description, 2);
       }
       opts.jobs = static_cast<arch::u32>(n);
+    } else if (arg == "--cores" || arg.rfind("--cores=", 0) == 0) {
+      const std::string v = value_of("--cores");
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+      if (v.empty() || end == nullptr || *end != '\0' || n == 0 || n > 32) {
+        std::fprintf(stderr, "%s: bad --cores value '%s' (want 1..32)\n",
+                     bench_name, v.c_str());
+        usage_and_exit(bench_name, description, 2);
+      }
+      opts.cores = static_cast<arch::u32>(n);
     } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
       opts.json_path = value_of("--json");
       if (opts.json_path.empty()) {

@@ -45,7 +45,8 @@ struct SweepPoint {
 };
 
 struct RunnerOptions {
-  arch::u32 jobs = 0;  // 0 = hardware_concurrency (min 1)
+  arch::u32 jobs = 0;   // 0 = hardware_concurrency (min 1)
+  arch::u32 cores = 0;  // simulated cores (0 = bench default, single-core)
   bool progress = true;
   bool quick = false;
   bool trace_summary = false;  // honoured by benches that support it

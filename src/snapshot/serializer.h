@@ -46,7 +46,10 @@ class SnapshotError : public std::runtime_error {
 };
 
 inline constexpr char kMagic[8] = {'S', 'M', 'S', 'N', 'A', 'P', '\x1a', 0};
-inline constexpr u32 kFormatVersion = 1;
+// v2: SMP — per-core machine groups (MMU/TLBs, regs, runqueue, scheduler
+// slice state), active core, pending shootdowns, per-core watchdog version
+// vectors, a core byte on trace events, and the cores/ipi-cost config keys.
+inline constexpr u32 kFormatVersion = 2;
 
 // Field kinds on the wire.
 enum class FieldKind : u8 {

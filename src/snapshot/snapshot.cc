@@ -222,6 +222,9 @@ void Access::config(Ar& ar, kernel::Kernel& k) {
   must_match(ar, "capture_exit_digest", c.capture_exit_digest);
   must_match(ar, "trace", c.trace);
   must_match(ar, "trace_ring_capacity", c.trace_ring_capacity);
+  // The RESOLVED core count (cfg_.cores may be 0 = auto): the restoring
+  // kernel must have built the same number of cores.
+  must_match(ar, "cores", static_cast<u32>(k.cores_.size()));
   ar.begin("cost");
   must_match(ar, "cycles_per_instr", c.cost.cycles_per_instr);
   must_match(ar, "tlb_hit", c.cost.tlb_hit);
@@ -235,6 +238,7 @@ void Access::config(Ar& ar, kernel::Kernel& k) {
   must_match(ar, "soft_tlb_fill", c.cost.soft_tlb_fill);
   must_match(ar, "context_switch", c.cost.context_switch);
   must_match(ar, "timeslice_instructions", c.cost.timeslice_instructions);
+  must_match(ar, "ipi", c.cost.ipi);
   must_match(ar, "net_bytes_per_cycle", double_bits(c.cost.net_bytes_per_cycle));
   must_match(ar, "net_request_latency", c.cost.net_request_latency);
   ar.end();
@@ -831,7 +835,9 @@ void Access::sched(Ar& ar, kernel::Kernel& k) {
   ar.value("live_procs", live);
   ar.check(live == k.live_procs_, "live_procs disagrees with process states");
   ar.value("rng_state", k.rng_state_);
-  ar.value("slice_used", k.slice_used_);
+  ar.value("active_core", k.active_core_);
+  ar.check(k.active_core_ < k.cores_.size(), "active core out of range");
+  ar.value("quantum_used", k.quantum_used_);
 
   const auto opt_pid = [&](const char* has_name, const char* pid_name,
                            std::optional<kernel::Pid>& o) {
@@ -848,27 +854,50 @@ void Access::sched(Ar& ar, kernel::Kernel& k) {
       if constexpr (Ar::reading) o.reset();
     }
   };
-  opt_pid("has_current", "current", k.current_);
-  opt_pid("has_last_running", "last_running", k.last_running_);
-
-  // Runqueue in FIFO order; restore re-pushes through the normal path so
-  // the intrusive links and on_runqueue flags are rebuilt consistently.
-  std::vector<u32> rq;
-  if constexpr (!Ar::reading) {
-    for (kernel::Process* p = k.runqueue_.head; p != nullptr; p = p->rq_next) {
-      rq.push_back(p->pid);
+  // Per-core scheduler state: current/last pid, slice progress, and the
+  // runqueue in FIFO order; restore re-pushes through the normal path so
+  // the intrusive links and on_runqueue/rq_core flags are rebuilt
+  // consistently.
+  for (auto& cp : k.cores_) {
+    ar.begin("core_sched");
+    ar.value("slice_used", cp->slice_used);
+    opt_pid("has_current", "current", cp->current);
+    opt_pid("has_last_running", "last_running", cp->last_running);
+    std::vector<u32> rq;
+    if constexpr (!Ar::reading) {
+      for (kernel::Process* p = cp->runqueue.head; p != nullptr;
+           p = p->rq_next) {
+        rq.push_back(p->pid);
+      }
     }
+    u32_seq(ar, "runqueue", rq);
+    if constexpr (Ar::reading) {
+      for (const u32 pid : rq) {
+        kernel::Process* p = k.process(pid);
+        ar.check(p != nullptr, "runqueue references unknown pid");
+        ar.check(p->state == kernel::ProcState::kRunnable,
+                 "runqueue entry not runnable");
+        ar.check(!p->on_runqueue, "pid queued twice");
+        cp->runqueue.push_back(*p);
+      }
+    }
+    ar.end();
   }
-  u32_seq(ar, "runqueue", rq);
+  // Shootdowns whose IPI retries were exhausted (armed drop faults); the
+  // watchdog completes them. Empty except mid-fault-campaign.
+  u32 nps = static_cast<u32>(k.pending_shootdowns_.size());
+  ar.value("pending_shootdowns", nps);
   if constexpr (Ar::reading) {
-    for (const u32 pid : rq) {
-      kernel::Process* p = k.process(pid);
-      ar.check(p != nullptr, "runqueue references unknown pid");
-      ar.check(p->state == kernel::ProcState::kRunnable,
-               "runqueue entry not runnable");
-      ar.check(!p->on_runqueue, "pid queued twice");
-      k.runqueue_.push_back(*p);
-    }
+    ar.check(nps < (1u << 20), "implausible pending-shootdown count");
+    k.pending_shootdowns_.assign(nps, kernel::Kernel::PendingShootdown{});
+  }
+  for (u32 i = 0; i < nps; ++i) {
+    kernel::Kernel::PendingShootdown& ps = k.pending_shootdowns_[i];
+    ar.begin("shootdown");
+    ar.value("vpn", ps.vpn);
+    ar.value("root", ps.root);
+    ar.value("core_mask", ps.core_mask);
+    ar.end();
   }
   u32_seq(ar, "channel_waiters", k.channel_waiters_);
   if constexpr (Ar::reading) {
@@ -929,7 +958,7 @@ void Access::trace_state(Ar& ar, kernel::Kernel& k) {
     ar.value("ring_dropped", ts.ring_.dropped_);
     // Events, canonicalized oldest-to-newest (head_ = 0 after restore —
     // rotation is unobservable through the ring's API).
-    constexpr std::size_t kEvSize = 22;
+    constexpr std::size_t kEvSize = 23;
     if constexpr (Ar::reading) {
       std::vector<u8> blob;
       ar.value("events", blob);
@@ -952,6 +981,7 @@ void Access::trace_state(Ar& ar, kernel::Kernel& k) {
                  "event kind out of range");
         e.kind = static_cast<trace::EventKind>(b[20]);
         e.arg = b[21];
+        e.core = b[22];
         ts.ring_.buf_[static_cast<std::size_t>(i)] = e;
       }
     } else {
@@ -973,6 +1003,7 @@ void Access::trace_state(Ar& ar, kernel::Kernel& k) {
         }
         blob.push_back(static_cast<u8>(e.kind));
         blob.push_back(e.arg);
+        blob.push_back(e.core);
       }
       ar.bytes("events", blob);
     }
@@ -1153,6 +1184,8 @@ void Access::injector(Ar& ar, kernel::Kernel& k, inject::FaultInjector* inj) {
     armed("armed_dup_trap", inj->armed_dup_trap_);
     armed("armed_preempt", inj->armed_preempt_);
     armed("armed_tf_clear", inj->armed_tf_clear_);
+    armed("armed_drop_ipi", inj->armed_drop_ipi_);
+    armed("armed_ack_no_flush", inj->armed_ack_no_flush_);
   }
   ar.end();
 }
@@ -1168,8 +1201,19 @@ void Access::watchdog(Ar& ar, invariant::InvariantWatchdog* wd) {
              "restoring");
   }
   if (present && wd != nullptr) {
-    ar.value("last_itlb_version", wd->last_itlb_version_);
-    ar.value("last_dtlb_version", wd->last_dtlb_version_);
+    // Per-core TLB version counters at the last audit (lazily sized in
+    // pre_step, so the vectors may legitimately be empty or short).
+    const auto version_vec = [&](const char* name, std::vector<u64>& v) {
+      u32 nc = static_cast<u32>(v.size());
+      ar.value(name, nc);
+      if constexpr (Ar::reading) {
+        ar.check(nc <= 32, "implausible watchdog core count");
+        v.assign(nc, 0);
+      }
+      for (u32 i = 0; i < nc; ++i) ar.value("version", v[i]);
+    };
+    version_vec("itlb_versions", wd->core_itlb_versions_);
+    version_vec("dtlb_versions", wd->core_dtlb_versions_);
     ar.value("last_pid", wd->last_pid_);
     ar.value("steps_since_audit", wd->steps_since_audit_);
     ar.value("degraded_since_resolve", wd->degraded_since_resolve_);
@@ -1215,10 +1259,17 @@ void Access::machine(Ar& ar, kernel::Kernel& k, inject::FaultInjector* inj,
     // Teardown: release the old state into the OLD (still consistent)
     // physical memory before frames are overwritten.
     k.procs_.clear();
-    k.runqueue_ = kernel::Kernel::RunQueue{};
+    for (auto& cp : k.cores_) {
+      cp->runqueue = kernel::Kernel::RunQueue{};
+      cp->runqueue.core_id = cp->id;
+      cp->current.reset();
+      cp->last_running.reset();
+      cp->slice_used = 0;
+    }
+    k.active_core_ = 0;
+    k.quantum_used_ = 0;
+    k.pending_shootdowns_.clear();
     k.channel_waiters_.clear();
-    k.current_.reset();
-    k.last_running_.reset();
     k.images_.clear();
     k.fs_ = kernel::FileSystem{};
     k.klog_.clear();
@@ -1226,10 +1277,19 @@ void Access::machine(Ar& ar, kernel::Kernel& k, inject::FaultInjector* inj,
     k.live_procs_ = 0;
   }
   phys(ar, k.pm_);
-  mmu(ar, k.mmu_);
-  ar.begin("cpu");
-  regs(ar, k.cpu_.regs());
-  ar.end();
+  // One machine group per core: its private MMU (both TLBs) and register
+  // file. The config "cores" key already guaranteed matching counts.
+  for (auto& cp : k.cores_) {
+    ar.begin("core");
+    u32 id = cp->id;
+    ar.value("id", id);
+    ar.check(id == cp->id, "core id mismatch");
+    mmu(ar, cp->mmu);
+    ar.begin("cpu");
+    regs(ar, cp->cpu.regs());
+    ar.end();
+    ar.end();
+  }
   stats(ar, k.stats_);
   Tables t;
   if constexpr (!Ar::reading) t = collect(k);
@@ -1247,8 +1307,10 @@ void Access::machine(Ar& ar, kernel::Kernel& k, inject::FaultInjector* inj,
     // Host-side decode/block caches restart cold; the billing-identity
     // contract (fuzz-oracle enforced) makes a cold resume bit-identical in
     // simulated figures — only host wall-clock re-warms.
-    k.cpu_.decode_cache().clear();
-    k.cpu_.block_cache().clear();
+    for (auto& cp : k.cores_) {
+      cp->cpu.decode_cache().clear();
+      cp->cpu.block_cache().clear();
+    }
   }
 }
 
@@ -1313,10 +1375,17 @@ void Access::neutralize(kernel::Kernel& k) {
     if (up && up->as) up->as->destroyed_ = true;
   }
   k.procs_.clear();
-  k.runqueue_ = kernel::Kernel::RunQueue{};
+  for (auto& cp : k.cores_) {
+    cp->runqueue = kernel::Kernel::RunQueue{};
+    cp->runqueue.core_id = cp->id;
+    cp->current.reset();
+    cp->last_running.reset();
+    cp->slice_used = 0;
+  }
+  k.active_core_ = 0;
+  k.quantum_used_ = 0;
+  k.pending_shootdowns_.clear();
   k.channel_waiters_.clear();
-  k.current_.reset();
-  k.last_running_.reset();
   k.live_procs_ = 0;
 }
 

@@ -39,6 +39,10 @@ const char* kind_cat(EventKind k) {
     case EventKind::kBlockBuild:
     case EventKind::kBlockInvalidate:
       return "dbt";
+    case EventKind::kIpiSend:
+    case EventKind::kIpiAck:
+    case EventKind::kTlbShootdown:
+      return "smp";
     case EventKind::kCount:
       break;
   }

@@ -71,6 +71,15 @@ enum class EventKind : u8 {
   // A store inside a running block hit the block's own code frame; the
   // block was killed mid-flight. vaddr = pc after the store, info = pfn.
   kBlockInvalidate,
+  // SMP shootdown: an IPI was sent to a remote core whose TLBs may cache
+  // the mutated translation. vaddr = page va, info = target core id.
+  kIpiSend,
+  // SMP shootdown: the target invalidated its TLBs and acknowledged.
+  // vaddr = page va, info = acking core id.
+  kIpiAck,
+  // SMP shootdown round completed (>= 1 target). vaddr = page va,
+  // info = bitmask of targeted core ids.
+  kTlbShootdown,
   kCount,
 };
 
@@ -92,7 +101,8 @@ struct Event {
   u32 vaddr = 0;   // kind-specific virtual address
   u32 info = 0;    // kind-specific payload (see EventKind)
   EventKind kind = EventKind::kTrap;
-  u8 arg = 0;  // kind-specific small payload (see EventKind)
+  u8 arg = 0;   // kind-specific small payload (see EventKind)
+  u8 core = 0;  // core the event was emitted on (always 0 at cores=1)
 };
 
 const char* kind_name(EventKind k);

@@ -54,6 +54,12 @@ const char* kind_name(EventKind k) {
       return "block-build";
     case EventKind::kBlockInvalidate:
       return "block-invalidate";
+    case EventKind::kIpiSend:
+      return "ipi-send";
+    case EventKind::kIpiAck:
+      return "ipi-ack";
+    case EventKind::kTlbShootdown:
+      return "tlb-shootdown";
     case EventKind::kCount:
       break;
   }

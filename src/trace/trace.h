@@ -77,6 +77,10 @@ class TraceSink {
   // The scheduler announces who is running; events/charges carry this pid.
   void set_current_pid(u32 pid) { pid_ = pid; }
   u32 current_pid() const { return pid_; }
+  // The SMP run loop announces the dispatching core; events carry this id
+  // (always 0 at cores=1, so single-core traces are unchanged).
+  void set_current_core(u8 core) { core_ = core; }
+  u8 current_core() const { return core_; }
 
   void record(EventKind kind, u32 vaddr = 0, u32 info = 0, u8 arg = 0) {
     if (!enabled_) return;
@@ -87,6 +91,7 @@ class TraceSink {
     e.info = info;
     e.kind = kind;
     e.arg = arg;
+    e.core = core_;
     ring_.push(e);
     prof_.on_event(e);
   }
@@ -120,6 +125,7 @@ class TraceSink {
   Profiler prof_;
   const metrics::Stats* stats_ = nullptr;
   u32 pid_ = 0;
+  u8 core_ = 0;
   bool enabled_ = false;
 };
 

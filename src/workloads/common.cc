@@ -52,6 +52,10 @@ WorkloadResult run_program(const std::string& name, const std::string& body,
   res.name = name;
   cfg.software_tlb = cfg.software_tlb || prot.software_tlb;
   cfg.trace = cfg.trace || prot.trace;
+  // The paper's figure workloads are single-core by definition; SMP runs
+  // are opt-in per workload config (e.g. server_load --cores), never via
+  // the SM_CORES environment override.
+  if (cfg.cores == 0) cfg.cores = 1;
   kernel::Kernel k(cfg);
   k.set_engine(prot.make_engine());
   const auto program = assembler::assemble(guest::program(body));

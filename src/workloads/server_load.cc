@@ -201,6 +201,7 @@ ServerLoadResult run_server_load(const Protection& prot,
 
   kernel::KernelConfig kcfg;
   kcfg.phys_frames = cfg.phys_frames;
+  kcfg.cores = cfg.cores == 0 ? 1 : cfg.cores;
   kcfg.cost = cfg.cost;
   kcfg.software_tlb = prot.software_tlb;
   kcfg.trace = prot.trace;

@@ -122,6 +122,7 @@ WebserverResult run_webserver(const Protection& prot,
   kernel::KernelConfig kcfg;
   kcfg.cost = cfg.cost;
   kcfg.software_tlb = prot.software_tlb;
+  kcfg.cores = 1;  // Figs. 6-8 are single-core; SMP serving is server_load's
   kernel::Kernel k(kcfg);
   k.set_engine(prot.make_engine());
 

@@ -164,6 +164,8 @@ struct ServerLoadConfig {
   arch::u64 seed = 0x5eedf00d;  // request-stream PRNG seed
   u32 phys_frames = 32768;      // 128 MiB: ~1000 workers of COW pages, x2
                                 // under a splitting engine
+  u32 cores = 1;                // simulated cores (1 = the historical
+                                // single-core run, byte-identical)
   metrics::CostModel cost{};
 };
 

@@ -229,7 +229,10 @@ _start:
 spin:
   jmp spin
 )";
-  testing::GuestRun r = testing::start_guest(body, ProtectionMode::kSplitAll);
+  kernel::KernelConfig cfg;
+  cfg.cores = 1;  // the assertions inspect THE core's TLBs
+  testing::GuestRun r = testing::start_guest(
+      body, ProtectionMode::kSplitAll, core::ResponseMode::kBreak, cfg);
   r.k->run(1'000);
   kernel::Process& p = r.proc();
   const auto program =

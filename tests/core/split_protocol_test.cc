@@ -213,7 +213,7 @@ cloop:
 .bss
 buf: .space 64
 )";
-  auto r = testing::run_guest(body, ProtectionMode::kSplitAll);
+  auto r = testing::run_guest_1core(body, ProtectionMode::kSplitAll);
   ASSERT_TRUE(r.k->all_exited());
   // Each of the ~40 switches refaults the code page at minimum.
   EXPECT_GT(r.k->stats().split_itlb_loads, 30u);

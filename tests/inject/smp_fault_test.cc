@@ -1,0 +1,297 @@
+// SMP fault-model tests (DESIGN.md §16): the two IPI fault kinds and the
+// watchdog's machine-wide invariants. drop-ipi makes the sender retry —
+// bounded retries, then the shootdown parks as pending and opening a
+// window over it is I7. ack-without-flush leaves a remote stale entry for
+// the watchdog's cross-core sweep to find (I6). Both always end recovered
+// or degraded, never silent and never a breach.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "arch/mmu.h"
+#include "arch/page_table.h"
+#include "arch/pte.h"
+#include "arch/tlb.h"
+#include "inject/fault_injector.h"
+#include "inject/fault_schedule.h"
+#include "invariant/watchdog.h"
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using arch::u32;
+using arch::u64;
+using arch::vpn_of;
+using core::ProtectionMode;
+using core::ResponseMode;
+
+const char* kSpinWithSplitPage = R"(
+_start:
+  movi r4, buf
+  movi r5, 7
+  store [r4], r5
+  load r6, [r4]
+spin:
+  jmp spin
+.bss
+buf: .space 64
+)";
+
+// Same materialization, but exits — for runs that must complete.
+const char* kExitWithSplitPage = R"(
+_start:
+  movi r4, buf
+  movi r5, 7
+  store [r4], r5
+  load r6, [r4]
+  movi r0, SYS_EXIT
+  movi r1, 7
+  syscall
+.bss
+buf: .space 64
+)";
+
+const char* kForkWorkers = R"(
+_start:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz worker
+  movi r0, SYS_FORK
+  syscall
+  jmp worker
+worker:
+  movi r6, 30
+wloop:
+  movi r0, SYS_YIELD
+  syscall
+  movi r4, buf
+  store [r4], r6
+  load r5, [r4]
+  addi r6, -1
+  cmpi r6, 0
+  jnz wloop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 64
+)";
+
+kernel::KernelConfig cores_cfg(u32 n) {
+  kernel::KernelConfig cfg;
+  cfg.cores = n;
+  return cfg;
+}
+
+inject::FaultSchedule ipi_faults(inject::FaultKind kind, u32 count) {
+  inject::FaultSchedule s;
+  for (u32 i = 0; i < count; ++i) s.faults.push_back({0, kind, 0});
+  return s;
+}
+
+arch::TlbEntry make_entry(u32 vpn, u32 pfn, bool writable) {
+  arch::TlbEntry e;
+  e.vpn = vpn;
+  e.pfn = pfn;
+  e.user = true;
+  e.writable = writable;
+  e.valid = true;
+  return e;
+}
+
+// Boots the spin guest on two cores with injector + watchdog attached,
+// runs far enough to materialize the split page and arm the schedule,
+// then plants a (coherent unless asked otherwise) translation for `buf`
+// on the remote core so a shootdown has a real target.
+struct SmpFaultRig {
+  testing::GuestRun run;
+  std::unique_ptr<inject::FaultInjector> injector;
+  invariant::InvariantWatchdog watchdog;
+  u32 buf = 0;
+  u32 vpn = 0;
+  u32 target = 0;
+
+  explicit SmpFaultRig(inject::FaultSchedule schedule,
+                       u32 stale_pfn_offset = 0, bool stale_writable = false) {
+    run = testing::start_guest(kSpinWithSplitPage, ProtectionMode::kSplitAll,
+                               ResponseMode::kBreak, cores_cfg(2));
+    // Warm up WITHOUT the injector: work stealing migrates even a lone
+    // process between cores, and the natural shootdowns that causes would
+    // consume the armed IPI faults before the test's own invalidate.
+    run.k->run(2'000);
+    injector = std::make_unique<inject::FaultInjector>(std::move(schedule));
+    injector->attach(*run.k);
+    watchdog.attach(*run.k, injector.get());
+    run.k->run(1);  // one spin step: arms the schedule, no protocol traffic
+    const auto program =
+        assembler::assemble(guest::program(kSpinWithSplitPage));
+    buf = program.symbol("buf");
+    vpn = vpn_of(buf);
+    target = (run.k->active_core() + 1) % 2;
+    arch::Mmu& remote = run.k->core_mmu(target);
+    remote.set_cr3(proc().as->root());
+    remote.dtlb().insert(make_entry(
+        vpn, proc().as->pt().get(buf).pfn() + stale_pfn_offset,
+        stale_writable));
+  }
+
+  kernel::Process& proc() { return run.proc(); }
+  kernel::Kernel& k() { return *run.k; }
+  arch::Tlb& remote_dtlb() { return run.k->core_mmu(target).dtlb(); }
+};
+
+TEST(SmpFault, DropIpiRetriesAndRecovers) {
+  // One armed drop: the first send is lost, the retry lands — the guest
+  // never sees it, the remote entry still dies before the restrict.
+  SmpFaultRig rig(ipi_faults(inject::FaultKind::kDropIpi, 1));
+  const u64 sends0 = rig.k().stats().ipi_sends;
+  const u64 acks0 = rig.k().stats().ipi_acks;
+  rig.k().invalidate_page(rig.proc(), rig.buf);
+
+  EXPECT_FALSE(rig.remote_dtlb().contains(rig.vpn));
+  EXPECT_TRUE(rig.k().pending_shootdowns().empty());
+  EXPECT_EQ(rig.k().stats().ipi_sends, sends0 + 2);  // drop + retry
+  EXPECT_EQ(rig.k().stats().ipi_acks, acks0 + 1);
+  ASSERT_EQ(rig.injector->records().size(), 1u);
+  EXPECT_TRUE(rig.injector->records()[0].fired);
+
+  rig.watchdog.finalize(rig.k());
+  EXPECT_EQ(rig.watchdog.breaches(), 0u);
+  ASSERT_TRUE(rig.injector->records()[0].outcome.has_value());
+  EXPECT_EQ(*rig.injector->records()[0].outcome, inject::Outcome::kRecovered);
+}
+
+TEST(SmpFault, DropIpiExhaustionParksPendingShootdownAndTripsI7) {
+  // Three armed drops = the full retry budget: delivery fails outright,
+  // the shootdown parks, and the stale remote entry survives — exactly
+  // the state a window must not open over.
+  SmpFaultRig rig(ipi_faults(inject::FaultKind::kDropIpi, 3));
+  rig.k().invalidate_page(rig.proc(), rig.buf);
+
+  ASSERT_EQ(rig.k().pending_shootdowns().size(), 1u);
+  const kernel::Kernel::PendingShootdown& ps =
+      rig.k().pending_shootdowns()[0];
+  EXPECT_EQ(ps.vpn, rig.vpn);
+  EXPECT_EQ(ps.root, rig.proc().as->root());
+  EXPECT_EQ(ps.core_mask, u32{1} << rig.target);
+  EXPECT_TRUE(rig.remote_dtlb().contains(rig.vpn));
+  for (const auto& rec : rig.injector->records()) {
+    EXPECT_TRUE(rec.fired);
+  }
+
+  // Simulate the window opening over the parked page: the watchdog must
+  // flag I7 and repair by completing the invalidations directly.
+  rig.proc().pending_split_vaddr = rig.buf;
+  const u32 violations0 = rig.watchdog.violations();
+  rig.watchdog.pre_step(rig.k(), rig.proc());
+  EXPECT_GT(rig.watchdog.violations(), violations0);
+  EXPECT_TRUE(rig.k().pending_shootdowns().empty());
+  EXPECT_FALSE(rig.remote_dtlb().contains(rig.vpn))
+      << "I7 repair left the stale remote translation alive";
+  rig.proc().pending_split_vaddr.reset();
+
+  rig.watchdog.finalize(rig.k());
+  EXPECT_EQ(rig.watchdog.breaches(), 0u);
+  for (const auto& rec : rig.injector->records()) {
+    EXPECT_TRUE(rec.outcome.has_value()) << "fired fault left unclassified";
+  }
+}
+
+TEST(SmpFault, AckWithoutFlushIsCaughtByRemoteSweepAsI6) {
+  // The target acks but never flushes; plant the entry writable on the
+  // wrong frame so the survivor genuinely disagrees with the pair state
+  // (a read-only data-frame mapping would be legal and unflagged).
+  SmpFaultRig rig(ipi_faults(inject::FaultKind::kAckNoFlush, 1),
+                  /*stale_pfn_offset=*/1, /*stale_writable=*/true);
+  const u64 acks0 = rig.k().stats().ipi_acks;
+  rig.k().invalidate_page(rig.proc(), rig.buf);
+
+  // Acked, so nothing parks — but the stale entry is still there.
+  EXPECT_TRUE(rig.k().pending_shootdowns().empty());
+  EXPECT_EQ(rig.k().stats().ipi_acks, acks0 + 1);
+  ASSERT_EQ(rig.injector->records().size(), 1u);
+  EXPECT_TRUE(rig.injector->records()[0].fired);
+
+  // The PTE moves on (re-point at the data frame is the common restrict
+  // follow-up); make the survivor observably stale, then audit.
+  const bool was_stale = rig.remote_dtlb().contains(rig.vpn);
+  EXPECT_TRUE(was_stale);
+  const u32 violations0 = rig.watchdog.violations();
+  rig.watchdog.finalize(rig.k());
+  EXPECT_GT(rig.watchdog.violations(), violations0)
+      << "remote sweep missed the unflushed stale entry";
+  EXPECT_FALSE(rig.remote_dtlb().contains(rig.vpn));
+  EXPECT_EQ(rig.watchdog.breaches(), 0u);
+  ASSERT_TRUE(rig.injector->records()[0].outcome.has_value());
+  EXPECT_EQ(*rig.injector->records()[0].outcome, inject::Outcome::kRecovered);
+}
+
+TEST(SmpFault, IpiFaultsArmButNeverFireOnOneCore) {
+  // At cores=1 there are no IPIs to drop: the kinds arm, never fire, and
+  // the guest completes untouched (the campaign reports them unfired).
+  inject::FaultSchedule s;
+  s.faults.push_back({0, inject::FaultKind::kDropIpi, 0});
+  s.faults.push_back({0, inject::FaultKind::kAckNoFlush, 0});
+  auto r = testing::start_guest(kExitWithSplitPage, ProtectionMode::kSplitAll,
+                                ResponseMode::kBreak, cores_cfg(1));
+  inject::FaultInjector injector(std::move(s));
+  invariant::InvariantWatchdog watchdog;
+  injector.attach(*r.k);
+  watchdog.attach(*r.k, &injector);
+  r.k->run(1'000'000);
+  watchdog.finalize(*r.k);
+
+  ASSERT_TRUE(r.k->all_exited());
+  EXPECT_EQ(r.proc().exit_code, 7u);
+  for (const auto& rec : injector.records()) {
+    EXPECT_FALSE(rec.fired);
+  }
+  EXPECT_EQ(watchdog.breaches(), 0u);
+  EXPECT_EQ(r.k->stats().ipi_sends, 0u);
+}
+
+TEST(SmpFault, GeneratedCampaignAtFourCoresHasZeroBreaches) {
+  // A seeded mixed-kind schedule (including the IPI kinds) over a forking
+  // 4-core workload: whatever fires must end classified, never a breach —
+  // the robustness-campaign gate, at unit-test scale.
+  const auto schedule = inject::FaultSchedule::generate(0x5317, 16, 20'000);
+  auto r = testing::start_guest(kForkWorkers, ProtectionMode::kSplitAll,
+                                ResponseMode::kBreak, cores_cfg(4));
+  inject::FaultInjector injector(schedule);
+  invariant::InvariantWatchdog watchdog;
+  injector.attach(*r.k);
+  watchdog.attach(*r.k, &injector);
+  r.k->run(20'000'000);
+  watchdog.finalize(*r.k);
+
+  EXPECT_EQ(watchdog.breaches(), 0u);
+  EXPECT_EQ(injector.outstanding(), 0u) << "a fired fault stayed silent";
+  EXPECT_TRUE(r.k->pending_shootdowns().empty());
+}
+
+TEST(SmpFault, InjectedFourCoreRunIsDeterministic) {
+  // Injection is a pure function of (schedule, simulated event stream):
+  // two identical faulted 4-core runs end in byte-identical machines.
+  auto once = [] {
+    auto r = testing::start_guest(kForkWorkers, ProtectionMode::kSplitAll,
+                                  ResponseMode::kBreak, cores_cfg(4));
+    inject::FaultInjector injector(
+        inject::FaultSchedule::generate(0x5317, 16, 20'000));
+    invariant::InvariantWatchdog watchdog;
+    injector.attach(*r.k);
+    watchdog.attach(*r.k, &injector);
+    r.k->run(20'000'000);
+    watchdog.finalize(*r.k);
+    std::ostringstream os;
+    r.k->save(os);
+    return os.str();
+  };
+  EXPECT_EQ(once(), once());
+}
+
+}  // namespace
+}  // namespace sm

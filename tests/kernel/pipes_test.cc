@@ -9,6 +9,7 @@ namespace {
 
 using core::ProtectionMode;
 using testing::run_guest;
+using testing::run_guest_1core;
 
 TEST(Pipes, SingleProcessRoundTrip) {
   const char* body = R"(
@@ -120,12 +121,12 @@ tok2: .word 0
 fds1: .space 8
 fds2: .space 8
 )";
-  auto plain = run_guest(body, ProtectionMode::kNone);
+  auto plain = run_guest_1core(body, ProtectionMode::kNone);
   ASSERT_TRUE(plain.k->all_exited());
   // 50 round trips = at least ~100 context switches.
   EXPECT_GE(plain.k->stats().context_switches, 100u);
 
-  auto split = run_guest(body, ProtectionMode::kSplitAll);
+  auto split = run_guest_1core(body, ProtectionMode::kSplitAll);
   ASSERT_TRUE(split.k->all_exited());
   // The paper's central performance claim: every switch costs the split
   // system TLB refills through page faults.
@@ -288,7 +289,7 @@ cy:
   movi r1, 0
   syscall
 )";
-  auto r = run_guest(body, ProtectionMode::kNone);
+  auto r = run_guest_1core(body, ProtectionMode::kNone);
   EXPECT_GE(r.k->stats().context_switches, 10u);
 }
 
@@ -322,7 +323,7 @@ closs:
   movi r1, 0
   syscall
 )";
-  auto r = run_guest(body, ProtectionMode::kNone);
+  auto r = run_guest_1core(body, ProtectionMode::kNone);
   ASSERT_TRUE(r.k->all_exited());
   EXPECT_GE(r.k->stats().context_switches, 5u);
 }

@@ -1,0 +1,251 @@
+// SMP tests (DESIGN.md §16): core-count resolution, the TLB shootdown
+// protocol (restricting a translation on one core must kill every remote
+// copy before the window opens), work stealing, determinism of the fixed
+// dispatch-quantum interleave, and behavioural identity across core
+// counts. The paper's invariants I1–I5 are per-TLB statements; these tests
+// pin the machine-wide extensions I6–I7 that make them true per core.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/mmu.h"
+#include "arch/page_table.h"
+#include "arch/pte.h"
+#include "arch/tlb.h"
+#include "invariant/watchdog.h"
+#include "snapshot/replay_support.h"
+#include "support/guest_runner.h"
+
+namespace sm {
+namespace {
+
+using arch::u32;
+using arch::u64;
+using arch::vpn_of;
+using core::ProtectionMode;
+using core::ResponseMode;
+
+// One process, one materialized split data page, then a spin — the guest
+// stays alive so tests can drive the shootdown protocol by hand.
+const char* kSpinWithSplitPage = R"(
+_start:
+  movi r4, buf
+  movi r5, 7
+  store [r4], r5
+  load r6, [r4]
+spin:
+  jmp spin
+.bss
+buf: .space 64
+)";
+
+// Three processes at two cores: pids 1/2/3 shard to home cores 0/1/0, and
+// pid 2 (core 1's only native work) exits immediately — so core 1 must
+// steal from core 0's queue to stay busy while pids 1 and 3 yield-loop
+// through split faults.
+const char* kImbalancedForkWorkers = R"(
+_start:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz fastchild
+  movi r0, SYS_FORK
+  syscall
+  jmp worker
+fastchild:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+worker:
+  movi r6, 30
+wloop:
+  movi r0, SYS_YIELD
+  syscall
+  movi r4, buf
+  store [r4], r6
+  load r5, [r4]
+  addi r6, -1
+  cmpi r6, 0
+  jnz wloop
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 64
+)";
+
+kernel::KernelConfig cores_cfg(u32 n) {
+  kernel::KernelConfig cfg;
+  cfg.cores = n;
+  return cfg;
+}
+
+arch::TlbEntry make_entry(u32 vpn, u32 pfn, bool writable) {
+  arch::TlbEntry e;
+  e.vpn = vpn;
+  e.pfn = pfn;
+  e.user = true;
+  e.writable = writable;
+  e.valid = true;
+  return e;
+}
+
+TEST(Smp, ConfigCoreCountIsResolvedAtConstruction) {
+  kernel::Kernel one(cores_cfg(1));
+  EXPECT_EQ(one.num_cores(), 1u);
+  kernel::Kernel four(cores_cfg(4));
+  EXPECT_EQ(four.num_cores(), 4u);
+  EXPECT_EQ(four.active_core(), 0u);
+}
+
+// The core protocol claim: after invalidate_page returns, NO core's TLB
+// still holds the translation — a stale remote entry after a restrict is
+// impossible (the shootdown waits for every ack).
+TEST(Smp, ShootdownInvalidatesRemoteStaleTranslation) {
+  auto r = testing::start_guest(kSpinWithSplitPage, ProtectionMode::kSplitAll,
+                                ResponseMode::kBreak, cores_cfg(2));
+  r.k->run(2'000);
+  kernel::Process& p = r.proc();
+  ASSERT_TRUE(p.alive());
+  const auto program = assembler::assemble(guest::program(kSpinWithSplitPage));
+  const u32 buf = program.symbol("buf");
+  const u32 vpn = vpn_of(buf);
+  const u32 root = p.as->root();
+  const u32 target = (r.k->active_core() + 1) % 2;
+  arch::Mmu& remote = r.k->core_mmu(target);
+
+  // Pretend core `target` recently ran p: CR3 loaded, D-TLB caches buf.
+  remote.set_cr3(root);
+  remote.dtlb().insert(make_entry(vpn, p.as->pt().get(buf).pfn(), false));
+  ASSERT_TRUE(remote.dtlb().contains(vpn));
+
+  const u64 sends0 = r.k->stats().ipi_sends;
+  const u64 rounds0 = r.k->stats().tlb_shootdowns;
+  r.k->invalidate_page(p, buf);
+
+  EXPECT_FALSE(remote.dtlb().contains(vpn))
+      << "remote stale translation survived the shootdown";
+  EXPECT_EQ(r.k->stats().tlb_shootdowns, rounds0 + 1);
+  EXPECT_EQ(r.k->stats().ipi_sends, sends0 + 1);
+  EXPECT_EQ(r.k->stats().ipi_acks, r.k->stats().ipi_sends);
+  EXPECT_TRUE(r.k->pending_shootdowns().empty());
+
+  // A core whose CR3 points elsewhere cannot cache the translation (CR3
+  // writes flush), so it is not IPI'd: targeting is exact, not broadcast.
+  remote.set_cr3(root + 1);
+  remote.dtlb().insert(make_entry(vpn, p.as->pt().get(buf).pfn(), false));
+  const u64 sends1 = r.k->stats().ipi_sends;
+  r.k->invalidate_page(p, buf);
+  EXPECT_EQ(r.k->stats().ipi_sends, sends1);
+  EXPECT_TRUE(remote.dtlb().contains(vpn));
+}
+
+TEST(Smp, WorkStealingDrainsImbalancedQueues) {
+  auto r = testing::run_guest(kImbalancedForkWorkers,
+                              ProtectionMode::kSplitAll, 50'000'000,
+                              cores_cfg(2));
+  ASSERT_TRUE(r.k->all_exited());
+  EXPECT_GE(r.k->stats().work_steals, 1u)
+      << "core 1 went idle without stealing core 0's surplus";
+  // No injected faults: every IPI the shootdown protocol sent was acked.
+  EXPECT_EQ(r.k->stats().ipi_acks, r.k->stats().ipi_sends);
+  EXPECT_TRUE(r.k->pending_shootdowns().empty());
+}
+
+// The interleave is a fixed dispatch quantum on one host thread: two
+// identical 4-core runs must produce byte-identical machines — stats,
+// TLB contents, consoles, everything the snapshot serializes.
+TEST(Smp, FourCoreRunIsDeterministic) {
+  auto once = [] {
+    auto r = testing::run_guest(kImbalancedForkWorkers,
+                                ProtectionMode::kSplitAll, 50'000'000,
+                                cores_cfg(4));
+    EXPECT_TRUE(r.k->all_exited());
+    return testing::save_bytes(*r.k);
+  };
+  const std::string a = once();
+  const std::string b = once();
+  EXPECT_EQ(a, b) << "4-core interleave diverged between identical runs";
+}
+
+// IPI delivery order is core-id order, every run. Two identical forced
+// multi-target shootdowns must leave byte-identical machines — including
+// the trace ring, where each kIpiSend/kIpiAck event is recorded in
+// delivery order.
+TEST(Smp, IpiDeliveryOrderingIsDeterministic) {
+  auto once = [] {
+    kernel::KernelConfig cfg = cores_cfg(4);
+    cfg.trace = true;
+    auto r = testing::start_guest(kSpinWithSplitPage,
+                                  ProtectionMode::kSplitAll,
+                                  ResponseMode::kBreak, cfg);
+    r.k->run(3'000);
+    kernel::Process& p = r.proc();
+    const auto program =
+        assembler::assemble(guest::program(kSpinWithSplitPage));
+    const u32 buf = program.symbol("buf");
+    const u32 root = p.as->root();
+    // Every remote core caches the page (explicitly, so natural migration
+    // cannot change the target set); the shootdown must hit all three.
+    for (u32 off = 1; off <= 3; ++off) {
+      const u32 t = (r.k->active_core() + off) % 4;
+      arch::Mmu& m = r.k->core_mmu(t);
+      m.set_cr3(root);
+      m.dtlb().insert(
+          make_entry(vpn_of(buf), p.as->pt().get(buf).pfn(), false));
+    }
+    const u64 sends0 = r.k->stats().ipi_sends;
+    r.k->invalidate_page(p, buf);
+    EXPECT_EQ(r.k->stats().ipi_sends, sends0 + 3);
+    EXPECT_EQ(r.k->stats().ipi_acks, r.k->stats().ipi_sends);
+    r.k->run(2'000);
+    return testing::save_bytes(*r.k);
+  };
+  const std::string a = once();
+  const std::string b = once();
+  EXPECT_EQ(a, b) << "IPI ordering diverged between identical runs";
+}
+
+// Core count changes scheduling (cycles, switch counts) but must never
+// change guest-observable behaviour: per-process exit codes and final
+// memory digests are identical at 1 and 4 cores.
+TEST(Smp, BehaviourIdenticalAcrossCoreCounts) {
+  auto one = testing::run_guest(kImbalancedForkWorkers,
+                                ProtectionMode::kSplitAll, 50'000'000,
+                                cores_cfg(1));
+  auto four = testing::run_guest(kImbalancedForkWorkers,
+                                 ProtectionMode::kSplitAll, 50'000'000,
+                                 cores_cfg(4));
+  ASSERT_TRUE(one.k->all_exited());
+  ASSERT_TRUE(four.k->all_exited());
+  for (kernel::Pid pid = 1; pid <= 3; ++pid) {
+    const kernel::Process* a = one.k->process(pid);
+    const kernel::Process* b = four.k->process(pid);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->exit_code, b->exit_code) << "pid " << pid;
+    ASSERT_TRUE(a->exit_digest.has_value());
+    ASSERT_TRUE(b->exit_digest.has_value());
+    EXPECT_TRUE(*a->exit_digest == *b->exit_digest)
+        << "pid " << pid << ": final memory differs across core counts";
+  }
+}
+
+// A clean (fault-free) 4-core run never trips the watchdog: the shootdown
+// protocol keeps I1–I7 true without a single repair.
+TEST(Smp, CleanFourCoreRunHasNoInvariantViolations) {
+  auto r = testing::start_guest(kImbalancedForkWorkers,
+                                ProtectionMode::kSplitAll,
+                                ResponseMode::kBreak, cores_cfg(4));
+  invariant::InvariantWatchdog watchdog;
+  watchdog.attach(*r.k);
+  r.k->run(50'000'000);
+  watchdog.finalize(*r.k);
+  ASSERT_TRUE(r.k->all_exited());
+  EXPECT_EQ(watchdog.violations(), 0u);
+  EXPECT_EQ(watchdog.breaches(), 0u);
+  EXPECT_TRUE(r.k->pending_shootdowns().empty());
+}
+
+}  // namespace
+}  // namespace sm

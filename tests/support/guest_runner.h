@@ -65,10 +65,22 @@ inline GuestRun start_guest(const std::string& body,
 
 // Runs body to completion (no channel interaction) and returns the run.
 inline GuestRun run_guest(const std::string& body, core::ProtectionMode mode,
-                          arch::u64 budget = 50'000'000) {
-  GuestRun r = start_guest(body, mode);
+                          arch::u64 budget = 50'000'000,
+                          kernel::KernelConfig cfg = {}) {
+  GuestRun r = start_guest(body, mode, core::ResponseMode::kBreak, cfg);
   r.k->run(budget);
   return r;
+}
+
+// run_guest pinned to one core: for tests that assert the single-core
+// scheduler's exact behaviour (switch counts, interleave order), which the
+// SM_CORES override would otherwise rewrite.
+inline GuestRun run_guest_1core(const std::string& body,
+                                core::ProtectionMode mode,
+                                arch::u64 budget = 50'000'000) {
+  kernel::KernelConfig cfg;
+  cfg.cores = 1;
+  return run_guest(body, mode, budget, cfg);
 }
 
 }  // namespace sm::testing
