@@ -252,7 +252,7 @@ std::optional<Trap> Cpu::step() {
   }
 }
 
-Cpu::BlockStep Cpu::step_block(u64 max_attempts) {
+Cpu::BlockStep Cpu::step_block(u64 max_attempts, u64 cycle_stop) {
   // Chained dispatch: blocks run back to back until the budget is spent
   // or a trap ends the chain. Chaining is observationally identical to
   // the caller invoking step_block once per block — between two chained
@@ -260,9 +260,11 @@ Cpu::BlockStep Cpu::step_block(u64 max_attempts) {
   // injected faults — all excluded by the caller before choosing the
   // block path) could have diverted control — and it amortizes the
   // per-dispatch overhead the same way the kernel's slice-sized budgets
-  // expect.
+  // expect. A cycle bound clips the chain (and the blocks inside it) at
+  // instruction granularity, exactly where the step() loop would stop.
   BlockStep out;
-  while (out.attempts < max_attempts) {
+  while (out.attempts < max_attempts &&
+         !(cycle_stop != 0 && stats_->cycles >= cycle_stop)) {
     // The entry instruction's issue cycle and byte-0 translation, billed
     // exactly as step() -> fetch_decode() would bill them. The
     // translation also yields the physical key for the block-cache probe.
@@ -284,7 +286,7 @@ Cpu::BlockStep Cpu::step_block(u64 max_attempts) {
     BlockStep bs;
     if (b.pa == pa && b.gen == gen) {
       ++stats_->block_cache_hits;
-      bs = run_block(b, max_attempts - out.attempts);
+      bs = run_block(b, max_attempts - out.attempts, cycle_stop);
     } else {
       if (b.pa == pa) {
         // The entry frame was rewritten since the block was recorded
@@ -292,7 +294,7 @@ Cpu::BlockStep Cpu::step_block(u64 max_attempts) {
         ++stats_->block_cache_invalidations;
       }
       ++stats_->block_cache_misses;
-      bs = record_block(b, pa, gen, max_attempts - out.attempts);
+      bs = record_block(b, pa, gen, max_attempts - out.attempts, cycle_stop);
     }
     out.attempts += bs.attempts;
     if (bs.trap) {
@@ -308,7 +310,7 @@ Cpu::BlockStep Cpu::step_block(u64 max_attempts) {
 // the out-of-line dispatch call is measurable against the ~8 ns/instr
 // budget the 3x target implies.
 [[gnu::flatten]] Cpu::BlockStep Cpu::run_block(BlockCache::Block& b,
-                                               u64 budget) {
+                                               u64 budget, u64 cycle_stop) {
   // Billing, wholesale but bit-identical to the per-instruction engine.
   // Entry instruction: issue cycle and byte 0 already billed by
   // step_block; add bytes 1..len-1 as the guaranteed I-TLB hits they are
@@ -341,7 +343,12 @@ Cpu::BlockStep Cpu::step_block(u64 max_attempts) {
   // instruction, whose snapshot (taken just before its execute) is the one
   // restored — identical to a per-instruction try.
   try {
-    for (u32 i = 0; i < b.count && out.attempts < budget; ++i) {
+    // i == 0 is exempt from the cycle bound: step_block already billed its
+    // issue cycle (the caller's bound check happened before that), so the
+    // per-instruction engine would have executed it too.
+    for (u32 i = 0; i < b.count && out.attempts < budget &&
+                    !(i > 0 && cycle_stop != 0 && stats_->cycles >= cycle_stop);
+         ++i) {
       ++out.attempts;
       const u32 pc = regs_.pc;
       const Decoded& d = b.instr[i];
@@ -387,7 +394,7 @@ Cpu::BlockStep Cpu::step_block(u64 max_attempts) {
 }
 
 Cpu::BlockStep Cpu::record_block(BlockCache::Block& b, u64 entry_pa,
-                                 u64 entry_gen, u64 budget) {
+                                 u64 entry_gen, u64 budget, u64 cycle_stop) {
   // Record while executing: every instruction below runs through the
   // normal per-instruction machinery (exact billing, decode-cache
   // population, rollback-on-fault), so a recording pass is observationally
@@ -401,7 +408,9 @@ Cpu::BlockStep Cpu::record_block(BlockCache::Block& b, u64 entry_pa,
   u32 count = 0;
   bool complete = false;
 
-  while (out.attempts < budget) {
+  while (out.attempts < budget &&
+         !(out.attempts > 0 && cycle_stop != 0 &&
+           stats_->cycles >= cycle_stop)) {
     ++out.attempts;
     const Regs snapshot = regs_;
     const u32 pc = regs_.pc;

@@ -58,7 +58,9 @@ class Cpu {
   // attempts it consumed (successes plus at most one trailing fault — the
   // count the kernel's step budget and timeslice advance by, exactly as if
   // step() had been called that many times) and the trap that ended it, if
-  // any. attempts >= 1 always.
+  // any. attempts >= 1 always, except when a cycle bound was already
+  // reached on entry (then 0, and the caller's own bound check ends its
+  // dispatch loop).
   struct BlockStep {
     u64 attempts = 0;
     std::optional<Trap> trap;
@@ -71,7 +73,12 @@ class Cpu {
   // keeps step()'s exact contract (billing, rollback-on-fault, restart
   // semantics); the caller must NOT use this while the trap flag is set —
   // TF windows are per-instruction by definition and take the step() path.
-  BlockStep step_block(u64 max_attempts);
+  // A non-zero cycle_stop additionally ends the dispatch at the first
+  // instruction boundary where the billed cycle clock has reached it —
+  // the same boundary a per-instruction caller checking the clock between
+  // step() calls would stop at, which is what keeps the billing-identity
+  // contract alive for cycle-bounded runs (Kernel::run's cycle_stop).
+  BlockStep step_block(u64 max_attempts, u64 cycle_stop = 0);
 
   // The physically-keyed decoded-instruction cache (test/bench access).
   DecodeCache& decode_cache() { return dcache_; }
@@ -105,9 +112,9 @@ class Cpu {
   Decoded fetch_decode_at(u64 pa);
   std::optional<Trap> execute(const Decoded& d);
 
-  BlockStep run_block(BlockCache::Block& b, u64 budget);
+  BlockStep run_block(BlockCache::Block& b, u64 budget, u64 cycle_stop);
   BlockStep record_block(BlockCache::Block& b, u64 entry_pa, u64 entry_gen,
-                         u64 budget);
+                         u64 budget, u64 cycle_stop);
 
   u32 pop();
   void push(u32 v);

@@ -204,6 +204,12 @@ void FaultInjector::apply_due(Kernel& k, Process& p) {
       case FaultKind::kAckNoFlush:
         armed_ack_no_flush_.push_back(i);
         break;
+      case FaultKind::kStallWorker:
+        armed_stall_.push_back(i);
+        break;
+      case FaultKind::kDropConnection:
+        armed_drop_conn_.push_back(i);
+        break;
       case FaultKind::kCount:
         break;
     }
@@ -285,6 +291,34 @@ bool FaultInjector::ack_without_flush(Kernel& k, Process& p, u32 target_core,
   // The target acks but keeps the stale entry — the I6 state. The remote
   // sweep finds and repairs it; the watchdog classifies.
   fire(i, vaddr);
+  return true;
+}
+
+arch::u64 FaultInjector::stall_cycles(Kernel& k, Process& p) {
+  if (armed_stall_.empty()) return 0;
+  // Defer while a single-step window is open: the stall models a slow
+  // worker, not a hole in the Algorithm-2 protocol. The armed entry waits
+  // for the window to close rather than being consumed.
+  const arch::Regs& regs = k.regs_of(p);
+  if (regs.tf() || p.pending_split_vaddr.has_value()) return 0;
+  const u32 i = armed_stall_.front();
+  armed_stall_.erase(armed_stall_.begin());
+  // Absorbed by design: the scheduler routes around a parked process and
+  // the deadline timer resumes it; no protocol state is at risk.
+  const u64 cycles = 256 + (records_[i].fault.arg & 0x3FFFu);
+  fire_resolved(i, regs.pc, Outcome::kRecovered);
+  return cycles;
+}
+
+bool FaultInjector::drop_connection(Kernel& k, Process& p, u32 port) {
+  (void)k;
+  (void)p;
+  if (armed_drop_conn_.empty()) return false;
+  const u32 i = armed_drop_conn_.front();
+  armed_drop_conn_.erase(armed_drop_conn_.begin());
+  // Degradation by construction: the caller sees ERR_REFUSED exactly as if
+  // the backlog were full, and its retry/backoff path absorbs the loss.
+  fire_resolved(i, port, Outcome::kDegraded);
   return true;
 }
 

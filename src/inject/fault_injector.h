@@ -72,6 +72,9 @@ class FaultInjector final : public arch::FaultHooks,
                 u32 vaddr) override;
   bool ack_without_flush(kernel::Kernel& k, kernel::Process& p,
                          u32 target_core, u32 vaddr) override;
+  arch::u64 stall_cycles(kernel::Kernel& k, kernel::Process& p) override;
+  bool drop_connection(kernel::Kernel& k, kernel::Process& p,
+                       u32 port) override;
 
   // --- arch::FaultHooks ---------------------------------------------------
   bool drop_tlb_flush() override;
@@ -110,6 +113,8 @@ class FaultInjector final : public arch::FaultHooks,
   std::vector<u32> armed_tf_clear_;  // waits for TF to be set
   std::vector<u32> armed_drop_ipi_;  // shootdown IPI sends to swallow
   std::vector<u32> armed_ack_no_flush_;  // IPIs to ack without flushing
+  std::vector<u32> armed_stall_;     // dispatches to park (defers in windows)
+  std::vector<u32> armed_drop_conn_;  // connect() attempts to drop in flight
 };
 
 }  // namespace sm::inject

@@ -43,6 +43,10 @@ const char* to_string(FaultKind k) {
       return "drop-ipi";
     case FaultKind::kAckNoFlush:
       return "ack-no-flush";
+    case FaultKind::kStallWorker:
+      return "stall-worker";
+    case FaultKind::kDropConnection:
+      return "drop-connection";
     case FaultKind::kCount:
       break;
   }

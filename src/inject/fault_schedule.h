@@ -39,6 +39,8 @@ enum class FaultKind : arch::u8 {
   kMidWindowPreempt,      // force a context switch inside a step window
   kDropIpi,               // next shootdown IPI send is lost (sender retries)
   kAckNoFlush,            // next IPI is acked without flushing (stale entry)
+  kStallWorker,           // park the dispatched process for arg-derived cycles
+  kDropConnection,        // next connect() is dropped in flight (ERR_REFUSED)
   kCount,
 };
 

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -48,6 +49,35 @@ class Channel {
   std::deque<u8> to_host_;
   bool host_closed_ = false;
   arch::u64 bytes_to_host_ = 0;
+};
+
+class Pipe;
+
+// A simulated listening socket: a port-keyed accept queue of established
+// connections, bounded by `capacity`. Each queued connection is a pair of
+// unidirectional pipes (client->server and server->client) created by
+// connect(); accept() pops the pair into a socket fd. When the queue is
+// full, further connects are REFUSED immediately — the SYN-queue-overflow
+// model, and the kernel-level load-shedding point of the overload stack.
+// Reference-counted like a pipe end (fork duplicates the listen fd); the
+// kernel deregisters the port when the last holder closes.
+struct ListenSock {
+  // One established-but-unaccepted connection.
+  struct PendingConn {
+    std::shared_ptr<Pipe> c2s;  // client writes, server reads
+    std::shared_ptr<Pipe> s2c;  // server writes, client reads
+  };
+
+  u32 port = 0;
+  u32 capacity = 0;  // accept-queue bound (>= 1)
+  int refs = 0;      // fd-table holders across fork
+  std::deque<PendingConn> backlog;
+
+  // Pids blocked in accept() (or select2 on the listen fd), FIFO, drained
+  // by the kernel with the same stale-entry re-validation as pipe waiters.
+  std::deque<u32> accept_waiters;
+
+  bool full() const { return backlog.size() >= capacity; }
 };
 
 // A unidirectional kernel pipe with a bounded buffer. End references are

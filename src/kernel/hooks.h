@@ -91,6 +91,29 @@ class FaultSource {
     (void)vaddr;
     return false;
   }
+
+  // Consulted once per dispatch, after pre_step. Return a nonzero cycle
+  // count to stall the process about to run: the kernel parks it as if it
+  // had slept (WaitSleep + armed deadline) and schedules around it — the
+  // stall-worker fault. The injector defers while a single-step window is
+  // open (TF set or a pending split vaddr): the stall models a slow
+  // worker, not a hole in the Algorithm-2 protocol.
+  virtual arch::u64 stall_cycles(Kernel& k, Process& p) {
+    (void)k;
+    (void)p;
+    return 0;
+  }
+
+  // A connect() passed the listener/backlog checks and is about to queue a
+  // connection on `port`. Return true to drop it in flight: the caller
+  // sees ERR_REFUSED exactly as if the backlog had been full — the
+  // drop-connection fault, exercising the caller's retry/backoff path.
+  virtual bool drop_connection(Kernel& k, Process& p, arch::u32 port) {
+    (void)k;
+    (void)p;
+    (void)port;
+    return false;
+  }
 };
 
 // A passive-until-violated observer of the split-protocol invariants,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace sm::kernel {
 
@@ -344,6 +345,11 @@ void retain_fds(std::vector<FdEntry>& fds) {
   for (FdEntry& e : fds) {
     if (auto* pw = std::get_if<FdPipeWrite>(&e)) pw->pipe->add_writer();
     if (auto* pr = std::get_if<FdPipeRead>(&e)) pr->pipe->add_reader();
+    if (auto* sk = std::get_if<FdSock>(&e)) {
+      sk->rx->add_reader();
+      sk->tx->add_writer();
+    }
+    if (auto* l = std::get_if<FdListen>(&e)) ++l->sock->refs;
   }
 }
 }  // namespace
@@ -366,6 +372,37 @@ void Kernel::release_fd(FdEntry& e) {
       // consumed): pass the buffered bytes to the next sleeper.
       wake_one(pipe->read_waiters);
     }
+  } else if (auto* sk = std::get_if<FdSock>(&e)) {
+    // A connected socket is a reader on rx and a writer on tx; closing it
+    // ripples both directions exactly as the two pipe halves would.
+    const std::shared_ptr<Pipe> rx = sk->rx;
+    const std::shared_ptr<Pipe> tx = sk->tx;
+    tx->remove_writer();
+    if (tx->eof()) wake_all(tx->read_waiters);
+    rx->remove_reader();
+    if (rx->read_closed()) {
+      wake_all(rx->write_waiters);
+    } else if (rx->readable() > 0) {
+      wake_one(rx->read_waiters);
+    }
+  } else if (auto* l = std::get_if<FdListen>(&e)) {
+    const std::shared_ptr<ListenSock> sock = l->sock;
+    if (--sock->refs <= 0) {
+      // Last holder gone: the port closes. Queued-but-unaccepted
+      // connections are torn down as peer closes — the client side sees
+      // EOF on its rx and EPIPE on its tx, exactly like a peer that
+      // accepted and immediately closed.
+      for (auto& conn : sock->backlog) {
+        conn.s2c->remove_writer();
+        if (conn.s2c->eof()) wake_all(conn.s2c->read_waiters);
+        conn.c2s->remove_reader();
+        if (conn.c2s->read_closed()) wake_all(conn.c2s->write_waiters);
+      }
+      sock->backlog.clear();
+      // Parked accepters can never succeed now; on retry they see EBADF.
+      wake_all(sock->accept_waiters);
+      listen_ports_.erase(sock->port);
+    }
   }
   e = std::monostate{};
 }
@@ -378,6 +415,7 @@ void Kernel::release_all_fds(Process& p) {
 
 void Kernel::kill_process(Process& p, ExitKind kind, const std::string& reason) {
   log("[kill] pid " + std::to_string(p.pid) + " (" + p.name + "): " + reason);
+  cancel_timer(p);
   if (p.alive()) --live_procs_;
   p.state = ProcState::kZombie;
   p.exit_kind = kind;
@@ -405,6 +443,12 @@ bool Kernel::fd_readable(const Process& p, u32 fd) const {
   if (const auto* pr = std::get_if<FdPipeRead>(&e)) {
     return pr->pipe->readable() > 0 || pr->pipe->eof();
   }
+  if (const auto* l = std::get_if<FdListen>(&e)) {
+    return !l->sock->backlog.empty();
+  }
+  if (const auto* sk = std::get_if<FdSock>(&e)) {
+    return sk->rx->readable() > 0 || sk->rx->eof();
+  }
   return true;  // console/file/closed fds never block a read
 }
 
@@ -419,6 +463,9 @@ bool Kernel::wait_satisfied(const Process& p) const {
     if (const auto* pw = std::get_if<FdPipeWrite>(&e)) {
       return pw->pipe->writable() > 0 || pw->pipe->read_closed();
     }
+    if (const auto* sk = std::get_if<FdSock>(&e)) {
+      return sk->tx->writable() > 0 || sk->tx->read_closed();
+    }
     return true;
   }
   if (const auto* ws = std::get_if<WaitSelect2>(&p.waiting)) {
@@ -427,6 +474,10 @@ bool Kernel::wait_satisfied(const Process& p) const {
   if (const auto* wc = std::get_if<WaitChild>(&p.waiting)) {
     const Process* target = process(wc->pid);
     return target == nullptr || !target->alive();
+  }
+  if (std::holds_alternative<WaitSleep>(p.waiting)) {
+    // Only the deadline timer (or a kill) ends a sleep; no fd event does.
+    return false;
   }
   return true;
 }
@@ -439,6 +490,10 @@ void Kernel::register_waiter(Process& p) {
       channel_waiters_.insert(p.pid);
     } else if (auto* pr = std::get_if<FdPipeRead>(&e)) {
       pr->pipe->read_waiters.push_back(p.pid);
+    } else if (auto* l = std::get_if<FdListen>(&e)) {
+      l->sock->accept_waiters.push_back(p.pid);
+    } else if (auto* sk = std::get_if<FdSock>(&e)) {
+      sk->rx->read_waiters.push_back(p.pid);
     }
   };
   if (const auto* wr = std::get_if<WaitReadFd>(&p.waiting)) {
@@ -447,6 +502,8 @@ void Kernel::register_waiter(Process& p) {
     if (ww->fd < p.fds.size()) {
       if (auto* pw = std::get_if<FdPipeWrite>(&p.fds[ww->fd])) {
         pw->pipe->write_waiters.push_back(p.pid);
+      } else if (auto* sk = std::get_if<FdSock>(&p.fds[ww->fd])) {
+        sk->tx->write_waiters.push_back(p.pid);
       }
     }
   } else if (const auto* ws = std::get_if<WaitSelect2>(&p.waiting)) {
@@ -523,9 +580,73 @@ void Kernel::wake_channel_waiters() {
 }
 
 void Kernel::make_runnable(Process& p) {
+  cancel_timer(p);  // an event win disarms the deadline; timed_out stays
   p.state = ProcState::kRunnable;
   p.waiting = WaitNone{};
   if (!p.on_runqueue) home_core(p).runqueue.push_back(p);
+}
+
+// --------------------------------------------------------------------------
+// Deadline timers (virtual time)
+//
+// The wheel is a set ordered by (deadline, pid); Process::wait_deadline
+// mirrors membership (0 = not armed) so cancellation is O(log n) without a
+// search. The wheel is never serialized: restore rebuilds it from the
+// process table, so the snapshot stays a pure function of guest state.
+// --------------------------------------------------------------------------
+
+void Kernel::arm_timer(Process& p, u64 timeout) {
+  if (timeout == 0) return;
+  cancel_timer(p);
+  p.wait_deadline = stats_.cycles + timeout;
+  timers_.insert({p.wait_deadline, p.pid});
+}
+
+void Kernel::cancel_timer(Process& p) {
+  if (p.wait_deadline == 0) return;
+  timers_.erase({p.wait_deadline, p.pid});
+  p.wait_deadline = 0;
+}
+
+void Kernel::expire_timers() {
+  while (!timers_.empty() && timers_.begin()->first <= stats_.cycles) {
+    const Pid pid = timers_.begin()->second;
+    timers_.erase(timers_.begin());
+    Process* p = process(pid);
+    if (p == nullptr) continue;
+    p->wait_deadline = 0;
+    if (p->state != ProcState::kBlocked) continue;
+    ++stats_.timer_fires;
+    SM_TRACE(trace_ptr_, record(trace::EventKind::kTimerFire, 0, pid));
+    // Only a wait that re-runs its syscall can observe ERR_TIMEDOUT; an
+    // injected stall (retry_syscall false) just resumes at its pc.
+    if (p->retry_syscall) p->timed_out = true;
+    make_runnable(*p);
+  }
+}
+
+u64 Kernel::advance_idle_time(u64 to_cycles) {
+  // Host pacing hook: an embedder modelling external arrivals moves the
+  // clock forward while everything is parked. Never skips past an armed
+  // deadline — the earliest timer fires first, at its exact cycle.
+  if (!timers_.empty()) to_cycles = std::min(to_cycles, timers_.begin()->first);
+  if (to_cycles > stats_.cycles) {
+    ++stats_.idle_advances;
+    stats_.cycles = to_cycles;
+    expire_timers();
+  }
+  return stats_.cycles;
+}
+
+void Kernel::inject_stall(Process& p, u64 cycles) {
+  // Park a dispatched process as if it had slept: the stall-worker fault.
+  // retry_syscall stays false, so expiry resumes it at its current pc.
+  if (cycles == 0 || !p.alive()) return;
+  p.waiting = WaitSleep{};
+  p.state = ProcState::kBlocked;
+  arm_timer(p, cycles);
+  deschedule(p);
+  if (p.on_runqueue) cores_[p.rq_core]->runqueue.remove(p);
 }
 
 std::optional<Pid> Kernel::pick_next(Core& c) {
@@ -578,8 +699,11 @@ void Kernel::deschedule(Process& p) {
   }
 }
 
-Kernel::RunResult Kernel::run(u64 max_instructions) {
+Kernel::RunResult Kernel::run(u64 max_instructions, u64 cycle_stop) {
   u64 executed = 0;
+  const auto cycle_stopped = [&] {
+    return cycle_stop != 0 && stats_.cycles >= cycle_stop;
+  };
   // Deterministic SMP interleave: cores take fixed-size turns in core-id
   // order. A single core gets an unbounded quantum, making the inner loop
   // the historical single-core run loop, iteration for iteration.
@@ -596,8 +720,10 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
       }
     }
     bool idle = false;
-    while (executed < max_instructions && quantum_used_ < quantum) {
+    while (executed < max_instructions && quantum_used_ < quantum &&
+           !cycle_stopped()) {
       if (!core.current) {
+        expire_timers();
         wake_channel_waiters();
         const auto next = pick_next(core);
         if (!next) {
@@ -628,6 +754,13 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
 #if SM_INVARIANT_ENABLED
       if (fault_source_ != nullptr) [[unlikely]] {
         fault_source_->pre_step(*this, p);
+        // Stall-worker fault: park the process about to run as if it had
+        // slept, and let the scheduler route around it.
+        const u64 stall = fault_source_->stall_cycles(*this, p);
+        if (stall > 0) {
+          inject_stall(p, stall);
+          if (!core.current) continue;
+        }
       }
       if (step_observer_ != nullptr) [[unlikely]] {
         step_observer_->pre_step(*this, p);
@@ -648,16 +781,17 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
       std::optional<Trap> trap;
       if (use_blocks) {
         // A block may not run past the instruction budget, the timeslice
-        // boundary or the core's dispatch quantum: preemption timing is
-        // architectural state the figures depend on, so the budget clips
-        // blocks exactly where the per-instruction loop would have
-        // stopped stepping.
+        // boundary, the core's dispatch quantum or the caller's cycle
+        // bound: preemption timing is architectural state the figures
+        // depend on, so the budgets clip blocks exactly where the
+        // per-instruction loop would have stopped stepping.
         const u64 slice = cfg_.cost.timeslice_instructions;
         const u64 slice_room =
             slice > core.slice_used ? slice - core.slice_used : 1;
         const arch::Cpu::BlockStep bs = core.cpu.step_block(
             std::min({max_instructions - executed, slice_room,
-                      quantum - quantum_used_}));
+                      quantum - quantum_used_}),
+            cycle_stop);
         trap = bs.trap;
         executed += bs.attempts;
         quantum_used_ += bs.attempts;
@@ -699,6 +833,7 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
       // Timer preemption: round-robin if someone else is waiting for the
       // CPU.
       if (core.current && core.slice_used >= cfg_.cost.timeslice_instructions) {
+        expire_timers();
         wake_channel_waiters();
         // The queue holds only runnable processes: blocking happens while
         // current (never queued) and exit/kill remove the entry — so any
@@ -723,10 +858,26 @@ Kernel::RunResult Kernel::run(u64 max_instructions) {
         }
       }
       if (!any_work) {
-        return all_exited() ? RunResult::kAllExited : RunResult::kAllBlocked;
+        // Virtual idle: every process is blocked, but if a deadline is
+        // armed the machine is only waiting for time to pass — jump the
+        // clock to the earliest deadline and fire it. kAllBlocked now
+        // means "blocked with no timer able to change that".
+        if (!timers_.empty()) {
+          u64 to = timers_.begin()->first;
+          // A cycle bound clips the jump: the caller wants control at
+          // `cycle_stop` even if the earliest deadline is further out.
+          if (cycle_stop != 0 && to > cycle_stop) to = cycle_stop;
+          ++stats_.idle_advances;
+          stats_.cycles = std::max(stats_.cycles, to);
+          expire_timers();
+          if (cycle_stopped()) return RunResult::kBudgetExhausted;
+        } else {
+          return all_exited() ? RunResult::kAllExited : RunResult::kAllBlocked;
+        }
       }
     }
-    if (executed >= max_instructions && quantum_used_ < quantum && !idle) {
+    if ((executed >= max_instructions || cycle_stopped()) &&
+        quantum_used_ < quantum && !idle) {
       // Budget exhausted mid-turn: keep the quantum phase so a resumed run
       // (or a snapshot/restore) continues the interleave exactly where a
       // single uninterrupted run would be.
@@ -1081,12 +1232,22 @@ void Kernel::do_syscall(Process& p, bool retried) {
     p.syscall_trace.push_back(SyscallRecord{num, a1, a2, a3});
   }
 
-  auto block_on = [&](WaitReason reason) {
+  auto block_on = [&](WaitReason reason, u64 timeout = 0) {
     p.waiting = std::move(reason);
     p.retry_syscall = true;
     p.state = ProcState::kBlocked;
+    if (timeout != 0) arm_timer(p, timeout);  // re-blocking re-arms in full
     register_waiter(p);
     deschedule(p);
+  };
+  // A timed wait that expired re-runs its syscall with timed_out set; the
+  // retry consumes the flag exactly once. Data always wins over the
+  // timeout: if the wait condition is satisfiable by the time the retry
+  // runs, the syscall completes normally and the expiry is invisible.
+  auto timed_out_result = [&]() {
+    ++stats_.wait_timeouts;
+    SM_TRACE(trace_ptr_, record(trace::EventKind::kWaitTimeout, 0, num));
+    regs.r[0] = kErrTimedOut;
   };
 
   switch (num) {
@@ -1229,6 +1390,91 @@ void Kernel::do_syscall(Process& p, bool retried) {
       block_on(WaitSelect2{a1, a2});
       return;
     }
+    case kSysSleep: {
+      // sleep(cycles): park until the deadline. Returns 0.
+      if (std::exchange(p.timed_out, false)) {
+        regs.r[0] = 0;
+        return;
+      }
+      if (a1 == 0) {
+        regs.r[0] = 0;
+        return;
+      }
+      ++stats_.sleeps;
+      block_on(WaitSleep{}, a1);
+      return;
+    }
+    case kSysListen:
+      regs.r[0] = sys_listen(p, a1, a2);
+      return;
+    case kSysConnect:
+      regs.r[0] = sys_connect(p, a1);
+      return;
+    case kSysAccept: {
+      // accept(listen_fd, timeout) -> connected socket fd, ERR_TIMEDOUT
+      // when the deadline passes first, ERR_RESULT on a non-listen fd.
+      const bool expired = std::exchange(p.timed_out, false);
+      if (a1 >= p.fds.size() ||
+          !std::holds_alternative<FdListen>(p.fds[a1])) {
+        regs.r[0] = kErrResult;
+        return;
+      }
+      ListenSock& sock = *std::get<FdListen>(p.fds[a1]).sock;
+      if (!sock.backlog.empty()) {
+        ListenSock::PendingConn conn = sock.backlog.front();
+        sock.backlog.pop_front();
+        ++stats_.sock_accepts;
+        SM_TRACE(trace_ptr_,
+                 record(trace::EventKind::kSockAccept, sock.port,
+                        static_cast<u32>(sock.backlog.size())));
+        // Server side: reads what the client wrote (c2s), writes replies
+        // (s2c). The backlog's pipe-end references transfer to the fd.
+        regs.r[0] = p.alloc_fd(FdSock{conn.c2s, conn.s2c});
+        return;
+      }
+      if (expired) {
+        timed_out_result();
+        return;
+      }
+      block_on(WaitReadFd{a1}, a2);
+      return;
+    }
+    case kSysReadT: {
+      // read_t(fd, buf, len, timeout): SYS_READ plus a deadline. A
+      // separate number — the legacy form's unused argument registers
+      // carry live garbage in existing guests.
+      const bool expired = std::exchange(p.timed_out, false);
+      bool blocked = false;
+      const u32 n = sys_read(p, a1, a2, a3, blocked);
+      if (blocked) {
+        if (expired) {
+          timed_out_result();
+          return;
+        }
+        block_on(WaitReadFd{a1}, regs.r[4]);
+        return;
+      }
+      regs.r[0] = n;
+      return;
+    }
+    case kSysSelect2T: {
+      // select2_t(fd_a, fd_b, timeout): SYS_SELECT2 plus a deadline.
+      const bool expired = std::exchange(p.timed_out, false);
+      if (fd_readable(p, a1)) {
+        regs.r[0] = 0;
+        return;
+      }
+      if (fd_readable(p, a2)) {
+        regs.r[0] = 1;
+        return;
+      }
+      if (expired) {
+        timed_out_result();
+        return;
+      }
+      block_on(WaitSelect2{a1, a2}, a3);
+      return;
+    }
     default:
       log("[syscall] pid " + std::to_string(p.pid) + " bad syscall " +
           std::to_string(num));
@@ -1267,6 +1513,15 @@ u32 Kernel::sys_read(Process& p, u32 fd, u32 buf, u32 len, bool& blocked) {
     // the space just freed lets one sleeping writer make progress.
     if (pr->pipe->readable() > 0) wake_one(pr->pipe->read_waiters);
     wake_one(pr->pipe->write_waiters);
+  } else if (auto* sk = std::get_if<FdSock>(&p.fds[fd])) {
+    if (sk->rx->readable() == 0) {
+      if (sk->rx->eof()) return 0;
+      blocked = true;
+      return 0;
+    }
+    n = sk->rx->read(std::span<u8>(tmp.data(), len));
+    if (sk->rx->readable() > 0) wake_one(sk->rx->read_waiters);
+    wake_one(sk->rx->write_waiters);
   } else if (auto* f = std::get_if<FdFile>(&p.fds[fd])) {
     const auto& bytes = f->node->bytes;
     if (f->offset >= bytes.size()) return 0;
@@ -1310,6 +1565,17 @@ u32 Kernel::sys_write(Process& p, u32 fd, u32 buf, u32 len, bool& blocked) {
     if (pw->pipe->writable() > 0) wake_one(pw->pipe->write_waiters);
     return n;
   }
+  if (auto* sk = std::get_if<FdSock>(&p.fds[fd])) {
+    if (sk->tx->read_closed()) return kErrResult;  // EPIPE
+    const u32 n = sk->tx->write(tmp);
+    if (n == 0) {
+      blocked = true;
+      return 0;
+    }
+    wake_one(sk->tx->read_waiters);
+    if (sk->tx->writable() > 0) wake_one(sk->tx->write_waiters);
+    return n;
+  }
   if (std::holds_alternative<FdConsole>(p.fds[fd])) {
     p.console.append(reinterpret_cast<char*>(tmp.data()), len);
     return len;
@@ -1323,6 +1589,68 @@ u32 Kernel::sys_write(Process& p, u32 fd, u32 buf, u32 len, bool& blocked) {
     return len;
   }
   return kErrResult;
+}
+
+// --------------------------------------------------------------------------
+// Sockets
+//
+// A deliberately small model of the paper's network-facing server: one
+// namespace of ports, a bounded accept backlog per listener, and connect()
+// that REFUSES (never blocks) when the backlog is full — overload is
+// visible at the edge, where a real SYN queue would drop, instead of
+// accumulating invisibly inside the kernel.
+// --------------------------------------------------------------------------
+
+u32 Kernel::sys_listen(Process& p, u32 port, u32 backlog) {
+  if (listen_ports_.contains(port)) return kErrResult;  // port in use
+  auto sock = std::make_shared<ListenSock>();
+  sock->port = port;
+  sock->capacity = std::clamp<u32>(backlog, 1, 1024);
+  sock->refs = 1;
+  listen_ports_.emplace(port, sock);
+  return p.alloc_fd(FdListen{std::move(sock)});
+}
+
+u32 Kernel::sys_connect(Process& p, u32 port) {
+  const auto it = listen_ports_.find(port);
+  if (it == listen_ports_.end() || it->second->full()) {
+    ++stats_.sock_refused;
+    SM_TRACE(trace_ptr_,
+             record(trace::EventKind::kSockRefused, port,
+                    it == listen_ports_.end()
+                        ? 0
+                        : static_cast<u32>(it->second->backlog.size())));
+    return kErrRefused;
+  }
+#if SM_INVARIANT_ENABLED
+  if (fault_source_ != nullptr &&
+      fault_source_->drop_connection(*this, p, port)) [[unlikely]] {
+    // Injected in-flight drop: indistinguishable from a full backlog to
+    // the caller, so the same retry/backoff path must absorb it.
+    ++stats_.sock_refused;
+    SM_TRACE(trace_ptr_,
+             record(trace::EventKind::kSockRefused, port,
+                    static_cast<u32>(it->second->backlog.size()), 1));
+    return kErrRefused;
+  }
+#endif
+  ListenSock& sock = *it->second;
+  auto c2s = std::make_shared<Pipe>();
+  auto s2c = std::make_shared<Pipe>();
+  c2s->add_writer();  // client tx ............. released with the client fd
+  c2s->add_reader();  // server rx ....... held by the backlog until accept()
+  s2c->add_reader();  // client rx
+  s2c->add_writer();  // server tx
+  sock.backlog.push_back({c2s, s2c});
+  ++stats_.sock_connects;
+  stats_.sock_backlog_peak =
+      std::max<u64>(stats_.sock_backlog_peak, sock.backlog.size());
+  SM_TRACE(trace_ptr_,
+           record(trace::EventKind::kSockConnect, port,
+                  static_cast<u32>(sock.backlog.size())));
+  // The queued connection may satisfy a parked accept()/select2.
+  wake_one(sock.accept_waiters);
+  return p.alloc_fd(FdSock{s2c, c2s});
 }
 
 u32 Kernel::sys_open(Process& p, u32 path_ptr, u32 flags) {

@@ -193,7 +193,29 @@ class Kernel {
 
   // --- run loop -------------------------------------------------------------
   enum class RunResult { kAllExited, kAllBlocked, kBudgetExhausted };
-  RunResult run(arch::u64 max_instructions = UINT64_MAX);
+  // Runs until everyone exits, everyone blocks with no armed timer, the
+  // instruction budget runs out, or — when `cycle_stop` is nonzero — the
+  // simulated clock reaches it (reported as kBudgetExhausted; virtual
+  // idle advances clamp to the bound). The cycle bound is how open-loop
+  // drivers interleave host work at exact simulated times.
+  RunResult run(arch::u64 max_instructions = UINT64_MAX,
+                arch::u64 cycle_stop = 0);
+
+  // --- virtual-time timers (DESIGN.md §17) ----------------------------------
+  // The deadline wheel: {absolute deadline, pid}, ordered — ties broken by
+  // pid, so expiry order is deterministic. run() itself advances the clock
+  // to the earliest deadline when every process is blocked but a timer is
+  // armed (virtual idle), so kAllBlocked means "blocked with no timers".
+  const std::set<std::pair<arch::u64, Pid>>& timers() const { return timers_; }
+  // Host-side pacing hook for open-loop workloads: when run() returned
+  // kAllBlocked and the next external event (e.g. a request arrival) is
+  // due at `to_cycles`, jump the clock there so the guest observes the
+  // arrival at its scheduled virtual time. Clamped to never move the clock
+  // backwards; returns the new now().
+  arch::u64 advance_idle_time(arch::u64 to_cycles);
+  // Fault-injection service (stall-worker): park p as if it had slept for
+  // `cycles`. Must not be called with a single-step window open.
+  void inject_stall(Process& p, arch::u64 cycles);
 
   // --- checkpoint/restore (src/snapshot, DESIGN.md §15) ---------------------
   // Serializes the complete simulated machine. Attached fault-injector /
@@ -293,6 +315,16 @@ class Kernel {
   bool wait_satisfied(const Process& p) const;
   bool fd_readable(const Process& p, u32 fd) const;
 
+  // --- timer wheel internals ------------------------------------------------
+  // Arms {now + timeout, pid} for the wait p is about to block on (no-op
+  // when timeout is 0 = block forever). Exactly one entry per process.
+  void arm_timer(Process& p, arch::u64 timeout);
+  void cancel_timer(Process& p);
+  // Pops every entry with deadline <= now, marks the owner timed out and
+  // wakes it. Called at the same scheduling decisions that sweep channel
+  // waiters, and from the run loop's virtual-idle advance.
+  void expire_timers();
+
   // --- event-driven wakeups -------------------------------------------------
   // Blocking enqueues the process on the wait queue(s) of what it sleeps
   // on; the satisfying event wakes exactly those sleepers. Entries are
@@ -331,6 +363,8 @@ class Kernel {
   u32 sys_dlopen(Process& p, u32 path_ptr);
   u32 sys_mprotect(Process& p, u32 addr, u32 len, u32 prot);
   u32 sys_spawn_shell(Process& p);
+  u32 sys_listen(Process& p, u32 port, u32 backlog);
+  u32 sys_connect(Process& p, u32 port);
 
   void load_into(Process& p, const image::Image& img);
   bool image_allowed(const image::Image& img) const;
@@ -362,6 +396,15 @@ class Kernel {
   // entry. An ordered set: wake order must be pid order, and re-blocking
   // must not duplicate the entry.
   std::set<Pid> channel_waiters_;
+  // The deadline wheel (see timers()). Mirrors Process::wait_deadline:
+  // the wheel holds exactly {p.wait_deadline, p.pid} for every process
+  // with a nonzero deadline, so restore rebuilds it from the process
+  // table instead of serializing it.
+  std::set<std::pair<arch::u64, Pid>> timers_;
+  // Listening sockets by port, in port order (deterministic snapshot
+  // discovery). An entry lives exactly as long as fd-table references to
+  // its ListenSock exist (ListenSock::refs).
+  std::map<u32, std::shared_ptr<ListenSock>> listen_ports_;
   Pid next_pid_ = 1;
   u32 rng_state_;
   std::vector<std::string> klog_;

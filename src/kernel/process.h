@@ -43,8 +43,11 @@ struct WaitSelect2 {
   u32 fd_a;
   u32 fd_b;
 };
-using WaitReason =
-    std::variant<WaitNone, WaitReadFd, WaitWriteFd, WaitChild, WaitSelect2>;
+// sleep(cycles) or an injected stall: nothing satisfies this wait except
+// the timer wheel firing the process' armed deadline.
+struct WaitSleep {};
+using WaitReason = std::variant<WaitNone, WaitReadFd, WaitWriteFd, WaitChild,
+                                WaitSelect2, WaitSleep>;
 
 // File descriptor table entry.
 struct FdChannel {
@@ -62,9 +65,19 @@ struct FdFile {
   u32 offset = 0;
   bool writable = false;
 };
+// A listening socket (SYS_LISTEN): holds the port's bounded accept queue.
+struct FdListen {
+  std::shared_ptr<ListenSock> sock;
+};
+// A connected socket end (SYS_CONNECT / SYS_ACCEPT): one pipe per
+// direction, this holder being the reader of rx and the writer of tx.
+struct FdSock {
+  std::shared_ptr<Pipe> rx;
+  std::shared_ptr<Pipe> tx;
+};
 using FdEntry =
     std::variant<std::monostate, FdChannel, FdConsole, FdPipeRead, FdPipeWrite,
-                 FdFile>;
+                 FdFile, FdListen, FdSock>;
 
 // How a process died (for attack-result reporting).
 enum class ExitKind { kRunning, kExited, kKilledSigsegv, kKilledSigill };
@@ -117,6 +130,16 @@ struct Process {
   WaitReason waiting = WaitNone{};
   // Blocked syscall to re-run on wake (regs still hold its arguments).
   bool retry_syscall = false;
+
+  // Virtual-time deadline armed for the current blocked wait (absolute
+  // cycles; 0 = none). Mirrored by the kernel's timer wheel — the wheel
+  // entry is exactly {wait_deadline, pid} while this is nonzero, so
+  // restore rebuilds the wheel from the process table.
+  arch::u64 wait_deadline = 0;
+  // Set by the timer wheel when the deadline fired before the wait was
+  // satisfied; the retried syscall consumes it and returns ERR_TIMEDOUT
+  // (or 0 for SYS_SLEEP) if it still cannot make progress.
+  bool timed_out = false;
 
   // Pids blocked in waitpid() on THIS process; its exit wakes exactly these
   // (the per-parent child-exit wait list — no table scan).

@@ -30,6 +30,14 @@ std::string guest_syscall_equs() {
   equ("SYS_REGISTER_RECOVERY", kSysRegisterRecovery);
   equ("SYS_RAND", kSysRand);
   equ("SYS_SELECT2", kSysSelect2);
+  equ("SYS_SLEEP", kSysSleep);
+  equ("SYS_LISTEN", kSysListen);
+  equ("SYS_CONNECT", kSysConnect);
+  equ("SYS_ACCEPT", kSysAccept);
+  equ("SYS_READ_T", kSysReadT);
+  equ("SYS_SELECT2_T", kSysSelect2T);
+  equ("ERR_TIMEDOUT", kErrTimedOut);
+  equ("ERR_REFUSED", kErrRefused);
   equ("O_READ", kOpenRead);
   equ("O_WRITE", kOpenWrite);
   equ("PROT_R", kProtR);

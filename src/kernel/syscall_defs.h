@@ -38,6 +38,23 @@ enum Syscall : u32 {
                      // (or at EOF); blocks until one is. The event-driven
                      // server master multiplexes its listening channel and
                      // the workers' response pipe with this.
+  kSysSleep = 21,    // sleep(cycles) -> 0: block until the virtual-time
+                     // deadline now+cycles (deterministic timer wheel)
+  kSysListen = 22,   // listen(port, backlog) -> listen fd; bounded accept
+                     // queue, further connects refused while it is full
+  kSysConnect = 23,  // connect(port) -> socket fd, or ERR_REFUSED when no
+                     // listener is bound or its backlog is full (never
+                     // blocks — the SYN-queue-overflow RST model)
+  kSysAccept = 24,   // accept(lfd, timeout) -> socket fd; blocks until a
+                     // connection is queued, ERR_TIMEDOUT after `timeout`
+                     // cycles (0 = block forever)
+  // Timeout-carrying forms of the two legacy blocking waits. Separate
+  // numbers, not extra arguments on SYS_READ/SYS_SELECT2: the legacy
+  // forms' unused argument registers carry live garbage in existing guest
+  // programs, so retrofitting a timeout register would silently arm
+  // timers all over the corpus.
+  kSysReadT = 25,     // read_t(fd, buf, len, timeout) -> n | ERR_TIMEDOUT
+  kSysSelect2T = 26,  // select2_t(fd_a, fd_b, timeout) -> 0|1|ERR_TIMEDOUT
 };
 
 // open() flags.
@@ -50,6 +67,11 @@ inline constexpr u32 kProtW = 2;
 inline constexpr u32 kProtX = 4;
 
 inline constexpr u32 kErrResult = 0xFFFFFFFFu;
+// A blocking wait's timeout expired before the wait was satisfied (-2).
+inline constexpr u32 kErrTimedOut = 0xFFFFFFFEu;
+// connect() found no listener, or the listener's accept backlog was full
+// (-3). Never delivered asynchronously: refusal is the immediate result.
+inline constexpr u32 kErrRefused = 0xFFFFFFFDu;
 
 // Fixed fd numbers at process start.
 inline constexpr u32 kFdNet = 0;      // simulated socket (when attached)

@@ -6,11 +6,13 @@ namespace sm::metrics {
 
 namespace {
 
-// Octaves [2^6, 2^7) .. [2^63, 2^64) after the linear region.
+// Octaves [2^6, 2^7) .. [2^31, 2^32) after the linear region, then one
+// pinned overflow bucket for everything >= kMaxTracked.
 constexpr std::uint32_t kFirstOctave = 6;  // log2(kLinear)
-constexpr std::uint32_t kOctaves = 64 - kFirstOctave;
+constexpr std::uint32_t kOctaves = 32 - kFirstOctave;
 constexpr std::uint32_t kBuckets =
-    LatencyHistogram::kLinear + kOctaves * LatencyHistogram::kSubBuckets;
+    LatencyHistogram::kLinear + kOctaves * LatencyHistogram::kSubBuckets + 1;
+constexpr std::uint32_t kOverflowBucket = kBuckets - 1;
 
 }  // namespace
 
@@ -18,6 +20,7 @@ LatencyHistogram::LatencyHistogram() : counts_(kBuckets, 0) {}
 
 std::uint32_t LatencyHistogram::bucket_of(std::uint64_t value) {
   if (value < kLinear) return static_cast<std::uint32_t>(value);
+  if (value >= kMaxTracked) return kOverflowBucket;  // saturate, pinned
   const std::uint32_t k = static_cast<std::uint32_t>(std::bit_width(value)) - 1;
   const std::uint32_t sub = static_cast<std::uint32_t>(
       (value - (std::uint64_t{1} << k)) >> (k - 5));
@@ -26,10 +29,10 @@ std::uint32_t LatencyHistogram::bucket_of(std::uint64_t value) {
 
 std::uint64_t LatencyHistogram::bucket_upper(std::uint32_t index) {
   if (index < kLinear) return index;
+  if (index >= kOverflowBucket) return ~std::uint64_t{0};
   const std::uint32_t g = index - kLinear;
   const std::uint32_t k = kFirstOctave + g / kSubBuckets;
   const std::uint64_t sub = g % kSubBuckets;
-  // For the top bucket this wraps to exactly 2^64-1, which is the intent.
   return (std::uint64_t{1} << k) + ((sub + 1) << (k - 5)) - 1;
 }
 
@@ -52,7 +55,9 @@ std::uint64_t LatencyHistogram::quantile(double q) const {
   std::uint64_t seen = 0;
   for (std::uint32_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
-    if (seen >= rank) return bucket_upper(i);
+    // The overflow bucket has no meaningful upper bound; the true
+    // recorded maximum is the tightest honest answer there.
+    if (seen >= rank) return i == kOverflowBucket ? max_ : bucket_upper(i);
   }
   return max_;
 }

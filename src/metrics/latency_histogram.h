@@ -7,8 +7,10 @@
 // arithmetic — HDR-style log-linear buckets: values below 64 are exact
 // (one bucket each), and every power-of-two range above that is divided
 // into 32 equal sub-buckets, bounding the relative quantile error at
-// 1/32 (~3%) while keeping the whole table under 2k buckets for the full
-// 64-bit range.
+// 1/32 (~3%). The tracked range is [0, 2^32): anything past that — e.g.
+// pathological overload latencies — saturates into one pinned overflow
+// bucket instead of relying on in-range inputs, and max_recorded() still
+// reports the true maximum.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +24,8 @@ class LatencyHistogram {
   // split into kSubBuckets equal slices.
   static constexpr std::uint32_t kLinear = 64;
   static constexpr std::uint32_t kSubBuckets = 32;
+  // First value that saturates into the pinned overflow bucket.
+  static constexpr std::uint64_t kMaxTracked = std::uint64_t{1} << 32;
 
   LatencyHistogram();
 
@@ -31,6 +35,13 @@ class LatencyHistogram {
   std::uint64_t sum() const { return sum_; }
   std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
   std::uint64_t max() const { return max_; }
+  // The true maximum ever recorded — meaningful even when samples
+  // saturated past kMaxTracked into the overflow bucket.
+  std::uint64_t max_recorded() const { return max_; }
+  // Samples that landed in the pinned overflow bucket (>= kMaxTracked).
+  std::uint64_t overflow() const { return counts_.back(); }
+  // Raw bucket counts (drift guards compare these for exact equality).
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
   double mean() const {
     return count_ == 0 ? 0 : static_cast<double>(sum_) / count_;
   }

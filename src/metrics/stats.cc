@@ -29,6 +29,13 @@ std::ostream& operator<<(std::ostream& os, const Stats& s) {
        << s.invariant_recoveries << "/" << s.invariant_degradations
        << " oom_deg=" << s.split_oom_degradations;
   }
+  if (s.timer_fires || s.wait_timeouts || s.sleeps || s.idle_advances ||
+      s.sock_connects || s.sock_refused || s.sock_accepts) {
+    os << " timers(fire/timeout/sleep/idle)=" << s.timer_fires << "/"
+       << s.wait_timeouts << "/" << s.sleeps << "/" << s.idle_advances
+       << " sock(conn/ref/acc)=" << s.sock_connects << "/" << s.sock_refused
+       << "/" << s.sock_accepts << " backlog_peak=" << s.sock_backlog_peak;
+  }
   if (s.ipi_sends || s.ipi_acks || s.tlb_shootdowns || s.work_steals) {
     os << " ipi(send/ack)=" << s.ipi_sends << "/" << s.ipi_acks
        << " shootdowns=" << s.tlb_shootdowns << " steals=" << s.work_steals;

@@ -70,6 +70,18 @@ struct Stats {
   std::uint64_t invariant_degradations = 0;  // page locked unsplit
   std::uint64_t split_oom_degradations = 0;  // code frame alloc failed
 
+  // Overload machinery: virtual-time timers and the simulated socket
+  // layer (deadline wheel, SYS_SLEEP, accept queues — DESIGN.md §17).
+  // All zero in any run that arms no timer and opens no socket.
+  std::uint64_t timer_fires = 0;      // wheel deadlines reached
+  std::uint64_t wait_timeouts = 0;    // blocked waits returning ERR_TIMEDOUT
+  std::uint64_t sleeps = 0;           // SYS_SLEEP calls that parked
+  std::uint64_t idle_advances = 0;    // all-blocked jumps to the next deadline
+  std::uint64_t sock_connects = 0;    // connections queued on a backlog
+  std::uint64_t sock_refused = 0;     // connects shed (no listener/queue full)
+  std::uint64_t sock_accepts = 0;     // connections popped by accept()
+  std::uint64_t sock_backlog_peak = 0;  // deepest accept queue ever observed
+
   // SMP: IPI-based TLB shootdown traffic and cross-core scheduling. All
   // zero at cores=1 (no remote cores to interrupt or steal from).
   std::uint64_t ipi_sends = 0;       // shootdown IPIs delivered to targets

@@ -156,6 +156,7 @@ struct Access::Tables {
   std::vector<std::shared_ptr<kernel::Channel>> channels;
   std::vector<std::shared_ptr<kernel::Pipe>> pipes;
   std::vector<std::shared_ptr<kernel::FileNode>> files;
+  std::vector<std::shared_ptr<kernel::ListenSock>> socks;
   std::map<const void*, u32> ids;  // write side: object -> table index
 
   u32 id_of(const void* p) const { return ids.at(p); }
@@ -181,9 +182,22 @@ Access::Tables Access::collect(kernel::Kernel& k) {
       t.pipes.push_back(p);
     }
   };
+  const auto add_sock = [&](const std::shared_ptr<kernel::ListenSock>& s) {
+    if (s && !t.ids.contains(s.get())) {
+      t.ids[s.get()] = static_cast<u32>(t.socks.size());
+      t.socks.push_back(s);
+      // Queued-but-unaccepted connections hold pipe ends reachable only
+      // through the backlog (the client may already have closed its fd).
+      for (const kernel::ListenSock::PendingConn& conn : s->backlog) {
+        add_pipe(conn.c2s);
+        add_pipe(conn.s2c);
+      }
+    }
+  };
   // Deterministic discovery order: filesystem nodes in path order, then
   // every process in pid order, its fds in slot order (picks up channels,
-  // pipes, and unlinked-but-open file nodes).
+  // pipes, listen sockets with their backlogs, and unlinked-but-open file
+  // nodes).
   for (const auto& [path, node] : k.fs_.nodes_) add_file(node);
   for (const auto& up : k.procs_) {
     for (const kernel::FdEntry& e : up->fds) {
@@ -193,6 +207,11 @@ Access::Tables Access::collect(kernel::Kernel& k) {
         add_pipe(pr->pipe);
       } else if (const auto* pw = std::get_if<kernel::FdPipeWrite>(&e)) {
         add_pipe(pw->pipe);
+      } else if (const auto* sk = std::get_if<kernel::FdSock>(&e)) {
+        add_pipe(sk->rx);
+        add_pipe(sk->tx);
+      } else if (const auto* l = std::get_if<kernel::FdListen>(&e)) {
+        add_sock(l->sock);
       } else if (const auto* f = std::get_if<kernel::FdFile>(&e)) {
         add_file(f->node);
       }
@@ -392,6 +411,14 @@ void Access::stats(Ar& ar, metrics::Stats& s) {
   ar.value("invariant_recoveries", s.invariant_recoveries);
   ar.value("invariant_degradations", s.invariant_degradations);
   ar.value("split_oom_degradations", s.split_oom_degradations);
+  ar.value("timer_fires", s.timer_fires);
+  ar.value("wait_timeouts", s.wait_timeouts);
+  ar.value("sleeps", s.sleeps);
+  ar.value("idle_advances", s.idle_advances);
+  ar.value("sock_connects", s.sock_connects);
+  ar.value("sock_refused", s.sock_refused);
+  ar.value("sock_accepts", s.sock_accepts);
+  ar.value("sock_backlog_peak", s.sock_backlog_peak);
   ar.end();
 }
 
@@ -455,6 +482,47 @@ void Access::objects(Ar& ar, Tables& t) {
     }
     ar.begin("file");
     ar.value("data", t.files[i]->bytes);
+    ar.end();
+  }
+  u32 nsock = static_cast<u32>(t.socks.size());
+  ar.value("socks", nsock);
+  if constexpr (Ar::reading) {
+    t.socks.clear();
+    t.socks.reserve(nsock);
+  }
+  for (u32 i = 0; i < nsock; ++i) {
+    if constexpr (Ar::reading) {
+      t.socks.push_back(std::make_shared<kernel::ListenSock>());
+    }
+    kernel::ListenSock& s = *t.socks[i];
+    ar.begin("sock");
+    ar.value("port", s.port);
+    ar.value("capacity", s.capacity);
+    u32 refs = static_cast<u32>(s.refs);
+    ar.value("refs", refs);
+    if constexpr (Ar::reading) s.refs = static_cast<int>(refs);
+    // The backlog in queue (FIFO) order: each pending connection is a
+    // pair of shared pipes referenced by table id.
+    u32 nconn = static_cast<u32>(s.backlog.size());
+    ar.value("backlog", nconn);
+    ar.check(nconn <= s.capacity, "backlog over capacity");
+    for (u32 j = 0; j < nconn; ++j) {
+      ar.begin("conn");
+      u32 c2s = 0, s2c = 0;
+      if constexpr (!Ar::reading) {
+        c2s = t.id_of(s.backlog[j].c2s.get());
+        s2c = t.id_of(s.backlog[j].s2c.get());
+      }
+      ar.value("c2s", c2s);
+      ar.value("s2c", s2c);
+      if constexpr (Ar::reading) {
+        ar.check(c2s < t.pipes.size() && s2c < t.pipes.size(),
+                 "backlog references unknown pipe");
+        s.backlog.push_back({t.pipes[c2s], t.pipes[s2c]});
+      }
+      ar.end();
+    }
+    u32_seq(ar, "accept_waiters", s.accept_waiters);
     ar.end();
   }
   ar.end();
@@ -633,7 +701,7 @@ void Access::procs(Ar& ar, kernel::Kernel& k, Tables& t) {
       ar.begin("fd");
       u8 tag = static_cast<u8>(p.fds[j].index());
       ar.value("tag", tag);
-      ar.check(tag < 6, "fd tag out of range");
+      ar.check(tag < 8, "fd tag out of range");
       switch (tag) {
         case 0:
           if constexpr (Ar::reading) p.fds[j] = std::monostate{};
@@ -686,13 +754,39 @@ void Access::procs(Ar& ar, kernel::Kernel& k, Tables& t) {
           }
           break;
         }
+        case 6: {
+          u32 id = Ar::reading
+                       ? 0
+                       : t.id_of(std::get<kernel::FdListen>(p.fds[j]).sock.get());
+          ar.value("sock", id);
+          if constexpr (Ar::reading) {
+            ar.check(id < t.socks.size(), "fd references unknown listen sock");
+            p.fds[j] = kernel::FdListen{t.socks[id]};
+          }
+          break;
+        }
+        case 7: {
+          u32 rx = 0, tx = 0;
+          if constexpr (!Ar::reading) {
+            rx = t.id_of(std::get<kernel::FdSock>(p.fds[j]).rx.get());
+            tx = t.id_of(std::get<kernel::FdSock>(p.fds[j]).tx.get());
+          }
+          ar.value("rx", rx);
+          ar.value("tx", tx);
+          if constexpr (Ar::reading) {
+            ar.check(rx < t.pipes.size() && tx < t.pipes.size(),
+                     "fd references unknown pipe");
+            p.fds[j] = kernel::FdSock{t.pipes[rx], t.pipes[tx]};
+          }
+          break;
+        }
       }
       ar.end();
     }
 
     u8 wtag = static_cast<u8>(p.waiting.index());
     ar.value("wait", wtag);
-    ar.check(wtag < 5, "wait tag out of range");
+    ar.check(wtag < 6, "wait tag out of range");
     switch (wtag) {
       case 0:
         if constexpr (Ar::reading) p.waiting = kernel::WaitNone{};
@@ -730,8 +824,16 @@ void Access::procs(Ar& ar, kernel::Kernel& k, Tables& t) {
         if constexpr (Ar::reading) p.waiting = w;
         break;
       }
+      case 5:
+        if constexpr (Ar::reading) p.waiting = kernel::WaitSleep{};
+        break;
     }
     ar.value("retry_syscall", p.retry_syscall);
+    // The timer wheel itself is never serialized: wait_deadline is the
+    // authoritative per-process record, and restore rebuilds the wheel
+    // from it (machine(), after procs are in place).
+    ar.value("wait_deadline", p.wait_deadline);
+    ar.value("timed_out", p.timed_out);
     u32_seq(ar, "exit_waiters", p.exit_waiters);
 
     bool has_pending = p.pending_split_vaddr.has_value();
@@ -1186,6 +1288,8 @@ void Access::injector(Ar& ar, kernel::Kernel& k, inject::FaultInjector* inj) {
     armed("armed_tf_clear", inj->armed_tf_clear_);
     armed("armed_drop_ipi", inj->armed_drop_ipi_);
     armed("armed_ack_no_flush", inj->armed_ack_no_flush_);
+    armed("armed_stall", inj->armed_stall_);
+    armed("armed_drop_conn", inj->armed_drop_conn_);
   }
   ar.end();
 }
@@ -1270,6 +1374,8 @@ void Access::machine(Ar& ar, kernel::Kernel& k, inject::FaultInjector* inj,
     k.quantum_used_ = 0;
     k.pending_shootdowns_.clear();
     k.channel_waiters_.clear();
+    k.timers_.clear();
+    k.listen_ports_.clear();
     k.images_.clear();
     k.fs_ = kernel::FileSystem{};
     k.klog_.clear();
@@ -1297,6 +1403,21 @@ void Access::machine(Ar& ar, kernel::Kernel& k, inject::FaultInjector* inj,
   fs(ar, k, t);
   images(ar, k);
   procs(ar, k, t);
+  if constexpr (Ar::reading) {
+    // Rebuild the derived kernel indexes the snapshot deliberately omits:
+    // the port registry (every live ListenSock is held by >=1 fd, so the
+    // object table is complete) and the timer wheel (wait_deadline is the
+    // per-process authority).
+    for (const auto& s : t.socks) {
+      ar.check(k.listen_ports_.emplace(s->port, s).second,
+               "duplicate listen port");
+    }
+    for (const auto& up : k.procs_) {
+      if (up->wait_deadline != 0) {
+        k.timers_.insert({up->wait_deadline, up->pid});
+      }
+    }
+  }
   sched(ar, k);
   logs(ar, k);
   trace_state(ar, k);
@@ -1366,6 +1487,23 @@ void Access::validate_consistency(kernel::Kernel& k) {
           ", recorded " + std::to_string(pm.refcounts_[p]) + ")");
     }
   }
+  // Listen-socket refcounts must equal the FdListen slots that reference
+  // them — the count release_fd will decrement on teardown.
+  std::map<const kernel::ListenSock*, int> listen_refs;
+  for (const auto& up : k.procs_) {
+    for (const kernel::FdEntry& e : up->fds) {
+      if (const auto* l = std::get_if<kernel::FdListen>(&e)) {
+        ++listen_refs[l->sock.get()];
+      }
+    }
+  }
+  for (const auto& [port, sock] : k.listen_ports_) {
+    if (sock->refs != listen_refs[sock.get()]) {
+      throw SnapshotError("listen-sock refcount inconsistent with fd table "
+                          "(port " +
+                          std::to_string(port) + ")");
+    }
+  }
 }
 
 void Access::neutralize(kernel::Kernel& k) {
@@ -1386,6 +1524,8 @@ void Access::neutralize(kernel::Kernel& k) {
   k.quantum_used_ = 0;
   k.pending_shootdowns_.clear();
   k.channel_waiters_.clear();
+  k.timers_.clear();
+  k.listen_ports_.clear();
   k.live_procs_ = 0;
 }
 

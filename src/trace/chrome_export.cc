@@ -43,6 +43,13 @@ const char* kind_cat(EventKind k) {
     case EventKind::kIpiAck:
     case EventKind::kTlbShootdown:
       return "smp";
+    case EventKind::kTimerFire:
+    case EventKind::kWaitTimeout:
+      return "timer";
+    case EventKind::kSockConnect:
+    case EventKind::kSockRefused:
+    case EventKind::kSockAccept:
+      return "sock";
     case EventKind::kCount:
       break;
   }

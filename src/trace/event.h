@@ -80,6 +80,21 @@ enum class EventKind : u8 {
   // SMP shootdown round completed (>= 1 target). vaddr = page va,
   // info = bitmask of targeted core ids.
   kTlbShootdown,
+  // Timer wheel fired a deadline. info = woken pid, vaddr = 0.
+  kTimerFire,
+  // A blocked wait's retry consumed its expired deadline and returned
+  // ERR_TIMEDOUT (timeout-handling attribution). info = syscall number.
+  kWaitTimeout,
+  // connect() queued a connection. vaddr = port, info = backlog depth
+  // after the push.
+  kSockConnect,
+  // connect() was refused. vaddr = port, info = backlog depth (== capacity
+  // when the queue overflowed; 0 when no listener was bound), arg = 1 when
+  // the refusal was an injected drop-connection fault.
+  kSockRefused,
+  // accept() popped a connection. vaddr = port, info = backlog depth
+  // after the pop.
+  kSockAccept,
   kCount,
 };
 

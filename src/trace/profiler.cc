@@ -60,6 +60,16 @@ const char* kind_name(EventKind k) {
       return "ipi-ack";
     case EventKind::kTlbShootdown:
       return "tlb-shootdown";
+    case EventKind::kTimerFire:
+      return "timer-fire";
+    case EventKind::kWaitTimeout:
+      return "wait-timeout";
+    case EventKind::kSockConnect:
+      return "sock-connect";
+    case EventKind::kSockRefused:
+      return "sock-refused";
+    case EventKind::kSockAccept:
+      return "sock-accept";
     case EventKind::kCount:
       break;
   }

@@ -1,0 +1,509 @@
+// Overload server workload: an OPEN-LOOP arrival stream against a
+// shedding master + worker pool, for the graceful-degradation study.
+//
+// Topology (fd numbers as the guest sees them):
+//
+//   host --channel(fd 0)--> master --request pipe (wr fd 3)--> workers (rd fd 2)
+//   host <--channel(fd 0)-- master <--connect(PORT)/accept(lfd 4)-- workers
+//
+// Unlike run_server_load's closed loop, the host does NOT wait for
+// completions: arrivals are scheduled up front from seeded exponential
+// inter-arrival times at the configured offered rate and delivered the
+// moment simulated time passes each one. Past saturation the master must
+// shed — it drops arrivals that are already `deadline` cycles old and
+// arrivals beyond the `qdepth` in-flight cap — and every blocking wait in
+// its event loop carries a deadline timer, so a stalled or killed worker
+// costs goodput instead of wedging the loop (three consecutive timeouts
+// with work outstanding expire one lease).
+//
+// Responses come back over the simulated socket layer: each worker opens
+// a fresh connect() to the master's listening port for every response.
+// The accept backlog is deliberately small, so under overload workers see
+// ERR_REFUSED and retry with exponential backoff plus seeded jitter,
+// giving up after `max_attempts`. Every outcome is reported to the host
+// as an 8-byte {tag, value} channel record; channel writes are atomic so
+// records never interleave.
+//
+// Everything — the arrival schedule included — is computed from plain
+// IEEE arithmetic and splitmix64 draws, so a run is a pure function of
+// (Protection, OverloadConfig): byte-identical across hosts, --jobs, and
+// repeat runs.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "workloads/internal.h"
+#include "workloads/workload.h"
+
+namespace sm::workloads {
+
+namespace {
+
+// .equ WORKERS/WORKBASE/QDEPTH/BACKLOG/DEADLINE/RTIMEO/STIMEO/MAXA/BBASE/
+// JMASK/PORT are prepended per config.
+const char* kOverloadBody = R"(
+_start:
+  movi r0, SYS_PIPE        ; request pipe: rd=2, wr=3
+  movi r1, reqfds
+  syscall
+  movi r5, WORKERS
+m_spawn:
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz worker
+  addi r5, -1
+  cmpi r5, 0
+  jnz m_spawn
+  movi r0, SYS_LISTEN      ; after the forks: workers must not inherit
+  movi r1, PORT            ; the listening port
+  movi r2, BACKLOG
+  syscall                  ; lfd = 4
+  movi r5, 0               ; r5 = admitted requests in flight
+  movi r6, 0               ; r6 = consecutive event-loop timeouts
+m_loop:
+  movi r0, SYS_SELECT2_T   ; responses (listen fd) before arrivals, so
+  movi r1, 4               ; the queue drains before it grows
+  movi r2, 0
+  movi r3, STIMEO
+  syscall
+  cmpi r0, 0
+  jz m_resp
+  cmpi r0, 1
+  jz m_arrival
+  ; Timed out. With work outstanding, three strikes in a row mean a
+  ; response was lost (stalled or dropped worker): expire one lease so
+  ; the admission credit comes back and the loop cannot wedge.
+  cmpi r5, 0
+  jz m_loop
+  addi r6, 1
+  cmpi r6, 3
+  jb m_loop
+  mov r1, r5
+  movi r0, 5               ; {5, in flight}: lease expired
+  call report
+  addi r5, -1
+  movi r6, 0
+  jmp m_loop
+m_resp:
+  movi r6, 0
+  call handle_resp
+  jmp m_loop
+m_arrival:
+  movi r6, 0
+  movi r0, SYS_READ        ; one whole 8-byte arrival {id, stamp}
+  movi r1, 0
+  movi r2, abuf
+  movi r3, 8
+  syscall
+  cmpi r0, 0
+  jz m_drain               ; EOF: the arrival stream is done
+  movi r0, SYS_TIME        ; shed arrivals that are already stale
+  syscall
+  movi r4, abuf
+  load r1, [r4+4]
+  sub r0, r1               ; age = now - scheduled arrival (u32 wrap)
+  cmpi r0, DEADLINE
+  jae m_shed_deadline
+  cmpi r5, QDEPTH          ; shed when the in-flight queue is full
+  jae m_shed_queue
+  movi r0, SYS_WRITE       ; admit: forward {id, stamp} to the pool
+  movi r1, 3
+  movi r2, abuf
+  movi r3, 8
+  syscall
+  addi r5, 1
+  jmp m_loop
+m_shed_deadline:
+  movi r4, abuf
+  load r1, [r4]
+  movi r0, 2               ; {2, id}: past deadline at admission
+  call report
+  jmp m_loop
+m_shed_queue:
+  movi r4, abuf
+  load r1, [r4]
+  movi r0, 1               ; {1, id}: in-flight cap hit
+  call report
+  jmp m_loop
+m_drain:
+  cmpi r5, 0
+  jz m_shutdown
+  call handle_resp
+  cmpi r0, ERR_TIMEDOUT
+  jnz m_dr_got
+  addi r6, 1
+  cmpi r6, 3
+  jb m_drain
+  mov r1, r5
+  movi r0, 5               ; {5, in flight}: lease expired in drain
+  call report
+  addi r5, -1
+m_dr_got:
+  movi r6, 0
+  jmp m_drain
+m_shutdown:
+  movi r0, SYS_CLOSE       ; EOF fans out to every idle worker
+  movi r1, 3
+  syscall
+  movi r0, SYS_EXIT        ; exit releases the listen fd: the port closes
+  movi r1, 0               ; and straggling connects fail fast
+  syscall
+
+; Accepts one connection and reads the 12-byte response off it. Reports
+; {0, latency} on success, {5, 0} when the peer never delivers a whole
+; response. Accept timeouts pass through in r0. Clobbers r0-r4;
+; decrements r5 unless it is already zero (an expired lease may still
+; complete late — the in-flight count must never underflow).
+handle_resp:
+  movi r0, SYS_ACCEPT
+  movi r1, 4
+  movi r2, RTIMEO
+  syscall
+  cmpi r0, ERR_TIMEDOUT
+  jz hr_ret
+  movi r4, connfd
+  store [r4], r0
+  mov r1, r0
+  movi r0, SYS_READ_T
+  movi r2, respbuf
+  movi r3, 12
+  movi r4, RTIMEO
+  syscall
+  cmpi r0, 12
+  jz hr_ok
+  movi r1, 0
+  movi r0, 5               ; {5, 0}: connection without a whole response
+  call report
+  jmp hr_close
+hr_ok:
+  movi r0, SYS_TIME
+  syscall
+  movi r4, respbuf
+  load r1, [r4+4]          ; the scheduled-arrival stamp rode along
+  sub r0, r1               ; latency = now - arrival (u32 wraparound)
+  mov r1, r0
+  movi r0, 0               ; {0, latency}: a completion
+  call report
+hr_close:
+  movi r0, SYS_CLOSE
+  movi r4, connfd
+  load r1, [r4]
+  syscall
+  cmpi r5, 0
+  jz hr_done
+  addi r5, -1
+hr_done:
+  movi r0, 0
+hr_ret:
+  ret
+
+; report(r0 = tag, r1 = value): one 8-byte record to the host channel.
+; Clobbers r0-r4.
+report:
+  movi r4, repbuf
+  store [r4], r0
+  store [r4+4], r1
+  movi r0, SYS_WRITE
+  movi r1, 0
+  movi r2, repbuf
+  movi r3, 8
+  syscall
+  ret
+
+worker:
+  movi r0, SYS_CLOSE       ; drop the inherited request-pipe write end so
+  movi r1, 3               ; the master alone controls EOF
+  syscall
+w_loop:
+  movi r0, SYS_READ        ; one whole 8-byte request (0 = EOF, retire)
+  movi r1, 2
+  movi r2, wreq
+  movi r3, 8
+  syscall
+  cmpi r0, 0
+  jz w_exit
+  movi r4, wreq            ; service time = WORKBASE + (id & 63) * 8
+  load r2, [r4]
+  mov r3, r2
+  movi r1, 63
+  and r3, r1
+  movi r1, 8
+  mul r3, r1
+  addi r3, WORKBASE
+  movi r1, 0               ; r1 = checksum
+w_work:
+  movi r0, 1103515245      ; LCG step + a data-page touch per iteration
+  mul r2, r0
+  addi r2, 12345
+  mov r0, r2
+  movi r4, 0x1FFF
+  and r0, r4
+  addi r0, wbuf
+  loadb r4, [r0]
+  add r1, r4
+  storeb [r0], r1
+  addi r3, -1
+  cmpi r3, 0
+  jnz w_work
+  movi r4, wreq            ; response = {id, stamp, checksum}
+  load r0, [r4]
+  movi r4, wresp
+  store [r4], r0
+  movi r4, wreq
+  load r0, [r4+4]
+  movi r4, wresp
+  store [r4+4], r0
+  store [r4+8], r1
+  movi r5, 0               ; r5 = connect attempts so far
+  movi r6, BBASE           ; r6 = next backoff, doubles per refusal
+w_try:
+  movi r0, SYS_CONNECT
+  movi r1, PORT
+  syscall
+  cmpi r0, ERR_REFUSED     ; unsigned >= also catches a closed port
+  jae w_refused            ; (ERR_RESULT) once the master has exited
+  mov r1, r0               ; deliver over the fresh connection
+  movi r0, SYS_WRITE
+  movi r2, wresp
+  movi r3, 12
+  syscall
+  movi r0, SYS_CLOSE
+  syscall                  ; r1 still holds the socket fd
+  jmp w_loop
+w_refused:
+  mov r1, r5
+  movi r0, 4               ; {4, attempt}: refused, will back off or drop
+  call report
+  addi r5, 1
+  cmpi r5, MAXA
+  jae w_drop
+  movi r0, SYS_RAND        ; exponential backoff + seeded jitter breaks
+  syscall                  ; retry synchronization across the pool
+  movi r1, JMASK
+  and r0, r1
+  add r0, r6
+  mov r1, r0
+  movi r0, SYS_SLEEP
+  syscall
+  add r6, r6
+  jmp w_try
+w_drop:
+  movi r4, wreq
+  load r1, [r4]
+  movi r0, 3               ; {3, id}: gave up on delivery
+  call report
+  jmp w_loop
+w_exit:
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+reqfds:  .space 8
+abuf:    .space 8
+respbuf: .space 12
+repbuf:  .space 8
+connfd:  .space 4
+wreq:    .space 8
+wresp:   .space 12
+wbuf:    .space 8192
+)";
+
+arch::u64 splitmix64(arch::u64& s) {
+  s += 0x9E3779B97F4A7C15ull;
+  arch::u64 z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// ln(x) for x in (0, 2) without libm: normalize x to m * 2^e with m in
+// [1, 2), then ln m via the atanh series 2(z + z^3/3 + z^5/5 + ...) with
+// z = (m - 1)/(m + 1) (|z| <= 1/3, nine terms put the truncation error
+// below 1e-9 relative). Plain IEEE adds/multiplies/divides only, so the
+// arrival schedule is bit-identical across hosts.
+double soft_ln(double x) {
+  int e = 0;
+  double m = x;
+  while (m < 1.0) {
+    m *= 2.0;
+    --e;
+  }
+  while (m >= 2.0) {
+    m *= 0.5;
+    ++e;
+  }
+  const double z = (m - 1.0) / (m + 1.0);
+  const double z2 = z * z;
+  double term = z;
+  double sum = 0.0;
+  for (int i = 0; i < 9; ++i) {
+    sum += term / static_cast<double>(2 * i + 1);
+    term *= z2;
+  }
+  return 2.0 * sum + static_cast<double>(e) * 0.6931471805599453;
+}
+
+// Maps a splitmix64 draw to (0, 1] — never 0, so -ln(u) is always finite.
+double unit_open(arch::u64 r) {
+  return static_cast<double>((r >> 11) + 1) * 0x1p-53;
+}
+
+}  // namespace
+
+OverloadResult run_overload_load(const Protection& prot,
+                                 const OverloadConfig& cfg) {
+  OverloadResult out;
+  out.base.name = "overload-" + std::to_string(cfg.workers) + "w";
+  out.offered_rpmc = cfg.offered_rpmc;
+
+  kernel::KernelConfig kcfg;
+  kcfg.phys_frames = cfg.phys_frames;
+  kcfg.cores = cfg.cores == 0 ? 1 : cfg.cores;
+  kcfg.cost = cfg.cost;
+  kcfg.software_tlb = prot.software_tlb;
+  kcfg.trace = prot.trace;
+  kernel::Kernel k(kcfg);
+  k.set_engine(prot.make_engine());
+
+  const std::string equs =
+      ".equ WORKERS, " + std::to_string(cfg.workers) +
+      "\n.equ WORKBASE, " + std::to_string(cfg.work_base) +
+      "\n.equ QDEPTH, " + std::to_string(cfg.qdepth) +
+      "\n.equ BACKLOG, " + std::to_string(cfg.backlog) +
+      "\n.equ DEADLINE, " + std::to_string(cfg.deadline) +
+      "\n.equ RTIMEO, " + std::to_string(cfg.recv_timeout) +
+      "\n.equ STIMEO, " + std::to_string(cfg.select_timeout) +
+      "\n.equ MAXA, " + std::to_string(cfg.max_attempts) +
+      "\n.equ BBASE, " + std::to_string(cfg.backoff_base) +
+      "\n.equ JMASK, " + std::to_string(cfg.jitter_mask) + "\n.equ PORT, 1\n";
+  const auto program = assembler::assemble(guest::program(equs + kOverloadBody));
+  image::BuildOptions opts;
+  opts.name = "overload";
+  k.register_image(image::build_image(program, opts));
+
+  const kernel::Pid master = k.spawn("overload");
+  const auto chan = k.attach_channel(master);
+
+  // The open-loop schedule, computed up front: (cycle, id) per arrival,
+  // exponential inter-arrivals at the configured offered rate.
+  const double mean_cycles = 1e6 / std::max(cfg.offered_rpmc, 1e-6);
+  std::vector<std::pair<arch::u64, u32>> schedule;
+  schedule.reserve(cfg.arrivals);
+  arch::u64 prng = cfg.seed;
+  double t = 0.0;
+  for (u32 i = 0; i < cfg.arrivals; ++i) {
+    const u32 id = static_cast<u32>(splitmix64(prng));
+    t += -soft_ln(unit_open(splitmix64(prng))) * mean_cycles;
+    schedule.emplace_back(static_cast<arch::u64>(t), id);
+  }
+
+  const auto drain_records = [&] {
+    const std::vector<arch::u8> bytes = chan->host_read_all();
+    for (std::size_t i = 0; i + 8 <= bytes.size(); i += 8) {
+      const auto le32 = [&](std::size_t at) {
+        return static_cast<u32>(bytes[at]) |
+               static_cast<u32>(bytes[at + 1]) << 8 |
+               static_cast<u32>(bytes[at + 2]) << 16 |
+               static_cast<u32>(bytes[at + 3]) << 24;
+      };
+      const u32 tag = le32(i);
+      const u32 value = le32(i + 4);
+      switch (tag) {
+        case 0:
+          out.latency.record(value);
+          ++out.completed;
+          break;
+        case 1:
+          ++out.shed_queue;
+          break;
+        case 2:
+          ++out.shed_deadline;
+          break;
+        case 3:
+          ++out.worker_drops;
+          break;
+        case 4:
+          ++out.retries;
+          break;
+        case 5:
+          ++out.lost_responses;
+          break;
+        default:
+          break;
+      }
+    }
+  };
+
+  // Run with a cycle bound at the next scheduled arrival, so deliveries
+  // land at their exact simulated times regardless of how busy or idle
+  // the machine is. The cycle cap keeps u32 SYS_TIME stamps far from
+  // wraparound; the round cap is a wedge backstop.
+  constexpr arch::u64 kBudget = 50'000'000;
+  constexpr arch::u64 kMaxRounds = 100'000;
+  constexpr arch::u64 kCycleCap = 3'500'000'000;
+  std::size_t next = 0;
+  bool closed = false;
+  bool wedged = false;
+  for (arch::u64 round = 0;; ++round) {
+    if (round >= kMaxRounds || k.stats().cycles > kCycleCap) {
+      wedged = true;
+      break;
+    }
+    const arch::u64 now = k.stats().cycles;
+    if (next < schedule.size() && schedule[next].first <= now) {
+      std::vector<arch::u8> batch;
+      while (next < schedule.size() && schedule[next].first <= now) {
+        const u32 id = schedule[next].second;
+        const u32 stamp = static_cast<u32>(schedule[next].first);
+        for (const u32 w : {id, stamp}) {
+          batch.push_back(static_cast<arch::u8>(w));
+          batch.push_back(static_cast<arch::u8>(w >> 8));
+          batch.push_back(static_cast<arch::u8>(w >> 16));
+          batch.push_back(static_cast<arch::u8>(w >> 24));
+        }
+        ++next;
+        ++out.arrivals_issued;
+      }
+      chan->host_write(batch);
+    }
+    if (next == schedule.size() && !closed) {
+      chan->host_close();
+      closed = true;
+    }
+    const arch::u64 stop =
+        next < schedule.size() ? schedule[next].first : 0;
+    const auto rr = k.run(kBudget, stop);
+    drain_records();
+    if (rr == kernel::Kernel::RunResult::kAllExited) break;
+    if (rr == kernel::Kernel::RunResult::kAllBlocked) {
+      // Nothing runnable and no armed timer. Waiting on a future arrival:
+      // jump virtual time forward to it. After the stream closed this is
+      // a wedge — the master should have drained and exited.
+      if (next < schedule.size()) {
+        k.advance_idle_time(schedule[next].first);
+      } else {
+        wedged = true;
+        break;
+      }
+    }
+  }
+
+  out.base.cycles = k.stats().cycles;
+  out.base.sim_time = out.base.cycles;
+  out.base.stats = k.stats();
+  if (auto* sink = k.trace_sink()) {
+    out.base.trace_summary =
+        std::make_shared<trace::ProfileSummary>(sink->summary());
+  }
+  out.base.completed = !wedged && closed && k.all_exited() &&
+                       out.arrivals_issued == cfg.arrivals;
+  if (out.base.cycles != 0) {
+    out.goodput_rpmc = static_cast<double>(out.completed) * 1e6 /
+                       static_cast<double>(out.base.cycles);
+    out.base.throughput = out.goodput_rpmc;
+  }
+  return out;
+}
+
+}  // namespace sm::workloads

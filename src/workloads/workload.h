@@ -179,4 +179,53 @@ struct ServerLoadResult {
 ServerLoadResult run_server_load(const Protection& prot,
                                  const ServerLoadConfig& cfg = {});
 
+// --- overload server (open-loop arrivals, shedding, retry) ----------------
+//
+// The graceful-degradation scenario: the host issues requests on an
+// OPEN-LOOP schedule (seeded exponential inter-arrivals at a configured
+// offered rate, independent of completions), so past saturation the
+// server must shed rather than lag. The master applies admission control
+// (bounded in-flight queue, deadline-based drop of stale arrivals) and
+// collects worker responses over the simulated socket layer: each worker
+// delivers its response on a fresh connect() to the master's listening
+// port, retrying with exponential backoff + seeded jitter when the accept
+// backlog refuses it, and dropping the response after max_attempts.
+// Deadline timers bound every blocking wait in the master's event loop so
+// a stalled worker degrades goodput instead of wedging it.
+struct OverloadConfig {
+  u32 workers = 16;        // forked worker processes
+  u32 arrivals = 400;      // total arrivals in the open-loop stream
+  double offered_rpmc = 40.0;  // offered load, requests per mega-cycle
+  u32 qdepth = 48;         // master admission bound (in-flight cap)
+  u32 backlog = 4;         // listen-socket accept backlog capacity
+  u32 deadline = 300000;   // admission deadline, cycles since arrival
+  u32 recv_timeout = 60000;    // master accept/read deadline, cycles
+  u32 select_timeout = 30000;  // master event-loop tick, cycles
+  u32 max_attempts = 6;    // worker connect attempts before dropping
+  u32 backoff_base = 1000;     // first retry backoff, cycles (doubles)
+  u32 jitter_mask = 1023;  // seeded jitter added per retry (rand & mask)
+  u32 work_base = 64;      // base service-loop iterations per request
+  arch::u64 seed = 0x5eedf00d;  // arrival-stream PRNG seed
+  u32 phys_frames = 32768;
+  u32 cores = 1;
+  metrics::CostModel cost{};
+};
+
+struct OverloadResult {
+  WorkloadResult base;
+  metrics::LatencyHistogram latency;  // arrival-to-response, completed only
+  u64 arrivals_issued = 0;
+  u64 completed = 0;        // responses that made it back (goodput)
+  u64 shed_queue = 0;       // dropped at admission: in-flight cap hit
+  u64 shed_deadline = 0;    // dropped at admission: already past deadline
+  u64 worker_drops = 0;     // dropped by a worker after max_attempts
+  u64 lost_responses = 0;   // master gave up waiting (lease/read timeout)
+  u64 retries = 0;          // refused connect() attempts (retry pressure)
+  double offered_rpmc = 0;  // echo of the configured offered rate
+  double goodput_rpmc = 0;  // completed per mega-cycle actually achieved
+};
+
+OverloadResult run_overload_load(const Protection& prot,
+                                 const OverloadConfig& cfg = {});
+
 }  // namespace sm::workloads

@@ -564,6 +564,179 @@ fds2: .space 8
   return body;
 }
 
+// Both select2 fds become readable in the SAME parent quantum (two writes
+// back to back, the parked child never runs in between). The child must
+// wake exactly once, prefer fd_a, and the wake accounting must show the
+// O(1) contract: a select2 park registers the pid on both queues, and
+// each entry costs exactly one sched_wake_check over its lifetime — the
+// A-entry when the first write wakes the child, the B-entry either when
+// the second write finds it stale (two-write variant) or when pipe
+// teardown sweeps it (one-write variant). Total checks are therefore
+// bit-identical across the two variants.
+std::string both_ready_body(int second_write) {
+  const std::string flag = std::to_string(second_write);
+  return R"(
+_start:
+  movi r0, SYS_PIPE
+  movi r1, fdsa
+  syscall
+  movi r0, SYS_PIPE
+  movi r1, fdsb
+  syscall
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r5, r0
+  movi r0, SYS_YIELD      ; let the child park in select2 on A and B
+  syscall
+  movi r0, SYS_WRITE      ; A becomes readable: wakes the child (1 check)
+  movi r4, fdsa
+  load r1, [r4+4]
+  movi r2, tok
+  movi r3, 4
+  syscall
+  movi r6, )" + flag + R"(
+  cmpi r6, 0
+  jz nosecond
+  movi r0, SYS_WRITE      ; B readable too, same quantum: the child's B
+  movi r4, fdsb           ; entry is already stale (1 check, dropped)
+  load r1, [r4+4]
+  movi r2, tok
+  movi r3, 4
+  syscall
+nosecond:
+  movi r0, SYS_WAITPID
+  mov r1, r5
+  syscall
+  mov r1, r0
+  movi r0, SYS_EXIT
+  syscall
+child:
+  movi r0, SYS_SELECT2
+  movi r4, fdsa
+  load r1, [r4]
+  movi r4, fdsb
+  load r2, [r4]
+  syscall
+  mov r5, r0              ; 0: fd_a preferred when both are ready
+  movi r0, SYS_READ       ; drain A
+  movi r4, fdsa
+  load r1, [r4]
+  movi r2, buf
+  movi r3, 4
+  syscall
+  movi r6, )" + flag + R"(
+  cmpi r6, 0
+  jz nodrain
+  movi r0, SYS_READ       ; drain B
+  movi r4, fdsb
+  load r1, [r4]
+  movi r2, buf
+  movi r3, 4
+  syscall
+nodrain:
+  addi r5, 40
+  mov r1, r5
+  movi r0, SYS_EXIT
+  syscall
+.data
+tok: .word 7
+.bss
+fdsa: .space 8
+fdsb: .space 8
+buf: .space 4
+)";
+}
+
+TEST(Wakeup, Select2BothFdsReadySameQuantum) {
+  auto one = testing::run_guest_1core(both_ready_body(0),
+                                      ProtectionMode::kNone);
+  auto both = testing::run_guest_1core(both_ready_body(1),
+                                       ProtectionMode::kNone);
+  ASSERT_TRUE(one.k->all_exited());
+  ASSERT_TRUE(both.k->all_exited());
+  // fd_a preferred in both variants (exit = 40 + select2 result).
+  EXPECT_EQ(one.proc().exit_code, 40u);
+  EXPECT_EQ(both.proc().exit_code, 40u);
+  // One check per queue entry per lifetime, no matter how it resolves.
+  EXPECT_EQ(both.k->stats().sched_wake_checks,
+            one.k->stats().sched_wake_checks);
+  EXPECT_GT(one.k->stats().sched_wake_checks, 0u);
+}
+
+// A waiter killed while parked in select2 must come off every queue for
+// exactly one check per entry, and the machine must keep running: the
+// kill wakes precisely the parent's waitpid (one check), a later write
+// to one watched pipe drops that queue's stale entry (one check), and
+// pipe teardown at parent exit sweeps the other (the second check of the
+// final run). Nothing wedges, nothing is double-woken.
+TEST(Wakeup, Select2WaiterKilledWhileParked) {
+  const char* body = R"(
+_start:
+  movi r0, SYS_PIPE
+  movi r1, fdsa
+  syscall
+  movi r0, SYS_PIPE
+  movi r1, fdsb
+  syscall
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r5, r0
+  movi r0, SYS_WAITPID    ; parks until the host kills the child
+  mov r1, r5
+  syscall
+  movi r0, SYS_WRITE      ; the dead child's stale A entry drops in O(1)
+  movi r4, fdsa
+  load r1, [r4+4]
+  movi r2, tok
+  movi r3, 4
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 60
+  syscall
+child:
+  movi r0, SYS_SELECT2    ; parks on A and B; killed while parked
+  movi r4, fdsa
+  load r1, [r4]
+  movi r4, fdsb
+  load r2, [r4]
+  syscall
+  movi r0, SYS_EXIT       ; never reached
+  movi r1, 9
+  syscall
+.data
+tok: .word 7
+.bss
+fdsa: .space 8
+fdsb: .space 8
+)";
+  kernel::KernelConfig cfg;
+  cfg.cores = 1;
+  auto r = testing::start_guest(body, ProtectionMode::kNone,
+                                core::ResponseMode::kBreak, cfg);
+  ASSERT_EQ(r.k->run(), kernel::Kernel::RunResult::kAllBlocked);
+  kernel::Process* child = r.k->process(2);
+  ASSERT_NE(child, nullptr);
+  ASSERT_EQ(child->state, kernel::ProcState::kBlocked);
+
+  const auto c0 = r.k->stats().sched_wake_checks;
+  r.k->kill_process(*child, kernel::ExitKind::kKilledSigsegv,
+                    "parked select2 waiter killed by test");
+  // The kill checks (and wakes) exactly the parent's waitpid entry; the
+  // select2 registrations stay behind as stale queue entries.
+  EXPECT_EQ(r.k->stats().sched_wake_checks, c0 + 1);
+
+  const auto c1 = r.k->stats().sched_wake_checks;
+  ASSERT_EQ(r.k->run(), kernel::Kernel::RunResult::kAllExited);
+  EXPECT_EQ(r.proc().exit_code, 60u);
+  // Exactly two more checks: the parent's write pops the stale A entry,
+  // and the B pipe's EOF sweep at parent exit pops the stale B entry.
+  EXPECT_EQ(r.k->stats().sched_wake_checks, c1 + 2);
+}
+
 TEST(Wakeup, EventWakeupsIndependentOfIdleProcessCount) {
   auto small = run_guest(scaling_body(8), ProtectionMode::kNone);
   auto big = run_guest(scaling_body(16), ProtectionMode::kNone);

@@ -21,17 +21,44 @@ TEST(LatencyHistogram, LinearRegionIsExact) {
 }
 
 TEST(LatencyHistogram, BucketUpperBoundsValueWithin4Percent) {
-  // Every value must land in a bucket whose upper bound is >= the value
-  // and within one sub-bucket width above it (relative error <= 1/32).
+  // Every in-range value must land in a bucket whose upper bound is >=
+  // the value and within one sub-bucket width above it (relative error
+  // <= 1/32).
   for (std::uint64_t v : std::vector<std::uint64_t>{
            64, 65, 100, 127, 128, 1000, 4096, 65535, 1u << 20, 123456789,
-           (1ull << 32) - 1, 1ull << 32, 0x123456789abcdefull,
-           ~std::uint64_t{0}}) {
+           (1ull << 32) - 1}) {
     const std::uint64_t upper =
         LatencyHistogram::bucket_upper(LatencyHistogram::bucket_of(v));
     EXPECT_GE(upper, v) << v;
     EXPECT_LE(upper - v, v / 32 + 1) << v;
   }
+}
+
+TEST(LatencyHistogram, OverflowSaturatesIntoThePinnedBucket) {
+  // Boundary: the last tracked value and the first overflowing one.
+  const std::uint32_t last_tracked =
+      LatencyHistogram::bucket_of(LatencyHistogram::kMaxTracked - 1);
+  const std::uint32_t pinned =
+      LatencyHistogram::bucket_of(LatencyHistogram::kMaxTracked);
+  EXPECT_EQ(pinned, last_tracked + 1);
+  // Everything past the range lands in the same pinned bucket.
+  EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::kMaxTracked + 1),
+            pinned);
+  EXPECT_EQ(LatencyHistogram::bucket_of(0x123456789abcdefull), pinned);
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}), pinned);
+
+  LatencyHistogram h;
+  h.record(100);
+  h.record(LatencyHistogram::kMaxTracked - 1);
+  EXPECT_EQ(h.overflow(), 0u);
+  h.record(LatencyHistogram::kMaxTracked);
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 4u);
+  // The true maximum survives saturation, and the top quantile reports
+  // it instead of a fictitious bucket bound.
+  EXPECT_EQ(h.max_recorded(), ~std::uint64_t{0});
+  EXPECT_EQ(h.quantile(1.0), ~std::uint64_t{0});
 }
 
 TEST(LatencyHistogram, QuantilesOfKnownDistribution) {

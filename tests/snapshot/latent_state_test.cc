@@ -30,8 +30,8 @@ constexpr u64 kBudget = 500'000;
 
 // Dense sweep: snapshot at ~kSteps evenly spread prefixes of the run
 // (always including 0 and T-1) and demand byte-identical finals.
-void sweep_body(const std::string& body, int steps = 16) {
-  const kernel::KernelConfig cfg = snapshot_test_cfg();
+void sweep_body_cfg(const std::string& body, const kernel::KernelConfig& cfg,
+                    int steps = 16) {
   const u64 total = body_length(body, ProtectionMode::kSplitAll, cfg, kBudget);
   ASSERT_GT(total, 2u);
   ASSERT_LT(total, kBudget) << "body did not finish; sweep would be vacuous";
@@ -40,6 +40,10 @@ void sweep_body(const std::string& body, int steps = 16) {
     EXPECT_TRUE(body_replay_at(body, ProtectionMode::kSplitAll, p, cfg,
                                kBudget));
   }
+}
+
+void sweep_body(const std::string& body, int steps = 16) {
+  sweep_body_cfg(body, snapshot_test_cfg(), steps);
 }
 
 // The fd allocator's free-slot min-heap: open 4 pipes, punch holes at
@@ -225,6 +229,132 @@ buf: .space 8
   EXPECT_EQ(resumed.proc().exit_kind, kernel::ExitKind::kExited);
   EXPECT_EQ(resumed.console(), "ping");
   EXPECT_TRUE(testing::machines_equal(want, save_bytes(*resumed.k)));
+}
+
+// Timer wheel + accept backlog (DESIGN.md §17): the parent sleeps on an
+// armed deadline while the child parks two connections (each with a
+// buffered request) in the listening socket's bounded backlog and then
+// sleeps itself. Mid-run snapshots therefore land on machines whose only
+// pending work is latent kernel state — armed timers the idle loop will
+// jump to, and a non-empty accept FIFO nothing else references. Restore
+// must preserve deadline order, remaining sleep and the backlog queue:
+// the console proves it observably (replies echo in connect order), and
+// final-snapshot field identity proves it exhaustively. The sweep runs
+// at the default config, with the block engine off, and at 4 cores; the
+// dbt on/off finals must also agree with EACH OTHER (billing identity).
+const char* kSleepWithBacklogBody = R"(
+_start:
+  movi r0, SYS_LISTEN
+  movi r1, 5
+  movi r2, 4
+  syscall             ; lfd = 2 (fd 0 channel, fd 1 console)
+  movi r0, SYS_FORK
+  syscall
+  cmpi r0, 0
+  jz child
+  mov r7, r0
+  movi r0, SYS_SLEEP  ; sleep while the child fills the backlog
+  movi r1, 20000
+  syscall
+  movi r0, SYS_ACCEPT ; backlog is non-empty at wake: both pop instantly
+  movi r1, 2
+  movi r2, 0
+  syscall
+  mov r6, r0
+  movi r0, SYS_ACCEPT
+  movi r1, 2
+  movi r2, 0
+  syscall
+  mov r5, r0
+  movi r0, SYS_READ   ; first-connected request, buffered pre-snapshot
+  mov r1, r6
+  movi r2, buf
+  movi r3, 4
+  syscall
+  movi r0, SYS_WRITE
+  movi r1, 1
+  movi r2, buf
+  movi r3, 4
+  syscall
+  movi r0, SYS_READ   ; second
+  mov r1, r5
+  movi r2, buf
+  movi r3, 4
+  syscall
+  movi r0, SYS_WRITE
+  movi r1, 1
+  movi r2, buf
+  movi r3, 4
+  syscall
+  mov r1, r7
+  movi r0, SYS_WAITPID
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+child:
+  movi r0, SYS_CONNECT
+  movi r1, 5
+  syscall
+  mov r6, r0
+  movi r0, SYS_CONNECT
+  movi r1, 5
+  syscall
+  mov r5, r0
+  movi r4, buf
+  movi r3, 0x31637463 ; "ctc1"
+  store [r4], r3
+  movi r0, SYS_WRITE
+  mov r1, r6
+  movi r2, buf
+  movi r3, 4
+  syscall
+  movi r4, buf
+  movi r3, 0x32637463 ; "ctc2"
+  store [r4], r3
+  movi r0, SYS_WRITE
+  mov r1, r5
+  movi r2, buf
+  movi r3, 4
+  syscall
+  movi r0, SYS_SLEEP  ; now BOTH processes hold armed timers
+  movi r1, 3000
+  syscall
+  movi r0, SYS_EXIT
+  movi r1, 0
+  syscall
+.bss
+buf: .space 4
+)";
+
+TEST(LatentState, ArmedTimersAndAcceptBacklogSurvive) {
+  // Not vacuous: the straight run must actually exercise the machinery.
+  auto straight = start_guest(kSleepWithBacklogBody, ProtectionMode::kSplitAll,
+                              ResponseMode::kBreak, snapshot_test_cfg());
+  straight.k->run(kBudget);
+  ASSERT_EQ(straight.proc().exit_kind, kernel::ExitKind::kExited);
+  ASSERT_EQ(straight.console(), "ctc1ctc2")
+      << "accept order or buffered requests wrong before any snapshot";
+  ASSERT_GE(straight.k->stats().timer_fires, 2u);
+  ASSERT_EQ(straight.k->stats().sock_accepts, 2u);
+
+  sweep_body_cfg(kSleepWithBacklogBody, snapshot_test_cfg());
+
+  kernel::KernelConfig nodbt = snapshot_test_cfg();
+  nodbt.dbt = false;
+  sweep_body_cfg(kSleepWithBacklogBody, nodbt, 8);
+
+  kernel::KernelConfig smp = snapshot_test_cfg();
+  smp.cores = 4;
+  sweep_body_cfg(kSleepWithBacklogBody, smp, 8);
+
+  // Billing identity across the block engine: the dbt-off straight final
+  // matches the dbt-on one on every simulated field.
+  auto interp = start_guest(kSleepWithBacklogBody, ProtectionMode::kSplitAll,
+                            ResponseMode::kBreak, nodbt);
+  interp.k->run(kBudget);
+  EXPECT_TRUE(testing::machines_equal(save_bytes(*straight.k),
+                                      save_bytes(*interp.k)));
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+// Overload workload sanity: the open-loop server completes under every
+// engine, degrades gracefully (sheds + retries, never wedges) past
+// saturation, and is a pure function of its config.
+#include <gtest/gtest.h>
+
+#include "workloads/workload.h"
+
+namespace sm::workloads {
+namespace {
+
+OverloadConfig quick_cfg() {
+  OverloadConfig cfg;
+  cfg.workers = 8;
+  cfg.arrivals = 80;
+  cfg.offered_rpmc = 10.0;  // far below capacity: nothing should shed
+  return cfg;
+}
+
+TEST(Overload, CompletesCleanlyAtLowLoadUnderBothEngines) {
+  for (const auto prot : {Protection::none(), Protection::split_all()}) {
+    const auto r = run_overload_load(prot, quick_cfg());
+    ASSERT_TRUE(r.base.completed) << prot.label();
+    EXPECT_EQ(r.arrivals_issued, 80u) << prot.label();
+    EXPECT_EQ(r.completed, 80u) << prot.label();
+    EXPECT_EQ(r.shed_queue, 0u) << prot.label();
+    EXPECT_EQ(r.shed_deadline, 0u) << prot.label();
+    EXPECT_EQ(r.worker_drops, 0u) << prot.label();
+    EXPECT_EQ(r.lost_responses, 0u) << prot.label();
+    EXPECT_EQ(r.latency.count(), 80u) << prot.label();
+    EXPECT_GT(r.goodput_rpmc, 0.0) << prot.label();
+  }
+}
+
+TEST(Overload, ShedsButNeverWedgesPastSaturation) {
+  OverloadConfig cfg = quick_cfg();
+  cfg.arrivals = 200;
+  cfg.offered_rpmc = 400.0;  // far past capacity
+  cfg.qdepth = 16;
+  cfg.deadline = 100000;
+  for (const auto prot : {Protection::none(), Protection::split_all()}) {
+    const auto r = run_overload_load(prot, cfg);
+    ASSERT_TRUE(r.base.completed) << prot.label();
+    EXPECT_EQ(r.arrivals_issued, 200u) << prot.label();
+    // Admission control must have kicked in, and whatever was admitted
+    // must be accounted for: completed plus drops covers the stream.
+    EXPECT_GT(r.shed_queue + r.shed_deadline, 0u) << prot.label();
+    EXPECT_GT(r.completed, 0u) << prot.label();
+    EXPECT_LE(r.completed, 200u) << prot.label();
+    // Goodput cannot exceed the offered rate actually sustained.
+    const double offered_effective = static_cast<double>(r.arrivals_issued) *
+                                     1e6 /
+                                     static_cast<double>(r.base.cycles);
+    EXPECT_LE(r.goodput_rpmc, offered_effective + 1e-9) << prot.label();
+  }
+}
+
+TEST(Overload, SmallBacklogForcesRetries) {
+  OverloadConfig cfg = quick_cfg();
+  cfg.arrivals = 150;
+  cfg.offered_rpmc = 300.0;
+  cfg.backlog = 1;  // nearly every simultaneous delivery collides
+  cfg.qdepth = 32;
+  const auto r = run_overload_load(Protection::none(), cfg);
+  ASSERT_TRUE(r.base.completed);
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_GT(r.base.stats.sock_refused, 0u);
+  EXPECT_GT(r.base.stats.sock_backlog_peak, 0u);
+  EXPECT_GT(r.base.stats.sleeps, 0u);  // backoff went through SYS_SLEEP
+}
+
+TEST(Overload, RunIsAPureFunctionOfItsConfig) {
+  OverloadConfig cfg = quick_cfg();
+  cfg.arrivals = 60;
+  cfg.offered_rpmc = 120.0;
+  const auto a = run_overload_load(Protection::split_all(), cfg);
+  const auto b = run_overload_load(Protection::split_all(), cfg);
+  ASSERT_TRUE(a.base.completed);
+  EXPECT_EQ(a.base.cycles, b.base.cycles);
+  EXPECT_EQ(a.base.stats.instructions, b.base.stats.instructions);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.shed_queue, b.shed_queue);
+  EXPECT_EQ(a.shed_deadline, b.shed_deadline);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.lost_responses, b.lost_responses);
+  EXPECT_EQ(a.latency.buckets(), b.latency.buckets());
+}
+
+TEST(Overload, FourCoreRunIsDeterministicToo) {
+  OverloadConfig cfg = quick_cfg();
+  cfg.arrivals = 60;
+  cfg.offered_rpmc = 120.0;
+  cfg.cores = 4;
+  const auto a = run_overload_load(Protection::split_all(), cfg);
+  const auto b = run_overload_load(Protection::split_all(), cfg);
+  ASSERT_TRUE(a.base.completed);
+  ASSERT_TRUE(b.base.completed);
+  EXPECT_EQ(a.base.cycles, b.base.cycles);
+  EXPECT_EQ(a.base.stats.instructions, b.base.stats.instructions);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.latency.buckets(), b.latency.buckets());
+}
+
+TEST(Overload, TimerAndSocketCountersSurface) {
+  OverloadConfig cfg = quick_cfg();
+  const auto r = run_overload_load(Protection::none(), cfg);
+  ASSERT_TRUE(r.base.completed);
+  // Every completion rode a connect/accept pair.
+  EXPECT_GE(r.base.stats.sock_connects, r.completed);
+  EXPECT_GE(r.base.stats.sock_accepts, r.completed);
+  // The master's event loop ticks on deadline timers while idle.
+  EXPECT_GT(r.base.stats.timer_fires, 0u);
+  EXPECT_GT(r.base.stats.wait_timeouts, 0u);
+}
+
+}  // namespace
+}  // namespace sm::workloads

@@ -19,19 +19,22 @@ perf-trajectory record must not silently lose a benchmark when the suite
 is regenerated on a machine with an older binary.
 
 With --server, checks the committed BENCH_server.json (the server-load
-throughput + tail-latency record, schema: a "quick" and a "full" section,
-each a runner --json document): both sections must carry the expected
-point labels with the full metric set and completed runs. Passing
---fresh-server with a freshly generated `server_load --quick --json`
-sidecar additionally diffs its simulated metrics against the committed
-"quick" section exactly — the same drift guard the figure battery gets
-(the "full" 10^5-request sweep is too slow for CI and is label-checked
-only).
+throughput + tail-latency record, schema: a "quick", a "full" and an
+"overload" section, each a runner --json document): every section must
+carry the expected point labels with the full metric set and completed
+runs. Passing --fresh-server with a freshly generated `server_load
+--quick --json` sidecar additionally diffs its simulated metrics against
+the committed "quick" section exactly — the same drift guard the figure
+battery gets (the "full" 10^5-request sweep is too slow for CI and is
+label-checked only). --fresh-overload does the same for an
+`overload_sweep --quick --json` sidecar against the committed "overload"
+section.
 
 Usage:
   tools/check_figures.py --fresh fresh.json [--committed BENCH_figures.json]
   tools/check_figures.py --microbench [BENCH_microbench.json]
   tools/check_figures.py --server [BENCH_server.json] [--fresh-server q.json]
+                         [--fresh-overload ov.json]
 """
 import argparse
 import json
@@ -62,12 +65,27 @@ MICROBENCH_LABELS = [
 # Point labels and metrics every BENCH_server.json section must carry.
 # The quick set additionally carries the 4-core SMP leg (per-core split
 # TLBs + IPI shootdown); the 10^5-request full sweep stays single-core.
+# The "overload" section is the open-loop overload_sweep --quick record:
+# offered-load multiples of measured capacity, split on/off, plus the
+# saturated 4-core leg.
 SERVER_POINT_LABELS = {
     "quick": ["no-split", "split-all", "split-smp4"],
     "full": ["no-split", "split-all"],
+    "overload": ["none-0.5x", "none-2x", "split-0.5x", "split-2x",
+                 "split-2x-smp4"],
 }
 SERVER_METRICS = ["throughput_rpmc", "p50", "p99", "p999", "latency_mean",
                   "cycles", "ctxsw", "completed"]
+OVERLOAD_METRICS = ["offered_rpmc", "effective_rpmc", "goodput_rpmc",
+                    "completed_n", "shed_queue", "shed_deadline",
+                    "worker_drops", "lost_responses", "retries", "p50",
+                    "p99", "cycles", "timer_fires", "sock_refused",
+                    "completed"]
+SECTION_METRICS = {
+    "quick": SERVER_METRICS,
+    "full": SERVER_METRICS,
+    "overload": OVERLOAD_METRICS,
+}
 
 
 def load(path):
@@ -92,10 +110,24 @@ def points_by_label(bench_doc):
     return {p["label"]: p.get("metrics", {}) for p in bench_doc["points"]}
 
 
-def check_server(committed_path, fresh_path=None) -> int:
+def diff_section(doc, section, fresh_path, failures):
+    """Exact-diff a freshly generated sidecar against a committed section."""
+    ref = points_by_label(doc[section])
+    fresh = points_by_label(load(fresh_path))
+    for label in SERVER_POINT_LABELS[section]:
+        if label not in fresh:
+            failures.append(f"fresh {section} run: point '{label}' missing")
+        elif label in ref and fresh[label] != ref[label]:
+            failures.append(
+                f"{section}/{label}: metrics drifted\n"
+                f"    fresh:     {json.dumps(fresh[label], sort_keys=True)}\n"
+                f"    committed: {json.dumps(ref[label], sort_keys=True)}")
+
+
+def check_server(committed_path, fresh_path=None, fresh_overload=None) -> int:
     doc = load(committed_path)
     failures = []
-    for section in ("quick", "full"):
+    for section in ("quick", "full", "overload"):
         if section not in doc:
             failures.append(f"section '{section}' missing")
             continue
@@ -105,28 +137,25 @@ def check_server(committed_path, fresh_path=None) -> int:
                 failures.append(f"{section}: point '{label}' missing")
                 continue
             metrics = pts[label]
-            absent = [k for k in SERVER_METRICS if k not in metrics]
+            absent = [k for k in SECTION_METRICS[section] if k not in metrics]
             if absent:
                 failures.append(f"{section}/{label}: metrics missing {absent}")
             elif metrics["completed"] != 1:
                 failures.append(f"{section}/{label}: run did not complete")
     if fresh_path and "quick" in doc:
-        ref = points_by_label(doc["quick"])
-        fresh = points_by_label(load(fresh_path))
-        for label in SERVER_POINT_LABELS["quick"]:
-            if label not in fresh:
-                failures.append(f"fresh quick run: point '{label}' missing")
-            elif label in ref and fresh[label] != ref[label]:
-                failures.append(
-                    f"quick/{label}: metrics drifted\n"
-                    f"    fresh:     {json.dumps(fresh[label], sort_keys=True)}\n"
-                    f"    committed: {json.dumps(ref[label], sort_keys=True)}")
+        diff_section(doc, "quick", fresh_path, failures)
+    if fresh_overload and "overload" in doc:
+        diff_section(doc, "overload", fresh_overload, failures)
     if failures:
         print(f"SERVER BENCH PROBLEMS in {committed_path}:", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    checked = "labels + quick-metrics drift" if fresh_path else "labels"
+    checked = "labels"
+    if fresh_path:
+        checked += " + quick-metrics drift"
+    if fresh_overload:
+        checked += " + overload-metrics drift"
     print(f"server OK: {checked} checked against {committed_path}")
     return 0
 
@@ -150,13 +179,18 @@ def main() -> int:
                     help="freshly generated `server_load --quick --json` "
                          "sidecar to diff against the committed quick "
                          "section (requires --server)")
+    ap.add_argument("--fresh-overload",
+                    help="freshly generated `overload_sweep --quick --json` "
+                         "sidecar to diff against the committed overload "
+                         "section (requires --server)")
     args = ap.parse_args()
 
     rc = 0
     if args.microbench:
         rc = check_microbench(args.microbench)
     if args.server:
-        rc = check_server(args.server, args.fresh_server) or rc
+        rc = check_server(args.server, args.fresh_server,
+                          args.fresh_overload) or rc
     if not args.fresh:
         if not args.microbench and not args.server:
             ap.error("--fresh, --microbench or --server required")
@@ -189,8 +223,13 @@ def main() -> int:
             else:
                 compared += 1
 
+    # A committed bench the fresh run produced no points for is a FAILURE,
+    # not a skip: silently dropping a bench from the regeneration path is
+    # exactly the kind of drift this guard exists to catch (a bench that
+    # stopped building, a battery list that lost an entry).
     for bench in sorted(set(committed) - set(fresh)):
-        print(f"note: {bench} not in fresh run (not regenerated) — skipped")
+        failures.append(f"{bench}: committed reference section exists but "
+                        f"the fresh run produced no points for it")
 
     if failures:
         print(f"FIGURE DRIFT: {len(failures)} problem(s) "
